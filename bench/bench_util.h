@@ -1,0 +1,97 @@
+#ifndef TRACER_BENCH_BENCH_UTIL_H_
+#define TRACER_BENCH_BENCH_UTIL_H_
+
+// Shared plumbing for the figure/table reproduction harnesses. Each bench
+// binary regenerates one table or figure of the paper (§5) on the synthetic
+// cohorts and prints the same rows/series the paper reports.
+//
+// Runtime knobs (environment variables):
+//   TRACER_BENCH_SAMPLES  cohort size            (default 2000)
+//   TRACER_EPOCHS         max training epochs    (default 20)
+//   TRACER_REPEATS        repeats per cell       (default 1; paper uses 10)
+//   TRACER_FULL_GRID      1 = paper-size sensitivity grid {32..1024}
+//   TRACER_RNN_DIM / TRACER_FILM_DIM  model dims (default 16)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "datagen/emr_generator.h"
+
+namespace tracer {
+namespace bench {
+
+inline int EnvInt(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atoi(value) : fallback;
+}
+
+inline bool EnvFlag(const char* name) {
+  const char* value = std::getenv(name);
+  return value != nullptr && std::string(value) != "0";
+}
+
+struct BenchOptions {
+  int samples = EnvInt("TRACER_BENCH_SAMPLES", 2000);
+  int epochs = EnvInt("TRACER_EPOCHS", 60);
+  int repeats = EnvInt("TRACER_REPEATS", 1);
+  int rnn_dim = EnvInt("TRACER_RNN_DIM", 16);
+  int film_dim = EnvInt("TRACER_FILM_DIM", 16);
+  bool full_grid = EnvFlag("TRACER_FULL_GRID");
+};
+
+/// Normalised train/val/test splits of a cohort (80/10/10, min–max fitted
+/// on train — the §5.1.1 pipeline).
+struct PreparedData {
+  data::DatasetSplits splits;
+  int input_dim = 0;
+};
+
+inline PreparedData Prepare(const data::TimeSeriesDataset& dataset,
+                            uint64_t split_seed = 1) {
+  PreparedData out;
+  Rng rng(split_seed);
+  out.splits = data::SplitDataset(dataset, rng);
+  data::MinMaxNormalizer norm;
+  norm.Fit(out.splits.train);
+  norm.Apply(&out.splits.train);
+  norm.Apply(&out.splits.val);
+  norm.Apply(&out.splits.test);
+  out.input_dim = dataset.num_features();
+  return out;
+}
+
+inline PreparedData PrepareAkiCohort(const BenchOptions& options,
+                                     uint64_t seed = 7) {
+  datagen::EmrCohortConfig config = datagen::NuhAkiDefaultConfig();
+  config.num_samples = options.samples;
+  config.seed = seed;
+  return Prepare(datagen::GenerateNuhAkiCohort(config).dataset, seed + 1);
+}
+
+inline PreparedData PrepareMimicCohort(const BenchOptions& options,
+                                       uint64_t seed = 7) {
+  datagen::EmrCohortConfig config = datagen::MimicDefaultConfig();
+  // The 24-window cohort costs ~3.4× the 7-window one per sample; trim the
+  // default size so the harnesses stay interactive.
+  config.num_samples = options.samples * 3 / 4;
+  config.seed = seed;
+  return Prepare(datagen::GenerateMimicMortalityCohort(config).dataset,
+                 seed + 1);
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+inline void PrintRule() {
+  std::printf("------------------------------------------------------------\n");
+}
+
+}  // namespace bench
+}  // namespace tracer
+
+#endif  // TRACER_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,107 @@
+// Extension experiment (not a paper figure): TRACER's robustness to EMR
+// missingness under different imputation strategies.
+//
+// The paper's pipeline (§2.1, Figure 2) cleans raw EMR data before
+// modelling; real labs are mostly unmeasured in any given window. This
+// harness drops entries of the AKI cohort at random (MCAR) at several
+// rates, repairs them with each strategy from src/data/imputation.h, and
+// reports the test AUC — quantifying how much of TRACER's accuracy depends
+// on the cleaning step.
+//
+// Expected shape: AUC degrades as the missing rate grows; structure-aware
+// strategies (forward-fill / interpolation) dominate zero-fill, with the
+// gap widening at high missingness.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/titv.h"
+#include "data/imputation.h"
+#include "datagen/emr_generator.h"
+#include "train/trainer.h"
+
+namespace tracer {
+namespace {
+
+const char* StrategyName(data::ImputationStrategy strategy) {
+  switch (strategy) {
+    case data::ImputationStrategy::kZero:
+      return "zero-fill";
+    case data::ImputationStrategy::kForwardFill:
+      return "forward-fill";
+    case data::ImputationStrategy::kCohortMean:
+      return "cohort-mean";
+    case data::ImputationStrategy::kLinearInterpolate:
+      return "interpolate";
+  }
+  return "?";
+}
+
+double RunCell(const bench::BenchOptions& options, double missing_rate,
+               data::ImputationStrategy strategy) {
+  datagen::EmrCohortConfig config = datagen::NuhAkiDefaultConfig();
+  config.num_samples = options.samples / 2;
+  config.seed = 7;
+  data::TimeSeriesDataset dataset =
+      datagen::GenerateNuhAkiCohort(config).dataset;
+  if (missing_rate > 0.0) {
+    Rng mask_rng(101);
+    const data::MissingnessMask mask =
+        data::ApplyRandomMissingness(&dataset, missing_rate, mask_rng);
+    data::Impute(&dataset, mask, strategy);
+  }
+  const bench::PreparedData data = bench::Prepare(dataset, 11);
+  core::TitvConfig model_config;
+  model_config.input_dim = data.input_dim;
+  model_config.rnn_dim = options.rnn_dim;
+  model_config.film_dim = options.film_dim;
+  model_config.seed = 17;
+  core::Titv model(model_config);
+  train::TrainConfig tc;
+  tc.max_epochs = std::min(options.epochs, 35);
+  tc.patience = 8;
+  tc.learning_rate = 3e-3f;
+  train::Fit(&model, data.splits.train, data.splits.val, tc);
+  return train::Evaluate(&model, data.splits.test).auc;
+}
+
+void Run() {
+  const bench::BenchOptions options;
+  bench::PrintHeader(
+      "Extension: TRACER AUC under missingness × imputation (NUH-AKI)");
+  const std::vector<double> rates = {0.0, 0.2, 0.5};
+  const std::vector<data::ImputationStrategy> strategies = {
+      data::ImputationStrategy::kZero,
+      data::ImputationStrategy::kCohortMean,
+      data::ImputationStrategy::kForwardFill,
+      data::ImputationStrategy::kLinearInterpolate,
+  };
+  std::printf("%-14s", "Strategy");
+  for (double rate : rates) std::printf(" miss=%.0f%%  ", 100 * rate);
+  std::printf("\n");
+  bench::PrintRule();
+  for (const auto strategy : strategies) {
+    std::printf("%-14s", StrategyName(strategy));
+    for (double rate : rates) {
+      if (rate == 0.0 && strategy != data::ImputationStrategy::kZero) {
+        std::printf(" (same)    ");
+        continue;
+      }
+      std::printf(" %-10.4f", RunCell(options, rate, strategy));
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  bench::PrintRule();
+  std::printf("Expected: AUC falls with the missing rate; forward-fill / "
+              "interpolation beat zero-fill at 50%% missingness.\n");
+}
+
+}  // namespace
+}  // namespace tracer
+
+int main() {
+  tracer::Run();
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Extension experiment: the effect of FiLM identity initialisation on
+// TITV's convergence. DESIGN.md notes that without β ≈ 1 at init the
+// ξ_t ⊙ x_t context starts near zero and training stalls — this harness
+// quantifies that by training the same model with and without the
+// identity init at several epoch budgets.
+//
+// Expected shape: identical asymptote, but the identity-initialised model
+// reaches a given AUC in substantially fewer epochs.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/titv.h"
+#include "train/trainer.h"
+
+namespace tracer {
+namespace {
+
+double Run(const bench::PreparedData& data,
+           const bench::BenchOptions& options, bool identity_init,
+           int epochs) {
+  core::TitvConfig config;
+  config.input_dim = data.input_dim;
+  config.rnn_dim = options.rnn_dim;
+  config.film_dim = options.film_dim;
+  config.film_identity_init = identity_init;
+  config.seed = 21;
+  core::Titv model(config);
+  train::TrainConfig tc;
+  tc.max_epochs = epochs;
+  tc.patience = epochs + 1;  // fixed budget: measure speed, not stopping
+  tc.learning_rate = 3e-3f;
+  tc.seed = 31;
+  train::Fit(&model, data.splits.train, data.splits.val, tc);
+  return train::Evaluate(&model, data.splits.test).auc;
+}
+
+}  // namespace
+}  // namespace tracer
+
+int main() {
+  const tracer::bench::BenchOptions options;
+  tracer::bench::BenchOptions small = options;
+  small.samples = options.samples / 2;
+  const tracer::bench::PreparedData data =
+      tracer::bench::PrepareAkiCohort(small);
+  tracer::bench::PrintHeader(
+      "Extension: FiLM identity initialisation vs plain init (NUH-AKI)");
+  std::printf("%-10s %-18s %-18s\n", "Epochs", "identity init AUC",
+              "plain init AUC");
+  tracer::bench::PrintRule();
+  for (int epochs : {5, 15, 30}) {
+    const double with_identity =
+        tracer::Run(data, options, /*identity_init=*/true, epochs);
+    const double without_identity =
+        tracer::Run(data, options, /*identity_init=*/false, epochs);
+    std::printf("%-10d %-18.4f %-18.4f\n", epochs, with_identity,
+                without_identity);
+    std::fflush(stdout);
+  }
+  tracer::bench::PrintRule();
+  std::printf("Expected: identity init reaches high AUC at small epoch "
+              "budgets where plain init is still warming up.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Reproduces Figure 1: the normalized coefficients of one LR model trained
+// on aggregated seven-day data versus seven LR models trained separately on
+// each day, illustrated with Urea (time-variant rising importance) and
+// HbA1c (low, stable importance).
+//
+// Expected shape: Urea's per-day coefficient share grows toward day 7 and
+// dwarfs HbA1c's; HbA1c stays flat and small — matching the paper's
+// motivating observation that Urea is a key kidney indicator whose
+// importance grows approaching the AKI prediction time.
+
+#include <cstdio>
+#include <vector>
+
+#include "baselines/logistic_regression.h"
+#include "bench/bench_util.h"
+#include "train/trainer.h"
+
+namespace tracer {
+namespace {
+
+train::TrainConfig LrConfig(const bench::BenchOptions& options) {
+  train::TrainConfig tc;
+  tc.max_epochs = std::max(40, options.epochs);
+  tc.patience = 10;
+  tc.learning_rate = 2e-2f;
+  return tc;
+}
+
+void Run() {
+  const bench::BenchOptions options;
+  bench::PrintHeader(
+      "Figure 1: time-invariant vs time-variant LR coefficients (NUH-AKI)");
+  const bench::PreparedData data = bench::PrepareAkiCohort(options);
+  const int num_windows = data.splits.train.num_windows();
+  const int urea = data.splits.train.FeatureIndex("Urea");
+  const int hba1c = data.splits.train.FeatureIndex("HbA1c");
+
+  // Coefficient shares fluctuate between fits (31 correlated features
+  // share the softmax mass), so every model is trained from three seeds
+  // and the normalised coefficients are averaged.
+  constexpr int kRepeats = 3;
+  auto averaged_shares = [&](baselines::LrInputMode mode, int window) {
+    std::vector<float> mean(data.input_dim, 0.0f);
+    for (int r = 0; r < kRepeats; ++r) {
+      baselines::LogisticRegression model(data.input_dim, mode, window,
+                                          101 + r);
+      train::TrainConfig tc = LrConfig(options);
+      tc.seed = 11 + r;
+      train::Fit(&model, data.splits.train, data.splits.val, tc);
+      const std::vector<float> share =
+          baselines::LogisticRegression::SoftmaxNormalize(
+              model.Coefficients());
+      for (int d = 0; d < data.input_dim; ++d) {
+        mean[d] += share[d] / kRepeats;
+      }
+    }
+    return mean;
+  };
+
+  // One LR on the aggregated seven-day data: its normalized coefficients
+  // are the time-invariant feature importance.
+  const std::vector<float> invariant =
+      averaged_shares(baselines::LrInputMode::kAggregate, 0);
+
+  // Seven LR models trained independently on each day's data: their
+  // normalized coefficients are the time-variant feature importance.
+  std::vector<std::vector<float>> variant(num_windows);
+  for (int t = 0; t < num_windows; ++t) {
+    variant[t] = averaged_shares(baselines::LrInputMode::kSingleWindow, t);
+  }
+
+  std::printf("%-8s %-12s", "Feature", "Aggregated");
+  for (int t = 0; t < num_windows; ++t) std::printf(" Day%-6d", t + 1);
+  std::printf("\n");
+  bench::PrintRule();
+  for (const auto& [name, index] :
+       std::vector<std::pair<const char*, int>>{{"Urea", urea},
+                                                {"HbA1c", hba1c}}) {
+    std::printf("%-8s %-12.4f", name, invariant[index]);
+    for (int t = 0; t < num_windows; ++t) {
+      std::printf(" %-8.4f", variant[t][index]);
+    }
+    std::printf("\n");
+  }
+  bench::PrintRule();
+  const double urea_ratio = variant[num_windows - 1][urea] / variant[0][urea];
+  std::printf(
+      "Urea day7/day1 coefficient ratio: %.2f (paper: ~4.4x growth)\n",
+      urea_ratio);
+  std::printf(
+      "Urea vs HbA1c aggregated share:   %.2fx (paper: Urea >> HbA1c; "
+      "here muted — the synthetic cohort's per-patient baseline offsets "
+      "deliberately confound aggregated levels, see DESIGN.md)\n",
+      invariant[urea] / invariant[hba1c]);
+}
+
+}  // namespace
+}  // namespace tracer
+
+int main() {
+  tracer::Run();
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Reproduces Figure 10: sensitivity analysis of TRACER on rnn_dim and
+// film_dim in the NUH-AKI cohort. See fig10_sensitivity_shared.h for the
+// sweep implementation and expected shape.
+
+#include "bench/fig10_sensitivity_shared.h"
+
+int main() {
+  const tracer::bench::BenchOptions options;
+  const tracer::bench::PreparedData data =
+      tracer::bench::PrepareAkiCohort(options);
+  tracer::bench::RunSensitivity(
+      "Figure 10: TRACER sensitivity on rnn_dim × film_dim (NUH-AKI)", data,
+      options);
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Reproduces Figure 11: sensitivity analysis of TRACER on rnn_dim and
+// film_dim in the MIMIC-III cohort. See fig10_sensitivity_aki.cc for the
+// shared sweep implementation and expected shape.
+
+#include "bench/fig10_sensitivity_shared.h"
+
+int main() {
+  const tracer::bench::BenchOptions options;
+  const tracer::bench::PreparedData data =
+      tracer::bench::PrepareMimicCohort(options);
+  tracer::bench::RunSensitivity(
+      "Figure 11: TRACER sensitivity on rnn_dim × film_dim (MIMIC-III)",
+      data, options);
+  return 0;
+}

@@ -1,0 +1,203 @@
+// Reproduces Figure 12: AUC and CEL of LR, GBDT, BIRNN, RETAIN, the three
+// Dipole variants and TRACER on the NUH-AKI and MIMIC-III cohorts.
+//
+// Expected shape (paper §5.2.1): TRACER highest AUC / lowest CEL on both
+// datasets; LR and GBDT clearly behind the sequence models; RETAIN behind
+// TRACER by a visible margin.
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/birnn_model.h"
+#include "baselines/dipole.h"
+#include "baselines/gbdt.h"
+#include "baselines/logistic_regression.h"
+#include "baselines/retain.h"
+#include "bench/bench_util.h"
+#include "core/titv.h"
+#include "metrics/metrics.h"
+#include "train/trainer.h"
+
+namespace tracer {
+namespace {
+
+struct MethodResult {
+  std::string name;
+  metrics::MeanStd auc;
+  metrics::MeanStd cel;
+};
+
+using ModelFactory =
+    std::function<std::unique_ptr<nn::SequenceModel>(int dim, uint64_t seed)>;
+
+train::TrainConfig FitConfig(const bench::BenchOptions& options,
+                             uint64_t seed, float lr) {
+  train::TrainConfig tc;
+  // TITV on the 24-window cohort needs ~70 epochs to mature; the faster
+  // baselines early-stop long before this cap.
+  tc.max_epochs = std::max(options.epochs, 80);
+  tc.patience = 12;
+  tc.seed = seed;
+  tc.learning_rate = lr;
+  return tc;
+}
+
+// The paper's protocol (§5.1.2): per method, the hyperparameters with the
+// best validation performance are selected, then applied to the test set.
+// Here the searched axis is the learning rate; dims are fixed per run
+// (swept separately in Figures 10/11).
+MethodResult RunGradientMethod(const std::string& name,
+                               const ModelFactory& factory,
+                               const bench::PreparedData& data,
+                               const bench::BenchOptions& options,
+                               bool linear_model = false) {
+  const std::vector<float> lr_grid =
+      linear_model ? std::vector<float>{5e-3f, 2e-2f}
+                   : std::vector<float>{1e-3f, 3e-3f};
+  std::vector<double> aucs, cels;
+  for (int r = 0; r < options.repeats; ++r) {
+    double best_val = 0.0;
+    train::EvalResult best_eval;
+    bool first = true;
+    for (float lr : lr_grid) {
+      auto model = factory(data.input_dim, 101 + r);
+      const train::TrainResult tr =
+          train::Fit(model.get(), data.splits.train, data.splits.val,
+                     FitConfig(options, 11 + r, lr));
+      double val = tr.val_loss[0];
+      for (double v : tr.val_loss) val = std::min(val, v);
+      if (first || val < best_val) {
+        best_val = val;
+        best_eval = train::Evaluate(model.get(), data.splits.test);
+        first = false;
+      }
+    }
+    aucs.push_back(best_eval.auc);
+    cels.push_back(best_eval.cel);
+  }
+  return {name, metrics::Summarize(aucs), metrics::Summarize(cels)};
+}
+
+MethodResult RunGbdt(const bench::PreparedData& data,
+                     const bench::BenchOptions& options) {
+  std::vector<double> aucs, cels;
+  for (int r = 0; r < options.repeats; ++r) {
+    baselines::GbdtConfig config;
+    config.num_trees = 120;
+    config.seed = 31 + r;
+    baselines::Gbdt model(config, data::TaskType::kBinaryClassification);
+    model.FitDataset(data.splits.train);
+    const std::vector<float> probs =
+        model.PredictDataset(data.splits.test);
+    aucs.push_back(metrics::Auc(probs, data.splits.test.labels()));
+    cels.push_back(
+        metrics::CrossEntropyLoss(probs, data.splits.test.labels()));
+  }
+  return {"GBDT", metrics::Summarize(aucs), metrics::Summarize(cels)};
+}
+
+// `titv_rnn_dim`/`titv_film_dim` carry the per-dataset dims selected by the
+// sensitivity analysis (Figures 10/11), mirroring the paper's protocol of
+// adopting the best-performing setting per dataset (§5.1.2: NUH-AKI uses
+// rnn 128 / film 512; MIMIC-III uses rnn 512 / film 64 — note the inverted
+// ratio, which this reproduction also finds).
+void RunDataset(const char* title, const bench::PreparedData& data,
+                const bench::BenchOptions& options, int titv_rnn_dim,
+                int titv_film_dim) {
+  bench::PrintHeader(std::string("Figure 12 — ") + title);
+  const int h = options.rnn_dim;
+  std::vector<MethodResult> results;
+  results.push_back(RunGradientMethod(
+      "LR",
+      [](int dim, uint64_t seed) {
+        return std::make_unique<baselines::LogisticRegression>(
+            dim, baselines::LrInputMode::kAggregate, 0, seed);
+      },
+      data, options, /*linear_model=*/true));
+  results.push_back(RunGbdt(data, options));
+  results.push_back(RunGradientMethod(
+      "BIRNN",
+      [h](int dim, uint64_t seed) {
+        return std::make_unique<baselines::BirnnModel>(dim, h, seed);
+      },
+      data, options));
+  results.push_back(RunGradientMethod(
+      "RETAIN",
+      [h](int dim, uint64_t seed) {
+        return std::make_unique<baselines::Retain>(dim, h, h, seed);
+      },
+      data, options));
+  for (auto [attn, name] :
+       {std::pair{baselines::DipoleAttention::kLocation, "Dipole_loc"},
+        std::pair{baselines::DipoleAttention::kGeneral, "Dipole_gen"},
+        std::pair{baselines::DipoleAttention::kConcat, "Dipole_con"}}) {
+    results.push_back(RunGradientMethod(
+        name,
+        [h, attn](int dim, uint64_t seed) {
+          return std::make_unique<baselines::Dipole>(dim, h, attn, seed);
+        },
+        data, options));
+  }
+  results.push_back(RunGradientMethod(
+      "TRACER",
+      [&](int dim, uint64_t seed) {
+        core::TitvConfig config;
+        config.input_dim = dim;
+        config.rnn_dim = titv_rnn_dim;
+        config.film_dim = titv_film_dim;
+        config.seed = seed;
+        return std::make_unique<core::Titv>(config);
+      },
+      data, options));
+
+  std::printf("%-12s %-18s %-18s\n", "Method", "AUC (higher)",
+              "CEL (lower)");
+  bench::PrintRule();
+  for (const MethodResult& r : results) {
+    std::printf("%-12s %.4f ± %.4f    %.4f ± %.4f\n", r.name.c_str(),
+                r.auc.mean, r.auc.stddev, r.cel.mean, r.cel.stddev);
+  }
+  bench::PrintRule();
+  const MethodResult& tracer_row = results.back();
+  double best_baseline_auc = 0.0;
+  std::string best_baseline;
+  for (size_t i = 0; i + 1 < results.size(); ++i) {
+    if (results[i].auc.mean > best_baseline_auc) {
+      best_baseline_auc = results[i].auc.mean;
+      best_baseline = results[i].name;
+    }
+  }
+  std::printf("TRACER vs best baseline (%s): %+0.4f AUC  (paper: TRACER "
+              "wins on both datasets)\n",
+              best_baseline.c_str(),
+              tracer_row.auc.mean - best_baseline_auc);
+}
+
+}  // namespace
+}  // namespace tracer
+
+int main(int argc, char** argv) {
+  const tracer::bench::BenchOptions options;
+  // Optional argv filter: "aki" or "mimic" runs one panel only.
+  const std::string only = argc > 1 ? argv[1] : "";
+  std::printf("samples=%d epochs=%d repeats=%d rnn_dim=%d film_dim=%d\n",
+              options.samples, options.epochs, options.repeats,
+              options.rnn_dim, options.film_dim);
+  if (only.empty() || only == "aki") {
+    const tracer::bench::PreparedData aki =
+        tracer::bench::PrepareAkiCohort(options);
+    tracer::RunDataset("NUH-AKI (hospital-acquired AKI prediction)", aki,
+                       options, /*titv_rnn_dim=*/16, /*titv_film_dim=*/16);
+  }
+  if (only.empty() || only == "mimic") {
+    const tracer::bench::PreparedData mimic =
+        tracer::bench::PrepareMimicCohort(options);
+    tracer::RunDataset("MIMIC-III (in-hospital mortality prediction)",
+                       mimic, options, /*titv_rnn_dim=*/32,
+                       /*titv_film_dim=*/8);
+  }
+  return 0;
+}

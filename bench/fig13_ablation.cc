@@ -1,0 +1,97 @@
+// Reproduces Figure 13: the ablation study. TRACERinv keeps only the
+// Time-Invariant + Prediction Modules, TRACERvar only the Time-Variant +
+// Prediction Modules.
+//
+// Expected shape (paper §5.2.2): both ablations lose AUC relative to full
+// TRACER, with TRACERvar > TRACERinv (the time-variant module carries more
+// of the signal). Additional rows ablate the design choices DESIGN.md
+// calls out (β's two integration points, additive vs multiplicative ξ,
+// mean vs last-state summary).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/titv.h"
+#include "metrics/metrics.h"
+#include "train/trainer.h"
+
+namespace tracer {
+namespace {
+
+struct AblationRow {
+  core::TitvAblation ablation;
+  bool paper_figure;  // true for the three Figure 13 bars
+};
+
+void RunDataset(const char* title, const bench::PreparedData& data,
+                const bench::BenchOptions& options, int rnn_dim,
+                int film_dim) {
+  bench::PrintHeader(std::string("Figure 13 — ") + title);
+  const std::vector<AblationRow> rows = {
+      {core::TitvAblation::kInvariantOnly, true},
+      {core::TitvAblation::kVariantOnly, true},
+      {core::TitvAblation::kFull, true},
+      {core::TitvAblation::kNoFilmModulation, false},
+      {core::TitvAblation::kNoBetaInPrediction, false},
+      {core::TitvAblation::kMultiplicativeCombine, false},
+      {core::TitvAblation::kLastStateSummary, false},
+  };
+  std::printf("%-22s %-18s %-18s %s\n", "Variant", "AUC (higher)",
+              "CEL (lower)", "in paper fig?");
+  bench::PrintRule();
+  for (const AblationRow& row : rows) {
+    std::vector<double> aucs, cels;
+    for (int r = 0; r < options.repeats; ++r) {
+      core::TitvConfig config;
+      config.input_dim = data.input_dim;
+      config.rnn_dim = rnn_dim;
+      config.film_dim = film_dim;
+      config.ablation = row.ablation;
+      config.seed = 201 + r;
+      core::Titv model(config);
+      train::TrainConfig tc;
+      // Same budget as Figure 12: the full model on the 24-window cohort
+      // needs ~70 epochs to mature, while the single-module ablations
+      // early-stop long before the cap.
+      tc.max_epochs = std::max(options.epochs, 80);
+      tc.patience = 12;
+      tc.learning_rate = 3e-3f;
+      tc.seed = 301 + r;
+      train::Fit(&model, data.splits.train, data.splits.val, tc);
+      const train::EvalResult eval =
+          train::Evaluate(&model, data.splits.test);
+      aucs.push_back(eval.auc);
+      cels.push_back(eval.cel);
+      if (r == 0) {
+        std::printf("%-22s ", model.name().c_str());
+      }
+    }
+    const metrics::MeanStd auc = metrics::Summarize(aucs);
+    const metrics::MeanStd cel = metrics::Summarize(cels);
+    std::printf("%.4f ± %.4f    %.4f ± %.4f %s\n", auc.mean, auc.stddev,
+                cel.mean, cel.stddev, row.paper_figure ? "yes" : "extra");
+  }
+  bench::PrintRule();
+}
+
+}  // namespace
+}  // namespace tracer
+
+int main(int argc, char** argv) {
+  const tracer::bench::BenchOptions options;
+  // Optional argv filter: "aki" or "mimic" runs one panel only.
+  const std::string only = argc > 1 ? argv[1] : "";
+  if (only.empty() || only == "aki") {
+    const tracer::bench::PreparedData aki =
+        tracer::bench::PrepareAkiCohort(options);
+    tracer::RunDataset("NUH-AKI", aki, options, 16, 16);
+  }
+  if (only.empty() || only == "mimic") {
+    const tracer::bench::PreparedData mimic =
+        tracer::bench::PrepareMimicCohort(options);
+    tracer::RunDataset("MIMIC-III", mimic, options, 32, 8);
+  }
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Reproduces Figure 14: TRACER convergence time versus number of
+// devices on both cohorts.
+//
+// The paper trains on 1–8 GPUs; here the data-parallel trainer shards each
+// minibatch over worker threads with gradient aggregation ("controlling")
+// on the main thread. On a single-core host thread workers cannot yield
+// real speedup, so alongside the measured wall-clock numbers the harness
+// reports the analytic model calibrated from the measured per-epoch compute
+// and controlling costs — reproducing the paper's shape: sub-linear
+// scaling on the small NUH-AKI cohort (controlling cost dominates) and
+// better scaling on the larger MIMIC-III cohort.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "core/titv.h"
+#include "parallel/data_parallel.h"
+#include "train/trainer.h"
+
+namespace tracer {
+namespace {
+
+void RunDataset(const char* title, const bench::PreparedData& data,
+                const bench::BenchOptions& options, int epochs) {
+  bench::PrintHeader(std::string("Figure 14 — ") + title);
+  auto factory = [&]() -> std::unique_ptr<nn::SequenceModel> {
+    core::TitvConfig config;
+    config.input_dim = data.input_dim;
+    config.rnn_dim = options.rnn_dim;
+    config.film_dim = options.film_dim;
+    config.seed = 17;
+    return std::make_unique<core::Titv>(config);
+  };
+  train::TrainConfig tc;
+  tc.max_epochs = epochs;
+  tc.patience = epochs + 1;  // fixed-epoch timing runs
+  tc.learning_rate = 3e-3f;
+  tc.seed = 29;
+
+  std::printf("%-8s %-16s %-18s %-22s\n", "Workers", "Measured (s)",
+              "Controlling (s)", "Modeled (s)");
+  bench::PrintRule();
+  // The modeled column projects the convergence time onto a machine with
+  // one core per worker: compute shrinks 1/W while each worker count's own
+  // *measured* controlling cost (broadcast + aggregation + checkpoint
+  // selection, which grows with W and does not parallelise) is kept.
+  double compute_total = 0.0;
+  double modeled_1 = 0.0, modeled_8 = 0.0;
+  for (int workers : {1, 2, 4, 8}) {
+    core::TitvConfig config;
+    config.input_dim = data.input_dim;
+    config.rnn_dim = options.rnn_dim;
+    config.film_dim = options.film_dim;
+    config.seed = 17;
+    core::Titv model(config);
+    parallel::DataParallelTrainer trainer(&model, factory, workers);
+    const parallel::ParallelTrainResult result =
+        trainer.Fit(data.splits.train, data.splits.val, tc);
+    if (workers == 1) {
+      compute_total = result.seconds - result.controlling_seconds;
+    }
+    const double modeled =
+        compute_total / workers + result.controlling_seconds;
+    if (workers == 1) modeled_1 = modeled;
+    if (workers == 8) modeled_8 = modeled;
+    std::printf("%-8d %-16.2f %-18.2f %-22.2f\n", workers, result.seconds,
+                result.controlling_seconds, modeled);
+  }
+  bench::PrintRule();
+  std::printf("Modeled speedup at 8 devices: %.2fx (paper: sub-linear on "
+              "NUH-AKI, closer to linear on the larger MIMIC-III)\n",
+              modeled_1 / modeled_8);
+}
+
+}  // namespace
+}  // namespace tracer
+
+int main() {
+  tracer::bench::BenchOptions options;
+  const int epochs = std::min(options.epochs, 6);  // timing, not accuracy
+  {
+    tracer::bench::BenchOptions small = options;
+    small.samples = options.samples / 2;
+    const tracer::bench::PreparedData aki =
+        tracer::bench::PrepareAkiCohort(small);
+    tracer::RunDataset("NUH-AKI (small cohort)", aki, options, epochs);
+  }
+  {
+    const tracer::bench::PreparedData mimic =
+        tracer::bench::PrepareMimicCohort(options);
+    tracer::RunDataset("MIMIC-III (larger cohort)", mimic, options, epochs);
+  }
+  return 0;
+}

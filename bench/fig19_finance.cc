@@ -1,0 +1,62 @@
+// Reproduces Figure 19: feature-level interpretation of TRACER in the
+// NASDAQ100-like stock index regression — FI distributions of the
+// top-ranking (AMZN), mid-ranking (LRCX) and bottom-ranking (VIAB)
+// constituents over the 10-minute feature window.
+//
+// Expected shape (§5.5): FI is stable over windows for all three (a
+// 10-minute horizon); AMZN high with visible dispersion, LRCX medium with
+// moderate dispersion, VIAB consistently low — and because the synthetic
+// index is an explicit weighted sum, the recovered importance ordering can
+// be checked against the ground-truth weights.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/interp_shared.h"
+#include "datagen/stock_generator.h"
+#include "metrics/metrics.h"
+
+int main() {
+  const tracer::bench::BenchOptions options;
+  tracer::datagen::StockMarketConfig config;
+  config.series_length = std::max(600, options.samples);
+  const tracer::datagen::StockCohort cohort =
+      tracer::datagen::GenerateStockMarket(config);
+  const tracer::bench::PreparedData data =
+      tracer::bench::Prepare(cohort.dataset, 3);
+  auto tracer_framework = tracer::bench::TrainTracer(data, options);
+
+  const tracer::train::EvalResult eval =
+      tracer_framework->Evaluate(data.splits.test);
+  tracer::bench::PrintHeader(
+      "Figure 19: feature-level interpretation (NASDAQ100 index "
+      "regression)");
+  std::printf("Test RMSE %.4f, MAE %.4f (index scale ~1.0)\n\n", eval.rmse,
+              eval.mae);
+
+  std::vector<double> stock_abs_fi;
+  for (const std::string& name : {"AMZN", "LRCX", "VIAB"}) {
+    const tracer::core::FeatureInterpretation interp =
+        tracer_framework->InterpretFeature(data.splits.test, name);
+    const std::vector<double> means =
+        tracer::bench::PrintFeatureInterpretation(interp);
+    double abs_fi = 0.0;
+    for (const auto& w : interp.windows) abs_fi += w.mean_abs;
+    stock_abs_fi.push_back(abs_fi / interp.windows.size());
+    std::printf("  FI-mean slope over windows: %+0.5f (paper: stable over "
+                "the short horizon)\n\n",
+                tracer::bench::Slope(means));
+  }
+  tracer::bench::PrintRule();
+  std::printf("mean |FI|: AMZN %.5f  LRCX %.5f  VIAB %.5f\n",
+              stock_abs_fi[0], stock_abs_fi[1], stock_abs_fi[2]);
+  std::printf("ground-truth index weights: AMZN %.4f  LRCX %.4f  VIAB "
+              "%.4f\n",
+              cohort.weights[0], cohort.weights[40], cohort.weights[80]);
+  std::printf("Expected ordering AMZN > LRCX > VIAB: %s\n",
+              stock_abs_fi[0] > stock_abs_fi[1] &&
+                      stock_abs_fi[1] > stock_abs_fi[2]
+                  ? "reproduced"
+                  : "NOT reproduced");
+  return 0;
+}

@@ -1,0 +1,122 @@
+#ifndef TRACER_BENCH_INTERP_SHARED_H_
+#define TRACER_BENCH_INTERP_SHARED_H_
+
+// Shared plumbing for the interpretation harnesses (Figures 15–20): train
+// a TRACER instance on a prepared cohort (best-validation checkpoint, as
+// the paper does before plotting), then print Feature Importance – Time
+// Window series.
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/tracer.h"
+
+namespace tracer {
+namespace bench {
+
+inline std::unique_ptr<core::Tracer> TrainTracer(const PreparedData& data,
+                                                 const BenchOptions& options,
+                                                 uint64_t seed = 17,
+                                                 int rnn_dim = 0,
+                                                 int film_dim = 0) {
+  core::TracerConfig config;
+  config.model.input_dim = data.input_dim;
+  config.model.rnn_dim = rnn_dim > 0 ? rnn_dim : options.rnn_dim;
+  config.model.film_dim = film_dim > 0 ? film_dim : options.film_dim;
+  config.model.seed = seed;
+  config.training.max_epochs = options.epochs;
+  config.training.patience = 8;
+  config.training.learning_rate = 3e-3f;
+  config.training.seed = seed + 1;
+  auto tracer_framework = std::make_unique<core::Tracer>(config);
+  tracer_framework->Train(data.splits.train, data.splits.val);
+  return tracer_framework;
+}
+
+/// Indices of the `count` positively-labelled test samples with the
+/// highest predicted probability — the paper's interpretation figures
+/// study representative patients who actually developed AKI / passed away.
+inline std::vector<int> HighestRiskSamples(core::Tracer& tracer_framework,
+                                           const data::TimeSeriesDataset& ds,
+                                           int count) {
+  const std::vector<float> probs = tracer_framework.model().Predict(ds);
+  std::vector<int> order;
+  for (size_t i = 0; i < probs.size(); ++i) {
+    if (ds.label(static_cast<int>(i)) > 0.5f) {
+      order.push_back(static_cast<int>(i));
+    }
+  }
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return probs[a] > probs[b]; });
+  order.resize(std::min<size_t>(order.size(), count));
+  return order;
+}
+
+/// Prints one patient's FI curves for the named features, one row per
+/// feature, one column per time window.
+inline void PrintPatientInterpretation(
+    const core::PatientInterpretation& interp,
+    const std::vector<std::string>& features,
+    const data::TimeSeriesDataset& ds) {
+  std::printf("Patient (test idx %d), predicted prob = %.4f, label = %.0f\n",
+              interp.sample_index, interp.probability,
+              ds.label(interp.sample_index));
+  std::printf("%-8s", "Feature");
+  for (size_t t = 0; t < interp.fi.size(); ++t) {
+    std::printf("   w%-5zu", t + 1);
+  }
+  std::printf("\n");
+  for (const std::string& name : features) {
+    const int d = ds.FeatureIndex(name);
+    if (d < 0) continue;
+    std::printf("%-8s", name.c_str());
+    for (size_t t = 0; t < interp.fi.size(); ++t) {
+      std::printf(" %+8.4f", interp.fi[t][d]);
+    }
+    std::printf("\n");
+  }
+}
+
+/// Prints a cohort-level FI distribution for one feature (mean ± std and
+/// quartiles per window) and returns the per-window means.
+inline std::vector<double> PrintFeatureInterpretation(
+    const core::FeatureInterpretation& interp) {
+  std::printf("%s:\n", interp.feature_name.c_str());
+  std::printf("  %-8s %-10s %-10s %-10s %-10s %-10s %-10s\n", "window",
+              "mean", "mean|FI|", "std", "p25", "median", "p75");
+  std::vector<double> means;
+  for (const auto& w : interp.windows) {
+    std::printf(
+        "  %-8d %+-10.4f %-10.4f %-10.4f %+-10.4f %+-10.4f %+-10.4f\n",
+        w.window + 1, w.mean, w.mean_abs, w.stddev, w.p25, w.median,
+        w.p75);
+    means.push_back(w.mean);
+  }
+  return means;
+}
+
+/// Linear trend (least-squares slope) of a series — used to classify FI
+/// curves as rising / stable / falling when summarising figures.
+inline double Slope(const std::vector<double>& series) {
+  const int n = static_cast<int>(series.size());
+  if (n < 2) return 0.0;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (int i = 0; i < n; ++i) {
+    sx += i;
+    sy += series[i];
+    sxx += static_cast<double>(i) * i;
+    sxy += i * series[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  return denom == 0.0 ? 0.0 : (n * sxy - sx * sy) / denom;
+}
+
+}  // namespace bench
+}  // namespace tracer
+
+#endif  // TRACER_BENCH_INTERP_SHARED_H_

@@ -1,0 +1,102 @@
+// Micro-benchmarks for the tensor kernels underlying every model: GEMM in
+// the three transpose variants, the elementwise nonlinearities and the
+// softmax. Shapes mirror the real workloads (batch 64, feature dims
+// 32–256).
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+
+namespace tracer {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const int m = 64;
+  const int k = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  Rng rng(1);
+  const Tensor a = Tensor::Randn({m, k}, rng);
+  const Tensor b = Tensor::Randn({k, n}, rng);
+  for (auto _ : state) {
+    Tensor c = MatMul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * m * k * n);
+}
+BENCHMARK(BM_MatMul)->Args({32, 32})->Args({64, 64})->Args({256, 256});
+
+void BM_MatMulTransA(benchmark::State& state) {
+  const int k = 64, m = static_cast<int>(state.range(0)), n = m;
+  Rng rng(2);
+  const Tensor a = Tensor::Randn({k, m}, rng);
+  const Tensor b = Tensor::Randn({k, n}, rng);
+  for (auto _ : state) {
+    Tensor c = MatMulTransA(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * m * k * n);
+}
+BENCHMARK(BM_MatMulTransA)->Arg(32)->Arg(128);
+
+void BM_MatMulTransB(benchmark::State& state) {
+  const int m = 64, k = static_cast<int>(state.range(0)), n = k;
+  Rng rng(3);
+  const Tensor a = Tensor::Randn({m, k}, rng);
+  const Tensor b = Tensor::Randn({n, k}, rng);
+  for (auto _ : state) {
+    Tensor c = MatMulTransB(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * m * k * n);
+}
+BENCHMARK(BM_MatMulTransB)->Arg(32)->Arg(128);
+
+void BM_Sigmoid(benchmark::State& state) {
+  Rng rng(4);
+  const Tensor a = Tensor::Randn({64, static_cast<int>(state.range(0))}, rng);
+  for (auto _ : state) {
+    Tensor out = Sigmoid(a);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.size());
+}
+BENCHMARK(BM_Sigmoid)->Arg(64)->Arg(512);
+
+void BM_Tanh(benchmark::State& state) {
+  Rng rng(5);
+  const Tensor a = Tensor::Randn({64, static_cast<int>(state.range(0))}, rng);
+  for (auto _ : state) {
+    Tensor out = Tanh(a);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.size());
+}
+BENCHMARK(BM_Tanh)->Arg(64)->Arg(512);
+
+void BM_SoftmaxRows(benchmark::State& state) {
+  Rng rng(6);
+  const Tensor a = Tensor::Randn({64, static_cast<int>(state.range(0))}, rng);
+  for (auto _ : state) {
+    Tensor out = SoftmaxRows(a);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.size());
+}
+BENCHMARK(BM_SoftmaxRows)->Arg(8)->Arg(64);
+
+void BM_ConcatCols(benchmark::State& state) {
+  Rng rng(7);
+  const int h = static_cast<int>(state.range(0));
+  const Tensor a = Tensor::Randn({64, h}, rng);
+  const Tensor b = Tensor::Randn({64, h}, rng);
+  for (auto _ : state) {
+    Tensor out = ConcatCols(a, b);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_ConcatCols)->Arg(32)->Arg(128);
+
+}  // namespace
+}  // namespace tracer

@@ -1,0 +1,77 @@
+// Reproduces Table 1: dataset statistics of the NUH-AKI and MIMIC-III
+// cohorts. The synthetic cohorts keep the paper's temporal shape (feature
+// window length, time window length/count) and class imbalance; the feature
+// and sample counts are scaled down (the paper's 709/428 features are
+// mostly a long tail of rarely-measured labs, represented here by the
+// configurable filler-feature pool).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "datagen/emr_generator.h"
+
+namespace tracer {
+namespace {
+
+struct Row {
+  const char* statistic;
+  const char* paper_aki;
+  const char* paper_mimic;
+  std::string ours_aki;
+  std::string ours_mimic;
+};
+
+void Run() {
+  const bench::BenchOptions options;
+
+  datagen::EmrCohortConfig aki_config = datagen::NuhAkiDefaultConfig();
+  aki_config.num_samples = options.samples;
+  const datagen::EmrCohort aki = datagen::GenerateNuhAkiCohort(aki_config);
+
+  datagen::EmrCohortConfig mimic_config = datagen::MimicDefaultConfig();
+  mimic_config.num_samples = options.samples;
+  const datagen::EmrCohort mimic =
+      datagen::GenerateMimicMortalityCohort(mimic_config);
+
+  const int aki_pos = aki.dataset.CountPositive();
+  const int mimic_pos = mimic.dataset.CountPositive();
+
+  bench::PrintHeader("Table 1: dataset statistics (paper vs synthetic)");
+  std::printf("%-28s %-12s %-12s %-12s %-12s\n", "Statistic",
+              "NUH (paper)", "NUH (ours)", "MIMIC (paper)", "MIMIC (ours)");
+  bench::PrintRule();
+  auto row = [](const char* name, const std::string& p_aki,
+                const std::string& o_aki, const std::string& p_mimic,
+                const std::string& o_mimic) {
+    std::printf("%-28s %-12s %-12s %-12s %-12s\n", name, p_aki.c_str(),
+                o_aki.c_str(), p_mimic.c_str(), o_mimic.c_str());
+  };
+  row("Feature Number", "709", std::to_string(aki.dataset.num_features()),
+      "428", std::to_string(mimic.dataset.num_features()));
+  row("Sample Number", "20732", std::to_string(aki.dataset.num_samples()),
+      "51826", std::to_string(mimic.dataset.num_samples()));
+  row("Positive Sample Number", "911", std::to_string(aki_pos), "4280",
+      std::to_string(mimic_pos));
+  row("Negative Sample Number", "19821",
+      std::to_string(aki.dataset.num_samples() - aki_pos), "47546",
+      std::to_string(mimic.dataset.num_samples() - mimic_pos));
+  row("Feature Window Length", "7 days", "7 days", "48 hours", "48 hours");
+  row("Time Window Length", "1 day", "1 day", "2 hours", "2 hours");
+  row("Time Window Number", "7", std::to_string(aki.dataset.num_windows()),
+      "24", std::to_string(mimic.dataset.num_windows()));
+  bench::PrintRule();
+  std::printf("Positive rate: NUH paper %.3f vs ours %.3f | "
+              "MIMIC paper %.3f vs ours %.3f\n",
+              911.0 / 20732.0,
+              static_cast<double>(aki_pos) / aki.dataset.num_samples(),
+              4280.0 / 51826.0,
+              static_cast<double>(mimic_pos) / mimic.dataset.num_samples());
+}
+
+}  // namespace
+}  // namespace tracer
+
+int main() {
+  tracer::Run();
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Financial analytics (§5.5): NASDAQ100-like index regression with
+// constituent-level interpretation for investment and risk management.
+//
+// TRACER is trained to predict the index from per-minute constituent
+// prices; the feature importance then tells a portfolio manager which
+// stocks drive the index and how variable that influence is — information
+// the paper argues is critical for risk management. Because the synthetic
+// index is an explicit weighted sum, the example also reports the rank
+// correlation between TRACER's recovered importance and the ground-truth
+// capitalisation weights.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "core/tracer.h"
+#include "datagen/stock_generator.h"
+
+using namespace tracer;
+
+namespace {
+
+// Spearman rank correlation between two equally-sized vectors.
+double SpearmanRank(const std::vector<double>& a,
+                    const std::vector<double>& b) {
+  const int n = static_cast<int>(a.size());
+  auto ranks = [n](const std::vector<double>& v) {
+    std::vector<int> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](int x, int y) { return v[x] < v[y]; });
+    std::vector<double> rank(n);
+    for (int i = 0; i < n; ++i) rank[order[i]] = i;
+    return rank;
+  };
+  const std::vector<double> ra = ranks(a);
+  const std::vector<double> rb = ranks(b);
+  double d2 = 0.0;
+  for (int i = 0; i < n; ++i) d2 += (ra[i] - rb[i]) * (ra[i] - rb[i]);
+  return 1.0 - 6.0 * d2 / (static_cast<double>(n) * (n * n - 1));
+}
+
+}  // namespace
+
+int main() {
+  datagen::StockMarketConfig market;
+  market.series_length = 2000;
+  const datagen::StockCohort cohort = datagen::GenerateStockMarket(market);
+
+  Rng rng(3);
+  data::DatasetSplits splits = data::SplitDataset(cohort.dataset, rng);
+  data::MinMaxNormalizer normalizer;
+  normalizer.Fit(splits.train);
+  normalizer.Apply(&splits.train);
+  normalizer.Apply(&splits.val);
+  normalizer.Apply(&splits.test);
+
+  core::TracerConfig config;
+  config.model.input_dim = cohort.dataset.num_features();
+  config.model.rnn_dim = 16;
+  config.model.film_dim = 16;
+  config.training.max_epochs = 40;
+  config.training.learning_rate = 3e-3f;
+  core::Tracer tracer_framework(config);
+  tracer_framework.Train(splits.train, splits.val);
+  const train::EvalResult eval = tracer_framework.Evaluate(splits.test);
+  std::printf("Index regression: test RMSE %.4f, MAE %.4f "
+              "(index scale ~1.0)\n\n",
+              eval.rmse, eval.mae);
+
+  // Recover each constituent's mean |FI| over the cohort and compare with
+  // the ground-truth index weights.
+  std::vector<double> importance;
+  std::vector<double> truth;
+  for (int j = 0; j < market.num_constituents; ++j) {
+    const core::FeatureInterpretation interp =
+        tracer_framework.InterpretFeature(splits.test,
+                                          cohort.tickers[j]);
+    double abs_fi = 0.0;
+    for (const auto& window : interp.windows) {
+      abs_fi += window.mean_abs;
+    }
+    importance.push_back(abs_fi / interp.windows.size());
+    truth.push_back(cohort.weights[j]);
+  }
+  std::printf("Spearman rank corr(|FI|, true index weight) over %d "
+              "stocks: %.3f\n\n",
+              market.num_constituents,
+              SpearmanRank(importance, truth));
+
+  // Top-5 constituents by recovered importance — the portfolio view.
+  std::vector<int> order(importance.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return importance[a] > importance[b];
+  });
+  std::printf("%-8s %-12s %-12s\n", "Ticker", "mean |FI|", "true weight");
+  for (int k = 0; k < 5; ++k) {
+    const int j = order[k];
+    std::printf("%-8s %-12.5f %-12.5f\n", cohort.tickers[j].c_str(),
+                importance[j], truth[j]);
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Indoor temperature forecasting (§5.6): the SML2010-like domotics task.
+//
+// TRACER predicts the current indoor temperature from 150 minutes of
+// sensor history and explains the prediction: the south-facade sun light
+// should matter most near the prediction time (real-time heat input),
+// while the west-facade light acts as a stable darkness indicator —
+// exactly the contrast Figure 20 shows.
+
+#include <cstdio>
+
+#include "core/tracer.h"
+#include "datagen/temperature_generator.h"
+
+using namespace tracer;
+
+int main() {
+  datagen::TemperatureConfig house;
+  house.series_length = 2000;  // ~3 weeks of 15-minute samples
+  const datagen::TemperatureCohort cohort =
+      datagen::GenerateTemperatureTrace(house);
+
+  Rng rng(4);
+  data::DatasetSplits splits = data::SplitDataset(cohort.dataset, rng);
+  data::MinMaxNormalizer normalizer;
+  normalizer.Fit(splits.train);
+  normalizer.Apply(&splits.train);
+  normalizer.Apply(&splits.val);
+  normalizer.Apply(&splits.test);
+
+  core::TracerConfig config;
+  config.model.input_dim = cohort.dataset.num_features();
+  config.model.rnn_dim = 16;
+  config.model.film_dim = 16;
+  config.training.max_epochs = 40;
+  config.training.learning_rate = 3e-3f;
+  core::Tracer tracer_framework(config);
+  tracer_framework.Train(splits.train, splits.val);
+  const train::EvalResult eval = tracer_framework.Evaluate(splits.test);
+  std::printf("Indoor temperature forecast: RMSE %.3f °C, MAE %.3f °C\n\n",
+              eval.rmse, eval.mae);
+
+  for (const char* channel : {"SL_SOUTH", "SL_WEST", "TEMP_OUT",
+                              "TEMP_IN_LAG"}) {
+    const core::FeatureInterpretation interp =
+        tracer_framework.InterpretFeature(splits.test, channel);
+    std::printf("%-12s mean FI per 15-min window:", channel);
+    for (const auto& window : interp.windows) {
+      std::printf(" %+.3f", window.mean);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nExpected: SL_SOUTH importance rising toward the "
+              "prediction time; SL_WEST comparatively stable.\n");
+  return 0;
+}

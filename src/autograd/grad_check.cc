@@ -1,0 +1,35 @@
+#include "autograd/grad_check.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace tracer {
+namespace autograd {
+
+float MaxGradError(const std::function<Variable()>& forward, Variable param,
+                   float eps) {
+  TRACER_CHECK(param.requires_grad());
+  param.ZeroGrad();
+  Variable out = forward();
+  TRACER_CHECK_EQ(out.value().size(), 1) << "grad check needs scalar output";
+  out.Backward();
+  const Tensor analytic = param.grad();
+
+  Tensor& values = param.mutable_value();
+  float max_err = 0.0f;
+  for (int64_t i = 0; i < values.size(); ++i) {
+    const float saved = values[i];
+    values[i] = saved + eps;
+    const float up = forward().value()[0];
+    values[i] = saved - eps;
+    const float down = forward().value()[0];
+    values[i] = saved;
+    const float numeric = (up - down) / (2.0f * eps);
+    max_err = std::max(max_err, std::fabs(numeric - analytic[i]));
+  }
+  return max_err;
+}
+
+}  // namespace autograd
+}  // namespace tracer

@@ -1,0 +1,24 @@
+#ifndef TRACER_AUTOGRAD_GRAD_CHECK_H_
+#define TRACER_AUTOGRAD_GRAD_CHECK_H_
+
+#include <functional>
+
+#include "autograd/variable.h"
+
+namespace tracer {
+namespace autograd {
+
+/// Compares the analytic gradient of a scalar-valued graph against central
+/// finite differences, perturbing every entry of `param`.
+///
+/// `forward` must rebuild the graph from scratch on each call (it reads the
+/// current contents of param.value()) and return a 1×1 output. Returns the
+/// maximum absolute error between d(forward)/d(param) computed by Backward()
+/// and by (f(x+eps) - f(x-eps)) / (2 eps).
+float MaxGradError(const std::function<Variable()>& forward, Variable param,
+                   float eps = 1e-3f);
+
+}  // namespace autograd
+}  // namespace tracer
+
+#endif  // TRACER_AUTOGRAD_GRAD_CHECK_H_

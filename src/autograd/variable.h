@@ -1,0 +1,77 @@
+#ifndef TRACER_AUTOGRAD_VARIABLE_H_
+#define TRACER_AUTOGRAD_VARIABLE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace tracer {
+namespace autograd {
+
+struct Node;
+using NodePtr = std::shared_ptr<Node>;
+
+/// One entry of the autograd tape: a value, its (lazily-allocated) gradient,
+/// the parents it was computed from and the closure that pushes the gradient
+/// back to those parents.
+struct Node {
+  Tensor value;
+  Tensor grad;            // allocated on demand; same shape as value
+  bool requires_grad = false;
+  bool grad_allocated = false;
+  std::vector<NodePtr> parents;
+  /// Propagates this->grad into the parents' grads. Null for leaves.
+  std::function<void(Node&)> backward_fn;
+
+  /// Gradient accessor; allocates a zero tensor of matching shape on first
+  /// use.
+  Tensor& EnsureGrad();
+};
+
+/// Handle to a tape node. Copying a Variable aliases the same node, so a
+/// parameter stored both in a module and in an optimizer sees one gradient.
+class Variable {
+ public:
+  Variable() = default;
+  explicit Variable(NodePtr node) : node_(std::move(node)) {}
+
+  /// Trainable leaf (gradient will be accumulated).
+  static Variable Parameter(Tensor value);
+  /// Non-trainable leaf (inputs, constants).
+  static Variable Constant(Tensor value);
+
+  bool defined() const { return node_ != nullptr; }
+  const Tensor& value() const { return node_->value; }
+  Tensor& mutable_value() { return node_->value; }
+  /// Gradient of the most recent Backward() through this node.
+  Tensor& grad() { return node_->EnsureGrad(); }
+  bool requires_grad() const { return node_->requires_grad; }
+  const NodePtr& node() const { return node_; }
+
+  /// Zeroes the accumulated gradient (no-op if never allocated).
+  void ZeroGrad();
+
+  /// Runs reverse-mode differentiation from this (scalar, 1×1) variable:
+  /// seeds d(this)/d(this) = 1 and accumulates gradients into every
+  /// reachable node with requires_grad. Gradients of parameters are
+  /// *accumulated*, so call ZeroGrad between steps.
+  void Backward();
+
+  /// Same but with an explicit output gradient (for non-scalar roots).
+  void Backward(const Tensor& output_grad);
+
+ private:
+  NodePtr node_;
+};
+
+/// Builds an interior node from parents. `requires_grad` is inferred.
+Variable MakeOpNode(Tensor value, std::vector<NodePtr> parents,
+                    std::function<void(Node&)> backward_fn);
+
+}  // namespace autograd
+}  // namespace tracer
+
+#endif  // TRACER_AUTOGRAD_VARIABLE_H_

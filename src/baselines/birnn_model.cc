@@ -1,0 +1,41 @@
+#include "baselines/birnn_model.h"
+
+#include "autograd/ops.h"
+#include "common/macros.h"
+
+namespace tracer {
+namespace baselines {
+
+BirnnModel::BirnnModel(int input_dim, int hidden_dim, uint64_t seed,
+                       RnnKind kind)
+    : kind_(kind) {
+  Rng rng(seed);
+  if (kind_ == RnnKind::kGru) {
+    gru_ = std::make_unique<nn::BiGru>(input_dim, hidden_dim, rng);
+    AddSubmodule("rnn", gru_.get());
+  } else {
+    lstm_ = std::make_unique<nn::BiLstm>(input_dim, hidden_dim, rng);
+    AddSubmodule("rnn", lstm_.get());
+  }
+  output_ = std::make_unique<nn::Linear>(2 * hidden_dim, 1, rng);
+  AddSubmodule("output", output_.get());
+}
+
+autograd::Variable BirnnModel::Forward(
+    const std::vector<autograd::Variable>& xs) {
+  TRACER_CHECK(!xs.empty());
+  const std::vector<autograd::Variable> states =
+      kind_ == RnnKind::kGru ? gru_->Run(xs) : lstm_->Run(xs);
+  const int h = kind_ == RnnKind::kGru ? gru_->hidden_dim()
+                                       : lstm_->hidden_dim();
+  // Final BiRNN state: the forward direction's last state lives in the
+  // first h columns of states[T-1]; the backward direction's last state (it
+  // runs T→1) lives in the last h columns of states[0].
+  const autograd::Variable last = autograd::ConcatCols(
+      autograd::SliceCols(states.back(), 0, h),
+      autograd::SliceCols(states.front(), h, 2 * h));
+  return output_->Forward(last);
+}
+
+}  // namespace baselines
+}  // namespace tracer

@@ -1,0 +1,47 @@
+#ifndef TRACER_BASELINES_BIRNN_MODEL_H_
+#define TRACER_BASELINES_BIRNN_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/gru.h"
+#include "nn/linear.h"
+#include "nn/lstm.h"
+#include "nn/sequence_model.h"
+
+namespace tracer {
+namespace baselines {
+
+/// Recurrent unit powering the BIRNN baseline. The paper's baseline uses a
+/// bidirectional GRU; the LSTM variant is provided as an extension (both
+/// units are discussed in §2.3).
+enum class RnnKind { kGru, kLstm };
+
+/// The plain BIRNN baseline of §5.1.2: a bidirectional RNN whose final
+/// hidden state [→h_T ; ←h_1] feeds a linear output head.
+class BirnnModel : public nn::SequenceModel {
+ public:
+  BirnnModel(int input_dim, int hidden_dim, uint64_t seed = 3,
+             RnnKind kind = RnnKind::kGru);
+
+  autograd::Variable Forward(
+      const std::vector<autograd::Variable>& xs) override;
+
+  std::string name() const override {
+    return kind_ == RnnKind::kGru ? "BIRNN" : "BIRNN-LSTM";
+  }
+
+  RnnKind kind() const { return kind_; }
+
+ private:
+  RnnKind kind_;
+  std::unique_ptr<nn::BiGru> gru_;
+  std::unique_ptr<nn::BiLstm> lstm_;
+  std::unique_ptr<nn::Linear> output_;
+};
+
+}  // namespace baselines
+}  // namespace tracer
+
+#endif  // TRACER_BASELINES_BIRNN_MODEL_H_

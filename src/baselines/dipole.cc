@@ -1,0 +1,93 @@
+#include "baselines/dipole.h"
+
+#include "autograd/ops.h"
+#include "common/macros.h"
+
+namespace tracer {
+namespace baselines {
+
+using autograd::Variable;
+
+Dipole::Dipole(int input_dim, int hidden_dim, DipoleAttention attention,
+               uint64_t seed)
+    : attention_(attention) {
+  Rng rng(seed);
+  rnn_ = std::make_unique<nn::BiGru>(input_dim, hidden_dim, rng);
+  AddSubmodule("rnn", rnn_.get());
+  const int state = 2 * hidden_dim;
+  switch (attention_) {
+    case DipoleAttention::kLocation:
+      location_head_ = std::make_unique<nn::Linear>(state, 1, rng);
+      AddSubmodule("location_head", location_head_.get());
+      break;
+    case DipoleAttention::kGeneral:
+      general_w_ = AddParameter(
+          "general_w", Tensor::XavierUniform(state, state, rng));
+      break;
+    case DipoleAttention::kConcat:
+      concat_proj_ = std::make_unique<nn::Linear>(2 * state, state, rng);
+      concat_v_ = std::make_unique<nn::Linear>(state, 1, rng);
+      AddSubmodule("concat_proj", concat_proj_.get());
+      AddSubmodule("concat_v", concat_v_.get());
+      break;
+  }
+  combine_ = std::make_unique<nn::Linear>(2 * state, state, rng);
+  output_ = std::make_unique<nn::Linear>(state, 1, rng);
+  AddSubmodule("combine", combine_.get());
+  AddSubmodule("output", output_.get());
+}
+
+std::string Dipole::name() const {
+  switch (attention_) {
+    case DipoleAttention::kLocation:
+      return "Dipole_loc";
+    case DipoleAttention::kGeneral:
+      return "Dipole_gen";
+    case DipoleAttention::kConcat:
+      return "Dipole_con";
+  }
+  return "Dipole";
+}
+
+Variable Dipole::Score(const Variable& h_t, const Variable& h_last) const {
+  switch (attention_) {
+    case DipoleAttention::kLocation:
+      return location_head_->Forward(h_t);
+    case DipoleAttention::kGeneral:
+      // h_lastᵀ W h_t per sample: rowsum((h_t W) ⊙ h_last).
+      return autograd::RowSums(
+          autograd::Mul(autograd::MatMul(h_t, general_w_), h_last));
+    case DipoleAttention::kConcat:
+      return concat_v_->Forward(autograd::Tanh(
+          concat_proj_->Forward(autograd::ConcatCols(h_t, h_last))));
+  }
+  TRACER_CHECK(false) << "unreachable";
+  return Variable();
+}
+
+Variable Dipole::Forward(const std::vector<Variable>& xs) {
+  TRACER_CHECK_GE(xs.size(), 2u) << "Dipole needs at least two windows";
+  const std::vector<Variable> states = rnn_->Run(xs);
+  const Variable& h_last = states.back();
+  const int prev_count = static_cast<int>(states.size()) - 1;
+  // Scores of h_1..h_{T-1} against h_T, softmax-normalised over windows.
+  std::vector<Variable> scores;
+  scores.reserve(prev_count);
+  for (int t = 0; t < prev_count; ++t) {
+    scores.push_back(Score(states[t], h_last));
+  }
+  const Variable alpha =
+      autograd::SoftmaxRows(autograd::ConcatColsMany(scores));  // B×(T-1)
+  Variable context;
+  for (int t = 0; t < prev_count; ++t) {
+    const Variable alpha_t = autograd::SliceCols(alpha, t, t + 1);
+    const Variable term = autograd::MulColBroadcast(states[t], alpha_t);
+    context = t == 0 ? term : autograd::Add(context, term);
+  }
+  const Variable combined = autograd::Tanh(
+      combine_->Forward(autograd::ConcatCols(context, h_last)));
+  return output_->Forward(combined);
+}
+
+}  // namespace baselines
+}  // namespace tracer

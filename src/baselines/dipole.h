@@ -1,0 +1,62 @@
+#ifndef TRACER_BASELINES_DIPOLE_H_
+#define TRACER_BASELINES_DIPOLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/gru.h"
+#include "nn/linear.h"
+#include "nn/sequence_model.h"
+
+namespace tracer {
+namespace baselines {
+
+/// Dipole's three attention scorers (Ma et al., KDD 2017; §5.1.2).
+enum class DipoleAttention {
+  /// Location-based: e_t = w_locᵀ h_t + b (score from h_t alone).
+  kLocation,
+  /// General: e_t = h_lastᵀ W_gen h_t (bilinear in the final state).
+  kGeneral,
+  /// Concatenation-based: e_t = vᵀ tanh(W_con [h_t ; h_last]).
+  kConcat,
+};
+
+/// Dipole: an attention-based bidirectional GRU. Hidden states h_1..h_{T-1}
+/// are scored against the final state h_T by one of three mechanisms, the
+/// softmax-weighted context is concatenated with h_T and classified.
+class Dipole : public nn::SequenceModel {
+ public:
+  Dipole(int input_dim, int hidden_dim, DipoleAttention attention,
+         uint64_t seed = 3);
+
+  autograd::Variable Forward(
+      const std::vector<autograd::Variable>& xs) override;
+
+  std::string name() const override;
+
+  DipoleAttention attention() const { return attention_; }
+
+ private:
+  /// Attention scores e_t (B×1) of state h_t against the final state.
+  autograd::Variable Score(const autograd::Variable& h_t,
+                           const autograd::Variable& h_last) const;
+
+  DipoleAttention attention_;
+  std::unique_ptr<nn::BiGru> rnn_;
+  // Location scorer.
+  std::unique_ptr<nn::Linear> location_head_;
+  // General scorer.
+  autograd::Variable general_w_;
+  // Concat scorer.
+  std::unique_ptr<nn::Linear> concat_proj_;
+  std::unique_ptr<nn::Linear> concat_v_;
+  // Output head over [context ; h_last].
+  std::unique_ptr<nn::Linear> combine_;
+  std::unique_ptr<nn::Linear> output_;
+};
+
+}  // namespace baselines
+}  // namespace tracer
+
+#endif  // TRACER_BASELINES_DIPOLE_H_

@@ -1,0 +1,260 @@
+#include "baselines/gbdt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/macros.h"
+
+namespace tracer {
+namespace baselines {
+
+TabularData AggregateOverTime(const data::TimeSeriesDataset& dataset) {
+  TabularData out;
+  out.num_rows = dataset.num_samples();
+  out.num_cols = dataset.num_features();
+  out.values.resize(static_cast<size_t>(out.num_rows) * out.num_cols);
+  out.labels = dataset.labels();
+  const float inv_windows = 1.0f / static_cast<float>(dataset.num_windows());
+  for (int i = 0; i < out.num_rows; ++i) {
+    for (int d = 0; d < out.num_cols; ++d) {
+      float acc = 0.0f;
+      for (int t = 0; t < dataset.num_windows(); ++t) {
+        acc += dataset.at(i, t, d);
+      }
+      out.values[static_cast<size_t>(i) * out.num_cols + d] =
+          acc * inv_windows;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+struct SplitCandidate {
+  float gain = 0.0f;
+  int feature = -1;
+  float threshold = 0.0f;
+};
+
+float LeafWeight(double grad_sum, double hess_sum, float lambda) {
+  return static_cast<float>(-grad_sum / (hess_sum + lambda));
+}
+
+double LeafScore(double grad_sum, double hess_sum, float lambda) {
+  return grad_sum * grad_sum / (hess_sum + lambda);
+}
+
+}  // namespace
+
+int RegressionTree::Build(const TabularData& data,
+                          const std::vector<float>& grad,
+                          const std::vector<float>& hess,
+                          std::vector<int> rows, int depth,
+                          const GbdtConfig& config) {
+  double grad_sum = 0.0, hess_sum = 0.0;
+  for (int r : rows) {
+    grad_sum += grad[r];
+    hess_sum += hess[r];
+  }
+  const int node_index = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[node_index].value = LeafWeight(grad_sum, hess_sum, config.lambda);
+
+  if (depth >= config.max_depth ||
+      static_cast<int>(rows.size()) < 2 * config.min_samples_leaf) {
+    return node_index;
+  }
+
+  // Histogram-based split search: per feature, bucket gradients into
+  // `num_bins` equal-width bins over the node's value range and scan
+  // cumulative prefixes.
+  const double parent_score = LeafScore(grad_sum, hess_sum, config.lambda);
+  SplitCandidate best;
+  const int bins = config.num_bins;
+  std::vector<double> bin_grad(bins), bin_hess(bins);
+  std::vector<int> bin_count(bins);
+  for (int d = 0; d < data.num_cols; ++d) {
+    float lo = std::numeric_limits<float>::infinity();
+    float hi = -std::numeric_limits<float>::infinity();
+    for (int r : rows) {
+      const float v = data.row(r)[d];
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (!(hi > lo)) continue;  // constant feature at this node
+    const float inv_width = bins / (hi - lo);
+    std::fill(bin_grad.begin(), bin_grad.end(), 0.0);
+    std::fill(bin_hess.begin(), bin_hess.end(), 0.0);
+    std::fill(bin_count.begin(), bin_count.end(), 0);
+    for (int r : rows) {
+      int b = static_cast<int>((data.row(r)[d] - lo) * inv_width);
+      b = std::clamp(b, 0, bins - 1);
+      bin_grad[b] += grad[r];
+      bin_hess[b] += hess[r];
+      ++bin_count[b];
+    }
+    double left_grad = 0.0, left_hess = 0.0;
+    int left_count = 0;
+    for (int b = 0; b < bins - 1; ++b) {
+      left_grad += bin_grad[b];
+      left_hess += bin_hess[b];
+      left_count += bin_count[b];
+      const int right_count = static_cast<int>(rows.size()) - left_count;
+      if (left_count < config.min_samples_leaf ||
+          right_count < config.min_samples_leaf) {
+        continue;
+      }
+      const double gain =
+          LeafScore(left_grad, left_hess, config.lambda) +
+          LeafScore(grad_sum - left_grad, hess_sum - left_hess,
+                    config.lambda) -
+          parent_score;
+      if (gain > best.gain) {
+        best.gain = static_cast<float>(gain);
+        best.feature = d;
+        best.threshold = lo + (b + 1) / inv_width;
+      }
+    }
+  }
+
+  if (best.feature < 0 || best.gain <= 1e-12f) return node_index;
+
+  std::vector<int> left_rows, right_rows;
+  left_rows.reserve(rows.size());
+  right_rows.reserve(rows.size());
+  for (int r : rows) {
+    if (data.row(r)[best.feature] < best.threshold) {
+      left_rows.push_back(r);
+    } else {
+      right_rows.push_back(r);
+    }
+  }
+  if (left_rows.empty() || right_rows.empty()) return node_index;
+  rows.clear();
+  rows.shrink_to_fit();
+
+  const int left = Build(data, grad, hess, std::move(left_rows), depth + 1,
+                         config);
+  const int right = Build(data, grad, hess, std::move(right_rows),
+                          depth + 1, config);
+  nodes_[node_index].is_leaf = false;
+  nodes_[node_index].feature = best.feature;
+  nodes_[node_index].threshold = best.threshold;
+  nodes_[node_index].left = left;
+  nodes_[node_index].right = right;
+  return node_index;
+}
+
+void RegressionTree::Fit(const TabularData& data,
+                         const std::vector<float>& grad,
+                         const std::vector<float>& hess,
+                         const std::vector<int>& rows,
+                         const GbdtConfig& config) {
+  TRACER_CHECK(!rows.empty());
+  nodes_.clear();
+  Build(data, grad, hess, rows, 0, config);
+}
+
+float RegressionTree::Predict(const float* features) const {
+  TRACER_CHECK(!nodes_.empty());
+  int index = 0;
+  while (!nodes_[index].is_leaf) {
+    index = features[nodes_[index].feature] < nodes_[index].threshold
+                ? nodes_[index].left
+                : nodes_[index].right;
+  }
+  return nodes_[index].value;
+}
+
+Gbdt::Gbdt(const GbdtConfig& config, data::TaskType task)
+    : config_(config), task_(task) {}
+
+void Gbdt::Fit(const TabularData& train) {
+  TRACER_CHECK_GT(train.num_rows, 0);
+  TRACER_CHECK_EQ(train.labels.size(), static_cast<size_t>(train.num_rows));
+  trees_.clear();
+  const int n = train.num_rows;
+
+  // Initial score: log-odds of the base rate (classification) or the label
+  // mean (regression).
+  double label_sum = 0.0;
+  for (float y : train.labels) label_sum += y;
+  const double mean = label_sum / n;
+  if (task_ == data::TaskType::kBinaryClassification) {
+    const double p = std::clamp(mean, 1e-5, 1.0 - 1e-5);
+    base_score_ = static_cast<float>(std::log(p / (1.0 - p)));
+  } else {
+    base_score_ = static_cast<float>(mean);
+  }
+
+  std::vector<float> score(n, base_score_);
+  std::vector<float> grad(n), hess(n);
+  Rng rng(config_.seed);
+  std::vector<int> all_rows(n);
+  std::iota(all_rows.begin(), all_rows.end(), 0);
+
+  for (int m = 0; m < config_.num_trees; ++m) {
+    // Gradients and hessians of the current ensemble.
+    for (int i = 0; i < n; ++i) {
+      if (task_ == data::TaskType::kBinaryClassification) {
+        const float p = 1.0f / (1.0f + std::exp(-score[i]));
+        grad[i] = p - train.labels[i];
+        hess[i] = std::max(p * (1.0f - p), 1e-6f);
+      } else {
+        grad[i] = score[i] - train.labels[i];
+        hess[i] = 1.0f;
+      }
+    }
+    // Row subsampling.
+    std::vector<int> rows;
+    if (config_.subsample < 1.0) {
+      rows.reserve(n);
+      for (int i = 0; i < n; ++i) {
+        if (rng.Bernoulli(config_.subsample)) rows.push_back(i);
+      }
+      if (rows.size() < 2 * static_cast<size_t>(config_.min_samples_leaf)) {
+        rows = all_rows;
+      }
+    } else {
+      rows = all_rows;
+    }
+    RegressionTree tree;
+    tree.Fit(train, grad, hess, rows, config_);
+    for (int i = 0; i < n; ++i) {
+      score[i] += config_.learning_rate * tree.Predict(train.row(i));
+    }
+    trees_.push_back(std::move(tree));
+  }
+}
+
+std::vector<float> Gbdt::PredictRaw(const TabularData& data) const {
+  std::vector<float> out(data.num_rows, base_score_);
+  for (const RegressionTree& tree : trees_) {
+    for (int i = 0; i < data.num_rows; ++i) {
+      out[i] += config_.learning_rate * tree.Predict(data.row(i));
+    }
+  }
+  return out;
+}
+
+std::vector<float> Gbdt::Predict(const TabularData& data) const {
+  std::vector<float> out = PredictRaw(data);
+  if (task_ == data::TaskType::kBinaryClassification) {
+    for (float& v : out) v = 1.0f / (1.0f + std::exp(-v));
+  }
+  return out;
+}
+
+void Gbdt::FitDataset(const data::TimeSeriesDataset& train) {
+  Fit(AggregateOverTime(train));
+}
+
+std::vector<float> Gbdt::PredictDataset(
+    const data::TimeSeriesDataset& dataset) const {
+  return Predict(AggregateOverTime(dataset));
+}
+
+}  // namespace baselines
+}  // namespace tracer

@@ -1,0 +1,106 @@
+#ifndef TRACER_BASELINES_GBDT_H_
+#define TRACER_BASELINES_GBDT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace tracer {
+namespace baselines {
+
+/// Flattens a time-series dataset to the tabular N×D layout GBDT and LR
+/// consume: every feature averaged over the windows (§5.1.2: "the
+/// aggregation operation calculates the average value of the same feature
+/// across the time series").
+struct TabularData {
+  int num_rows = 0;
+  int num_cols = 0;
+  std::vector<float> values;  // row-major N×D
+  std::vector<float> labels;
+
+  const float* row(int i) const { return values.data() + static_cast<size_t>(i) * num_cols; }
+};
+TabularData AggregateOverTime(const data::TimeSeriesDataset& dataset);
+
+/// GBDT hyperparameters.
+struct GbdtConfig {
+  int num_trees = 120;
+  int max_depth = 3;
+  float learning_rate = 0.1f;
+  /// L2 regularisation on leaf weights.
+  float lambda = 1.0f;
+  /// Minimum samples per leaf.
+  int min_samples_leaf = 10;
+  /// Row subsampling per tree (stochastic gradient boosting).
+  double subsample = 0.8;
+  /// Histogram bins for split finding.
+  int num_bins = 32;
+  uint64_t seed = 3;
+};
+
+/// A regression tree trained on per-sample gradients/hessians with the
+/// second-order gain criterion (gain = G_L²/(H_L+λ) + G_R²/(H_R+λ) −
+/// G²/(H+λ); leaf weight −G/(H+λ)). Splits are found on per-node
+/// equal-width histograms.
+class RegressionTree {
+ public:
+  void Fit(const TabularData& data, const std::vector<float>& grad,
+           const std::vector<float>& hess, const std::vector<int>& rows,
+           const GbdtConfig& config);
+
+  float Predict(const float* features) const;
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+
+ private:
+  struct TreeNode {
+    bool is_leaf = true;
+    int feature = -1;
+    float threshold = 0.0f;
+    float value = 0.0f;
+    int left = -1;
+    int right = -1;
+  };
+
+  int Build(const TabularData& data, const std::vector<float>& grad,
+            const std::vector<float>& hess, std::vector<int> rows, int depth,
+            const GbdtConfig& config);
+
+  std::vector<TreeNode> nodes_;
+};
+
+/// Gradient-boosted decision trees over aggregated time-series features —
+/// the GBDT baseline of §5.1.2. Implements binary logistic boosting (for
+/// classification) and L2 boosting (for regression), both from scratch.
+class Gbdt {
+ public:
+  Gbdt(const GbdtConfig& config, data::TaskType task);
+
+  /// Trains on tabular data.
+  void Fit(const TabularData& train);
+
+  /// Raw boosted score F(x) per row.
+  std::vector<float> PredictRaw(const TabularData& data) const;
+  /// Probabilities (classification) or predictions (regression).
+  std::vector<float> Predict(const TabularData& data) const;
+
+  /// Convenience: aggregates over time and trains / predicts.
+  void FitDataset(const data::TimeSeriesDataset& train);
+  std::vector<float> PredictDataset(const data::TimeSeriesDataset& dataset) const;
+
+  std::string name() const { return "GBDT"; }
+  int num_trees_fit() const { return static_cast<int>(trees_.size()); }
+
+ private:
+  GbdtConfig config_;
+  data::TaskType task_;
+  float base_score_ = 0.0f;
+  std::vector<RegressionTree> trees_;
+};
+
+}  // namespace baselines
+}  // namespace tracer
+
+#endif  // TRACER_BASELINES_GBDT_H_

@@ -1,0 +1,55 @@
+#include "baselines/logistic_regression.h"
+
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "common/macros.h"
+
+namespace tracer {
+namespace baselines {
+
+LogisticRegression::LogisticRegression(int input_dim, LrInputMode mode,
+                                       int window_index, uint64_t seed)
+    : mode_(mode), window_index_(window_index) {
+  TRACER_CHECK_GT(input_dim, 0);
+  Rng rng(seed);
+  linear_ = std::make_unique<nn::Linear>(input_dim, 1, rng);
+  AddSubmodule("linear", linear_.get());
+}
+
+autograd::Variable LogisticRegression::Forward(
+    const std::vector<autograd::Variable>& xs) {
+  TRACER_CHECK(!xs.empty());
+  if (mode_ == LrInputMode::kSingleWindow) {
+    TRACER_CHECK(window_index_ >= 0 &&
+                 window_index_ < static_cast<int>(xs.size()))
+        << "LR window index out of range";
+    return linear_->Forward(xs[window_index_]);
+  }
+  return linear_->Forward(autograd::Average(xs));
+}
+
+std::vector<float> LogisticRegression::Coefficients() const {
+  const Tensor& w = linear_->weight().value();
+  std::vector<float> out(w.rows());
+  for (int d = 0; d < w.rows(); ++d) out[d] = w.at(d, 0);
+  return out;
+}
+
+std::vector<float> LogisticRegression::SoftmaxNormalize(
+    const std::vector<float>& coefs) {
+  TRACER_CHECK(!coefs.empty());
+  float mx = std::fabs(coefs[0]);
+  for (float c : coefs) mx = std::max(mx, std::fabs(c));
+  double sum = 0.0;
+  std::vector<float> out(coefs.size());
+  for (size_t i = 0; i < coefs.size(); ++i) {
+    out[i] = std::exp(std::fabs(coefs[i]) - mx);
+    sum += out[i];
+  }
+  for (float& v : out) v = static_cast<float>(v / sum);
+  return out;
+}
+
+}  // namespace baselines
+}  // namespace tracer

@@ -1,0 +1,54 @@
+#ifndef TRACER_BASELINES_LOGISTIC_REGRESSION_H_
+#define TRACER_BASELINES_LOGISTIC_REGRESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/linear.h"
+#include "nn/sequence_model.h"
+
+namespace tracer {
+namespace baselines {
+
+/// How the LR baseline consumes the time series.
+enum class LrInputMode {
+  /// Average each feature over all windows (§5.1.2's LR baseline and the
+  /// "aggregated seven-day" model of Figure 1).
+  kAggregate,
+  /// Use only one window (the "seven LR models trained separately" of
+  /// Figure 1, one per day).
+  kSingleWindow,
+};
+
+/// (Multinomial-free) logistic / linear regression over aggregated
+/// time-series features. For classification the raw output is a logit; for
+/// regression it is the prediction — matching the SequenceModel contract.
+class LogisticRegression : public nn::SequenceModel {
+ public:
+  /// `window_index` is only used in kSingleWindow mode.
+  LogisticRegression(int input_dim, LrInputMode mode = LrInputMode::kAggregate,
+                     int window_index = 0, uint64_t seed = 3);
+
+  autograd::Variable Forward(
+      const std::vector<autograd::Variable>& xs) override;
+
+  std::string name() const override { return "LR"; }
+
+  /// The learned coefficients (D×1), used by the Figure 1 harness.
+  std::vector<float> Coefficients() const;
+
+  /// Softmax-normalises |coefficients| across features, as the paper does
+  /// before plotting Figure 1 (footnote 1).
+  static std::vector<float> SoftmaxNormalize(const std::vector<float>& coefs);
+
+ private:
+  LrInputMode mode_;
+  int window_index_;
+  std::unique_ptr<nn::Linear> linear_;
+};
+
+}  // namespace baselines
+}  // namespace tracer
+
+#endif  // TRACER_BASELINES_LOGISTIC_REGRESSION_H_

@@ -1,0 +1,58 @@
+#include "baselines/retain.h"
+
+#include "autograd/ops.h"
+#include "common/macros.h"
+
+namespace tracer {
+namespace baselines {
+
+using autograd::Variable;
+
+Retain::Retain(int input_dim, int embed_dim, int hidden_dim, uint64_t seed) {
+  Rng rng(seed);
+  embedding_ = std::make_unique<nn::Linear>(input_dim, embed_dim, rng);
+  alpha_rnn_ = std::make_unique<nn::Gru>(embed_dim, hidden_dim, rng);
+  alpha_head_ = std::make_unique<nn::Linear>(hidden_dim, 1, rng);
+  beta_rnn_ = std::make_unique<nn::Gru>(embed_dim, hidden_dim, rng);
+  beta_head_ = std::make_unique<nn::Linear>(hidden_dim, embed_dim, rng);
+  output_ = std::make_unique<nn::Linear>(embed_dim, 1, rng);
+  AddSubmodule("embedding", embedding_.get());
+  AddSubmodule("alpha_rnn", alpha_rnn_.get());
+  AddSubmodule("alpha_head", alpha_head_.get());
+  AddSubmodule("beta_rnn", beta_rnn_.get());
+  AddSubmodule("beta_head", beta_head_.get());
+  AddSubmodule("output", output_.get());
+}
+
+Variable Retain::Forward(const std::vector<Variable>& xs) {
+  TRACER_CHECK(!xs.empty());
+  const int num_windows = static_cast<int>(xs.size());
+  // Visit embeddings.
+  std::vector<Variable> v;
+  v.reserve(num_windows);
+  for (const Variable& x : xs) v.push_back(embedding_->Forward(x));
+  // Both RNNs consume the sequence in reverse time order — RETAIN's
+  // signature design (and the reason the paper notes it "loses the forward
+  // time-series information").
+  const std::vector<Variable> g = alpha_rnn_->Run(v, /*reverse=*/true);
+  const std::vector<Variable> h = beta_rnn_->Run(v, /*reverse=*/true);
+  // Visit-level attention: softmax over windows of scalar scores.
+  std::vector<Variable> scores;
+  scores.reserve(num_windows);
+  for (const Variable& g_t : g) scores.push_back(alpha_head_->Forward(g_t));
+  const Variable alpha =
+      autograd::SoftmaxRows(autograd::ConcatColsMany(scores));  // B×T
+  // Context: c = Σ_t α_t (b_t ⊙ v_t).
+  Variable context;
+  for (int t = 0; t < num_windows; ++t) {
+    const Variable b_t = autograd::Tanh(beta_head_->Forward(h[t]));
+    const Variable alpha_t = autograd::SliceCols(alpha, t, t + 1);  // B×1
+    const Variable term =
+        autograd::MulColBroadcast(autograd::Mul(b_t, v[t]), alpha_t);
+    context = t == 0 ? term : autograd::Add(context, term);
+  }
+  return output_->Forward(context);
+}
+
+}  // namespace baselines
+}  // namespace tracer

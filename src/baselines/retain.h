@@ -1,0 +1,42 @@
+#ifndef TRACER_BASELINES_RETAIN_H_
+#define TRACER_BASELINES_RETAIN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/gru.h"
+#include "nn/linear.h"
+#include "nn/sequence_model.h"
+
+namespace tracer {
+namespace baselines {
+
+/// RETAIN (Choi et al., NIPS 2016; §5.1.2): a reverse-time two-level
+/// attention model. Visits are embedded (v_t = W_emb x_t), two GRUs run in
+/// *reverse* time order over the embeddings, the first producing scalar
+/// visit-level attention α_t (softmax over windows) and the second a
+/// feature-level attention vector b_t = tanh(W h_t); the context is
+/// c = Σ_t α_t · (b_t ⊙ v_t), classified linearly.
+class Retain : public nn::SequenceModel {
+ public:
+  Retain(int input_dim, int embed_dim, int hidden_dim, uint64_t seed = 3);
+
+  autograd::Variable Forward(
+      const std::vector<autograd::Variable>& xs) override;
+
+  std::string name() const override { return "RETAIN"; }
+
+ private:
+  std::unique_ptr<nn::Linear> embedding_;
+  std::unique_ptr<nn::Gru> alpha_rnn_;
+  std::unique_ptr<nn::Linear> alpha_head_;
+  std::unique_ptr<nn::Gru> beta_rnn_;
+  std::unique_ptr<nn::Linear> beta_head_;
+  std::unique_ptr<nn::Linear> output_;
+};
+
+}  // namespace baselines
+}  // namespace tracer
+
+#endif  // TRACER_BASELINES_RETAIN_H_

@@ -1,0 +1,60 @@
+#include "common/logging.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace tracer {
+
+namespace {
+
+LogLevel ParseEnvLevel() {
+  const char* env = std::getenv("TRACER_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kInfo;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "warning") == 0) return LogLevel::kWarning;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  return LogLevel::kInfo;
+}
+
+LogLevel& MutableLevel() {
+  static LogLevel level = ParseEnvLevel();
+  return level;
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel GlobalLogLevel() { return MutableLevel(); }
+
+void SetGlobalLogLevel(LogLevel level) { MutableLevel() = level; }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : enabled_(level >= GlobalLogLevel()), level_(level) {
+  if (enabled_) {
+    const char* base = std::strrchr(file, '/');
+    stream_ << "[" << LevelName(level_) << " "
+            << (base != nullptr ? base + 1 : file) << ":" << line << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) std::cerr << stream_.str() << std::endl;
+}
+
+}  // namespace internal
+}  // namespace tracer

@@ -1,0 +1,48 @@
+#ifndef TRACER_COMMON_LOGGING_H_
+#define TRACER_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace tracer {
+
+/// Log severities, in increasing order.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum severity; messages below it are dropped.
+/// Controlled by the TRACER_LOG_LEVEL env var (debug|info|warning|error),
+/// default info.
+LogLevel GlobalLogLevel();
+
+/// Overrides the global log level (e.g. from tests).
+void SetGlobalLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Collects one log line and emits it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace tracer
+
+#define TRACER_LOG(level)                                              \
+  ::tracer::internal::LogMessage(::tracer::LogLevel::k##level, __FILE__, \
+                                 __LINE__)
+
+#endif  // TRACER_COMMON_LOGGING_H_

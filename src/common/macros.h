@@ -1,0 +1,69 @@
+#ifndef TRACER_COMMON_MACROS_H_
+#define TRACER_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace tracer {
+namespace internal {
+
+/// Aborts the process with a formatted message. Used by the CHECK family for
+/// unrecoverable programming errors (shape mismatches, index bounds, broken
+/// invariants). Recoverable conditions use Status instead.
+[[noreturn]] inline void CheckFail(const char* file, int line,
+                                   const char* expr, const std::string& msg) {
+  std::fprintf(stderr, "[TRACER CHECK FAILED] %s:%d: %s%s%s\n", file, line,
+               expr, msg.empty() ? "" : " — ", msg.c_str());
+  std::abort();
+}
+
+/// Stream sink that builds the optional message for a failing check.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFail(file_, line_, expr_, stream_.str());
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace tracer
+
+/// Fatal assertion active in all build types. Usage:
+///   TRACER_CHECK(a.cols() == b.rows()) << "matmul shape mismatch";
+#define TRACER_CHECK(condition)                                     \
+  if (condition) {                                                  \
+  } else                                                            \
+    ::tracer::internal::CheckMessageBuilder(__FILE__, __LINE__,     \
+                                            #condition)
+
+#define TRACER_CHECK_EQ(a, b) TRACER_CHECK((a) == (b))
+#define TRACER_CHECK_NE(a, b) TRACER_CHECK((a) != (b))
+#define TRACER_CHECK_LT(a, b) TRACER_CHECK((a) < (b))
+#define TRACER_CHECK_LE(a, b) TRACER_CHECK((a) <= (b))
+#define TRACER_CHECK_GT(a, b) TRACER_CHECK((a) > (b))
+#define TRACER_CHECK_GE(a, b) TRACER_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define TRACER_DCHECK(condition) TRACER_CHECK(true || (condition))
+#else
+#define TRACER_DCHECK(condition) TRACER_CHECK(condition)
+#endif
+
+#endif  // TRACER_COMMON_MACROS_H_

@@ -1,0 +1,84 @@
+#include "common/rng.h"
+
+#include "common/macros.h"
+
+namespace tracer {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(sm);
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return lo + (hi - lo) * Uniform();
+}
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  TRACER_CHECK_GT(n, 0u);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (~n + 1) % n;  // == 2^64 mod n
+  uint64_t r;
+  do {
+    r = NextUint64();
+  } while (r < threshold);
+  return r % n;
+}
+
+double Rng::Normal() {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_;
+  }
+  double u1, u2;
+  do {
+    u1 = Uniform();
+  } while (u1 <= 1e-300);
+  u2 = Uniform();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  const double two_pi = 6.283185307179586476925286766559;
+  spare_ = mag * std::sin(two_pi * u2);
+  has_spare_ = true;
+  return mag * std::cos(two_pi * u2);
+}
+
+void Rng::Shuffle(std::vector<int>& indices) {
+  for (size_t i = indices.size(); i > 1; --i) {
+    const size_t j = UniformInt(i);
+    std::swap(indices[i - 1], indices[j]);
+  }
+}
+
+Rng Rng::Fork() { return Rng(NextUint64()); }
+
+}  // namespace tracer

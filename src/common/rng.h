@@ -1,0 +1,54 @@
+#ifndef TRACER_COMMON_RNG_H_
+#define TRACER_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace tracer {
+
+/// Deterministic, seedable pseudo-random generator (xoshiro256** seeded via
+/// SplitMix64). Used everywhere instead of std::mt19937 so that synthetic
+/// datasets, weight initialisation and shuffles are reproducible across
+/// platforms and standard-library versions.
+class Rng {
+ public:
+  /// Seeds the state deterministically from `seed` via SplitMix64.
+  explicit Rng(uint64_t seed = 42);
+
+  /// Next raw 64-bit value.
+  uint64_t NextUint64();
+
+  /// Uniform in [0, 1).
+  double Uniform();
+
+  /// Uniform in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n);
+
+  /// Standard normal via Box–Muller (cached spare value).
+  double Normal();
+
+  /// Normal with the given mean and standard deviation.
+  double Normal(double mean, double stddev) { return mean + stddev * Normal(); }
+
+  /// Bernoulli draw with probability p of true.
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  /// Fisher–Yates shuffle of an index vector.
+  void Shuffle(std::vector<int>& indices);
+
+  /// Derives an independent child generator (for per-worker streams).
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace tracer
+
+#endif  // TRACER_COMMON_RNG_H_

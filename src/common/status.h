@@ -1,0 +1,107 @@
+#ifndef TRACER_COMMON_STATUS_H_
+#define TRACER_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace tracer {
+
+/// Error code vocabulary for recoverable failures. Follows the RocksDB /
+/// Arrow convention: library code never throws; operations that can fail in
+/// normal use return a Status (or Result<T>).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIOError,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// Lightweight success/error value. An OK status carries no message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: bad dim".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Value-or-error, the no-exceptions analogue of std::expected.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: `Result<int> r = 3;`
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit from a non-OK status.
+  Result(Status status) : status_(std::move(status)) {
+    TRACER_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Access the value; CHECK-fails if this holds an error.
+  const T& value() const& {
+    TRACER_CHECK(ok()) << status_.ToString();
+    return value_;
+  }
+  T& value() & {
+    TRACER_CHECK(ok()) << status_.ToString();
+    return value_;
+  }
+  T&& value() && {
+    TRACER_CHECK(ok()) << status_.ToString();
+    return std::move(value_);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace tracer
+
+/// Early-return helper: propagate a non-OK status to the caller.
+#define TRACER_RETURN_IF_ERROR(expr)        \
+  do {                                      \
+    ::tracer::Status _st = (expr);          \
+    if (!_st.ok()) return _st;              \
+  } while (0)
+
+#endif  // TRACER_COMMON_STATUS_H_

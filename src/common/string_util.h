@@ -1,0 +1,27 @@
+#ifndef TRACER_COMMON_STRING_UTIL_H_
+#define TRACER_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace tracer {
+
+/// Splits `input` on `delim`, keeping empty fields.
+std::vector<std::string> Split(const std::string& input, char delim);
+
+/// Joins `parts` with `delim` between elements.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& delim);
+
+/// Strips ASCII whitespace from both ends.
+std::string Trim(const std::string& input);
+
+/// Formats a double with fixed precision (default 4 decimals).
+std::string FormatFloat(double value, int precision = 4);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+}  // namespace tracer
+
+#endif  // TRACER_COMMON_STRING_UTIL_H_

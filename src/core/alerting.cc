@@ -1,0 +1,123 @@
+#include "core/alerting.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "metrics/metrics.h"
+
+namespace tracer {
+namespace core {
+
+namespace {
+
+/// Candidate thresholds: midpoints between adjacent distinct scores plus
+/// the extremes, so every achievable confusion matrix is covered.
+std::vector<float> CandidateThresholds(const std::vector<float>& probs) {
+  std::vector<float> sorted = probs;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  std::vector<float> candidates;
+  candidates.push_back(0.0f);
+  for (size_t i = 0; i + 1 < sorted.size(); ++i) {
+    candidates.push_back(0.5f * (sorted[i] + sorted[i + 1]));
+  }
+  candidates.push_back(1.0f + 1e-6f);  // nothing alerts
+  return candidates;
+}
+
+}  // namespace
+
+OperatingPoint EvaluateThreshold(const std::vector<float>& probs,
+                                 const std::vector<float>& labels,
+                                 float threshold) {
+  TRACER_CHECK_EQ(probs.size(), labels.size());
+  TRACER_CHECK(!probs.empty());
+  const metrics::Confusion confusion =
+      metrics::ConfusionAt(probs, labels, threshold);
+  OperatingPoint point;
+  point.threshold = threshold;
+  point.precision = confusion.Precision();
+  point.recall = confusion.Recall();
+  point.f1 = confusion.F1();
+  point.alert_rate =
+      static_cast<double>(confusion.true_positive +
+                          confusion.false_positive) /
+      static_cast<double>(probs.size());
+  return point;
+}
+
+OperatingPoint ThresholdForPrecision(const std::vector<float>& probs,
+                                     const std::vector<float>& labels,
+                                     double min_precision) {
+  OperatingPoint best;
+  bool found = false;
+  OperatingPoint highest_precision;
+  for (float threshold : CandidateThresholds(probs)) {
+    const OperatingPoint point =
+        EvaluateThreshold(probs, labels, threshold);
+    if (point.precision > highest_precision.precision) {
+      highest_precision = point;
+    }
+    if (point.precision + 1e-12 >= min_precision) {
+      // Feasible: prefer the highest recall (lowest threshold wins ties
+      // toward catching more positives).
+      if (!found || point.recall > best.recall) {
+        best = point;
+        found = true;
+      }
+    }
+  }
+  return found ? best : highest_precision;
+}
+
+OperatingPoint ThresholdForRecall(const std::vector<float>& probs,
+                                  const std::vector<float>& labels,
+                                  double min_recall) {
+  OperatingPoint best;
+  bool found = false;
+  for (float threshold : CandidateThresholds(probs)) {
+    const OperatingPoint point =
+        EvaluateThreshold(probs, labels, threshold);
+    if (point.recall + 1e-12 >= min_recall) {
+      // Feasible: prefer the fewest alerts (highest precision).
+      if (!found || point.alert_rate < best.alert_rate) {
+        best = point;
+        found = true;
+      }
+    }
+  }
+  if (!found) {
+    // min_recall > 1 requested; alert on everyone.
+    return EvaluateThreshold(probs, labels, 0.0f);
+  }
+  return best;
+}
+
+OperatingPoint ThresholdForAlertBudget(const std::vector<float>& probs,
+                                       const std::vector<float>& labels,
+                                       double max_alert_rate) {
+  OperatingPoint best = EvaluateThreshold(probs, labels, 1.0f + 1e-6f);
+  for (float threshold : CandidateThresholds(probs)) {
+    const OperatingPoint point =
+        EvaluateThreshold(probs, labels, threshold);
+    if (point.alert_rate <= max_alert_rate + 1e-12 &&
+        point.recall > best.recall) {
+      best = point;
+    }
+  }
+  return best;
+}
+
+OperatingPoint BestF1Threshold(const std::vector<float>& probs,
+                               const std::vector<float>& labels) {
+  OperatingPoint best;
+  for (float threshold : CandidateThresholds(probs)) {
+    const OperatingPoint point =
+        EvaluateThreshold(probs, labels, threshold);
+    if (point.f1 > best.f1) best = point;
+  }
+  return best;
+}
+
+}  // namespace core
+}  // namespace tracer

@@ -1,0 +1,56 @@
+#ifndef TRACER_CORE_ALERTING_H_
+#define TRACER_CORE_ALERTING_H_
+
+#include <vector>
+
+namespace tracer {
+namespace core {
+
+/// Deployment-facing alert-threshold calibration. The paper's real-time
+/// prediction & alert scenario (§3) assumes a predefined risk threshold
+/// (e.g. 75%); in practice that threshold is chosen on validation data to
+/// meet an operating constraint — these helpers implement the common ones.
+
+/// Operating point achieved by a threshold on a labelled validation set.
+struct OperatingPoint {
+  float threshold = 0.5f;
+  double precision = 0.0;
+  double recall = 0.0;
+  double alert_rate = 0.0;  // fraction of patients that would alert
+  double f1 = 0.0;
+};
+
+/// Evaluates one threshold.
+OperatingPoint EvaluateThreshold(const std::vector<float>& probs,
+                                 const std::vector<float>& labels,
+                                 float threshold);
+
+/// Lowest threshold whose precision is at least `min_precision` (so alerts
+/// stay trustworthy while recall is maximised). Falls back to the highest
+/// achievable-precision threshold if the target is infeasible.
+OperatingPoint ThresholdForPrecision(const std::vector<float>& probs,
+                                     const std::vector<float>& labels,
+                                     double min_precision);
+
+/// Highest threshold whose recall is at least `min_recall` (so at most the
+/// tolerated fraction of true positives is missed, with as few false
+/// alerts as possible).
+OperatingPoint ThresholdForRecall(const std::vector<float>& probs,
+                                  const std::vector<float>& labels,
+                                  double min_recall);
+
+/// Threshold whose alert rate does not exceed `max_alert_rate` — the
+/// staffing-constraint formulation ("the ward can follow up on at most 5%
+/// of patients per day").
+OperatingPoint ThresholdForAlertBudget(const std::vector<float>& probs,
+                                       const std::vector<float>& labels,
+                                       double max_alert_rate);
+
+/// Threshold maximising F1.
+OperatingPoint BestF1Threshold(const std::vector<float>& probs,
+                               const std::vector<float>& labels);
+
+}  // namespace core
+}  // namespace tracer
+
+#endif  // TRACER_CORE_ALERTING_H_

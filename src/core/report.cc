@@ -1,0 +1,157 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace tracer {
+namespace core {
+
+std::string Sparkline(const std::vector<float>& values) {
+  static const char* kLevels[] = {"▁", "▂", "▃", "▄", "▅", "▆", "▇", "█"};
+  constexpr int kNumLevels = 8;
+  if (values.empty()) return "";
+  float lo = values[0];
+  float hi = values[0];
+  for (float v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  std::string out;
+  const float range = hi - lo;
+  for (float v : values) {
+    int level = range > 0.0f
+                    ? static_cast<int>((v - lo) / range * (kNumLevels - 1) +
+                                       0.5f)
+                    : kNumLevels / 2;
+    level = std::clamp(level, 0, kNumLevels - 1);
+    out += kLevels[level];
+  }
+  return out;
+}
+
+namespace {
+
+/// Features ordered by |FI| at the final window, descending.
+std::vector<int> RankFeaturesByFinalImportance(
+    const PatientInterpretation& interp) {
+  TRACER_CHECK(!interp.fi.empty());
+  const std::vector<float>& final_fi = interp.fi.back();
+  std::vector<int> order(final_fi.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return std::fabs(final_fi[a]) > std::fabs(final_fi[b]);
+  });
+  return order;
+}
+
+std::string TrendWord(const std::vector<float>& curve) {
+  if (curve.size() < 2) return "flat";
+  // Least-squares slope relative to the curve's own scale.
+  const int n = static_cast<int>(curve.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  float lo = curve[0], hi = curve[0];
+  for (int i = 0; i < n; ++i) {
+    sx += i;
+    sy += curve[i];
+    sxx += static_cast<double>(i) * i;
+    sxy += static_cast<double>(i) * curve[i];
+    lo = std::min(lo, curve[i]);
+    hi = std::max(hi, curve[i]);
+  }
+  const double slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+  const double scale = std::max(1e-6, static_cast<double>(hi - lo) +
+                                          std::fabs(sy / n));
+  const double normalized = slope * n / scale;
+  if (normalized > 0.25) return "rising";
+  if (normalized < -0.25) return "falling";
+  return "stable";
+}
+
+}  // namespace
+
+std::string RenderPatientReport(const PatientInterpretation& interp,
+                                const AlertDecision& decision,
+                                const data::TimeSeriesDataset& dataset,
+                                const ReportOptions& options) {
+  std::ostringstream os;
+  const char* h = options.markdown ? "## " : "";
+  const char* bold = options.markdown ? "**" : "";
+  os << h << "Patient report — test sample " << interp.sample_index
+     << "\n\n";
+  os << bold << "Predicted risk: "
+     << FormatFloat(100.0 * interp.probability, 1) << "%" << bold;
+  if (decision.alert) {
+    os << "  — ALERT (threshold exceeded; attend to this patient)";
+  }
+  os << "\n\n";
+  os << "Feature importance over the " << interp.fi.size()
+     << " time windows (Eq. 17), most influential labs first:\n\n";
+
+  std::vector<int> selected;
+  if (!options.features.empty()) {
+    for (const std::string& name : options.features) {
+      const int d = dataset.FeatureIndex(name);
+      if (d >= 0) selected.push_back(d);
+    }
+  } else {
+    selected = RankFeaturesByFinalImportance(interp);
+    if (static_cast<int>(selected.size()) > options.top_k) {
+      selected.resize(options.top_k);
+    }
+  }
+
+  if (options.markdown) {
+    os << "| Lab | FI trend | trajectory | final-window FI |\n";
+    os << "|---|---|---|---|\n";
+  }
+  for (int d : selected) {
+    std::vector<float> curve;
+    curve.reserve(interp.fi.size());
+    for (const auto& window : interp.fi) curve.push_back(window[d]);
+    const std::string name = d < static_cast<int>(interp.feature_names.size())
+                                 ? interp.feature_names[d]
+                                 : "feature_" + std::to_string(d);
+    if (options.markdown) {
+      os << "| " << name << " | " << Sparkline(curve) << " | "
+         << TrendWord(curve) << " | " << FormatFloat(curve.back(), 4)
+         << " |\n";
+    } else {
+      os << "  " << name << "  " << Sparkline(curve) << "  ("
+         << TrendWord(curve) << ", final " << FormatFloat(curve.back(), 4)
+         << ")\n";
+    }
+  }
+  return os.str();
+}
+
+std::string RenderFeatureReport(const FeatureInterpretation& interp,
+                                const ReportOptions& options) {
+  std::ostringstream os;
+  const char* h = options.markdown ? "## " : "";
+  os << h << "Feature report — " << interp.feature_name << "\n\n";
+  std::vector<float> means, spreads;
+  for (const auto& window : interp.windows) {
+    means.push_back(window.mean);
+    spreads.push_back(window.p75 - window.p25);
+  }
+  os << "Cohort mean FI per window:   " << Sparkline(means) << "  ("
+     << TrendWord(means) << ")\n";
+  os << "Cohort FI dispersion (IQR):  " << Sparkline(spreads) << "\n\n";
+  if (options.markdown) {
+    os << "| window | mean FI | IQR |\n|---|---|---|\n";
+    for (const auto& window : interp.windows) {
+      os << "| " << window.window + 1 << " | "
+         << FormatFloat(window.mean, 4) << " | "
+         << FormatFloat(window.p75 - window.p25, 4) << " |\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace core
+}  // namespace tracer

@@ -1,0 +1,44 @@
+#ifndef TRACER_CORE_REPORT_H_
+#define TRACER_CORE_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/tracer.h"
+
+namespace tracer {
+namespace core {
+
+/// Renders a numeric series as a unicode sparkline ("▁▂▄▇█"), the compact
+/// visual doctors scan in the paper's Figure 3 dashboards. Empty input
+/// yields an empty string; a constant series renders at mid height.
+std::string Sparkline(const std::vector<float>& values);
+
+/// Options for the textual interpretation reports.
+struct ReportOptions {
+  /// Features to include; empty = the `top_k` by final-window |FI|.
+  std::vector<std::string> features;
+  /// How many features to auto-select when `features` is empty.
+  int top_k = 6;
+  /// Markdown (true) or plain text (false).
+  bool markdown = true;
+};
+
+/// The paper's Interpretation/Visualization stage (Figure 2): renders one
+/// patient's TRACER output — predicted risk, alert state and the
+/// FI–time-window curves of the most influential labs — as a report a
+/// clinician can read without touching the library.
+std::string RenderPatientReport(const PatientInterpretation& interp,
+                                const AlertDecision& decision,
+                                const data::TimeSeriesDataset& dataset,
+                                const ReportOptions& options = {});
+
+/// Cohort-level report: the FI distribution of one feature across windows
+/// (the §5.4 medical-research view), with a sparkline of the mean curve.
+std::string RenderFeatureReport(const FeatureInterpretation& interp,
+                                const ReportOptions& options = {});
+
+}  // namespace core
+}  // namespace tracer
+
+#endif  // TRACER_CORE_REPORT_H_

@@ -1,0 +1,187 @@
+#include "core/tracer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/macros.h"
+#include "nn/serialization.h"
+
+namespace tracer {
+namespace core {
+
+Tracer::Tracer(const TracerConfig& config) : config_(config) {
+  model_ = std::make_unique<Titv>(config.model);
+}
+
+train::TrainResult Tracer::Train(const data::TimeSeriesDataset& train_set,
+                                 const data::TimeSeriesDataset& val_set) {
+  return train::Fit(model_.get(), train_set, val_set, config_.training);
+}
+
+train::EvalResult Tracer::Evaluate(const data::TimeSeriesDataset& dataset) {
+  return train::Evaluate(model_.get(), dataset);
+}
+
+AlertDecision Tracer::PredictAndAlert(const data::TimeSeriesDataset& dataset,
+                                      int sample_index) {
+  TRACER_CHECK(sample_index >= 0 && sample_index < dataset.num_samples());
+  const data::Batch batch = data::MakeBatch(dataset, {sample_index});
+  const bool classification =
+      dataset.task() == data::TaskType::kBinaryClassification;
+  const FeatureImportanceTrace trace =
+      model_->ComputeFeatureImportance(batch, classification);
+  AlertDecision decision;
+  decision.probability = trace.outputs.at(0, 0);
+  decision.alert =
+      classification && decision.probability >= config_.alert_threshold;
+  return decision;
+}
+
+PatientInterpretation Tracer::InterpretPatient(
+    const data::TimeSeriesDataset& dataset, int sample_index) {
+  TRACER_CHECK(sample_index >= 0 && sample_index < dataset.num_samples());
+  const data::Batch batch = data::MakeBatch(dataset, {sample_index});
+  const bool classification =
+      dataset.task() == data::TaskType::kBinaryClassification;
+  const FeatureImportanceTrace trace =
+      model_->ComputeFeatureImportance(batch, classification);
+  PatientInterpretation out;
+  out.sample_index = sample_index;
+  out.probability = trace.outputs.at(0, 0);
+  out.feature_names = dataset.feature_names();
+  out.fi.resize(trace.fi.size());
+  for (size_t t = 0; t < trace.fi.size(); ++t) {
+    out.fi[t].resize(dataset.num_features());
+    for (int d = 0; d < dataset.num_features(); ++d) {
+      out.fi[t][d] = trace.fi[t].at(0, d);
+    }
+  }
+  return out;
+}
+
+FeatureInterpretation Tracer::InterpretFeature(
+    const data::TimeSeriesDataset& dataset, const std::string& feature_name,
+    const std::vector<int>& restrict_to) {
+  const int feature = dataset.FeatureIndex(feature_name);
+  TRACER_CHECK_GE(feature, 0) << "unknown feature " << feature_name;
+  std::vector<int> cohort = restrict_to;
+  if (cohort.empty()) {
+    cohort.resize(dataset.num_samples());
+    std::iota(cohort.begin(), cohort.end(), 0);
+  }
+  const bool classification =
+      dataset.task() == data::TaskType::kBinaryClassification;
+
+  FeatureInterpretation out;
+  out.feature_name = feature_name;
+  out.feature_index = feature;
+  out.windows.resize(dataset.num_windows());
+  std::vector<std::vector<float>> per_window(dataset.num_windows());
+
+  // Batch the cohort through the model, collecting this feature's FI.
+  constexpr int kBatch = 256;
+  for (size_t begin = 0; begin < cohort.size(); begin += kBatch) {
+    const size_t end = std::min(cohort.size(), begin + kBatch);
+    const std::vector<int> idx(cohort.begin() + begin,
+                               cohort.begin() + end);
+    const data::Batch batch = data::MakeBatch(dataset, idx);
+    const FeatureImportanceTrace trace =
+        model_->ComputeFeatureImportance(batch, classification);
+    for (int t = 0; t < dataset.num_windows(); ++t) {
+      for (int b = 0; b < batch.batch_size(); ++b) {
+        per_window[t].push_back(trace.fi[t].at(b, feature));
+      }
+    }
+  }
+
+  for (int t = 0; t < dataset.num_windows(); ++t) {
+    std::vector<float>& values = per_window[t];
+    TRACER_CHECK(!values.empty());
+    std::sort(values.begin(), values.end());
+    FeatureImportanceDistribution dist;
+    dist.window = t;
+    double sum = 0.0;
+    double abs_sum = 0.0;
+    for (float v : values) {
+      sum += v;
+      abs_sum += std::fabs(v);
+    }
+    dist.mean = static_cast<float>(sum / values.size());
+    dist.mean_abs = static_cast<float>(abs_sum / values.size());
+    double sq = 0.0;
+    for (float v : values) {
+      sq += (v - dist.mean) * (v - dist.mean);
+    }
+    dist.stddev = values.size() > 1
+                      ? static_cast<float>(std::sqrt(sq / (values.size() - 1)))
+                      : 0.0f;
+    auto quantile = [&](double q) {
+      const size_t pos = static_cast<size_t>(q * (values.size() - 1));
+      return values[pos];
+    };
+    dist.min = values.front();
+    dist.p25 = quantile(0.25);
+    dist.median = quantile(0.5);
+    dist.p75 = quantile(0.75);
+    dist.max = values.back();
+    out.windows[t] = dist;
+  }
+  return out;
+}
+
+namespace {
+
+// Name of the pseudo-tensor carrying the regression output calibration
+// (scale, offset) inside checkpoints. Without it a reloaded regression
+// model would predict in standardized units.
+constexpr char kOutputTransformKey[] = "__output_transform";
+
+}  // namespace
+
+Status Tracer::SaveCheckpoint(const std::string& path) const {
+  std::vector<std::pair<std::string, Tensor>> tensors;
+  for (const auto& [name, param] : model_->NamedParameters()) {
+    tensors.emplace_back(name, param.value());
+  }
+  tensors.emplace_back(
+      kOutputTransformKey,
+      Tensor({1, 2}, {model_->output_scale(), model_->output_offset()}));
+  return nn::SaveCheckpoint(path, tensors);
+}
+
+Status Tracer::LoadCheckpoint(const std::string& path) {
+  auto loaded = nn::LoadCheckpoint(path);
+  if (!loaded.ok()) return loaded.status();
+  const auto& tensors = loaded.value();
+  auto named = model_->NamedParameters();
+  // Parameters plus the trailing output-transform record (older
+  // checkpoints without it are also accepted).
+  const bool has_transform =
+      tensors.size() == named.size() + 1 &&
+      tensors.back().first == kOutputTransformKey;
+  if (!has_transform && tensors.size() != named.size()) {
+    return Status::InvalidArgument("checkpoint parameter count mismatch");
+  }
+  for (size_t i = 0; i < named.size(); ++i) {
+    if (named[i].first != tensors[i].first ||
+        !named[i].second.value().SameShape(tensors[i].second)) {
+      return Status::InvalidArgument("checkpoint layout mismatch at " +
+                                     tensors[i].first);
+    }
+  }
+  for (size_t i = 0; i < named.size(); ++i) {
+    named[i].second.mutable_value() = tensors[i].second;
+  }
+  if (has_transform) {
+    const Tensor& transform = tensors.back().second;
+    if (transform.size() != 2) {
+      return Status::InvalidArgument("malformed output transform record");
+    }
+    model_->SetOutputTransform(transform[0], transform[1]);
+  }
+  return Status::OK();
+}
+
+}  // namespace core
+}  // namespace tracer

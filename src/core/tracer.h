@@ -1,0 +1,114 @@
+#ifndef TRACER_CORE_TRACER_H_
+#define TRACER_CORE_TRACER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/titv.h"
+#include "train/trainer.h"
+
+namespace tracer {
+namespace core {
+
+/// Framework-level configuration (§3): the TITV model, its training
+/// hyperparameters and the alerting threshold of the real-time
+/// prediction-&-alert scenario.
+struct TracerConfig {
+  TitvConfig model;
+  train::TrainConfig training;
+  /// Risk threshold above which an alert is raised (the paper's example
+  /// uses 75%).
+  float alert_threshold = 0.75f;
+};
+
+/// Outcome of a real-time prediction for one sample.
+struct AlertDecision {
+  float probability = 0.0f;
+  bool alert = false;
+};
+
+/// Patient-level interpretation (§5.3): the Feature Importance – Time
+/// Window curves of one sample.
+struct PatientInterpretation {
+  int sample_index = 0;
+  float probability = 0.0f;
+  /// fi[t][d]: Eq. 17 feature importance of feature d at window t.
+  std::vector<std::vector<float>> fi;
+  std::vector<std::string> feature_names;
+};
+
+/// One window of a feature-level interpretation: the distribution of FI
+/// values across the cohort (§5.4 plots these distributions per window).
+struct FeatureImportanceDistribution {
+  int window = 0;
+  float mean = 0.0f;
+  /// Mean of |FI| — robust to per-patient sign flips (a feature whose β
+  /// changes sign across patients has mean ≈ 0 but large mean_abs).
+  float mean_abs = 0.0f;
+  float stddev = 0.0f;
+  float p25 = 0.0f;
+  float median = 0.0f;
+  float p75 = 0.0f;
+  float min = 0.0f;
+  float max = 0.0f;
+};
+
+/// Feature-level interpretation (§5.4): FI distribution per time window for
+/// one feature over a cohort.
+struct FeatureInterpretation {
+  std::string feature_name;
+  int feature_index = -1;
+  std::vector<FeatureImportanceDistribution> windows;
+};
+
+/// TRACER: accurate + interpretable analytics around the TITV model (§3).
+/// Owns the model, trains it with best-checkpoint selection, and serves the
+/// three doctor-validation scenarios: real-time prediction & alert,
+/// patient-level interpretation and feature-level interpretation.
+class Tracer {
+ public:
+  explicit Tracer(const TracerConfig& config);
+
+  /// Trains TITV; the model is left at the best-validation checkpoint.
+  train::TrainResult Train(const data::TimeSeriesDataset& train_set,
+                           const data::TimeSeriesDataset& val_set);
+
+  /// AUC/CEL (classification) or RMSE/MAE (regression) on a dataset.
+  train::EvalResult Evaluate(const data::TimeSeriesDataset& dataset);
+
+  /// Scenario 1 — real-time prediction & alert: scores one sample (e.g.
+  /// the daily generated EMR data of a hospitalised patient) and raises an
+  /// alert when the risk exceeds the configured threshold.
+  AlertDecision PredictAndAlert(const data::TimeSeriesDataset& dataset,
+                                int sample_index);
+
+  /// Scenario 2 — patient-level interpretation: FI(ŷ, x_{t,d}) curves for
+  /// one sample.
+  PatientInterpretation InterpretPatient(
+      const data::TimeSeriesDataset& dataset, int sample_index);
+
+  /// Scenario 3 — feature-level interpretation: FI distribution over the
+  /// whole cohort for one feature. `restrict_to` optionally limits the
+  /// cohort (e.g. high-risk patients only); empty means all samples.
+  FeatureInterpretation InterpretFeature(
+      const data::TimeSeriesDataset& dataset, const std::string& feature_name,
+      const std::vector<int>& restrict_to = {});
+
+  /// Persists / restores the model parameters.
+  Status SaveCheckpoint(const std::string& path) const;
+  Status LoadCheckpoint(const std::string& path);
+
+  Titv& model() { return *model_; }
+  const TracerConfig& config() const { return config_; }
+
+ private:
+  TracerConfig config_;
+  std::unique_ptr<Titv> model_;
+};
+
+}  // namespace core
+}  // namespace tracer
+
+#endif  // TRACER_CORE_TRACER_H_

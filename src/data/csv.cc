@@ -1,0 +1,125 @@
+#include "data/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace tracer {
+namespace data {
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void CsvWriter::AddRow(std::vector<std::string> row) {
+  TRACER_CHECK_EQ(row.size(), header_.size()) << "CSV row width mismatch";
+  rows_.push_back(std::move(row));
+}
+
+void CsvWriter::AddRow(const std::vector<double>& row) {
+  std::vector<std::string> fields;
+  fields.reserve(row.size());
+  for (double v : row) fields.push_back(FormatFloat(v, 6));
+  AddRow(std::move(fields));
+}
+
+std::string CsvWriter::ToString() const {
+  std::ostringstream os;
+  os << Join(header_, ",") << "\n";
+  for (const auto& row : rows_) os << Join(row, ",") << "\n";
+  return os.str();
+}
+
+Status CsvWriter::WriteFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out << ToString();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Status ExportDatasetCsv(const TimeSeriesDataset& dataset,
+                        const std::string& path) {
+  CsvWriter writer({"sample", "window", "feature", "value", "label"});
+  for (int i = 0; i < dataset.num_samples(); ++i) {
+    for (int t = 0; t < dataset.num_windows(); ++t) {
+      for (int d = 0; d < dataset.num_features(); ++d) {
+        writer.AddRow({std::to_string(i), std::to_string(t),
+                       dataset.feature_names()[d],
+                       FormatFloat(dataset.at(i, t, d), 6),
+                       FormatFloat(dataset.label(i), 6)});
+      }
+    }
+  }
+  return writer.WriteFile(path);
+}
+
+Result<TimeSeriesDataset> ImportDatasetCsv(const std::string& path,
+                                           TaskType task) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  const auto rows = ParseCsv(text);
+  if (rows.empty() || rows[0].size() != 5 || rows[0][0] != "sample") {
+    return Status::InvalidArgument(
+        "expected header sample,window,feature,value,label in " + path);
+  }
+  // First pass: discover extents and the feature vocabulary.
+  int max_sample = -1;
+  int max_window = -1;
+  std::vector<std::string> feature_order;
+  for (size_t r = 1; r < rows.size(); ++r) {
+    if (rows[r].size() != 5) {
+      return Status::InvalidArgument("malformed row " + std::to_string(r) +
+                                     " in " + path);
+    }
+    max_sample = std::max(max_sample, std::atoi(rows[r][0].c_str()));
+    max_window = std::max(max_window, std::atoi(rows[r][1].c_str()));
+    const std::string& feature = rows[r][2];
+    bool known = false;
+    for (const std::string& f : feature_order) {
+      if (f == feature) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) feature_order.push_back(feature);
+  }
+  if (max_sample < 0 || max_window < 0 || feature_order.empty()) {
+    return Status::InvalidArgument("no data rows in " + path);
+  }
+  TimeSeriesDataset dataset(task, max_sample + 1, max_window + 1,
+                            static_cast<int>(feature_order.size()));
+  dataset.feature_names() = feature_order;
+  // Second pass: fill values and labels.
+  for (size_t r = 1; r < rows.size(); ++r) {
+    const int sample = std::atoi(rows[r][0].c_str());
+    const int window = std::atoi(rows[r][1].c_str());
+    const int feature = dataset.FeatureIndex(rows[r][2]);
+    if (sample < 0 || window < 0 || feature < 0) {
+      return Status::InvalidArgument("bad indices at row " +
+                                     std::to_string(r) + " in " + path);
+    }
+    dataset.at(sample, window, feature) =
+        static_cast<float>(std::atof(rows[r][3].c_str()));
+    dataset.set_label(sample,
+                      static_cast<float>(std::atof(rows[r][4].c_str())));
+  }
+  return dataset;
+}
+
+std::vector<std::vector<std::string>> ParseCsv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    rows.push_back(Split(line, ','));
+  }
+  return rows;
+}
+
+}  // namespace data
+}  // namespace tracer

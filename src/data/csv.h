@@ -1,0 +1,53 @@
+#ifndef TRACER_DATA_CSV_H_
+#define TRACER_DATA_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace tracer {
+namespace data {
+
+/// Tabular writer used by the benchmark harnesses to dump figure series
+/// (one row per point) so results can be re-plotted outside this repo.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  /// Convenience: formats doubles with 6 significant decimals.
+  void AddRow(const std::vector<double>& row);
+
+  /// Serialises to a string (header + rows).
+  std::string ToString() const;
+  /// Writes to a file.
+  Status WriteFile(const std::string& path) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Exports a dataset in long form: sample,window,feature,value,label.
+Status ExportDatasetCsv(const TimeSeriesDataset& dataset,
+                        const std::string& path);
+
+/// Parses CSV text into rows of fields (no quoting support; the formats this
+/// library writes never need it).
+std::vector<std::vector<std::string>> ParseCsv(const std::string& text);
+
+/// Loads a dataset from the long-form CSV written by ExportDatasetCsv
+/// (header: sample,window,feature,value,label). Sample/window indices must
+/// be dense 0-based; feature columns are discovered from the file in order
+/// of first appearance. Entries absent from the file stay 0.
+Result<TimeSeriesDataset> ImportDatasetCsv(const std::string& path,
+                                           TaskType task);
+
+}  // namespace data
+}  // namespace tracer
+
+#endif  // TRACER_DATA_CSV_H_

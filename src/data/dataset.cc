@@ -1,0 +1,174 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace tracer {
+namespace data {
+
+TimeSeriesDataset::TimeSeriesDataset(TaskType task, int num_samples,
+                                     int num_windows, int num_features)
+    : task_(task),
+      num_samples_(num_samples),
+      num_windows_(num_windows),
+      num_features_(num_features) {
+  TRACER_CHECK_GE(num_samples, 0);
+  TRACER_CHECK_GT(num_windows, 0);
+  TRACER_CHECK_GT(num_features, 0);
+  values_.assign(static_cast<size_t>(num_samples) * num_windows *
+                     num_features,
+                 0.0f);
+  labels_.assign(static_cast<size_t>(num_samples), 0.0f);
+  feature_names_.resize(num_features);
+  for (int d = 0; d < num_features; ++d) {
+    feature_names_[d] = "feature_" + std::to_string(d);
+  }
+}
+
+int TimeSeriesDataset::FeatureIndex(const std::string& name) const {
+  for (int d = 0; d < num_features_; ++d) {
+    if (feature_names_[d] == name) return d;
+  }
+  return -1;
+}
+
+int TimeSeriesDataset::CountPositive() const {
+  int count = 0;
+  for (float y : labels_) {
+    if (y > 0.5f) ++count;
+  }
+  return count;
+}
+
+TimeSeriesDataset TimeSeriesDataset::Subset(
+    const std::vector<int>& indices) const {
+  TimeSeriesDataset out(task_, static_cast<int>(indices.size()),
+                        num_windows_, num_features_);
+  out.feature_names_ = feature_names_;
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const int src = indices[i];
+    TRACER_CHECK(src >= 0 && src < num_samples_) << "subset index OOB";
+    for (int t = 0; t < num_windows_; ++t) {
+      for (int d = 0; d < num_features_; ++d) {
+        out.at(static_cast<int>(i), t, d) = at(src, t, d);
+      }
+    }
+    out.labels_[i] = labels_[src];
+  }
+  return out;
+}
+
+SplitIndices RandomSplit(int n, double train_frac, double val_frac,
+                         Rng& rng) {
+  TRACER_CHECK_GT(n, 0);
+  TRACER_CHECK(train_frac > 0 && val_frac >= 0 &&
+               train_frac + val_frac < 1.0 + 1e-9);
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+  const int n_train = static_cast<int>(train_frac * n);
+  const int n_val = static_cast<int>(val_frac * n);
+  SplitIndices split;
+  split.train.assign(order.begin(), order.begin() + n_train);
+  split.val.assign(order.begin() + n_train, order.begin() + n_train + n_val);
+  split.test.assign(order.begin() + n_train + n_val, order.end());
+  return split;
+}
+
+DatasetSplits SplitDataset(const TimeSeriesDataset& dataset, Rng& rng,
+                           double train_frac, double val_frac) {
+  const SplitIndices idx =
+      RandomSplit(dataset.num_samples(), train_frac, val_frac, rng);
+  DatasetSplits out;
+  out.train = dataset.Subset(idx.train);
+  out.val = dataset.Subset(idx.val);
+  out.test = dataset.Subset(idx.test);
+  return out;
+}
+
+void MinMaxNormalizer::Fit(const TimeSeriesDataset& dataset) {
+  const int d_count = dataset.num_features();
+  min_.assign(d_count, std::numeric_limits<float>::infinity());
+  max_.assign(d_count, -std::numeric_limits<float>::infinity());
+  for (int i = 0; i < dataset.num_samples(); ++i) {
+    for (int t = 0; t < dataset.num_windows(); ++t) {
+      for (int d = 0; d < d_count; ++d) {
+        const float v = dataset.at(i, t, d);
+        min_[d] = std::min(min_[d], v);
+        max_[d] = std::max(max_[d], v);
+      }
+    }
+  }
+}
+
+void MinMaxNormalizer::Apply(TimeSeriesDataset* dataset) const {
+  TRACER_CHECK_EQ(static_cast<int>(min_.size()), dataset->num_features())
+      << "normalizer fit on different feature count";
+  for (int i = 0; i < dataset->num_samples(); ++i) {
+    for (int t = 0; t < dataset->num_windows(); ++t) {
+      for (int d = 0; d < dataset->num_features(); ++d) {
+        const float range = max_[d] - min_[d];
+        float& v = dataset->at(i, t, d);
+        v = range > 0.0f ? (v - min_[d]) / range : 0.0f;
+        // Clamp values outside the fitted range (val/test extremes).
+        v = std::clamp(v, 0.0f, 1.0f);
+      }
+    }
+  }
+}
+
+Batch MakeBatch(const TimeSeriesDataset& dataset,
+                const std::vector<int>& indices) {
+  const int batch = static_cast<int>(indices.size());
+  TRACER_CHECK_GT(batch, 0);
+  Batch out;
+  out.sample_indices = indices;
+  out.labels = Tensor({batch, 1});
+  out.xs.reserve(dataset.num_windows());
+  for (int t = 0; t < dataset.num_windows(); ++t) {
+    Tensor x({batch, dataset.num_features()});
+    for (int b = 0; b < batch; ++b) {
+      for (int d = 0; d < dataset.num_features(); ++d) {
+        x.at(b, d) = dataset.at(indices[b], t, d);
+      }
+    }
+    out.xs.push_back(std::move(x));
+  }
+  for (int b = 0; b < batch; ++b) {
+    out.labels.at(b, 0) = dataset.label(indices[b]);
+  }
+  return out;
+}
+
+Batch FullBatch(const TimeSeriesDataset& dataset) {
+  std::vector<int> indices(dataset.num_samples());
+  std::iota(indices.begin(), indices.end(), 0);
+  return MakeBatch(dataset, indices);
+}
+
+Batcher::Batcher(const TimeSeriesDataset& dataset, int batch_size, Rng& rng,
+                 bool shuffle)
+    : dataset_(dataset),
+      batch_size_(batch_size),
+      rng_(rng),
+      shuffle_(shuffle),
+      order_(dataset.num_samples()) {
+  TRACER_CHECK_GT(batch_size, 0);
+  std::iota(order_.begin(), order_.end(), 0);
+}
+
+std::vector<std::vector<int>> Batcher::EpochBatches() {
+  if (shuffle_) rng_.Shuffle(order_);
+  std::vector<std::vector<int>> batches;
+  for (size_t begin = 0; begin < order_.size();
+       begin += static_cast<size_t>(batch_size_)) {
+    const size_t end =
+        std::min(order_.size(), begin + static_cast<size_t>(batch_size_));
+    batches.emplace_back(order_.begin() + begin, order_.begin() + end);
+  }
+  return batches;
+}
+
+}  // namespace data
+}  // namespace tracer

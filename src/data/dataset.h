@@ -1,0 +1,163 @@
+#ifndef TRACER_DATA_DATASET_H_
+#define TRACER_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace tracer {
+namespace data {
+
+/// Learning task attached to a dataset.
+enum class TaskType {
+  kBinaryClassification,  // label in {0,1}; trained with BCE, scored AUC/CEL
+  kRegression,            // real label; trained with MSE, scored RMSE/MAE
+};
+
+/// A cohort of fixed-length multivariate time series: for each of N samples,
+/// T time windows of D features plus one label. This is the shape every model
+/// in the paper consumes (§4: X = {x_1..x_T}, x_t ∈ R^D).
+class TimeSeriesDataset {
+ public:
+  TimeSeriesDataset() = default;
+  TimeSeriesDataset(TaskType task, int num_samples, int num_windows,
+                    int num_features);
+
+  TaskType task() const { return task_; }
+  int num_samples() const { return num_samples_; }
+  /// T — the number of time windows per sample.
+  int num_windows() const { return num_windows_; }
+  /// D — the number of features per window.
+  int num_features() const { return num_features_; }
+
+  float at(int sample, int window, int feature) const {
+    TRACER_DCHECK(InRange(sample, window, feature));
+    return values_[Offset(sample, window, feature)];
+  }
+  float& at(int sample, int window, int feature) {
+    TRACER_DCHECK(InRange(sample, window, feature));
+    return values_[Offset(sample, window, feature)];
+  }
+
+  float label(int sample) const {
+    TRACER_DCHECK(sample >= 0 && sample < num_samples_);
+    return labels_[sample];
+  }
+  void set_label(int sample, float value) {
+    TRACER_DCHECK(sample >= 0 && sample < num_samples_);
+    labels_[sample] = value;
+  }
+
+  const std::vector<float>& labels() const { return labels_; }
+
+  std::vector<std::string>& feature_names() { return feature_names_; }
+  const std::vector<std::string>& feature_names() const {
+    return feature_names_;
+  }
+  /// Index of a named feature, or -1.
+  int FeatureIndex(const std::string& name) const;
+
+  /// Number of samples with label > 0.5 (classification cohort statistic).
+  int CountPositive() const;
+
+  /// New dataset with the selected samples (copies rows).
+  TimeSeriesDataset Subset(const std::vector<int>& indices) const;
+
+ private:
+  bool InRange(int s, int w, int f) const {
+    return s >= 0 && s < num_samples_ && w >= 0 && w < num_windows_ &&
+           f >= 0 && f < num_features_;
+  }
+  size_t Offset(int s, int w, int f) const {
+    return (static_cast<size_t>(s) * num_windows_ + w) * num_features_ + f;
+  }
+
+  TaskType task_ = TaskType::kBinaryClassification;
+  int num_samples_ = 0;
+  int num_windows_ = 0;
+  int num_features_ = 0;
+  std::vector<float> values_;
+  std::vector<float> labels_;
+  std::vector<std::string> feature_names_;
+};
+
+/// Index sets of the 80/10/10 random partition used throughout §5.
+struct SplitIndices {
+  std::vector<int> train;
+  std::vector<int> val;
+  std::vector<int> test;
+};
+
+/// Random partition of [0, n) into train/val/test by fraction.
+SplitIndices RandomSplit(int n, double train_frac, double val_frac, Rng& rng);
+
+/// The three materialised splits.
+struct DatasetSplits {
+  TimeSeriesDataset train;
+  TimeSeriesDataset val;
+  TimeSeriesDataset test;
+};
+
+/// Applies RandomSplit with the paper's 80/10/10 fractions.
+DatasetSplits SplitDataset(const TimeSeriesDataset& dataset, Rng& rng,
+                           double train_frac = 0.8, double val_frac = 0.1);
+
+/// Per-feature min–max normalizer (§5.1.1: x' = (x − min)/(max − min)).
+/// Fit on the training split, applied to all splits, matching standard
+/// leakage-free practice.
+class MinMaxNormalizer {
+ public:
+  /// Computes per-feature min/max over all samples and windows.
+  void Fit(const TimeSeriesDataset& dataset);
+
+  /// Rescales every value in place. Constant features map to 0.
+  void Apply(TimeSeriesDataset* dataset) const;
+
+  const std::vector<float>& feature_min() const { return min_; }
+  const std::vector<float>& feature_max() const { return max_; }
+
+ private:
+  std::vector<float> min_;
+  std::vector<float> max_;
+};
+
+/// One minibatch in model-ready layout: xs[t] is the B×D matrix of window t;
+/// labels is B×1.
+struct Batch {
+  std::vector<Tensor> xs;
+  Tensor labels;
+  std::vector<int> sample_indices;
+  int batch_size() const { return labels.rows(); }
+};
+
+/// Materialises the selected samples as a Batch.
+Batch MakeBatch(const TimeSeriesDataset& dataset,
+                const std::vector<int>& indices);
+
+/// Every sample of the dataset as one batch (for evaluation).
+Batch FullBatch(const TimeSeriesDataset& dataset);
+
+/// Shuffling minibatch iterator over a dataset.
+class Batcher {
+ public:
+  Batcher(const TimeSeriesDataset& dataset, int batch_size, Rng& rng,
+          bool shuffle = true);
+
+  /// Minibatch index lists for one epoch (reshuffled per call if enabled).
+  std::vector<std::vector<int>> EpochBatches();
+
+ private:
+  const TimeSeriesDataset& dataset_;
+  int batch_size_;
+  Rng& rng_;
+  bool shuffle_;
+  std::vector<int> order_;
+};
+
+}  // namespace data
+}  // namespace tracer
+
+#endif  // TRACER_DATA_DATASET_H_

@@ -1,0 +1,181 @@
+#include "data/imputation.h"
+
+#include <vector>
+
+namespace tracer {
+namespace data {
+
+MissingnessMask::MissingnessMask(int num_samples, int num_windows,
+                                 int num_features)
+    : num_samples_(num_samples),
+      num_windows_(num_windows),
+      num_features_(num_features),
+      mask_(static_cast<size_t>(num_samples) * num_windows * num_features,
+            1) {}
+
+double MissingnessMask::ObservedRate() const {
+  if (mask_.empty()) return 0.0;
+  size_t observed_count = 0;
+  for (char c : mask_) {
+    if (c != 0) ++observed_count;
+  }
+  return static_cast<double>(observed_count) / mask_.size();
+}
+
+MissingnessMask ApplyRandomMissingness(TimeSeriesDataset* dataset,
+                                       double missing_rate, Rng& rng) {
+  TRACER_CHECK(missing_rate >= 0.0 && missing_rate < 1.0);
+  MissingnessMask mask(dataset->num_samples(), dataset->num_windows(),
+                       dataset->num_features());
+  for (int i = 0; i < dataset->num_samples(); ++i) {
+    for (int t = 0; t < dataset->num_windows(); ++t) {
+      for (int d = 0; d < dataset->num_features(); ++d) {
+        if (rng.Bernoulli(missing_rate)) {
+          mask.set_observed(i, t, d, false);
+          dataset->at(i, t, d) = 0.0f;
+        }
+      }
+    }
+  }
+  return mask;
+}
+
+namespace {
+
+/// Per-feature means over the observed entries (0 for never-observed
+/// features).
+std::vector<float> ObservedMeans(const TimeSeriesDataset& dataset,
+                                 const MissingnessMask& mask) {
+  std::vector<double> sums(dataset.num_features(), 0.0);
+  std::vector<int64_t> counts(dataset.num_features(), 0);
+  for (int i = 0; i < dataset.num_samples(); ++i) {
+    for (int t = 0; t < dataset.num_windows(); ++t) {
+      for (int d = 0; d < dataset.num_features(); ++d) {
+        if (mask.observed(i, t, d)) {
+          sums[d] += dataset.at(i, t, d);
+          ++counts[d];
+        }
+      }
+    }
+  }
+  std::vector<float> means(dataset.num_features(), 0.0f);
+  for (int d = 0; d < dataset.num_features(); ++d) {
+    if (counts[d] > 0) {
+      means[d] = static_cast<float>(sums[d] / counts[d]);
+    }
+  }
+  return means;
+}
+
+void ForwardFill(TimeSeriesDataset* dataset, const MissingnessMask& mask,
+                 const std::vector<float>& means) {
+  for (int i = 0; i < dataset->num_samples(); ++i) {
+    for (int d = 0; d < dataset->num_features(); ++d) {
+      bool has_prior = false;
+      float prior = means[d];
+      for (int t = 0; t < dataset->num_windows(); ++t) {
+        if (mask.observed(i, t, d)) {
+          prior = dataset->at(i, t, d);
+          has_prior = true;
+        } else {
+          dataset->at(i, t, d) = has_prior ? prior : means[d];
+        }
+      }
+    }
+  }
+}
+
+void CohortMeanFill(TimeSeriesDataset* dataset, const MissingnessMask& mask,
+                    const std::vector<float>& means) {
+  for (int i = 0; i < dataset->num_samples(); ++i) {
+    for (int t = 0; t < dataset->num_windows(); ++t) {
+      for (int d = 0; d < dataset->num_features(); ++d) {
+        if (!mask.observed(i, t, d)) {
+          dataset->at(i, t, d) = means[d];
+        }
+      }
+    }
+  }
+}
+
+void LinearInterpolate(TimeSeriesDataset* dataset,
+                       const MissingnessMask& mask,
+                       const std::vector<float>& means) {
+  const int num_windows = dataset->num_windows();
+  std::vector<int> observed_windows;
+  for (int i = 0; i < dataset->num_samples(); ++i) {
+    for (int d = 0; d < dataset->num_features(); ++d) {
+      observed_windows.clear();
+      for (int t = 0; t < num_windows; ++t) {
+        if (mask.observed(i, t, d)) observed_windows.push_back(t);
+      }
+      if (observed_windows.empty()) {
+        for (int t = 0; t < num_windows; ++t) {
+          dataset->at(i, t, d) = means[d];
+        }
+        continue;
+      }
+      size_t next = 0;
+      for (int t = 0; t < num_windows; ++t) {
+        if (mask.observed(i, t, d)) {
+          if (next < observed_windows.size() &&
+              observed_windows[next] == t) {
+            ++next;
+          }
+          continue;
+        }
+        // Nearest observed windows on each side of t.
+        const int right_index =
+            next < observed_windows.size() ? observed_windows[next] : -1;
+        const int left_index = next > 0 ? observed_windows[next - 1] : -1;
+        if (left_index < 0) {
+          dataset->at(i, t, d) = dataset->at(i, right_index, d);
+        } else if (right_index < 0) {
+          dataset->at(i, t, d) = dataset->at(i, left_index, d);
+        } else {
+          const float left = dataset->at(i, left_index, d);
+          const float right = dataset->at(i, right_index, d);
+          const float frac = static_cast<float>(t - left_index) /
+                             static_cast<float>(right_index - left_index);
+          dataset->at(i, t, d) = left + frac * (right - left);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void Impute(TimeSeriesDataset* dataset, const MissingnessMask& mask,
+            ImputationStrategy strategy) {
+  TRACER_CHECK_EQ(dataset->num_samples(), mask.num_samples());
+  TRACER_CHECK_EQ(dataset->num_windows(), mask.num_windows());
+  TRACER_CHECK_EQ(dataset->num_features(), mask.num_features());
+  if (strategy == ImputationStrategy::kZero) {
+    for (int i = 0; i < dataset->num_samples(); ++i) {
+      for (int t = 0; t < dataset->num_windows(); ++t) {
+        for (int d = 0; d < dataset->num_features(); ++d) {
+          if (!mask.observed(i, t, d)) dataset->at(i, t, d) = 0.0f;
+        }
+      }
+    }
+    return;
+  }
+  const std::vector<float> means = ObservedMeans(*dataset, mask);
+  switch (strategy) {
+    case ImputationStrategy::kForwardFill:
+      ForwardFill(dataset, mask, means);
+      break;
+    case ImputationStrategy::kCohortMean:
+      CohortMeanFill(dataset, mask, means);
+      break;
+    case ImputationStrategy::kLinearInterpolate:
+      LinearInterpolate(dataset, mask, means);
+      break;
+    case ImputationStrategy::kZero:
+      break;  // handled above
+  }
+}
+
+}  // namespace data
+}  // namespace tracer

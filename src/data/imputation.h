@@ -1,0 +1,78 @@
+#ifndef TRACER_DATA_IMPUTATION_H_
+#define TRACER_DATA_IMPUTATION_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace tracer {
+namespace data {
+
+/// Missingness mask companion to a TimeSeriesDataset: observed(i,t,d) is
+/// false where the lab was not measured. Real EMR data is dominated by
+/// missingness (§2.1 calls raw EMR "dirty"; the paper's pipeline cleans it
+/// before modelling) — this module provides the cleaning step for cohorts
+/// that carry a mask.
+class MissingnessMask {
+ public:
+  MissingnessMask() = default;
+  MissingnessMask(int num_samples, int num_windows, int num_features);
+
+  bool observed(int sample, int window, int feature) const {
+    return mask_[Offset(sample, window, feature)];
+  }
+  void set_observed(int sample, int window, int feature, bool value) {
+    mask_[Offset(sample, window, feature)] = value;
+  }
+
+  int num_samples() const { return num_samples_; }
+  int num_windows() const { return num_windows_; }
+  int num_features() const { return num_features_; }
+
+  /// Fraction of entries observed.
+  double ObservedRate() const;
+
+ private:
+  size_t Offset(int s, int w, int f) const {
+    TRACER_DCHECK(s >= 0 && s < num_samples_ && w >= 0 &&
+                  w < num_windows_ && f >= 0 && f < num_features_);
+    return (static_cast<size_t>(s) * num_windows_ + w) * num_features_ + f;
+  }
+
+  int num_samples_ = 0;
+  int num_windows_ = 0;
+  int num_features_ = 0;
+  std::vector<char> mask_;
+};
+
+/// Drops entries of `dataset` at random (MCAR) with probability
+/// `missing_rate`, returning the mask of what remains observed. Dropped
+/// entries are zeroed in the dataset.
+MissingnessMask ApplyRandomMissingness(TimeSeriesDataset* dataset,
+                                       double missing_rate, Rng& rng);
+
+/// Imputation strategies for unobserved entries.
+enum class ImputationStrategy {
+  /// Zero-fill (what the model sees if no imputation is run).
+  kZero,
+  /// Last observation carried forward within the sample; if no prior
+  /// observation exists, falls back to the cohort feature mean.
+  kForwardFill,
+  /// Per-feature mean of the observed entries across the cohort.
+  kCohortMean,
+  /// Linear interpolation between the nearest observed windows of the same
+  /// sample; boundary gaps use the nearest observation; fully-missing
+  /// series fall back to the cohort mean.
+  kLinearInterpolate,
+};
+
+/// Fills unobserved entries of `dataset` in place according to `strategy`.
+/// The cohort means are computed from the observed entries only.
+void Impute(TimeSeriesDataset* dataset, const MissingnessMask& mask,
+            ImputationStrategy strategy);
+
+}  // namespace data
+}  // namespace tracer
+
+#endif  // TRACER_DATA_IMPUTATION_H_

@@ -1,0 +1,358 @@
+#include "datagen/emr_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "datagen/kdigo.h"
+
+namespace tracer {
+namespace datagen {
+
+namespace {
+
+double SigmoidD(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+double LogitD(double p) { return std::log(p / (1.0 - p)); }
+
+/// One draw of every feature value for a window, given the latent drivers.
+/// `offset` is the patient's personal baseline shift for this lab (drawn
+/// once per admission): it confounds the time-averaged level, so models
+/// that aggregate over windows cannot separate "high because sick" from
+/// "high because that is this patient's normal".
+float SampleFeature(const FeatureSpec& spec, float severity, float risk,
+                    int cluster_sign, float offset, float gain,
+                    float noise_multiplier, int window, int num_windows,
+                    Rng& rng) {
+  const float noise = static_cast<float>(
+      rng.Normal(0.0, spec.noise * noise_multiplier));
+  // `gain` is the patient's expression strength: how visibly this
+  // patient's labs respond to the latent severity (FiLM-like interaction).
+  const float coupling = spec.coupling * gain;
+  switch (spec.role) {
+    case FeatureRole::kTimeVariantRising: {
+      // Coupling to the severity grows toward the prediction time, so late
+      // windows carry most of the signal (rising importance).
+      const float ramp =
+          0.25f + 0.75f * static_cast<float>(window + 1) / num_windows;
+      return spec.base + offset + coupling * severity * ramp + noise;
+    }
+    case FeatureRole::kTimeVariantStable:
+      return spec.base + offset + coupling * severity + noise;
+    case FeatureRole::kTimeInvariant:
+      return spec.base + spec.coupling * risk + noise;
+    case FeatureRole::kDiverging:
+      return spec.base + offset +
+             static_cast<float>(cluster_sign) * coupling * severity +
+             noise;
+    case FeatureRole::kNull:
+      // Tiny residual coupling so "common but not mortality-related"
+      // features are noisy rather than perfectly blank (Fig. 18 a/b).
+      return spec.base + offset + 0.1f * coupling * severity + noise;
+  }
+  return spec.base + noise;
+}
+
+/// Draws each lab's per-admission baseline offset.
+std::vector<float> DrawPatientOffsets(const std::vector<FeatureSpec>& panel,
+                                      double offset_scale, Rng& rng) {
+  std::vector<float> offsets(panel.size(), 0.0f);
+  for (size_t d = 0; d < panel.size(); ++d) {
+    const FeatureSpec& spec = panel[d];
+    switch (spec.role) {
+      case FeatureRole::kTimeVariantRising:
+      case FeatureRole::kTimeVariantStable:
+      case FeatureRole::kDiverging:
+        offsets[d] = static_cast<float>(
+            offset_scale * std::fabs(spec.coupling) * rng.Normal());
+        break;
+      case FeatureRole::kNull:
+        // Mild per-patient dispersion: common labs vary between patients
+        // for reasons unrelated to the outcome.
+        offsets[d] =
+            static_cast<float>(0.5 * spec.noise * rng.Normal());
+        break;
+      case FeatureRole::kTimeInvariant:
+        // The level itself is the signal here; no confounding offset.
+        break;
+    }
+  }
+  return offsets;
+}
+
+/// A benign severity trajectory ("sick-ish but not deteriorating"): a
+/// partial logistic ramp with random onset and per-patient amplitude. It is
+/// visible in the labs but causally unrelated to the label, creating the
+/// class overlap that keeps AUCs in the paper's band.
+std::vector<float> BenignSeverity(int num_windows, double amplitude_cap,
+                                  double slope, Rng& rng) {
+  std::vector<float> out(num_windows);
+  const double amplitude = amplitude_cap * rng.Uniform();
+  const double onset = rng.Uniform(-2.0, 2.0 * num_windows);
+  for (int t = 0; t < num_windows; ++t) {
+    out[t] = static_cast<float>(
+        amplitude * SigmoidD(slope * (t - onset)) +
+        0.03 * std::fabs(rng.Normal()));
+  }
+  return out;
+}
+
+std::vector<FeatureSpec> WithFillers(std::vector<FeatureSpec> panel,
+                                     int num_fillers, Rng& rng) {
+  for (int i = 0; i < num_fillers; ++i) {
+    FeatureSpec filler;
+    char name[32];
+    std::snprintf(name, sizeof(name), "LAB_%03d", i);
+    filler.name = name;
+    filler.role = FeatureRole::kNull;
+    filler.coupling = 0.0f;
+    filler.base = static_cast<float>(rng.Uniform(1.0, 100.0));
+    filler.noise = static_cast<float>(rng.Uniform(0.5, 10.0));
+    panel.push_back(filler);
+  }
+  return panel;
+}
+
+void FillSample(data::TimeSeriesDataset* dataset, int sample,
+                const std::vector<FeatureSpec>& panel,
+                const std::vector<float>& severity, float risk,
+                int cluster_sign, const std::vector<float>& offsets,
+                const EmrCohortConfig& config, Rng& rng) {
+  const int num_windows = dataset->num_windows();
+  // Patients with higher static risk express the latent severity more
+  // strongly in their labs (and the same risk raises their deterioration
+  // odds): a per-sample multiplicative structure that the FiLM scaling of
+  // TITV models directly.
+  const float gain =
+      config.expression_gain > 0.0
+          ? static_cast<float>(
+                0.35 + 0.65 * SigmoidD(config.expression_gain * risk))
+          : 1.0f;
+  const float noise_multiplier =
+      static_cast<float>(config.noise_multiplier);
+  for (int t = 0; t < num_windows; ++t) {
+    for (size_t d = 0; d < panel.size(); ++d) {
+      dataset->at(sample, t, static_cast<int>(d)) =
+          SampleFeature(panel[d], severity[t], risk, cluster_sign,
+                        offsets[d], gain, noise_multiplier, t, num_windows,
+                        rng);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<FeatureSpec> NuhAkiPanel() {
+  using R = FeatureRole;
+  return {
+      {"Urea", R::kTimeVariantRising, 6.0f, 5.0f, 1.0f},
+      {"eGFR", R::kTimeVariantRising, -35.0f, 90.0f, 8.0f},
+      {"HbA1c", R::kNull, 0.3f, 5.8f, 0.4f},
+      {"SCr", R::kTimeVariantRising, 25.0f, 80.0f, 6.0f},
+      {"CRP", R::kTimeVariantRising, 60.0f, 10.0f, 12.0f},
+      {"NEU", R::kTimeVariantRising, 4.0f, 4.0f, 1.2f},
+      {"NEUP", R::kTimeVariantRising, 18.0f, 60.0f, 6.0f},
+      {"WBC", R::kTimeVariantStable, 3.5f, 7.0f, 1.5f},
+      {"K", R::kTimeVariantRising, 0.8f, 4.1f, 0.3f},
+      {"NA", R::kTimeVariantRising, 5.0f, 139.0f, 2.5f},
+      {"NP", R::kTimeVariantRising, 4.0f, 138.0f, 2.5f},
+      {"ICAP", R::kTimeVariantRising, -0.18f, 1.15f, 0.05f},
+      {"CO2", R::kTimeVariantRising, -4.0f, 24.0f, 2.0f},
+      {"PTH", R::kTimeVariantRising, 30.0f, 5.5f, 2.0f},
+      {"URBC", R::kTimeInvariant, 8.0f, 2.0f, 1.5f},
+  };
+}
+
+std::vector<FeatureSpec> MimicPanel() {
+  using R = FeatureRole;
+  return {
+      {"O2", R::kTimeVariantRising, -18.0f, 95.0f, 4.0f},
+      {"PH", R::kTimeVariantRising, -0.12f, 7.38f, 0.04f},
+      {"CO2", R::kTimeVariantRising, 9.0f, 40.0f, 4.0f},
+      {"BE", R::kTimeVariantRising, -5.0f, 0.0f, 2.0f},
+      {"TEMP", R::kTimeVariantStable, 1.8f, 37.0f, 0.5f},
+      {"MCHC", R::kTimeInvariant, -2.2f, 33.5f, 1.0f},
+      {"K", R::kNull, 0.8f, 4.0f, 0.5f},
+      {"NA", R::kNull, 3.0f, 139.0f, 4.0f},
+      {"CP", R::kDiverging, 25.0f, 60.0f, 8.0f},
+      {"AU", R::kDiverging, 80.0f, 150.0f, 40.0f},
+  };
+}
+
+EmrCohortConfig NuhAkiDefaultConfig() {
+  EmrCohortConfig config;
+  config.num_windows = 7;
+  config.deteriorating_rate = 0.12;
+  return config;
+}
+
+EmrCohortConfig MimicDefaultConfig() {
+  EmrCohortConfig config;
+  config.num_windows = 24;
+  config.deteriorating_rate = 0.18;
+  return config;
+}
+
+EmrCohort GenerateNuhAkiCohort(const EmrCohortConfig& config) {
+  TRACER_CHECK_GT(config.num_samples, 0);
+  TRACER_CHECK_GT(config.num_windows, 1);
+  Rng rng(config.seed);
+  const int T = config.num_windows;
+  const std::vector<FeatureSpec> panel =
+      WithFillers(NuhAkiPanel(), config.num_filler_features, rng);
+  const int D = static_cast<int>(panel.size());
+
+  EmrCohort cohort;
+  cohort.panel = panel;
+  cohort.dataset = data::TimeSeriesDataset(
+      data::TaskType::kBinaryClassification, config.num_samples, T, D);
+  for (int d = 0; d < D; ++d) {
+    cohort.dataset.feature_names()[d] = panel[d].name;
+  }
+  cohort.severity.resize(config.num_samples);
+  cohort.static_risk.resize(config.num_samples);
+  cohort.cluster_sign.resize(config.num_samples);
+
+  const double base_logit = LogitD(config.deteriorating_rate);
+  // Days covered by the synthetic SCr trajectory: the feature window plus
+  // the 2-day prediction window (Figure 9).
+  const int horizon_days = T + 2;
+
+  for (int i = 0; i < config.num_samples; ++i) {
+    bool accepted = false;
+    for (int attempt = 0; attempt < 64 && !accepted; ++attempt) {
+      const float risk = static_cast<float>(rng.Normal());
+      const bool deteriorating =
+          rng.Bernoulli(SigmoidD(base_logit + 0.9 * risk));
+      // Onset of kidney injury lies around the prediction window; the
+      // prodrome driving the other labs precedes it by ~2.5 days, so the
+      // feature window sees early physiological deterioration before the
+      // SCr criterion fires.
+      const double onset = rng.Uniform(T - 0.5, T + 1.5);
+      const double prodrome_onset = onset - 2.5;
+
+      std::vector<float> scr_severity(horizon_days);
+      for (int day = 0; day < horizon_days; ++day) {
+        scr_severity[day] =
+            deteriorating
+                ? static_cast<float>(
+                      SigmoidD(config.severity_slope * (day - onset)))
+                : static_cast<float>(0.03 * std::fabs(rng.Normal()));
+      }
+      // What the labs see: the true prodrome (deteriorating patients only)
+      // plus a benign inflammation trajectory that every patient may have
+      // and that never causes AKI.
+      std::vector<float> feature_severity =
+          BenignSeverity(T, config.benign_severity, config.severity_slope,
+                         rng);
+      if (deteriorating) {
+        for (int t = 0; t < T; ++t) {
+          feature_severity[t] += static_cast<float>(SigmoidD(
+              config.severity_slope * (t - prodrome_onset)));
+        }
+      }
+
+      ScrSeries scr;
+      scr.hours_per_step = 24.0;
+      scr.umol_per_l.resize(horizon_days);
+      const float baseline_scr = static_cast<float>(rng.Uniform(55.0, 105.0));
+      for (int day = 0; day < horizon_days; ++day) {
+        scr.umol_per_l[day] =
+            baseline_scr * (1.0f + 0.85f * scr_severity[day]) +
+            static_cast<float>(rng.Normal(0.0, 2.5));
+      }
+
+      const AkiDetection detection = DetectAki(scr);
+      if (detection.detected && detection.first_index < T) {
+        // AKI already present inside the feature window: not a
+        // hospital-acquired-AKI-in-two-days sample; resample the admission.
+        continue;
+      }
+      const bool label = detection.detected && detection.first_index >= T;
+
+      const int cluster_sign = rng.Bernoulli(0.5) ? 1 : -1;
+      const std::vector<float> offsets =
+          DrawPatientOffsets(panel, config.patient_offset_scale, rng);
+      FillSample(&cohort.dataset, i, panel, feature_severity, risk,
+                 cluster_sign, offsets, config, rng);
+      cohort.dataset.set_label(i, label ? 1.0f : 0.0f);
+      cohort.severity[i] = feature_severity;
+      cohort.static_risk[i] = risk;
+      cohort.cluster_sign[i] = cluster_sign;
+      accepted = true;
+    }
+    TRACER_CHECK(accepted) << "could not sample an eligible admission";
+  }
+  return cohort;
+}
+
+EmrCohort GenerateMimicMortalityCohort(const EmrCohortConfig& config) {
+  TRACER_CHECK_GT(config.num_samples, 0);
+  TRACER_CHECK_GT(config.num_windows, 1);
+  Rng rng(config.seed);
+  const int T = config.num_windows;
+  const std::vector<FeatureSpec> panel =
+      WithFillers(MimicPanel(), config.num_filler_features, rng);
+  const int D = static_cast<int>(panel.size());
+
+  EmrCohort cohort;
+  cohort.panel = panel;
+  cohort.dataset = data::TimeSeriesDataset(
+      data::TaskType::kBinaryClassification, config.num_samples, T, D);
+  for (int d = 0; d < D; ++d) {
+    cohort.dataset.feature_names()[d] = panel[d].name;
+  }
+  cohort.severity.resize(config.num_samples);
+  cohort.static_risk.resize(config.num_samples);
+  cohort.cluster_sign.resize(config.num_samples);
+
+  const double base_logit = LogitD(config.deteriorating_rate);
+  std::vector<double> mortality_score(config.num_samples);
+
+  for (int i = 0; i < config.num_samples; ++i) {
+    const float risk = static_cast<float>(rng.Normal());
+    const bool deteriorating =
+        rng.Bernoulli(SigmoidD(base_logit + 0.9 * risk));
+    const double onset = rng.Uniform(0.3 * T, 0.9 * T);
+    // True acuity drives the label; the labs additionally see a benign
+    // trajectory unrelated to mortality.
+    std::vector<float> acuity(T);
+    for (int t = 0; t < T; ++t) {
+      acuity[t] = deteriorating
+                      ? static_cast<float>(SigmoidD(
+                            config.severity_slope * (t - onset) / 3.0))
+                      : static_cast<float>(0.03 * std::fabs(rng.Normal()));
+    }
+    std::vector<float> observed = BenignSeverity(
+        T, config.benign_severity, config.severity_slope / 3.0, rng);
+    for (int t = 0; t < T; ++t) observed[t] += acuity[t];
+    const int cluster_sign = rng.Bernoulli(0.5) ? 1 : -1;
+    const std::vector<float> offsets =
+        DrawPatientOffsets(panel, config.patient_offset_scale, rng);
+    FillSample(&cohort.dataset, i, panel, observed, risk, cluster_sign,
+               offsets, config, rng);
+    cohort.severity[i] = observed;
+    cohort.static_risk[i] = risk;
+    cohort.cluster_sign[i] = cluster_sign;
+    // Mortality depends on terminal acuity and the static risk; the label
+    // threshold is calibrated post hoc to the target positive rate.
+    mortality_score[i] =
+        2.2 * acuity[T - 1] + 0.8 * risk + rng.Normal(0.0, 0.4);
+  }
+
+  // Choose the threshold so that ~8.3% of samples are positive (the
+  // MIMIC-III in-hospital mortality rate in Table 1: 4280 / 51826).
+  std::vector<double> sorted = mortality_score;
+  std::sort(sorted.begin(), sorted.end());
+  const double positive_rate = 0.083;
+  const size_t cut = static_cast<size_t>(
+      (1.0 - positive_rate) * static_cast<double>(sorted.size()));
+  const double threshold = sorted[std::min(cut, sorted.size() - 1)];
+  for (int i = 0; i < config.num_samples; ++i) {
+    cohort.dataset.set_label(i, mortality_score[i] > threshold ? 1.0f : 0.0f);
+  }
+  return cohort;
+}
+
+}  // namespace datagen
+}  // namespace tracer

@@ -1,0 +1,43 @@
+#include "datagen/kdigo.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace tracer {
+namespace datagen {
+
+AkiDetection DetectAki(const ScrSeries& series) {
+  TRACER_CHECK_GT(series.hours_per_step, 0.0);
+  AkiDetection result;
+  const auto& values = series.umol_per_l;
+  const int n = static_cast<int>(values.size());
+  // Trailing-window extents in steps. The windows are inclusive of the
+  // current measurement and look back `window_hours`.
+  const int abs_steps = std::max(
+      1, static_cast<int>(kAbsoluteWindowHours / series.hours_per_step));
+  const int rel_steps = std::max(
+      1, static_cast<int>(kRelativeWindowHours / series.hours_per_step));
+  for (int i = 0; i < n; ++i) {
+    const int abs_begin = std::max(0, i - abs_steps);
+    const int rel_begin = std::max(0, i - rel_steps);
+    float abs_min = values[i];
+    for (int j = abs_begin; j < i; ++j) abs_min = std::min(abs_min, values[j]);
+    float rel_min = values[i];
+    for (int j = rel_begin; j < i; ++j) rel_min = std::min(rel_min, values[j]);
+    const bool absolute_hit =
+        values[i] - abs_min >= kAbsoluteAkiDeltaUmolPerL;
+    const bool relative_hit = values[i] >= kRelativeAkiRatio * rel_min;
+    if (absolute_hit || relative_hit) {
+      result.detected = true;
+      result.first_index = i;
+      result.absolute = absolute_hit;
+      result.relative = relative_hit;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace datagen
+}  // namespace tracer

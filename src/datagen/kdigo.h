@@ -1,0 +1,47 @@
+#ifndef TRACER_DATAGEN_KDIGO_H_
+#define TRACER_DATAGEN_KDIGO_H_
+
+#include <vector>
+
+namespace tracer {
+namespace datagen {
+
+/// A serum-creatinine (SCr) time series in µmol/L with a fixed sampling
+/// period. This is the input of the paper's AKI labelling step (§5.1.1,
+/// Figure 8).
+struct ScrSeries {
+  std::vector<float> umol_per_l;
+  /// Hours between consecutive measurements (e.g. 24 for daily labs).
+  double hours_per_step = 24.0;
+};
+
+/// Outcome of running the KDIGO criteria over a series.
+struct AkiDetection {
+  bool detected = false;
+  /// Index of the first measurement at which either criterion fires
+  /// (-1 when not detected).
+  int first_index = -1;
+  /// Which criterion fired first (both may be true if simultaneously).
+  bool absolute = false;
+  bool relative = false;
+};
+
+/// KDIGO absolute-AKI threshold: SCr increase ≥ 26.5 µmol/L within 48 h.
+inline constexpr float kAbsoluteAkiDeltaUmolPerL = 26.5f;
+/// KDIGO relative-AKI threshold: SCr ≥ 1.5 × the lowest value within 7 days.
+inline constexpr float kRelativeAkiRatio = 1.5f;
+inline constexpr double kAbsoluteWindowHours = 48.0;
+inline constexpr double kRelativeWindowHours = 7.0 * 24.0;
+
+/// Runs both KDIGO detection criteria (Figure 8) over the series:
+///  - absolute AKI: the current SCr exceeds the minimum SCr observed in the
+///    trailing 48 h by at least 26.5 µmol/L;
+///  - relative AKI: the current SCr is at least 1.5 × the minimum SCr
+///    observed in the trailing 7 days.
+/// Either criterion marks the admission positive, as in the paper.
+AkiDetection DetectAki(const ScrSeries& series);
+
+}  // namespace datagen
+}  // namespace tracer
+
+#endif  // TRACER_DATAGEN_KDIGO_H_

@@ -1,0 +1,114 @@
+#include "datagen/stock_generator.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/rng.h"
+
+namespace tracer {
+namespace datagen {
+
+StockCohort GenerateStockMarket(const StockMarketConfig& config) {
+  TRACER_CHECK_GT(config.num_constituents, 2);
+  TRACER_CHECK_GT(config.feature_window, 1);
+  TRACER_CHECK_GT(config.series_length, config.feature_window + 2);
+  Rng rng(config.seed);
+  const int J = config.num_constituents;
+  const int L = config.series_length;
+  const int T = config.feature_window;
+
+  StockCohort cohort;
+  // Zipf-like capitalisation weights, normalised to sum 1: a handful of
+  // mega-caps dominate, the tail barely moves the index.
+  cohort.weights.resize(J);
+  double weight_sum = 0.0;
+  for (int j = 0; j < J; ++j) {
+    cohort.weights[j] = 1.0f / std::pow(static_cast<float>(j + 1), 1.1f);
+    weight_sum += cohort.weights[j];
+  }
+  for (int j = 0; j < J; ++j) {
+    cohort.weights[j] = static_cast<float>(cohort.weights[j] / weight_sum);
+  }
+  cohort.tickers.resize(J);
+  for (int j = 0; j < J; ++j) {
+    char name[16];
+    std::snprintf(name, sizeof(name), "STK_%02d", j);
+    cohort.tickers[j] = name;
+  }
+  cohort.tickers[0] = "AMZN";          // top-ranking constituent
+  cohort.tickers[J / 2] = "LRCX";      // mid-ranking constituent
+  cohort.tickers[J - 1] = "VIAB";      // bottom-ranking constituent
+
+  // Price dynamics: a common market factor plus per-stock idiosyncratic
+  // random walks with mild mean reversion, all near 1.0 so no label scaling
+  // is needed downstream.
+  // Idiosyncratic moves dominate the common market factor: the index is
+  // then genuinely driven by its heavyweights' own price action, so the
+  // recovered feature importance can identify the capitalisation ordering
+  // (with a strong common factor every stock is an equally good proxy and
+  // attribution diffuses arbitrarily across the panel).
+  std::vector<float> beta(J);
+  std::vector<float> vol(J);
+  for (int j = 0; j < J; ++j) {
+    beta[j] = static_cast<float>(rng.Uniform(0.2, 0.7));
+    vol[j] = static_cast<float>(rng.Uniform(0.006, 0.02));
+  }
+  std::vector<std::vector<float>> prices(J, std::vector<float>(L));
+  std::vector<float> index(L);
+  std::vector<float> observed_index(L);
+  float market = 0.0f;
+  float quote_bias = 0.0f;
+  std::vector<float> level(J, 0.0f);
+  for (int m = 0; m < L; ++m) {
+    market = 0.995f * market + static_cast<float>(rng.Normal(0.0, 0.0015));
+    for (int j = 0; j < J; ++j) {
+      level[j] = 0.995f * level[j] +
+                 static_cast<float>(rng.Normal(0.0, vol[j]));
+      prices[j][m] = 1.0f + beta[j] * market + level[j];
+    }
+    double acc = 0.0;
+    for (int j = 0; j < J; ++j) {
+      acc += static_cast<double>(cohort.weights[j]) * prices[j][m];
+    }
+    index[m] = static_cast<float>(acc + rng.Normal(0.0, 0.001));
+    // The quoted index carries a *persistent* error (staleness drift that
+    // moves much slower than the 10-minute feature window) on top of
+    // per-tick noise. Persistence matters: a purely white quote error
+    // could be averaged away across the window, letting the model bypass
+    // the constituents entirely; a slow bias cannot, so the constituent
+    // prices stay the best signal and the learned feature importance can
+    // reflect the true index weights (Figure 19).
+    quote_bias = 0.999f * quote_bias +
+                 static_cast<float>(rng.Normal(0.0, 0.002));
+    observed_index[m] = index[m] + quote_bias +
+                        static_cast<float>(rng.Normal(0.0, 0.004));
+  }
+
+  // Sliding-window samples: minute t0 predicts index(t0) from the last T
+  // minutes of constituent prices and the lagged index.
+  const int D = J + 1;
+  const int num_samples = L - T;
+  cohort.dataset = data::TimeSeriesDataset(data::TaskType::kRegression,
+                                           num_samples, T, D);
+  for (int j = 0; j < J; ++j) {
+    cohort.dataset.feature_names()[j] = cohort.tickers[j];
+  }
+  cohort.dataset.feature_names()[J] = "INDEX_LAG";
+  for (int i = 0; i < num_samples; ++i) {
+    const int t0 = T + i - 1 + 1;  // target minute; windows end at t0
+    for (int t = 0; t < T; ++t) {
+      const int minute = t0 - T + 1 + t;
+      for (int j = 0; j < J; ++j) {
+        cohort.dataset.at(i, t, j) = prices[j][minute];
+      }
+      // Lag the index by one minute so the final window never contains the
+      // target itself.
+      cohort.dataset.at(i, t, J) = observed_index[minute - 1];
+    }
+    cohort.dataset.set_label(i, index[t0]);
+  }
+  return cohort;
+}
+
+}  // namespace datagen
+}  // namespace tracer

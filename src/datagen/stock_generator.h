@@ -1,0 +1,45 @@
+#ifndef TRACER_DATAGEN_STOCK_GENERATOR_H_
+#define TRACER_DATAGEN_STOCK_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace tracer {
+namespace datagen {
+
+/// Configuration of the synthetic NASDAQ100-like market (§5.5). The real
+/// dataset records per-minute prices of 81 constituents plus the index from
+/// 2016-07-26 to 2016-12-22; here the index is a capitalisation-weighted sum
+/// of synthetic constituent prices, so each stock's ground-truth influence
+/// is known exactly.
+struct StockMarketConfig {
+  int num_constituents = 81;
+  /// Total minutes of simulated trading.
+  int series_length = 2400;
+  /// T: minutes per sample (the paper uses a 10-minute feature window).
+  int feature_window = 10;
+  uint64_t seed = 11;
+};
+
+/// Generated market: one regression sample per minute (Feature Window of 10
+/// one-minute windows; the target is the current index value, as in [75]).
+struct StockCohort {
+  data::TimeSeriesDataset dataset;
+  /// Ground-truth index weights per constituent (descending).
+  std::vector<float> weights;
+  /// Tickers; ranks 0 / middle / last are named AMZN / LRCX / VIAB to match
+  /// the top-, mid- and bottom-ranking stocks of Figure 19.
+  std::vector<std::string> tickers;
+};
+
+/// Simulates the market and extracts sliding-window regression samples.
+/// Features: the 81 constituent prices of each minute plus the one-minute
+/// lagged index value; label: the current index value.
+StockCohort GenerateStockMarket(const StockMarketConfig& config);
+
+}  // namespace datagen
+}  // namespace tracer
+
+#endif  // TRACER_DATAGEN_STOCK_GENERATOR_H_

@@ -1,0 +1,139 @@
+#include "datagen/temperature_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/rng.h"
+
+namespace tracer {
+namespace datagen {
+
+namespace {
+
+constexpr int kStepsPerDay = 96;  // 15-minute sampling
+constexpr double kPi = 3.14159265358979323846;
+
+/// Sun elevation factor in [0,1]; nonzero between 06:00 and 20:00.
+double SunElevation(double hour) {
+  if (hour < 6.0 || hour > 20.0) return 0.0;
+  return std::sin(kPi * (hour - 6.0) / 14.0);
+}
+
+/// West-facade exposure: a bell around 17:30 (evening sun).
+double WestExposure(double hour) {
+  const double d = (hour - 17.5) / 2.2;
+  return std::exp(-d * d);
+}
+
+}  // namespace
+
+TemperatureCohort GenerateTemperatureTrace(const TemperatureConfig& config) {
+  TRACER_CHECK_GT(config.feature_window, 1);
+  TRACER_CHECK_GT(config.series_length, config.feature_window + 2);
+  Rng rng(config.seed);
+  const int L = config.series_length;
+  const int T = config.feature_window;
+
+  const std::vector<std::string> channels = {
+      "TEMP_IN_LAG", "TEMP_OUT",  "SL_SOUTH",  "SL_WEST",
+      "HUMID_IN",    "HUMID_OUT", "CO2",       "LIGHT_IN",
+      "WIND",        "RAIN",      "TEMP_DIN",  "TEMP_ROOM2",
+      "SUN_DUSK",    "DOOR",      "TWILIGHT",  "FORECAST_OUT"};
+  const int D = static_cast<int>(channels.size());
+
+  // Simulate the channel series.
+  std::vector<std::vector<float>> series(D, std::vector<float>(L, 0.0f));
+  std::vector<float> indoor(L, 21.0f);
+  float cloud = 0.3f;
+  float outdoor_base = 14.0f;
+  float west_smooth = 0.0f;
+  for (int m = 0; m < L; ++m) {
+    const double hour = 24.0 * (m % kStepsPerDay) / kStepsPerDay;
+    // Fast-mixing cloud cover: the sky an hour ago says little about the
+    // sky now, so the *latest* south-facade reading carries information no
+    // earlier window has — the source of its rising importance.
+    cloud = std::clamp(
+        0.90f * cloud + static_cast<float>(rng.Normal(0.03, 0.09)), 0.0f,
+        1.0f);
+    outdoor_base += static_cast<float>(rng.Normal(0.0, 0.05));
+    const double sun = SunElevation(hour) * (1.0 - 0.8 * cloud);
+    const double west = WestExposure(hour) * (1.0 - 0.8 * cloud);
+
+    const float temp_out = outdoor_base +
+                           6.0f * static_cast<float>(sun) +
+                           static_cast<float>(rng.Normal(0.0, 0.4));
+    const float sl_south =
+        800.0f * static_cast<float>(sun) +
+        static_cast<float>(rng.Normal(0.0, 15.0));
+    // The west-facade sensor saturates and is heavily time-smoothed: it
+    // reads as a coarse, slowly changing darkness indicator (evening vs
+    // not), so its latest window adds nothing over earlier ones — hence
+    // its stable, secondary importance in Figure 20(b).
+    west_smooth = 0.85f * west_smooth +
+                  0.15f * (west > 0.25 ? 420.0f : 15.0f);
+    const float sl_west =
+        west_smooth + static_cast<float>(rng.Normal(0.0, 30.0));
+
+    // Indoor temperature: AR(1) on itself plus heat input dominated by the
+    // *current* south-facade sunlight — the physical reason its importance
+    // rises toward prediction time in Figure 20(a). The west facade
+    // contributes almost no heat (it is lit only in the cool evening); its
+    // value to a forecaster is as a stable darkness indicator.
+    const float prev = m > 0 ? indoor[m - 1] : 21.0f;
+    indoor[m] = 0.90f * prev + 0.055f * temp_out +
+                0.0036f * sl_south + 0.0001f * sl_west + 0.55f +
+                static_cast<float>(rng.Normal(0.0, 0.06));
+
+    series[0][m] = prev;  // lagged indoor temperature
+    series[1][m] = temp_out;
+    series[2][m] = sl_south;
+    series[3][m] = sl_west;
+    series[4][m] = 45.0f - 8.0f * static_cast<float>(sun) +
+                   static_cast<float>(rng.Normal(0.0, 2.0));
+    series[5][m] = 60.0f - 15.0f * static_cast<float>(sun) +
+                   static_cast<float>(rng.Normal(0.0, 3.0));
+    series[6][m] = 420.0f + 60.0f * static_cast<float>(rng.Normal()) *
+                                static_cast<float>(rng.Uniform());
+    // Indoor artificial lighting: occupancy-driven, largely independent of
+    // the facade channels so it cannot proxy for them.
+    series[7][m] = (hour > 7.0 && hour < 23.0 ? 60.0f : 5.0f) +
+                   static_cast<float>(rng.Normal(0.0, 12.0));
+    series[8][m] = static_cast<float>(
+        std::fabs(rng.Normal(8.0, 4.0)));
+    series[9][m] = cloud > 0.85f ? static_cast<float>(rng.Uniform(0.0, 2.0))
+                                 : 0.0f;
+    series[10][m] = indoor[m] - 0.4f +
+                    static_cast<float>(rng.Normal(0.0, 0.2));
+    series[11][m] = indoor[m] + 0.3f +
+                    static_cast<float>(rng.Normal(0.0, 0.2));
+    series[12][m] = static_cast<float>(rng.Normal(20.0, 6.0));
+    series[13][m] = rng.Bernoulli(0.05) ? 1.0f : 0.0f;
+    series[14][m] = hour > 18.0 || hour < 7.0 ? 1.0f : 0.0f;
+    series[15][m] = outdoor_base + static_cast<float>(rng.Normal(0.0, 1.0));
+  }
+
+  // Sliding-window samples ending at step t0 with target indoor(t0).
+  TemperatureCohort cohort;
+  cohort.indoor_temp = indoor;
+  const int num_samples = L - T;
+  cohort.dataset = data::TimeSeriesDataset(data::TaskType::kRegression,
+                                           num_samples, T, D);
+  for (int d = 0; d < D; ++d) {
+    cohort.dataset.feature_names()[d] = channels[d];
+  }
+  for (int i = 0; i < num_samples; ++i) {
+    const int t0 = T + i;
+    for (int t = 0; t < T; ++t) {
+      const int step = t0 - T + 1 + t;
+      for (int d = 0; d < D; ++d) {
+        cohort.dataset.at(i, t, d) = series[d][step];
+      }
+    }
+    cohort.dataset.set_label(i, indoor[t0]);
+  }
+  return cohort;
+}
+
+}  // namespace datagen
+}  // namespace tracer

@@ -1,0 +1,229 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/macros.h"
+
+namespace tracer {
+namespace metrics {
+
+double Auc(const std::vector<float>& scores,
+           const std::vector<float>& labels) {
+  TRACER_CHECK_EQ(scores.size(), labels.size());
+  TRACER_CHECK(!scores.empty());
+  const size_t n = scores.size();
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return scores[a] < scores[b]; });
+  // Midranks for ties.
+  std::vector<double> rank(n);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double mid = 0.5 * static_cast<double>(i + j) + 1.0;  // 1-based
+    for (size_t k = i; k <= j; ++k) rank[order[k]] = mid;
+    i = j + 1;
+  }
+  double pos_rank_sum = 0.0;
+  int64_t pos = 0, neg = 0;
+  for (size_t k = 0; k < n; ++k) {
+    if (labels[k] > 0.5f) {
+      pos_rank_sum += rank[k];
+      ++pos;
+    } else {
+      ++neg;
+    }
+  }
+  TRACER_CHECK(pos > 0 && neg > 0)
+      << "AUC undefined without both classes (pos=" << pos << " neg=" << neg
+      << ")";
+  const double u = pos_rank_sum - 0.5 * static_cast<double>(pos) *
+                                      (static_cast<double>(pos) + 1.0);
+  return u / (static_cast<double>(pos) * static_cast<double>(neg));
+}
+
+double CrossEntropyLoss(const std::vector<float>& probs,
+                        const std::vector<float>& labels) {
+  TRACER_CHECK_EQ(probs.size(), labels.size());
+  TRACER_CHECK(!probs.empty());
+  constexpr double kEps = 1e-7;
+  double acc = 0.0;
+  for (size_t i = 0; i < probs.size(); ++i) {
+    const double p = std::clamp(static_cast<double>(probs[i]), kEps,
+                                1.0 - kEps);
+    const double y = labels[i];
+    acc += -y * std::log(p) - (1.0 - y) * std::log(1.0 - p);
+  }
+  return acc / static_cast<double>(probs.size());
+}
+
+double PrAuc(const std::vector<float>& scores,
+             const std::vector<float>& labels) {
+  TRACER_CHECK_EQ(scores.size(), labels.size());
+  TRACER_CHECK(!scores.empty());
+  const size_t n = scores.size();
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return scores[a] > scores[b]; });
+  int64_t total_pos = 0;
+  for (float y : labels) {
+    if (y > 0.5f) ++total_pos;
+  }
+  TRACER_CHECK_GT(total_pos, 0) << "PR-AUC undefined without positives";
+  // Average precision: sum precision-at-k over positive hits, handling
+  // score ties by processing tied blocks together (interpolated within).
+  double ap = 0.0;
+  int64_t tp = 0;
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    int64_t block_pos = 0;
+    while (j < n && scores[order[j]] == scores[order[i]]) {
+      if (labels[order[j]] > 0.5f) ++block_pos;
+      ++j;
+    }
+    // Positives in a tied block are credited with the precision at the end
+    // of the block; for untied data this is exactly precision@rank of each
+    // positive, i.e. standard average precision.
+    const int64_t block_size = static_cast<int64_t>(j - i);
+    if (block_pos > 0) {
+      const double precision_at_end =
+          static_cast<double>(tp + block_pos) /
+          static_cast<double>(static_cast<int64_t>(i) + block_size);
+      ap += precision_at_end * block_pos;
+    }
+    tp += block_pos;
+    i = j;
+  }
+  return ap / static_cast<double>(total_pos);
+}
+
+double BrierScore(const std::vector<float>& probs,
+                  const std::vector<float>& labels) {
+  TRACER_CHECK_EQ(probs.size(), labels.size());
+  TRACER_CHECK(!probs.empty());
+  double acc = 0.0;
+  for (size_t i = 0; i < probs.size(); ++i) {
+    const double d = static_cast<double>(probs[i]) - labels[i];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(probs.size());
+}
+
+double Rmse(const std::vector<float>& predictions,
+            const std::vector<float>& targets) {
+  TRACER_CHECK_EQ(predictions.size(), targets.size());
+  TRACER_CHECK(!predictions.empty());
+  double acc = 0.0;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    const double d = static_cast<double>(predictions[i]) - targets[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(predictions.size()));
+}
+
+double Mae(const std::vector<float>& predictions,
+           const std::vector<float>& targets) {
+  TRACER_CHECK_EQ(predictions.size(), targets.size());
+  TRACER_CHECK(!predictions.empty());
+  double acc = 0.0;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    acc += std::fabs(static_cast<double>(predictions[i]) - targets[i]);
+  }
+  return acc / static_cast<double>(predictions.size());
+}
+
+double Accuracy(const std::vector<float>& probs,
+                const std::vector<float>& labels, float threshold) {
+  TRACER_CHECK_EQ(probs.size(), labels.size());
+  TRACER_CHECK(!probs.empty());
+  int64_t correct = 0;
+  for (size_t i = 0; i < probs.size(); ++i) {
+    const bool pred = probs[i] >= threshold;
+    const bool truth = labels[i] > 0.5f;
+    if (pred == truth) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(probs.size());
+}
+
+double Confusion::Precision() const {
+  const int denom = true_positive + false_positive;
+  return denom == 0 ? 0.0 : static_cast<double>(true_positive) / denom;
+}
+
+double Confusion::Recall() const {
+  const int denom = true_positive + false_negative;
+  return denom == 0 ? 0.0 : static_cast<double>(true_positive) / denom;
+}
+
+double Confusion::F1() const {
+  const double p = Precision();
+  const double r = Recall();
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+Confusion ConfusionAt(const std::vector<float>& probs,
+                      const std::vector<float>& labels, float threshold) {
+  TRACER_CHECK_EQ(probs.size(), labels.size());
+  Confusion c;
+  for (size_t i = 0; i < probs.size(); ++i) {
+    const bool pred = probs[i] >= threshold;
+    const bool truth = labels[i] > 0.5f;
+    if (pred && truth) {
+      ++c.true_positive;
+    } else if (pred && !truth) {
+      ++c.false_positive;
+    } else if (!pred && truth) {
+      ++c.false_negative;
+    } else {
+      ++c.true_negative;
+    }
+  }
+  return c;
+}
+
+double ExpectedCalibrationError(const std::vector<float>& probs,
+                                const std::vector<float>& labels, int bins) {
+  TRACER_CHECK_EQ(probs.size(), labels.size());
+  TRACER_CHECK_GT(bins, 0);
+  std::vector<double> conf_sum(bins, 0.0), label_sum(bins, 0.0);
+  std::vector<int64_t> count(bins, 0);
+  for (size_t i = 0; i < probs.size(); ++i) {
+    int b = static_cast<int>(probs[i] * bins);
+    b = std::clamp(b, 0, bins - 1);
+    conf_sum[b] += probs[i];
+    label_sum[b] += labels[i];
+    ++count[b];
+  }
+  double ece = 0.0;
+  for (int b = 0; b < bins; ++b) {
+    if (count[b] == 0) continue;
+    const double conf = conf_sum[b] / count[b];
+    const double acc = label_sum[b] / count[b];
+    ece += (static_cast<double>(count[b]) / probs.size()) *
+           std::fabs(conf - acc);
+  }
+  return ece;
+}
+
+MeanStd Summarize(const std::vector<double>& values) {
+  MeanStd out;
+  if (values.empty()) return out;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  out.mean = sum / static_cast<double>(values.size());
+  if (values.size() > 1) {
+    double sq = 0.0;
+    for (double v : values) sq += (v - out.mean) * (v - out.mean);
+    out.stddev = std::sqrt(sq / static_cast<double>(values.size() - 1));
+  }
+  return out;
+}
+
+}  // namespace metrics
+}  // namespace tracer

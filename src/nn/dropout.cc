@@ -1,0 +1,25 @@
+#include "nn/dropout.h"
+
+#include "autograd/ops.h"
+#include "common/macros.h"
+
+namespace tracer {
+namespace nn {
+
+Dropout::Dropout(float rate, uint64_t seed) : rate_(rate), rng_(seed) {
+  TRACER_CHECK(rate >= 0.0f && rate < 1.0f) << "dropout rate out of range";
+}
+
+autograd::Variable Dropout::Apply(const autograd::Variable& x,
+                                  bool training) {
+  if (!training || rate_ == 0.0f) return x;
+  Tensor mask(x.value().shape());
+  const float keep_scale = 1.0f / (1.0f - rate_);
+  for (int64_t i = 0; i < mask.size(); ++i) {
+    mask[i] = rng_.Bernoulli(rate_) ? 0.0f : keep_scale;
+  }
+  return autograd::Mul(x, autograd::Variable::Constant(std::move(mask)));
+}
+
+}  // namespace nn
+}  // namespace tracer

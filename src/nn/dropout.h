@@ -1,0 +1,32 @@
+#ifndef TRACER_NN_DROPOUT_H_
+#define TRACER_NN_DROPOUT_H_
+
+#include "autograd/variable.h"
+#include "common/rng.h"
+
+namespace tracer {
+namespace nn {
+
+/// Inverted dropout: during training, each activation is zeroed with
+/// probability `rate` and survivors are scaled by 1/(1-rate) so the
+/// expected activation is unchanged; during evaluation it is the identity.
+/// Stateless apart from the RNG, so one instance can serve a whole model.
+class Dropout {
+ public:
+  /// `rate` in [0, 1): the probability of dropping an activation.
+  explicit Dropout(float rate, uint64_t seed = 97);
+
+  /// Applies dropout when `training` is true; identity otherwise.
+  autograd::Variable Apply(const autograd::Variable& x, bool training);
+
+  float rate() const { return rate_; }
+
+ private:
+  float rate_;
+  Rng rng_;
+};
+
+}  // namespace nn
+}  // namespace tracer
+
+#endif  // TRACER_NN_DROPOUT_H_

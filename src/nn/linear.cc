@@ -1,0 +1,18 @@
+#include "nn/linear.h"
+
+namespace tracer {
+namespace nn {
+
+Linear::Linear(int in_dim, int out_dim, Rng& rng)
+    : in_dim_(in_dim),
+      out_dim_(out_dim),
+      weight_(AddParameter("weight",
+                           Tensor::XavierUniform(in_dim, out_dim, rng))),
+      bias_(AddParameter("bias", Tensor::Zeros({1, out_dim}))) {}
+
+autograd::Variable Linear::Forward(const autograd::Variable& x) const {
+  return autograd::AddRows(autograd::MatMul(x, weight_), bias_);
+}
+
+}  // namespace nn
+}  // namespace tracer

@@ -1,0 +1,35 @@
+#ifndef TRACER_NN_LINEAR_H_
+#define TRACER_NN_LINEAR_H_
+
+#include "autograd/ops.h"
+#include "nn/module.h"
+
+namespace tracer {
+namespace nn {
+
+/// Affine map y = xW + b with W (in×out, Xavier-uniform) and b (1×out, zero).
+class Linear : public Module {
+ public:
+  Linear(int in_dim, int out_dim, Rng& rng);
+
+  /// x: B×in → B×out.
+  autograd::Variable Forward(const autograd::Variable& x) const;
+
+  int in_dim() const { return in_dim_; }
+  int out_dim() const { return out_dim_; }
+  /// Weight matrix (in×out); exposed so interpretation code can read
+  /// coefficients (e.g. LR weights in Fig. 1, the w of Eq. 17).
+  autograd::Variable weight() const { return weight_; }
+  autograd::Variable bias() const { return bias_; }
+
+ private:
+  int in_dim_;
+  int out_dim_;
+  autograd::Variable weight_;
+  autograd::Variable bias_;
+};
+
+}  // namespace nn
+}  // namespace tracer
+
+#endif  // TRACER_NN_LINEAR_H_

@@ -1,0 +1,70 @@
+#include "nn/module.h"
+
+#include "common/macros.h"
+
+namespace tracer {
+namespace nn {
+
+std::vector<autograd::Variable> Module::Parameters() const {
+  std::vector<autograd::Variable> out;
+  for (const auto& [name, param] : params_) out.push_back(param);
+  for (const auto& [name, sub] : submodules_) {
+    auto child = sub->Parameters();
+    out.insert(out.end(), child.begin(), child.end());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, autograd::Variable>>
+Module::NamedParameters() const {
+  std::vector<std::pair<std::string, autograd::Variable>> out;
+  for (const auto& entry : params_) out.push_back(entry);
+  for (const auto& [name, sub] : submodules_) {
+    for (const auto& [child_name, param] : sub->NamedParameters()) {
+      out.emplace_back(name + "." + child_name, param);
+    }
+  }
+  return out;
+}
+
+std::vector<Tensor> Module::StateDict() const {
+  std::vector<Tensor> out;
+  for (const auto& [name, param] : NamedParameters()) {
+    out.push_back(param.value());
+  }
+  return out;
+}
+
+void Module::LoadStateDict(const std::vector<Tensor>& state) {
+  auto named = NamedParameters();
+  TRACER_CHECK_EQ(named.size(), state.size())
+      << "state dict size mismatch";
+  for (size_t i = 0; i < named.size(); ++i) {
+    TRACER_CHECK(named[i].second.value().SameShape(state[i]))
+        << "state dict shape mismatch at " << named[i].first;
+    named[i].second.mutable_value() = state[i];
+  }
+}
+
+int64_t Module::NumParameters() const {
+  int64_t n = 0;
+  for (const auto& [name, param] : NamedParameters()) {
+    n += param.value().size();
+  }
+  return n;
+}
+
+autograd::Variable Module::AddParameter(const std::string& name,
+                                        Tensor init) {
+  autograd::Variable param = autograd::Variable::Parameter(std::move(init));
+  params_.emplace_back(name, param);
+  return param;
+}
+
+void Module::AddSubmodule(const std::string& name, Module* submodule) {
+  TRACER_CHECK(submodule != nullptr);
+  submodules_.emplace_back(name, submodule);
+}
+
+}  // namespace nn
+}  // namespace tracer

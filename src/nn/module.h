@@ -1,0 +1,60 @@
+#ifndef TRACER_NN_MODULE_H_
+#define TRACER_NN_MODULE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace tracer {
+namespace nn {
+
+/// Base class for neural-network building blocks.
+///
+/// A Module owns named parameters and may reference submodules; Parameters()
+/// flattens the tree so optimizers and checkpointing see every trainable
+/// tensor exactly once. Submodules are referenced (not owned): the concrete
+/// model stores them as members and registers them in its constructor.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All trainable parameters of this module and its registered submodules.
+  std::vector<autograd::Variable> Parameters() const;
+
+  /// Parameters paired with hierarchical names ("gru.w_z", ...).
+  std::vector<std::pair<std::string, autograd::Variable>> NamedParameters()
+      const;
+
+  /// Deep copy of every parameter tensor, in NamedParameters() order.
+  /// This is the in-memory checkpoint format used for "best epoch" restores.
+  std::vector<Tensor> StateDict() const;
+
+  /// Restores parameter values from a StateDict() snapshot (same module
+  /// architecture required).
+  void LoadStateDict(const std::vector<Tensor>& state);
+
+  /// Total number of scalar parameters.
+  int64_t NumParameters() const;
+
+ protected:
+  /// Registers and returns a trainable parameter initialised to `init`.
+  autograd::Variable AddParameter(const std::string& name, Tensor init);
+
+  /// Registers a child module (must outlive this module).
+  void AddSubmodule(const std::string& name, Module* submodule);
+
+ private:
+  std::vector<std::pair<std::string, autograd::Variable>> params_;
+  std::vector<std::pair<std::string, Module*>> submodules_;
+};
+
+}  // namespace nn
+}  // namespace tracer
+
+#endif  // TRACER_NN_MODULE_H_

@@ -1,0 +1,106 @@
+#include "nn/serialization.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace tracer {
+namespace nn {
+
+namespace {
+
+constexpr char kMagic[8] = {'T', 'R', 'C', 'K', 'P', 'T', '1', '\0'};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+
+bool WriteU32(std::FILE* f, uint32_t v) {
+  return std::fwrite(&v, sizeof(v), 1, f) == 1;
+}
+
+bool ReadU32(std::FILE* f, uint32_t* v) {
+  return std::fread(v, sizeof(*v), 1, f) == 1;
+}
+
+}  // namespace
+
+Status SaveCheckpoint(
+    const std::string& path,
+    const std::vector<std::pair<std::string, Tensor>>& tensors) {
+  std::unique_ptr<std::FILE, FileCloser> file(std::fopen(path.c_str(), "wb"));
+  if (!file) return Status::IOError("cannot open for write: " + path);
+  std::FILE* f = file.get();
+  if (std::fwrite(kMagic, sizeof(kMagic), 1, f) != 1 ||
+      !WriteU32(f, static_cast<uint32_t>(tensors.size()))) {
+    return Status::IOError("write failed: " + path);
+  }
+  for (const auto& [name, tensor] : tensors) {
+    if (!WriteU32(f, static_cast<uint32_t>(name.size())) ||
+        std::fwrite(name.data(), 1, name.size(), f) != name.size() ||
+        !WriteU32(f, static_cast<uint32_t>(tensor.rank()))) {
+      return Status::IOError("write failed: " + path);
+    }
+    for (int d = 0; d < tensor.rank(); ++d) {
+      if (!WriteU32(f, static_cast<uint32_t>(tensor.dim(d)))) {
+        return Status::IOError("write failed: " + path);
+      }
+    }
+    const size_t n = static_cast<size_t>(tensor.size());
+    if (n > 0 && std::fwrite(tensor.data(), sizeof(float), n, f) != n) {
+      return Status::IOError("write failed: " + path);
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::pair<std::string, Tensor>>> LoadCheckpoint(
+    const std::string& path) {
+  std::unique_ptr<std::FILE, FileCloser> file(std::fopen(path.c_str(), "rb"));
+  if (!file) return Status::IOError("cannot open for read: " + path);
+  std::FILE* f = file.get();
+  char magic[8];
+  if (std::fread(magic, sizeof(magic), 1, f) != 1 ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a TRACER checkpoint: " + path);
+  }
+  uint32_t count = 0;
+  if (!ReadU32(f, &count)) return Status::IOError("truncated: " + path);
+  std::vector<std::pair<std::string, Tensor>> out;
+  out.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t name_len = 0;
+    if (!ReadU32(f, &name_len) || name_len > (1u << 20)) {
+      return Status::IOError("truncated: " + path);
+    }
+    std::string name(name_len, '\0');
+    if (name_len > 0 && std::fread(name.data(), 1, name_len, f) != name_len) {
+      return Status::IOError("truncated: " + path);
+    }
+    uint32_t rank = 0;
+    if (!ReadU32(f, &rank) || rank > 8) {
+      return Status::IOError("truncated: " + path);
+    }
+    std::vector<int> shape(rank);
+    int64_t size = rank == 0 ? 0 : 1;
+    for (uint32_t d = 0; d < rank; ++d) {
+      uint32_t extent = 0;
+      if (!ReadU32(f, &extent)) return Status::IOError("truncated: " + path);
+      shape[d] = static_cast<int>(extent);
+      size *= extent;
+    }
+    Tensor tensor(shape);
+    const size_t n = static_cast<size_t>(size);
+    if (n > 0 && std::fread(tensor.data(), sizeof(float), n, f) != n) {
+      return Status::IOError("truncated: " + path);
+    }
+    out.emplace_back(std::move(name), std::move(tensor));
+  }
+  return out;
+}
+
+}  // namespace nn
+}  // namespace tracer

@@ -1,0 +1,28 @@
+#ifndef TRACER_NN_SERIALIZATION_H_
+#define TRACER_NN_SERIALIZATION_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace tracer {
+namespace nn {
+
+/// Writes named tensors to a small binary container ("TRCKPT1" magic,
+/// little-endian). Used to persist best-epoch checkpoints so interpretation
+/// runs can reload the exact model the metrics were reported for.
+Status SaveCheckpoint(
+    const std::string& path,
+    const std::vector<std::pair<std::string, Tensor>>& tensors);
+
+/// Reads a checkpoint written by SaveCheckpoint.
+Result<std::vector<std::pair<std::string, Tensor>>> LoadCheckpoint(
+    const std::string& path);
+
+}  // namespace nn
+}  // namespace tracer
+
+#endif  // TRACER_NN_SERIALIZATION_H_

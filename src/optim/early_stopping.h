@@ -1,0 +1,68 @@
+#ifndef TRACER_OPTIM_EARLY_STOPPING_H_
+#define TRACER_OPTIM_EARLY_STOPPING_H_
+
+#include <limits>
+
+namespace tracer {
+namespace optim {
+
+/// Patience-based early stopping on a validation metric. The paper trains
+/// for up to 200 epochs with early stopping; this tracker mirrors that:
+/// feed it one metric value per epoch and stop when ShouldStop().
+class EarlyStopping {
+ public:
+  /// `patience`: epochs without improvement before stopping.
+  /// `higher_is_better`: true for AUC, false for loss.
+  /// `min_delta`: minimum change that counts as an improvement.
+  explicit EarlyStopping(int patience, bool higher_is_better = false,
+                         float min_delta = 0.0f)
+      : patience_(patience),
+        higher_is_better_(higher_is_better),
+        min_delta_(min_delta) {
+    Reset();
+  }
+
+  /// Records the epoch's metric. Returns true if it is a new best.
+  bool Update(float metric) {
+    ++epoch_;
+    const bool improved = higher_is_better_ ? metric > best_ + min_delta_
+                                            : metric < best_ - min_delta_;
+    if (improved) {
+      best_ = metric;
+      best_epoch_ = epoch_;
+      stale_ = 0;
+      return true;
+    }
+    ++stale_;
+    return false;
+  }
+
+  bool ShouldStop() const { return stale_ >= patience_; }
+  float best() const { return best_; }
+  /// 1-based epoch index of the best metric (0 if none recorded).
+  int best_epoch() const { return best_epoch_; }
+  int epochs_since_best() const { return stale_; }
+
+  /// Resets to the pristine state.
+  void Reset() {
+    best_ = higher_is_better_ ? -std::numeric_limits<float>::infinity()
+                              : std::numeric_limits<float>::infinity();
+    best_epoch_ = 0;
+    epoch_ = 0;
+    stale_ = 0;
+  }
+
+ private:
+  int patience_;
+  bool higher_is_better_;
+  float min_delta_;
+  float best_;
+  int best_epoch_;
+  int epoch_;
+  int stale_;
+};
+
+}  // namespace optim
+}  // namespace tracer
+
+#endif  // TRACER_OPTIM_EARLY_STOPPING_H_

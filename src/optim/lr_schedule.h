@@ -1,0 +1,83 @@
+#ifndef TRACER_OPTIM_LR_SCHEDULE_H_
+#define TRACER_OPTIM_LR_SCHEDULE_H_
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace tracer {
+namespace optim {
+
+/// Learning-rate schedules. Each maps an epoch index (0-based) to a
+/// multiplier of the base learning rate; trainers apply
+/// optimizer.set_lr(base_lr * schedule(epoch)).
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  /// Multiplier for the given 0-based epoch; must be positive.
+  virtual float Multiplier(int epoch) const = 0;
+};
+
+/// Constant schedule (the paper's setting).
+class ConstantLr : public LrSchedule {
+ public:
+  float Multiplier(int /*epoch*/) const override { return 1.0f; }
+};
+
+/// Step decay: multiplier = gamma^(epoch / step_size).
+class StepDecayLr : public LrSchedule {
+ public:
+  StepDecayLr(int step_size, float gamma)
+      : step_size_(step_size), gamma_(gamma) {
+    TRACER_CHECK_GT(step_size, 0);
+    TRACER_CHECK(gamma > 0.0f && gamma <= 1.0f);
+  }
+  float Multiplier(int epoch) const override {
+    return std::pow(gamma_, static_cast<float>(epoch / step_size_));
+  }
+
+ private:
+  int step_size_;
+  float gamma_;
+};
+
+/// Cosine annealing from 1 down to `min_multiplier` over `total_epochs`.
+class CosineLr : public LrSchedule {
+ public:
+  explicit CosineLr(int total_epochs, float min_multiplier = 0.01f)
+      : total_epochs_(total_epochs), min_multiplier_(min_multiplier) {
+    TRACER_CHECK_GT(total_epochs, 0);
+  }
+  float Multiplier(int epoch) const override {
+    const float progress =
+        std::min(1.0f, static_cast<float>(epoch) / total_epochs_);
+    const float cosine = 0.5f * (1.0f + std::cos(3.14159265358979f *
+                                                 progress));
+    return min_multiplier_ + (1.0f - min_multiplier_) * cosine;
+  }
+
+ private:
+  int total_epochs_;
+  float min_multiplier_;
+};
+
+/// Linear warmup to 1 over `warmup_epochs`, then constant.
+class WarmupLr : public LrSchedule {
+ public:
+  explicit WarmupLr(int warmup_epochs) : warmup_epochs_(warmup_epochs) {
+    TRACER_CHECK_GT(warmup_epochs, 0);
+  }
+  float Multiplier(int epoch) const override {
+    if (epoch >= warmup_epochs_) return 1.0f;
+    return static_cast<float>(epoch + 1) / (warmup_epochs_ + 1);
+  }
+
+ private:
+  int warmup_epochs_;
+};
+
+}  // namespace optim
+}  // namespace tracer
+
+#endif  // TRACER_OPTIM_LR_SCHEDULE_H_

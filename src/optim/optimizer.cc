@@ -1,0 +1,114 @@
+#include "optim/optimizer.h"
+
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+
+namespace tracer {
+namespace optim {
+
+void Optimizer::ZeroGrad() {
+  for (auto& p : params_) p.ZeroGrad();
+}
+
+float Optimizer::ClipGradNorm(float max_norm) {
+  double total_sq = 0.0;
+  for (auto& p : params_) {
+    const Tensor& g = p.grad();
+    const float* pg = g.data();
+    for (int64_t i = 0; i < g.size(); ++i) {
+      total_sq += static_cast<double>(pg[i]) * pg[i];
+    }
+  }
+  const float norm = static_cast<float>(std::sqrt(total_sq));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (auto& p : params_) {
+      Tensor& g = p.grad();
+      float* pg = g.data();
+      for (int64_t i = 0; i < g.size(); ++i) pg[i] *= scale;
+    }
+  }
+  return norm;
+}
+
+Sgd::Sgd(std::vector<autograd::Variable> params, float lr, float momentum,
+         float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  if (momentum_ != 0.0f) {
+    velocity_.reserve(params_.size());
+    for (auto& p : params_) {
+      velocity_.push_back(Tensor::Zeros(p.value().shape()));
+    }
+  }
+}
+
+void Sgd::Step() {
+  for (size_t k = 0; k < params_.size(); ++k) {
+    Tensor& w = params_[k].mutable_value();
+    const Tensor& g = params_[k].grad();
+    float* pw = w.data();
+    const float* pg = g.data();
+    const int64_t n = w.size();
+    if (momentum_ != 0.0f) {
+      float* pv = velocity_[k].data();
+      for (int64_t i = 0; i < n; ++i) {
+        const float grad = pg[i] + weight_decay_ * pw[i];
+        pv[i] = momentum_ * pv[i] + grad;
+        pw[i] -= lr_ * pv[i];
+      }
+    } else {
+      for (int64_t i = 0; i < n; ++i) {
+        const float grad = pg[i] + weight_decay_ * pw[i];
+        pw[i] -= lr_ * grad;
+      }
+    }
+  }
+}
+
+Adam::Adam(std::vector<autograd::Variable> params, float lr, float beta1,
+           float beta2, float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (auto& p : params_) {
+    m_.push_back(Tensor::Zeros(p.value().shape()));
+    v_.push_back(Tensor::Zeros(p.value().shape()));
+  }
+}
+
+void Adam::Step() {
+  ++step_count_;
+  const float bias1 =
+      1.0f - std::pow(beta1_, static_cast<float>(step_count_));
+  const float bias2 =
+      1.0f - std::pow(beta2_, static_cast<float>(step_count_));
+  for (size_t k = 0; k < params_.size(); ++k) {
+    Tensor& w = params_[k].mutable_value();
+    const Tensor& g = params_[k].grad();
+    float* pw = w.data();
+    const float* pg = g.data();
+    float* pm = m_[k].data();
+    float* pv = v_[k].data();
+    const int64_t n = w.size();
+    for (int64_t i = 0; i < n; ++i) {
+      const float grad = pg[i] + weight_decay_ * pw[i];
+      pm[i] = beta1_ * pm[i] + (1.0f - beta1_) * grad;
+      pv[i] = beta2_ * pv[i] + (1.0f - beta2_) * grad * grad;
+      const float m_hat = pm[i] / bias1;
+      const float v_hat = pv[i] / bias2;
+      pw[i] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+    }
+  }
+}
+
+}  // namespace optim
+}  // namespace tracer

@@ -1,0 +1,81 @@
+#ifndef TRACER_OPTIM_OPTIMIZER_H_
+#define TRACER_OPTIM_OPTIMIZER_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace tracer {
+namespace optim {
+
+/// Interface for first-order optimizers over a fixed parameter list.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<autograd::Variable> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update from the gradients currently accumulated in the
+  /// parameters.
+  virtual void Step() = 0;
+
+  /// Clears all parameter gradients. Call between minibatches.
+  void ZeroGrad();
+
+  /// Rescales gradients so their global L2 norm is at most `max_norm`.
+  /// Returns the pre-clip norm.
+  float ClipGradNorm(float max_norm);
+
+  const std::vector<autograd::Variable>& params() const { return params_; }
+
+ protected:
+  std::vector<autograd::Variable> params_;
+};
+
+/// Stochastic gradient descent with optional momentum and L2 weight decay.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<autograd::Variable> params, float lr,
+      float momentum = 0.0f, float weight_decay = 0.0f);
+
+  void Step() override;
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+
+ private:
+  float lr_;
+  float momentum_;
+  float weight_decay_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba) with L2 weight decay folded into the gradient, matching
+/// torch.optim.Adam's `weight_decay` — the configuration the paper trains
+/// with (lr 1e-3, weight_decay 5e-5).
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<autograd::Variable> params, float lr = 1e-3f,
+       float beta1 = 0.9f, float beta2 = 0.999f, float eps = 1e-8f,
+       float weight_decay = 0.0f);
+
+  void Step() override;
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+
+ private:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  float weight_decay_;
+  int64_t step_count_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace optim
+}  // namespace tracer
+
+#endif  // TRACER_OPTIM_OPTIMIZER_H_

@@ -1,0 +1,151 @@
+#include "parallel/data_parallel.h"
+
+#include <chrono>
+
+#include "autograd/ops.h"
+#include "common/macros.h"
+#include "optim/early_stopping.h"
+#include "optim/optimizer.h"
+#include "tensor/tensor_ops.h"
+
+namespace tracer {
+namespace parallel {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+autograd::Variable ShardLoss(nn::SequenceModel* model,
+                             const data::Batch& batch,
+                             data::TaskType task) {
+  autograd::Variable raw =
+      model->Forward(nn::SequenceModel::ToVariables(batch));
+  if (task == data::TaskType::kBinaryClassification) {
+    return autograd::BinaryCrossEntropyWithLogits(raw, batch.labels);
+  }
+  return autograd::MeanSquaredError(raw, batch.labels);
+}
+
+}  // namespace
+
+DataParallelTrainer::DataParallelTrainer(nn::SequenceModel* main_model,
+                                         ModelFactory factory,
+                                         int num_workers)
+    : main_model_(main_model), num_workers_(num_workers) {
+  TRACER_CHECK_GT(num_workers, 0);
+  TRACER_CHECK(main_model != nullptr);
+  replicas_.reserve(num_workers);
+  for (int w = 0; w < num_workers; ++w) {
+    replicas_.push_back(factory());
+    TRACER_CHECK_EQ(replicas_[w]->NumParameters(),
+                    main_model->NumParameters())
+        << "replica architecture mismatch";
+  }
+  pool_ = std::make_unique<ThreadPool>(num_workers);
+}
+
+ParallelTrainResult DataParallelTrainer::Fit(
+    const data::TimeSeriesDataset& train_set,
+    const data::TimeSeriesDataset& val_set,
+    const train::TrainConfig& config) {
+  const auto start = Clock::now();
+  Rng rng(config.seed);
+  data::Batcher batcher(train_set, config.batch_size, rng);
+  optim::Adam optimizer(main_model_->Parameters(), config.learning_rate,
+                        0.9f, 0.999f, 1e-8f, config.weight_decay);
+  optim::EarlyStopping stopper(config.patience > 0 ? config.patience
+                                                   : config.max_epochs + 1,
+                               /*higher_is_better=*/false);
+
+  auto main_params = main_model_->Parameters();
+  std::vector<std::vector<autograd::Variable>> replica_params(num_workers_);
+  for (int w = 0; w < num_workers_; ++w) {
+    replica_params[w] = replicas_[w]->Parameters();
+  }
+
+  ParallelTrainResult result;
+  std::vector<Tensor> best_state = main_model_->StateDict();
+
+  for (int epoch = 0; epoch < config.max_epochs; ++epoch) {
+    double epoch_loss = 0.0;
+    int64_t seen = 0;
+    for (const std::vector<int>& idx : batcher.EpochBatches()) {
+      // --- controlling: broadcast current parameters to the replicas.
+      const auto control_start = Clock::now();
+      const std::vector<Tensor> state = main_model_->StateDict();
+      for (int w = 0; w < num_workers_; ++w) {
+        replicas_[w]->LoadStateDict(state);
+      }
+      result.controlling_seconds += SecondsSince(control_start);
+
+      // --- shard the global minibatch across workers.
+      std::vector<std::vector<int>> shards(num_workers_);
+      for (size_t i = 0; i < idx.size(); ++i) {
+        shards[i % num_workers_].push_back(idx[i]);
+      }
+      std::vector<double> shard_loss(num_workers_, 0.0);
+      for (int w = 0; w < num_workers_; ++w) {
+        if (shards[w].empty()) continue;
+        pool_->Submit([&, w] {
+          const data::Batch batch = data::MakeBatch(train_set, shards[w]);
+          for (auto& p : replica_params[w]) p.ZeroGrad();
+          autograd::Variable loss =
+              ShardLoss(replicas_[w].get(), batch, train_set.task());
+          loss.Backward();
+          shard_loss[w] = loss.value()[0];
+        });
+      }
+      pool_->WaitAll();
+
+      // --- controlling: aggregate worker gradients (weighted by shard
+      // size so the result equals a single large-batch gradient).
+      const auto agg_start = Clock::now();
+      optimizer.ZeroGrad();
+      for (int w = 0; w < num_workers_; ++w) {
+        if (shards[w].empty()) continue;
+        const float weight = static_cast<float>(shards[w].size()) /
+                             static_cast<float>(idx.size());
+        for (size_t k = 0; k < main_params.size(); ++k) {
+          Axpy(weight, replica_params[w][k].grad(), &main_params[k].grad());
+        }
+        epoch_loss += shard_loss[w] * shards[w].size();
+      }
+      if (config.clip_norm > 0.0f) optimizer.ClipGradNorm(config.clip_norm);
+      optimizer.Step();
+      result.controlling_seconds += SecondsSince(agg_start);
+      seen += static_cast<int64_t>(idx.size());
+    }
+    epoch_loss /= static_cast<double>(seen);
+    const double val_loss = train::DatasetLoss(main_model_, val_set, 256);
+    result.train_loss.push_back(epoch_loss);
+    result.val_loss.push_back(val_loss);
+    result.epochs_run = epoch + 1;
+
+    // --- controlling: best-checkpoint selection and saving.
+    const auto ckpt_start = Clock::now();
+    if (stopper.Update(static_cast<float>(val_loss))) {
+      result.best_epoch = epoch + 1;
+      best_state = main_model_->StateDict();
+    }
+    result.controlling_seconds += SecondsSince(ckpt_start);
+    if (stopper.ShouldStop()) break;
+  }
+  main_model_->LoadStateDict(best_state);
+  result.seconds = SecondsSince(start);
+  return result;
+}
+
+double ModeledConvergenceSeconds(double compute_seconds,
+                                 double controlling_seconds, int workers,
+                                 int epochs) {
+  TRACER_CHECK_GT(workers, 0);
+  return static_cast<double>(epochs) *
+         (compute_seconds / workers + controlling_seconds);
+}
+
+}  // namespace parallel
+}  // namespace tracer

@@ -1,0 +1,68 @@
+#ifndef TRACER_PARALLEL_DATA_PARALLEL_H_
+#define TRACER_PARALLEL_DATA_PARALLEL_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nn/sequence_model.h"
+#include "parallel/thread_pool.h"
+#include "train/trainer.h"
+
+namespace tracer {
+namespace parallel {
+
+/// Builds a fresh, identically-architected model replica. Each worker owns
+/// one replica; parameters are broadcast from the main model every step.
+using ModelFactory = std::function<std::unique_ptr<nn::SequenceModel>()>;
+
+/// Result of a data-parallel fit (the quantity Figure 14 plots is
+/// `seconds`, the wall-clock convergence time).
+struct ParallelTrainResult {
+  std::vector<double> train_loss;
+  std::vector<double> val_loss;
+  int best_epoch = 0;
+  int epochs_run = 0;
+  double seconds = 0.0;
+  /// Time spent in the "controlling" phase the paper's footnote 4
+  /// describes: gradient aggregation across workers, parameter broadcast
+  /// and best-checkpoint selection.
+  double controlling_seconds = 0.0;
+};
+
+/// Synchronous data-parallel trainer: the multi-GPU training loop of §5.2.3
+/// mapped onto CPU threads. Every step the global minibatch is sharded
+/// across `num_workers` replicas, per-shard gradients are computed
+/// concurrently, averaged into the main model (the "controlling" cost), and
+/// updated parameters are broadcast back.
+class DataParallelTrainer {
+ public:
+  DataParallelTrainer(nn::SequenceModel* main_model, ModelFactory factory,
+                      int num_workers);
+
+  ParallelTrainResult Fit(const data::TimeSeriesDataset& train_set,
+                          const data::TimeSeriesDataset& val_set,
+                          const train::TrainConfig& config);
+
+  int num_workers() const { return num_workers_; }
+
+ private:
+  nn::SequenceModel* main_model_;
+  int num_workers_;
+  std::vector<std::unique_ptr<nn::SequenceModel>> replicas_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+/// Analytic convergence-time model matching the shape of Figure 14: with
+/// `workers` devices, per-epoch time = compute_seconds / workers +
+/// controlling_seconds (aggregation + checkpointing, which does not shrink
+/// with more devices). Small datasets (NUH-AKI) saturate early because the
+/// controlling term dominates; larger ones (MIMIC-III) keep scaling.
+double ModeledConvergenceSeconds(double compute_seconds,
+                                 double controlling_seconds, int workers,
+                                 int epochs);
+
+}  // namespace parallel
+}  // namespace tracer
+
+#endif  // TRACER_PARALLEL_DATA_PARALLEL_H_

@@ -1,0 +1,48 @@
+#ifndef TRACER_PARALLEL_THREAD_POOL_H_
+#define TRACER_PARALLEL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace tracer {
+namespace parallel {
+
+/// Fixed-size worker pool. Submit() enqueues a task; WaitAll() blocks until
+/// every submitted task has finished. Used by the data-parallel trainer to
+/// compute per-worker gradients concurrently.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all previously submitted tasks have completed.
+  void WaitAll();
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  int in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace parallel
+}  // namespace tracer
+
+#endif  // TRACER_PARALLEL_THREAD_POOL_H_

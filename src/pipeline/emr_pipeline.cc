@@ -1,0 +1,98 @@
+#include "pipeline/emr_pipeline.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/macros.h"
+#include "core/report.h"
+
+namespace tracer {
+namespace pipeline {
+
+EmrPipelineResult RunEmrPipeline(const data::TimeSeriesDataset& raw_cohort,
+                                 const data::MissingnessMask* mask,
+                                 const EmrPipelineConfig& config,
+                                 std::unique_ptr<core::Tracer>* tracer_out) {
+  TRACER_CHECK(tracer_out != nullptr);
+  TRACER_CHECK_GT(raw_cohort.num_samples(), 0);
+
+  // --- Integration / Cleaning: repair missing entries before any
+  // statistics are computed.
+  data::TimeSeriesDataset cohort = raw_cohort;
+  if (mask != nullptr) {
+    data::Impute(&cohort, *mask, config.imputation);
+  }
+
+  // --- Split and normalize (min–max fit on the training split only).
+  Rng split_rng(config.split_seed);
+  data::DatasetSplits splits = data::SplitDataset(
+      cohort, split_rng, config.train_fraction, config.val_fraction);
+  data::MinMaxNormalizer normalizer;
+  normalizer.Fit(splits.train);
+  normalizer.Apply(&splits.train);
+  normalizer.Apply(&splits.val);
+  normalizer.Apply(&splits.test);
+
+  // --- Analytic Modeling: train TITV, keep the best checkpoint.
+  core::TracerConfig tracer_config = config.tracer;
+  if (tracer_config.model.input_dim == 0) {
+    tracer_config.model.input_dim = cohort.num_features();
+  }
+  TRACER_CHECK_EQ(tracer_config.model.input_dim, cohort.num_features());
+  auto tracer_framework = std::make_unique<core::Tracer>(tracer_config);
+
+  EmrPipelineResult result;
+  result.training = tracer_framework->Train(splits.train, splits.val);
+  result.test_metrics = tracer_framework->Evaluate(splits.test);
+
+  const bool classification =
+      cohort.task() == data::TaskType::kBinaryClassification;
+
+  // --- Alerting over the held-out patients.
+  if (classification) {
+    for (int i = 0; i < splits.test.num_samples(); ++i) {
+      const core::AlertDecision decision =
+          tracer_framework->PredictAndAlert(splits.test, i);
+      if (decision.alert) {
+        ++result.test_alerts;
+        if (splits.test.label(i) > 0.5f) ++result.test_alerts_correct;
+      }
+    }
+  }
+
+  // --- Interpretation / Visualization: patient-level reports for the
+  // highest-risk true positives and cohort-level feature reports.
+  if (config.patient_reports > 0 && classification) {
+    const std::vector<float> probs =
+        tracer_framework->model().Predict(splits.test);
+    std::vector<int> positives;
+    for (int i = 0; i < splits.test.num_samples(); ++i) {
+      if (splits.test.label(i) > 0.5f) positives.push_back(i);
+    }
+    std::sort(positives.begin(), positives.end(),
+              [&](int a, int b) { return probs[a] > probs[b]; });
+    const int count = std::min<int>(config.patient_reports,
+                                    static_cast<int>(positives.size()));
+    for (int k = 0; k < count; ++k) {
+      const int sample = positives[k];
+      const core::PatientInterpretation interp =
+          tracer_framework->InterpretPatient(splits.test, sample);
+      const core::AlertDecision decision =
+          tracer_framework->PredictAndAlert(splits.test, sample);
+      result.patient_reports.push_back(
+          core::RenderPatientReport(interp, decision, splits.test));
+    }
+  }
+  for (const std::string& feature : config.report_features) {
+    if (splits.test.FeatureIndex(feature) < 0) continue;
+    const core::FeatureInterpretation interp =
+        tracer_framework->InterpretFeature(splits.test, feature);
+    result.feature_reports.push_back(core::RenderFeatureReport(interp));
+  }
+
+  *tracer_out = std::move(tracer_framework);
+  return result;
+}
+
+}  // namespace pipeline
+}  // namespace tracer

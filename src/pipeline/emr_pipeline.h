@@ -1,0 +1,60 @@
+#ifndef TRACER_PIPELINE_EMR_PIPELINE_H_
+#define TRACER_PIPELINE_EMR_PIPELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/tracer.h"
+#include "data/imputation.h"
+
+namespace tracer {
+namespace pipeline {
+
+/// Configuration of the end-to-end EMR analytics pipeline of Figure 2
+/// (the GEMINI integration the paper describes): Data Acquisition →
+/// Integration/Cleaning → Analytic Modeling → Interpretation.
+struct EmrPipelineConfig {
+  /// Cleaning stage: imputation strategy applied when the input carries a
+  /// missingness mask.
+  data::ImputationStrategy imputation =
+      data::ImputationStrategy::kForwardFill;
+  /// Split fractions (§5.1.2).
+  double train_fraction = 0.8;
+  double val_fraction = 0.1;
+  uint64_t split_seed = 1;
+  /// Modeling stage.
+  core::TracerConfig tracer;
+  /// Interpretation stage: features whose cohort-level reports are
+  /// generated (empty = skip).
+  std::vector<std::string> report_features;
+  /// How many high-risk patients get patient-level reports.
+  int patient_reports = 2;
+};
+
+/// Everything the pipeline produced.
+struct EmrPipelineResult {
+  train::TrainResult training;
+  train::EvalResult test_metrics;
+  /// Markdown reports for the highest-risk true-positive test patients.
+  std::vector<std::string> patient_reports;
+  /// Markdown cohort-level reports for the requested features.
+  std::vector<std::string> feature_reports;
+  /// Test-set alert statistics at the configured threshold.
+  int test_alerts = 0;
+  int test_alerts_correct = 0;
+};
+
+/// Runs the full Figure 2 pipeline over a raw cohort: optional cleaning
+/// (imputation against `mask`, pass nullptr when the data is complete),
+/// leakage-free normalization, TRACER training with best-checkpoint
+/// restore, held-out evaluation, alerting, and interpretation reports.
+/// The trained model stays inside `tracer_out` for further use.
+EmrPipelineResult RunEmrPipeline(const data::TimeSeriesDataset& raw_cohort,
+                                 const data::MissingnessMask* mask,
+                                 const EmrPipelineConfig& config,
+                                 std::unique_ptr<core::Tracer>* tracer_out);
+
+}  // namespace pipeline
+}  // namespace tracer
+
+#endif  // TRACER_PIPELINE_EMR_PIPELINE_H_

@@ -1,0 +1,93 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace tracer {
+
+namespace {
+
+int64_t ShapeSize(const std::vector<int>& shape) {
+  int64_t n = 1;
+  for (int d : shape) {
+    TRACER_CHECK_GE(d, 0);
+    n *= d;
+  }
+  return shape.empty() ? 0 : n;
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<int> shape) : shape_(std::move(shape)) {
+  data_.assign(static_cast<size_t>(ShapeSize(shape_)), 0.0f);
+}
+
+Tensor::Tensor(std::vector<int> shape, std::vector<float> values)
+    : shape_(std::move(shape)), data_(std::move(values)) {
+  TRACER_CHECK_EQ(ShapeSize(shape_), static_cast<int64_t>(data_.size()))
+      << "value count does not match shape";
+}
+
+Tensor Tensor::Zeros(std::vector<int> shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::Ones(std::vector<int> shape) {
+  return Full(std::move(shape), 1.0f);
+}
+
+Tensor Tensor::Full(std::vector<int> shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::Randn(std::vector<int> shape, Rng& rng, float stddev) {
+  Tensor t(std::move(shape));
+  for (int64_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng.Normal(0.0, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::RandUniform(std::vector<int> shape, Rng& rng, float lo,
+                           float hi) {
+  Tensor t(std::move(shape));
+  for (int64_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng.Uniform(lo, hi));
+  }
+  return t;
+}
+
+Tensor Tensor::XavierUniform(int fan_in, int fan_out, Rng& rng) {
+  const float bound = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return RandUniform({fan_in, fan_out}, rng, -bound, bound);
+}
+
+void Tensor::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Tensor Tensor::Reshape(std::vector<int> new_shape) const {
+  TRACER_CHECK_EQ(ShapeSize(new_shape), size()) << "reshape size mismatch";
+  return Tensor(std::move(new_shape), data_);
+}
+
+std::string Tensor::ToString() const {
+  std::ostringstream os;
+  os << "Tensor(shape=[";
+  for (int i = 0; i < rank(); ++i) {
+    if (i > 0) os << ", ";
+    os << shape_[i];
+  }
+  os << "], data=[";
+  const int64_t n = std::min<int64_t>(size(), 16);
+  for (int64_t i = 0; i < n; ++i) {
+    if (i > 0) os << ", ";
+    os << data_[static_cast<size_t>(i)];
+  }
+  if (size() > n) os << ", ...";
+  os << "])";
+  return os.str();
+}
+
+}  // namespace tracer

@@ -1,0 +1,134 @@
+#include "train/trainer.h"
+
+#include <chrono>
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "common/logging.h"
+#include "metrics/metrics.h"
+#include "optim/early_stopping.h"
+#include "optim/optimizer.h"
+
+namespace tracer {
+namespace train {
+
+namespace {
+
+autograd::Variable BatchLoss(nn::SequenceModel* model,
+                             const data::Batch& batch, data::TaskType task) {
+  autograd::Variable raw =
+      model->Forward(nn::SequenceModel::ToVariables(batch));
+  if (task == data::TaskType::kBinaryClassification) {
+    return autograd::BinaryCrossEntropyWithLogits(raw, batch.labels);
+  }
+  // Regression: apply the model's output calibration (set by Fit from the
+  // training-label statistics) so the loss is taken in the target's scale.
+  autograd::Variable pred = autograd::AddScalar(
+      autograd::Scale(raw, model->output_scale()), model->output_offset());
+  return autograd::MeanSquaredError(pred, batch.labels);
+}
+
+}  // namespace
+
+double DatasetLoss(nn::SequenceModel* model,
+                   const data::TimeSeriesDataset& dataset, int batch_size) {
+  TRACER_CHECK_GT(dataset.num_samples(), 0);
+  double total = 0.0;
+  int64_t counted = 0;
+  for (int begin = 0; begin < dataset.num_samples(); begin += batch_size) {
+    const int end = std::min(dataset.num_samples(), begin + batch_size);
+    std::vector<int> idx(end - begin);
+    for (int i = begin; i < end; ++i) idx[i - begin] = i;
+    const data::Batch batch = data::MakeBatch(dataset, idx);
+    const autograd::Variable loss = BatchLoss(model, batch, dataset.task());
+    total += static_cast<double>(loss.value()[0]) * (end - begin);
+    counted += end - begin;
+  }
+  return total / static_cast<double>(counted);
+}
+
+TrainResult Fit(nn::SequenceModel* model,
+                const data::TimeSeriesDataset& train_set,
+                const data::TimeSeriesDataset& val_set,
+                const TrainConfig& config) {
+  TRACER_CHECK_GT(train_set.num_samples(), 0);
+  TRACER_CHECK_GT(val_set.num_samples(), 0);
+  const auto start = std::chrono::steady_clock::now();
+
+  if (train_set.task() == data::TaskType::kRegression) {
+    // Standardise regression targets through the model's output transform:
+    // the network then learns a zero-mean unit-variance quantity.
+    double mean = 0.0;
+    for (float y : train_set.labels()) mean += y;
+    mean /= train_set.num_samples();
+    double var = 0.0;
+    for (float y : train_set.labels()) var += (y - mean) * (y - mean);
+    var /= train_set.num_samples();
+    const float stddev = var > 1e-12 ? std::sqrt(var) : 1.0f;
+    model->SetOutputTransform(static_cast<float>(stddev),
+                              static_cast<float>(mean));
+  }
+
+  Rng rng(config.seed);
+  data::Batcher batcher(train_set, config.batch_size, rng);
+  optim::Adam optimizer(model->Parameters(), config.learning_rate, 0.9f,
+                        0.999f, 1e-8f, config.weight_decay);
+  optim::EarlyStopping stopper(config.patience > 0 ? config.patience
+                                                   : config.max_epochs + 1,
+                               /*higher_is_better=*/false);
+
+  TrainResult result;
+  result.best_state = model->StateDict();
+  for (int epoch = 0; epoch < config.max_epochs; ++epoch) {
+    double epoch_loss = 0.0;
+    int64_t seen = 0;
+    for (const std::vector<int>& idx : batcher.EpochBatches()) {
+      const data::Batch batch = data::MakeBatch(train_set, idx);
+      optimizer.ZeroGrad();
+      autograd::Variable loss = BatchLoss(model, batch, train_set.task());
+      loss.Backward();
+      if (config.clip_norm > 0.0f) optimizer.ClipGradNorm(config.clip_norm);
+      optimizer.Step();
+      epoch_loss += static_cast<double>(loss.value()[0]) * idx.size();
+      seen += static_cast<int64_t>(idx.size());
+    }
+    epoch_loss /= static_cast<double>(seen);
+    const double val_loss = DatasetLoss(model, val_set, 256);
+    result.train_loss.push_back(epoch_loss);
+    result.val_loss.push_back(val_loss);
+    result.epochs_run = epoch + 1;
+    if (config.verbose) {
+      TRACER_LOG(Info) << model->name() << " epoch " << epoch + 1
+                       << " train_loss=" << epoch_loss
+                       << " val_loss=" << val_loss;
+    }
+    if (stopper.Update(static_cast<float>(val_loss))) {
+      result.best_epoch = epoch + 1;
+      result.best_state = model->StateDict();
+    }
+    if (stopper.ShouldStop()) break;
+  }
+  model->LoadStateDict(result.best_state);
+  const auto end = std::chrono::steady_clock::now();
+  result.seconds =
+      std::chrono::duration<double>(end - start).count();
+  return result;
+}
+
+EvalResult Evaluate(nn::SequenceModel* model,
+                    const data::TimeSeriesDataset& dataset, int batch_size) {
+  EvalResult out;
+  const std::vector<float> predictions =
+      model->Predict(dataset, batch_size);
+  if (dataset.task() == data::TaskType::kBinaryClassification) {
+    out.auc = metrics::Auc(predictions, dataset.labels());
+    out.cel = metrics::CrossEntropyLoss(predictions, dataset.labels());
+  } else {
+    out.rmse = metrics::Rmse(predictions, dataset.labels());
+    out.mae = metrics::Mae(predictions, dataset.labels());
+  }
+  return out;
+}
+
+}  // namespace train
+}  // namespace tracer

@@ -1,0 +1,73 @@
+#ifndef TRACER_TRAIN_TRAINER_H_
+#define TRACER_TRAIN_TRAINER_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/sequence_model.h"
+
+namespace tracer {
+namespace train {
+
+/// Training hyperparameters. Defaults follow §5.1.2: Adam with learning
+/// rate 1e-3 and weight decay 5e-5, early stopping on the validation
+/// metric. Epoch counts are scaled down from the paper's 200 because the
+/// synthetic cohorts are smaller; set `max_epochs` up for paper-scale runs.
+struct TrainConfig {
+  int max_epochs = 40;
+  int batch_size = 64;
+  float learning_rate = 1e-3f;
+  float weight_decay = 5e-5f;
+  /// Early-stopping patience in epochs (0 disables early stopping).
+  int patience = 8;
+  /// Global gradient-norm clip (0 disables clipping).
+  float clip_norm = 5.0f;
+  bool verbose = false;
+  /// Seed for minibatch shuffling.
+  uint64_t seed = 1;
+};
+
+/// Outcome of a fit: per-epoch curves, the best epoch and its checkpoint.
+/// Fit() restores the model to `best_state` before returning, matching the
+/// paper's use of the best-performing checkpoint for evaluation and
+/// interpretation.
+struct TrainResult {
+  std::vector<double> train_loss;
+  /// Validation loss (CEL for classification, MSE for regression).
+  std::vector<double> val_loss;
+  int best_epoch = 0;
+  int epochs_run = 0;
+  double seconds = 0.0;
+  std::vector<Tensor> best_state;
+};
+
+/// Evaluation summary on a dataset.
+struct EvalResult {
+  // Classification metrics (AUC/CEL, the paper's headline pair).
+  double auc = 0.0;
+  double cel = 0.0;
+  // Regression metrics.
+  double rmse = 0.0;
+  double mae = 0.0;
+};
+
+/// Trains `model` on `train_set`, early-stopping on `val_set`.
+TrainResult Fit(nn::SequenceModel* model,
+                const data::TimeSeriesDataset& train_set,
+                const data::TimeSeriesDataset& val_set,
+                const TrainConfig& config);
+
+/// Scores the model on a dataset (AUC+CEL or RMSE+MAE by task).
+EvalResult Evaluate(nn::SequenceModel* model,
+                    const data::TimeSeriesDataset& dataset,
+                    int batch_size = 256);
+
+/// Mean loss of the model on a dataset without updating parameters.
+double DatasetLoss(nn::SequenceModel* model,
+                   const data::TimeSeriesDataset& dataset,
+                   int batch_size = 256);
+
+}  // namespace train
+}  // namespace tracer
+
+#endif  // TRACER_TRAIN_TRAINER_H_

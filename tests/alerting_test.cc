@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "core/alerting.h"
+
+namespace tracer {
+namespace core {
+namespace {
+
+// A well-separated validation set: positives cluster at high scores.
+const std::vector<float> kProbs = {0.95f, 0.9f, 0.8f, 0.7f, 0.6f,
+                                   0.4f,  0.3f, 0.2f, 0.1f, 0.05f};
+const std::vector<float> kLabels = {1, 1, 1, 0, 1, 0, 0, 0, 0, 0};
+
+TEST(EvaluateThresholdTest, CountsAtMidThreshold) {
+  const OperatingPoint point = EvaluateThreshold(kProbs, kLabels, 0.5f);
+  // Alerts: 0.95,0.9,0.8,0.7,0.6 → 5 alerts, 4 true positives.
+  EXPECT_DOUBLE_EQ(point.alert_rate, 0.5);
+  EXPECT_DOUBLE_EQ(point.precision, 4.0 / 5.0);
+  EXPECT_DOUBLE_EQ(point.recall, 1.0);
+}
+
+TEST(ThresholdForPrecisionTest, MeetsTargetWithMaxRecall) {
+  const OperatingPoint point =
+      ThresholdForPrecision(kProbs, kLabels, 0.99);
+  // Perfect precision requires excluding the 0.7-scored negative: the
+  // feasible set with precision 1.0 peaks at recall 3/4 (alert on ≥0.8).
+  EXPECT_GE(point.precision, 0.99);
+  EXPECT_DOUBLE_EQ(point.recall, 0.75);
+  EXPECT_GT(point.threshold, 0.7f);
+  EXPECT_LE(point.threshold, 0.8f);
+}
+
+TEST(ThresholdForPrecisionTest, InfeasibleTargetFallsBackToBest) {
+  // All-same scores: precision is fixed at the base rate; target 0.99 is
+  // infeasible and the best achievable point is returned.
+  const std::vector<float> probs(4, 0.5f);
+  const std::vector<float> labels = {1, 0, 0, 0};
+  const OperatingPoint point = ThresholdForPrecision(probs, labels, 0.99);
+  EXPECT_LE(point.precision, 0.26);
+}
+
+TEST(ThresholdForRecallTest, CatchesAllPositivesWithFewestAlerts) {
+  const OperatingPoint point = ThresholdForRecall(kProbs, kLabels, 1.0);
+  EXPECT_DOUBLE_EQ(point.recall, 1.0);
+  // Minimum alerts with full recall = alert on ≥0.6 → 5 alerts.
+  EXPECT_DOUBLE_EQ(point.alert_rate, 0.5);
+}
+
+TEST(ThresholdForRecallTest, PartialRecallUsesFewerAlerts) {
+  const OperatingPoint point = ThresholdForRecall(kProbs, kLabels, 0.75);
+  EXPECT_GE(point.recall, 0.75);
+  EXPECT_LE(point.alert_rate, 0.3 + 1e-9);
+}
+
+TEST(ThresholdForAlertBudgetTest, RespectsBudget) {
+  const OperatingPoint point =
+      ThresholdForAlertBudget(kProbs, kLabels, 0.2);
+  EXPECT_LE(point.alert_rate, 0.2 + 1e-9);
+  // Best use of 2 alerts: the two top-scored positives.
+  EXPECT_DOUBLE_EQ(point.recall, 0.5);
+  EXPECT_DOUBLE_EQ(point.precision, 1.0);
+}
+
+TEST(ThresholdForAlertBudgetTest, ZeroBudgetAlertsNobody) {
+  const OperatingPoint point =
+      ThresholdForAlertBudget(kProbs, kLabels, 0.0);
+  EXPECT_DOUBLE_EQ(point.alert_rate, 0.0);
+  EXPECT_DOUBLE_EQ(point.recall, 0.0);
+}
+
+TEST(BestF1Test, FindsSeparatingThreshold) {
+  const OperatingPoint point = BestF1Threshold(kProbs, kLabels);
+  // Alerting on ≥0.6 gives precision 0.8, recall 1.0 → F1 8/9 ≈ 0.889,
+  // the maximum on this set.
+  EXPECT_NEAR(point.f1, 8.0 / 9.0, 1e-9);
+}
+
+TEST(OperatingPointTest, PerfectlySeparableReachesF1One) {
+  const std::vector<float> probs = {0.9f, 0.8f, 0.2f, 0.1f};
+  const std::vector<float> labels = {1, 1, 0, 0};
+  const OperatingPoint point = BestF1Threshold(probs, labels);
+  EXPECT_DOUBLE_EQ(point.f1, 1.0);
+  EXPECT_GT(point.threshold, 0.2f);
+  EXPECT_LT(point.threshold, 0.8f);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace tracer

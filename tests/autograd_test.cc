@@ -1,0 +1,213 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "autograd/grad_check.h"
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+#include "common/rng.h"
+#include "tensor/tensor_ops.h"
+
+namespace tracer {
+namespace autograd {
+namespace {
+
+constexpr float kTol = 2e-2f;  // float32 central differences
+
+Tensor SmallRandom(std::vector<int> shape, uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::Randn(std::move(shape), rng, 0.5f);
+}
+
+TEST(VariableTest, ParameterAndConstantFlags) {
+  Variable p = Variable::Parameter(Tensor::Ones({2, 2}));
+  Variable c = Variable::Constant(Tensor::Ones({2, 2}));
+  EXPECT_TRUE(p.requires_grad());
+  EXPECT_FALSE(c.requires_grad());
+}
+
+TEST(VariableTest, BackwardAccumulatesAcrossCalls) {
+  Variable p = Variable::Parameter(Tensor::Full({1, 1}, 3.0f));
+  Variable out1 = Scale(p, 2.0f);
+  out1.Backward();
+  EXPECT_FLOAT_EQ(p.grad()[0], 2.0f);
+  Variable out2 = Scale(p, 2.0f);
+  out2.Backward();
+  EXPECT_FLOAT_EQ(p.grad()[0], 4.0f);  // accumulated
+  p.ZeroGrad();
+  EXPECT_FLOAT_EQ(p.grad()[0], 0.0f);
+}
+
+TEST(VariableTest, DiamondGraphGradientIsSummed) {
+  // y = x*x + x*x should have dy/dx = 4x.
+  Variable x = Variable::Parameter(Tensor::Full({1, 1}, 1.5f));
+  Variable sq = Mul(x, x);
+  Variable y = Add(sq, sq);
+  y.Backward();
+  EXPECT_NEAR(x.grad()[0], 4.0f * 1.5f, 1e-5f);
+}
+
+TEST(VariableTest, NoGradFlowsToConstants) {
+  Variable x = Variable::Parameter(Tensor::Full({1, 1}, 2.0f));
+  Variable c = Variable::Constant(Tensor::Full({1, 1}, 5.0f));
+  Variable y = Mul(x, c);
+  y.Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 5.0f);
+}
+
+// ---- Gradient checks per op ----
+
+TEST(GradCheckTest, MatMulLeft) {
+  Variable a = Variable::Parameter(SmallRandom({3, 4}, 1));
+  Variable b = Variable::Constant(SmallRandom({4, 2}, 2));
+  const float err =
+      MaxGradError([&] { return MeanAll(MatMul(a, b)); }, a);
+  EXPECT_LT(err, kTol);
+}
+
+TEST(GradCheckTest, MatMulRight) {
+  Variable a = Variable::Constant(SmallRandom({3, 4}, 3));
+  Variable b = Variable::Parameter(SmallRandom({4, 2}, 4));
+  const float err =
+      MaxGradError([&] { return MeanAll(MatMul(a, b)); }, b);
+  EXPECT_LT(err, kTol);
+}
+
+TEST(GradCheckTest, AddSubMul) {
+  Variable a = Variable::Parameter(SmallRandom({3, 3}, 5));
+  Variable b = Variable::Constant(SmallRandom({3, 3}, 6));
+  EXPECT_LT(MaxGradError([&] { return MeanAll(Add(a, b)); }, a), kTol);
+  EXPECT_LT(MaxGradError([&] { return MeanAll(Sub(a, b)); }, a), kTol);
+  EXPECT_LT(MaxGradError([&] { return MeanAll(Mul(a, b)); }, a), kTol);
+}
+
+TEST(GradCheckTest, AddRowsBothInputs) {
+  Variable a = Variable::Parameter(SmallRandom({4, 3}, 7));
+  Variable row = Variable::Parameter(SmallRandom({1, 3}, 8));
+  EXPECT_LT(MaxGradError([&] { return MeanAll(AddRows(a, row)); }, a), kTol);
+  EXPECT_LT(MaxGradError([&] { return MeanAll(AddRows(a, row)); }, row),
+            kTol);
+}
+
+TEST(GradCheckTest, MulColBroadcastBothInputs) {
+  Variable mat = Variable::Parameter(SmallRandom({4, 3}, 9));
+  Variable col = Variable::Parameter(SmallRandom({4, 1}, 10));
+  EXPECT_LT(
+      MaxGradError([&] { return MeanAll(MulColBroadcast(mat, col)); }, mat),
+      kTol);
+  EXPECT_LT(
+      MaxGradError([&] { return MeanAll(MulColBroadcast(mat, col)); }, col),
+      kTol);
+}
+
+TEST(GradCheckTest, Nonlinearities) {
+  Variable a = Variable::Parameter(SmallRandom({3, 4}, 11));
+  EXPECT_LT(MaxGradError([&] { return MeanAll(Sigmoid(a)); }, a), kTol);
+  EXPECT_LT(MaxGradError([&] { return MeanAll(Tanh(a)); }, a), kTol);
+  EXPECT_LT(MaxGradError([&] { return MeanAll(Scale(a, -2.5f)); }, a), kTol);
+  EXPECT_LT(MaxGradError([&] { return MeanAll(AddScalar(a, 1.0f)); }, a),
+            kTol);
+  EXPECT_LT(MaxGradError([&] { return MeanAll(OneMinus(a)); }, a), kTol);
+}
+
+TEST(GradCheckTest, ReluAwayFromKink) {
+  // Keep values away from 0 so finite differences are valid.
+  Tensor init({2, 3}, {0.5f, -0.7f, 1.2f, -1.1f, 0.9f, -0.3f});
+  Variable a = Variable::Parameter(init);
+  EXPECT_LT(MaxGradError([&] { return MeanAll(Relu(a)); }, a, 1e-3f), kTol);
+}
+
+TEST(GradCheckTest, ConcatAndSlice) {
+  Variable a = Variable::Parameter(SmallRandom({3, 2}, 12));
+  Variable b = Variable::Parameter(SmallRandom({3, 4}, 13));
+  EXPECT_LT(MaxGradError([&] { return MeanAll(ConcatCols(a, b)); }, a),
+            kTol);
+  EXPECT_LT(MaxGradError([&] { return MeanAll(ConcatCols(a, b)); }, b),
+            kTol);
+  EXPECT_LT(
+      MaxGradError([&] { return MeanAll(SliceCols(b, 1, 3)); }, b), kTol);
+}
+
+TEST(GradCheckTest, SoftmaxRows) {
+  Variable a = Variable::Parameter(SmallRandom({3, 5}, 14));
+  Variable weights = Variable::Constant(SmallRandom({3, 5}, 15));
+  const float err = MaxGradError(
+      [&] { return MeanAll(Mul(SoftmaxRows(a), weights)); }, a);
+  EXPECT_LT(err, kTol);
+}
+
+TEST(GradCheckTest, RowSums) {
+  Variable a = Variable::Parameter(SmallRandom({4, 3}, 16));
+  Variable weights = Variable::Constant(SmallRandom({4, 1}, 17));
+  const float err =
+      MaxGradError([&] { return MeanAll(Mul(RowSums(a), weights)); }, a);
+  EXPECT_LT(err, kTol);
+}
+
+TEST(GradCheckTest, SumAllAndAverage) {
+  Variable a = Variable::Parameter(SmallRandom({2, 3}, 18));
+  Variable b = Variable::Parameter(SmallRandom({2, 3}, 19));
+  EXPECT_LT(MaxGradError([&] { return SumAll(a); }, a), kTol);
+  EXPECT_LT(MaxGradError(
+                [&] {
+                  return MeanAll(Average({a, b, a}));
+                },
+                a),
+            kTol);
+}
+
+TEST(GradCheckTest, BceWithLogits) {
+  Variable logits = Variable::Parameter(SmallRandom({6, 1}, 20));
+  Tensor targets({6, 1}, {1.0f, 0.0f, 1.0f, 1.0f, 0.0f, 0.0f});
+  const float err = MaxGradError(
+      [&] { return BinaryCrossEntropyWithLogits(logits, targets); },
+      logits);
+  EXPECT_LT(err, kTol);
+}
+
+TEST(GradCheckTest, MseLoss) {
+  Variable pred = Variable::Parameter(SmallRandom({5, 1}, 21));
+  Tensor targets = SmallRandom({5, 1}, 22);
+  const float err = MaxGradError(
+      [&] { return MeanSquaredError(pred, targets); }, pred);
+  EXPECT_LT(err, kTol);
+}
+
+TEST(OpsValueTest, BceMatchesManualFormula) {
+  Tensor logit_values({2, 1}, {0.8f, -1.3f});
+  Tensor targets({2, 1}, {1.0f, 0.0f});
+  Variable logits = Variable::Parameter(logit_values);
+  Variable loss = BinaryCrossEntropyWithLogits(logits, targets);
+  auto manual = [](double z, double y) {
+    const double p = 1.0 / (1.0 + std::exp(-z));
+    return -y * std::log(p) - (1.0 - y) * std::log(1.0 - p);
+  };
+  const double expected = 0.5 * (manual(0.8, 1.0) + manual(-1.3, 0.0));
+  EXPECT_NEAR(loss.value()[0], expected, 1e-5);
+}
+
+TEST(OpsValueTest, BceStableForExtremeLogits) {
+  Tensor logit_values({2, 1}, {60.0f, -60.0f});
+  Tensor targets({2, 1}, {1.0f, 0.0f});
+  Variable logits = Variable::Parameter(logit_values);
+  Variable loss = BinaryCrossEntropyWithLogits(logits, targets);
+  EXPECT_TRUE(std::isfinite(loss.value()[0]));
+  EXPECT_NEAR(loss.value()[0], 0.0, 1e-5);
+  loss.Backward();
+  EXPECT_TRUE(std::isfinite(logits.grad()[0]));
+}
+
+TEST(OpsValueTest, SoftmaxRowsSumToOne) {
+  Variable a = Variable::Constant(SmallRandom({4, 7}, 23));
+  const Tensor s = SoftmaxRows(a).value();
+  for (int i = 0; i < 4; ++i) {
+    double sum = 0.0;
+    for (int j = 0; j < 7; ++j) sum += s.at(i, j);
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+}  // namespace
+}  // namespace autograd
+}  // namespace tracer

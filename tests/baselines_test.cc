@@ -1,0 +1,295 @@
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "baselines/birnn_model.h"
+#include "baselines/dipole.h"
+#include "baselines/gbdt.h"
+#include "baselines/logistic_regression.h"
+#include "baselines/retain.h"
+#include "datagen/emr_generator.h"
+#include "metrics/metrics.h"
+#include "train/trainer.h"
+
+namespace tracer {
+namespace baselines {
+namespace {
+
+// A small cohort with planted signal, shared across learning tests.
+struct Fixture {
+  data::DatasetSplits splits;
+  int input_dim;
+};
+
+Fixture MakeAkiFixture(int samples = 600, double rate = 0.3) {
+  datagen::EmrCohortConfig config = datagen::NuhAkiDefaultConfig();
+  config.num_samples = samples;
+  config.num_filler_features = 4;
+  config.deteriorating_rate = rate;
+  config.seed = 123;
+  datagen::EmrCohort cohort = datagen::GenerateNuhAkiCohort(config);
+  Rng rng(9);
+  Fixture f;
+  f.splits = data::SplitDataset(cohort.dataset, rng);
+  data::MinMaxNormalizer norm;
+  norm.Fit(f.splits.train);
+  norm.Apply(&f.splits.train);
+  norm.Apply(&f.splits.val);
+  norm.Apply(&f.splits.test);
+  f.input_dim = cohort.dataset.num_features();
+  return f;
+}
+
+train::TrainConfig FastConfig() {
+  train::TrainConfig tc;
+  tc.max_epochs = 12;
+  tc.batch_size = 32;
+  tc.patience = 12;
+  return tc;
+}
+
+TEST(LogisticRegressionTest, LearnsAkiCohort) {
+  Fixture f = MakeAkiFixture();
+  LogisticRegression model(f.input_dim);
+  // A linear model on [0,1]-normalised inputs needs a larger step size and
+  // more epochs than the RNNs to converge.
+  train::TrainConfig tc = FastConfig();
+  tc.learning_rate = 2e-2f;
+  tc.max_epochs = 40;
+  tc.patience = 40;
+  train::Fit(&model, f.splits.train, f.splits.val, tc);
+  const train::EvalResult eval = train::Evaluate(&model, f.splits.test);
+  EXPECT_GT(eval.auc, 0.65);
+}
+
+TEST(LogisticRegressionTest, SingleWindowModeUsesOnlyThatWindow) {
+  Fixture f = MakeAkiFixture(300);
+  LogisticRegression model(f.input_dim, LrInputMode::kSingleWindow, 2);
+  // Zero every window except 2 in a copy; predictions must be unchanged.
+  const std::vector<float> base = model.Predict(f.splits.test);
+  data::TimeSeriesDataset zeroed = f.splits.test;
+  for (int i = 0; i < zeroed.num_samples(); ++i) {
+    for (int t = 0; t < zeroed.num_windows(); ++t) {
+      if (t == 2) continue;
+      for (int d = 0; d < zeroed.num_features(); ++d) {
+        zeroed.at(i, t, d) = 0.0f;
+      }
+    }
+  }
+  const std::vector<float> masked = model.Predict(zeroed);
+  for (size_t i = 0; i < base.size(); ++i) {
+    EXPECT_FLOAT_EQ(base[i], masked[i]);
+  }
+}
+
+TEST(LogisticRegressionTest, SoftmaxNormalizeSumsToOne) {
+  const auto norm =
+      LogisticRegression::SoftmaxNormalize({0.5f, -1.5f, 2.0f, 0.0f});
+  double sum = 0.0;
+  for (float v : norm) {
+    sum += v;
+    EXPECT_GT(v, 0.0f);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-5);
+  // Largest-|coefficient| feature gets the largest share.
+  EXPECT_GT(norm[2], norm[0]);
+  EXPECT_GT(norm[1], norm[3]);  // |-1.5| > |0|
+}
+
+TEST(LogisticRegressionTest, CoefficientsExposeWeights) {
+  LogisticRegression model(3);
+  EXPECT_EQ(model.Coefficients().size(), 3u);
+}
+
+TEST(BirnnModelTest, LearnsAkiCohort) {
+  Fixture f = MakeAkiFixture();
+  BirnnModel model(f.input_dim, 16);
+  train::Fit(&model, f.splits.train, f.splits.val, FastConfig());
+  const train::EvalResult eval = train::Evaluate(&model, f.splits.test);
+  EXPECT_GT(eval.auc, 0.7);
+}
+
+TEST(RetainTest, LearnsAkiCohort) {
+  Fixture f = MakeAkiFixture();
+  Retain model(f.input_dim, 16, 16);
+  train::Fit(&model, f.splits.train, f.splits.val, FastConfig());
+  const train::EvalResult eval = train::Evaluate(&model, f.splits.test);
+  EXPECT_GT(eval.auc, 0.7);
+}
+
+TEST(DipoleTest, AllVariantsProduceFiniteOutputsAndLearn) {
+  Fixture f = MakeAkiFixture();
+  for (DipoleAttention attention :
+       {DipoleAttention::kLocation, DipoleAttention::kGeneral,
+        DipoleAttention::kConcat}) {
+    Dipole model(f.input_dim, 12, attention);
+    train::TrainConfig tc = FastConfig();
+    tc.max_epochs = 8;
+    train::Fit(&model, f.splits.train, f.splits.val, tc);
+    const train::EvalResult eval = train::Evaluate(&model, f.splits.test);
+    EXPECT_GT(eval.auc, 0.6) << model.name();
+  }
+}
+
+TEST(DipoleTest, NamesDistinguishVariants) {
+  EXPECT_EQ(Dipole(3, 4, DipoleAttention::kLocation).name(), "Dipole_loc");
+  EXPECT_EQ(Dipole(3, 4, DipoleAttention::kGeneral).name(), "Dipole_gen");
+  EXPECT_EQ(Dipole(3, 4, DipoleAttention::kConcat).name(), "Dipole_con");
+}
+
+// ---- GBDT ----
+
+TEST(AggregateTest, MeansOverWindows) {
+  data::TimeSeriesDataset ds(data::TaskType::kBinaryClassification, 1, 3, 2);
+  ds.at(0, 0, 0) = 1.0f;
+  ds.at(0, 1, 0) = 2.0f;
+  ds.at(0, 2, 0) = 3.0f;
+  ds.at(0, 0, 1) = -1.0f;
+  ds.at(0, 1, 1) = 0.0f;
+  ds.at(0, 2, 1) = 1.0f;
+  const TabularData tab = AggregateOverTime(ds);
+  EXPECT_EQ(tab.num_rows, 1);
+  EXPECT_EQ(tab.num_cols, 2);
+  EXPECT_FLOAT_EQ(tab.row(0)[0], 2.0f);
+  EXPECT_FLOAT_EQ(tab.row(0)[1], 0.0f);
+}
+
+TabularData XorData(int n, uint64_t seed) {
+  Rng rng(seed);
+  TabularData data;
+  data.num_rows = n;
+  data.num_cols = 2;
+  for (int i = 0; i < n; ++i) {
+    const float a = rng.Bernoulli(0.5) ? 1.0f : 0.0f;
+    const float b = rng.Bernoulli(0.5) ? 1.0f : 0.0f;
+    data.values.push_back(a + static_cast<float>(rng.Normal(0, 0.1)));
+    data.values.push_back(b + static_cast<float>(rng.Normal(0, 0.1)));
+    data.labels.push_back(a != b ? 1.0f : 0.0f);
+  }
+  return data;
+}
+
+TEST(GbdtTest, SolvesXorWhichLrCannot) {
+  const TabularData train = XorData(800, 1);
+  const TabularData test = XorData(400, 2);
+  GbdtConfig config;
+  config.num_trees = 60;
+  config.max_depth = 3;
+  Gbdt model(config, data::TaskType::kBinaryClassification);
+  model.Fit(train);
+  const std::vector<float> probs = model.Predict(test);
+  EXPECT_GT(metrics::Auc(probs, test.labels), 0.95)
+      << "depth-3 trees must capture the XOR interaction";
+}
+
+TEST(GbdtTest, RegressionFitsNonlinearFunction) {
+  Rng rng(3);
+  TabularData train, test;
+  for (TabularData* d : {&train, &test}) {
+    d->num_cols = 1;
+    d->num_rows = 600;
+    for (int i = 0; i < 600; ++i) {
+      const float x = static_cast<float>(rng.Uniform(-3.0, 3.0));
+      d->values.push_back(x);
+      d->labels.push_back(std::sin(x) +
+                          static_cast<float>(rng.Normal(0, 0.05)));
+    }
+  }
+  GbdtConfig config;
+  config.num_trees = 150;
+  config.max_depth = 4;
+  Gbdt model(config, data::TaskType::kRegression);
+  model.Fit(train);
+  const std::vector<float> pred = model.Predict(test);
+  EXPECT_LT(metrics::Rmse(pred, test.labels), 0.15);
+}
+
+TEST(GbdtTest, LearnsAkiCohortViaAggregation) {
+  Fixture f = MakeAkiFixture();
+  GbdtConfig config;
+  config.num_trees = 80;
+  Gbdt model(config, data::TaskType::kBinaryClassification);
+  model.FitDataset(f.splits.train);
+  const std::vector<float> probs = model.PredictDataset(f.splits.test);
+  EXPECT_GT(metrics::Auc(probs, f.splits.test.labels()), 0.65);
+}
+
+TEST(GbdtTest, PredictionsAreProbabilities) {
+  const TabularData train = XorData(200, 4);
+  Gbdt model({}, data::TaskType::kBinaryClassification);
+  model.Fit(train);
+  for (float p : model.Predict(train)) {
+    EXPECT_GE(p, 0.0f);
+    EXPECT_LE(p, 1.0f);
+  }
+}
+
+TEST(GbdtTest, MoreTreesReduceTrainLoss) {
+  const TabularData train = XorData(500, 5);
+  GbdtConfig small_config;
+  small_config.num_trees = 5;
+  small_config.subsample = 1.0;
+  GbdtConfig big_config = small_config;
+  big_config.num_trees = 80;
+  Gbdt small(small_config, data::TaskType::kBinaryClassification);
+  Gbdt big(big_config, data::TaskType::kBinaryClassification);
+  small.Fit(train);
+  big.Fit(train);
+  EXPECT_LT(metrics::CrossEntropyLoss(big.Predict(train), train.labels),
+            metrics::CrossEntropyLoss(small.Predict(train), train.labels));
+}
+
+TEST(RegressionTreeTest, SingleSplitRecoversStepFunction) {
+  TabularData data;
+  data.num_cols = 1;
+  data.num_rows = 100;
+  std::vector<float> grad(100), hess(100, 1.0f);
+  std::vector<int> rows(100);
+  for (int i = 0; i < 100; ++i) {
+    const float x = static_cast<float>(i) / 100.0f;
+    data.values.push_back(x);
+    // Newton leaf fits -grad/hess: target +1 right of 0.5, -1 left.
+    grad[i] = x < 0.5f ? 1.0f : -1.0f;
+    rows[i] = i;
+  }
+  GbdtConfig config;
+  config.max_depth = 1;
+  config.min_samples_leaf = 5;
+  config.lambda = 0.0f;
+  RegressionTree tree;
+  tree.Fit(data, grad, hess, rows, config);
+  const float left_value = tree.Predict(&data.values[10]);
+  const float right_value = tree.Predict(&data.values[90]);
+  EXPECT_NEAR(left_value, -1.0f, 0.05f);
+  EXPECT_NEAR(right_value, 1.0f, 0.05f);
+}
+
+
+TEST(BirnnModelTest, LstmVariantLearnsAkiCohort) {
+  Fixture f = MakeAkiFixture();
+  BirnnModel model(f.input_dim, 16, 3, RnnKind::kLstm);
+  EXPECT_EQ(model.name(), "BIRNN-LSTM");
+  train::TrainConfig tc = FastConfig();
+  tc.learning_rate = 3e-3f;
+  train::Fit(&model, f.splits.train, f.splits.val, tc);
+  const train::EvalResult eval = train::Evaluate(&model, f.splits.test);
+  EXPECT_GT(eval.auc, 0.65);
+}
+
+TEST(BirnnModelTest, GruAndLstmVariantsDiffer) {
+  Fixture f = MakeAkiFixture(200);
+  BirnnModel gru(f.input_dim, 8, 3, RnnKind::kGru);
+  BirnnModel lstm(f.input_dim, 8, 3, RnnKind::kLstm);
+  const auto pg = gru.Predict(f.splits.test);
+  const auto pl = lstm.Predict(f.splits.test);
+  bool any_diff = false;
+  for (size_t i = 0; i < pg.size(); ++i) {
+    if (std::fabs(pg[i] - pl[i]) > 1e-6f) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace tracer

@@ -1,0 +1,248 @@
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/csv.h"
+#include "data/dataset.h"
+
+namespace tracer {
+namespace data {
+namespace {
+
+TimeSeriesDataset MakeDataset(int n, int t, int d, uint64_t seed = 1) {
+  Rng rng(seed);
+  TimeSeriesDataset ds(TaskType::kBinaryClassification, n, t, d);
+  for (int i = 0; i < n; ++i) {
+    for (int w = 0; w < t; ++w) {
+      for (int f = 0; f < d; ++f) {
+        ds.at(i, w, f) = static_cast<float>(rng.Normal(0.0, 10.0));
+      }
+    }
+    ds.set_label(i, rng.Bernoulli(0.3) ? 1.0f : 0.0f);
+  }
+  return ds;
+}
+
+TEST(DatasetTest, DimensionsAndDefaults) {
+  TimeSeriesDataset ds(TaskType::kRegression, 5, 3, 2);
+  EXPECT_EQ(ds.num_samples(), 5);
+  EXPECT_EQ(ds.num_windows(), 3);
+  EXPECT_EQ(ds.num_features(), 2);
+  EXPECT_EQ(ds.task(), TaskType::kRegression);
+  EXPECT_EQ(ds.feature_names()[1], "feature_1");
+  EXPECT_FLOAT_EQ(ds.at(4, 2, 1), 0.0f);
+}
+
+TEST(DatasetTest, FeatureIndexLookup) {
+  TimeSeriesDataset ds(TaskType::kBinaryClassification, 1, 1, 3);
+  ds.feature_names() = {"Urea", "HbA1c", "SCr"};
+  EXPECT_EQ(ds.FeatureIndex("HbA1c"), 1);
+  EXPECT_EQ(ds.FeatureIndex("nope"), -1);
+}
+
+TEST(DatasetTest, CountPositive) {
+  TimeSeriesDataset ds(TaskType::kBinaryClassification, 4, 1, 1);
+  ds.set_label(0, 1.0f);
+  ds.set_label(2, 1.0f);
+  EXPECT_EQ(ds.CountPositive(), 2);
+}
+
+TEST(DatasetTest, SubsetCopiesRowsAndNames) {
+  TimeSeriesDataset ds = MakeDataset(6, 2, 3);
+  ds.feature_names() = {"a", "b", "c"};
+  TimeSeriesDataset sub = ds.Subset({4, 1});
+  EXPECT_EQ(sub.num_samples(), 2);
+  EXPECT_EQ(sub.feature_names()[2], "c");
+  for (int w = 0; w < 2; ++w) {
+    for (int f = 0; f < 3; ++f) {
+      EXPECT_FLOAT_EQ(sub.at(0, w, f), ds.at(4, w, f));
+      EXPECT_FLOAT_EQ(sub.at(1, w, f), ds.at(1, w, f));
+    }
+  }
+  EXPECT_FLOAT_EQ(sub.label(0), ds.label(4));
+}
+
+TEST(SplitTest, PartitionIsDisjointAndComplete) {
+  Rng rng(2);
+  const SplitIndices split = RandomSplit(100, 0.8, 0.1, rng);
+  EXPECT_EQ(split.train.size(), 80u);
+  EXPECT_EQ(split.val.size(), 10u);
+  EXPECT_EQ(split.test.size(), 10u);
+  std::set<int> all;
+  for (int i : split.train) all.insert(i);
+  for (int i : split.val) all.insert(i);
+  for (int i : split.test) all.insert(i);
+  EXPECT_EQ(all.size(), 100u);
+  EXPECT_EQ(*all.begin(), 0);
+  EXPECT_EQ(*all.rbegin(), 99);
+}
+
+TEST(SplitTest, SplitDatasetShapes) {
+  TimeSeriesDataset ds = MakeDataset(50, 2, 2);
+  Rng rng(3);
+  const DatasetSplits splits = SplitDataset(ds, rng);
+  EXPECT_EQ(splits.train.num_samples(), 40);
+  EXPECT_EQ(splits.val.num_samples(), 5);
+  EXPECT_EQ(splits.test.num_samples(), 5);
+}
+
+TEST(NormalizerTest, MapsTrainRangeToUnitInterval) {
+  TimeSeriesDataset ds = MakeDataset(20, 3, 4, 7);
+  MinMaxNormalizer norm;
+  norm.Fit(ds);
+  norm.Apply(&ds);
+  for (int i = 0; i < ds.num_samples(); ++i) {
+    for (int t = 0; t < ds.num_windows(); ++t) {
+      for (int d = 0; d < ds.num_features(); ++d) {
+        EXPECT_GE(ds.at(i, t, d), 0.0f);
+        EXPECT_LE(ds.at(i, t, d), 1.0f);
+      }
+    }
+  }
+  // Extremes must be hit.
+  float min0 = 1.0f, max0 = 0.0f;
+  for (int i = 0; i < ds.num_samples(); ++i) {
+    for (int t = 0; t < ds.num_windows(); ++t) {
+      min0 = std::min(min0, ds.at(i, t, 0));
+      max0 = std::max(max0, ds.at(i, t, 0));
+    }
+  }
+  EXPECT_FLOAT_EQ(min0, 0.0f);
+  EXPECT_FLOAT_EQ(max0, 1.0f);
+}
+
+TEST(NormalizerTest, ConstantFeatureMapsToZero) {
+  TimeSeriesDataset ds(TaskType::kBinaryClassification, 3, 2, 1);
+  for (int i = 0; i < 3; ++i) {
+    for (int t = 0; t < 2; ++t) ds.at(i, t, 0) = 42.0f;
+  }
+  MinMaxNormalizer norm;
+  norm.Fit(ds);
+  norm.Apply(&ds);
+  EXPECT_FLOAT_EQ(ds.at(1, 1, 0), 0.0f);
+}
+
+TEST(NormalizerTest, OutOfRangeTestValuesAreClamped) {
+  TimeSeriesDataset train(TaskType::kBinaryClassification, 2, 1, 1);
+  train.at(0, 0, 0) = 0.0f;
+  train.at(1, 0, 0) = 10.0f;
+  MinMaxNormalizer norm;
+  norm.Fit(train);
+  TimeSeriesDataset test(TaskType::kBinaryClassification, 1, 1, 1);
+  test.at(0, 0, 0) = 25.0f;  // beyond the fitted max
+  norm.Apply(&test);
+  EXPECT_FLOAT_EQ(test.at(0, 0, 0), 1.0f);
+}
+
+TEST(BatchTest, MakeBatchLayout) {
+  TimeSeriesDataset ds = MakeDataset(5, 3, 2);
+  const Batch batch = MakeBatch(ds, {2, 0});
+  EXPECT_EQ(batch.batch_size(), 2);
+  ASSERT_EQ(batch.xs.size(), 3u);
+  EXPECT_FLOAT_EQ(batch.xs[1].at(0, 1), ds.at(2, 1, 1));
+  EXPECT_FLOAT_EQ(batch.xs[2].at(1, 0), ds.at(0, 2, 0));
+  EXPECT_FLOAT_EQ(batch.labels.at(0, 0), ds.label(2));
+}
+
+TEST(BatchTest, FullBatchCoversAll) {
+  TimeSeriesDataset ds = MakeDataset(7, 2, 2);
+  const Batch batch = FullBatch(ds);
+  EXPECT_EQ(batch.batch_size(), 7);
+}
+
+TEST(BatcherTest, EpochCoversEverySampleOnce) {
+  TimeSeriesDataset ds = MakeDataset(23, 2, 2);
+  Rng rng(4);
+  Batcher batcher(ds, 5, rng);
+  const auto batches = batcher.EpochBatches();
+  EXPECT_EQ(batches.size(), 5u);  // ceil(23/5)
+  std::set<int> seen;
+  for (const auto& b : batches) {
+    for (int i : b) seen.insert(i);
+  }
+  EXPECT_EQ(seen.size(), 23u);
+  EXPECT_EQ(batches.back().size(), 3u);
+}
+
+TEST(BatcherTest, ShuffleChangesOrderAcrossEpochs) {
+  TimeSeriesDataset ds = MakeDataset(50, 1, 1);
+  Rng rng(5);
+  Batcher batcher(ds, 50, rng);
+  const auto e1 = batcher.EpochBatches();
+  const auto e2 = batcher.EpochBatches();
+  EXPECT_NE(e1[0], e2[0]);
+}
+
+TEST(CsvTest, WriterProducesHeaderAndRows) {
+  CsvWriter writer({"x", "y"});
+  writer.AddRow(std::vector<std::string>{"1", "2"});
+  writer.AddRow(std::vector<double>{3.5, 4.25});
+  const std::string text = writer.ToString();
+  EXPECT_NE(text.find("x,y\n"), std::string::npos);
+  EXPECT_NE(text.find("1,2\n"), std::string::npos);
+  EXPECT_NE(text.find("3.5"), std::string::npos);
+}
+
+TEST(CsvTest, ParseRoundTrip) {
+  CsvWriter writer({"a", "b"});
+  writer.AddRow(std::vector<std::string>{"hello", "world"});
+  const auto rows = ParseCsv(writer.ToString());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], "a");
+  EXPECT_EQ(rows[1][1], "world");
+}
+
+TEST(CsvTest, WriteFileAndExportDataset) {
+  TimeSeriesDataset ds = MakeDataset(2, 2, 2);
+  const std::string path = ::testing::TempDir() + "/ds_test.csv";
+  ASSERT_TRUE(ExportDatasetCsv(ds, path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+
+TEST(CsvTest, ImportRoundTripsExport) {
+  TimeSeriesDataset ds = MakeDataset(4, 3, 2, 9);
+  ds.feature_names() = {"alpha", "beta"};
+  const std::string path = ::testing::TempDir() + "/roundtrip.csv";
+  ASSERT_TRUE(ExportDatasetCsv(ds, path).ok());
+  auto loaded = ImportDatasetCsv(path, TaskType::kBinaryClassification);
+  ASSERT_TRUE(loaded.ok());
+  const TimeSeriesDataset& back = loaded.value();
+  ASSERT_EQ(back.num_samples(), 4);
+  ASSERT_EQ(back.num_windows(), 3);
+  ASSERT_EQ(back.num_features(), 2);
+  EXPECT_EQ(back.feature_names()[0], "alpha");
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FLOAT_EQ(back.label(i), ds.label(i));
+    for (int t = 0; t < 3; ++t) {
+      for (int d = 0; d < 2; ++d) {
+        EXPECT_NEAR(back.at(i, t, d), ds.at(i, t, d), 1e-4f);
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ImportRejectsMissingFileAndBadHeader) {
+  EXPECT_FALSE(
+      ImportDatasetCsv("/no/such/file.csv", TaskType::kRegression).ok());
+  const std::string path = ::testing::TempDir() + "/bad_header.csv";
+  {
+    std::ofstream out(path);
+    out << "a,b,c\n1,2,3\n";
+  }
+  auto loaded = ImportDatasetCsv(path, TaskType::kRegression);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace tracer

@@ -1,0 +1,253 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "datagen/emr_generator.h"
+#include "datagen/stock_generator.h"
+#include "datagen/temperature_generator.h"
+
+namespace tracer {
+namespace datagen {
+namespace {
+
+// Pearson correlation between a feature (at a window) and the labels.
+double LabelCorrelation(const data::TimeSeriesDataset& ds, int window,
+                        int feature) {
+  const int n = ds.num_samples();
+  double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = ds.at(i, window, feature);
+    const double y = ds.label(i);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    syy += y * y;
+    sxy += x * y;
+  }
+  const double cov = sxy / n - (sx / n) * (sy / n);
+  const double vx = sxx / n - (sx / n) * (sx / n);
+  const double vy = syy / n - (sy / n) * (sy / n);
+  if (vx <= 0 || vy <= 0) return 0.0;
+  return cov / std::sqrt(vx * vy);
+}
+
+TEST(EmrGeneratorTest, AkiCohortShapeAndNames) {
+  EmrCohortConfig config = NuhAkiDefaultConfig();
+  config.num_samples = 300;
+  config.num_filler_features = 5;
+  EmrCohort cohort = GenerateNuhAkiCohort(config);
+  EXPECT_EQ(cohort.dataset.num_samples(), 300);
+  EXPECT_EQ(cohort.dataset.num_windows(), 7);
+  EXPECT_EQ(cohort.dataset.num_features(),
+            static_cast<int>(NuhAkiPanel().size()) + 5);
+  EXPECT_GE(cohort.dataset.FeatureIndex("Urea"), 0);
+  EXPECT_GE(cohort.dataset.FeatureIndex("HbA1c"), 0);
+  EXPECT_GE(cohort.dataset.FeatureIndex("LAB_004"), 0);
+  EXPECT_EQ(cohort.severity.size(), 300u);
+}
+
+TEST(EmrGeneratorTest, AkiPositiveRateIsPlausible) {
+  EmrCohortConfig config = NuhAkiDefaultConfig();
+  config.num_samples = 2000;
+  EmrCohort cohort = GenerateNuhAkiCohort(config);
+  const double rate =
+      static_cast<double>(cohort.dataset.CountPositive()) / 2000.0;
+  // KDIGO-labelled cohort: somewhere near the deteriorating rate but
+  // strictly between the degenerate extremes.
+  EXPECT_GT(rate, 0.02);
+  EXPECT_LT(rate, 0.30);
+}
+
+TEST(EmrGeneratorTest, GenerationIsDeterministicPerSeed) {
+  EmrCohortConfig config = NuhAkiDefaultConfig();
+  config.num_samples = 50;
+  EmrCohort a = GenerateNuhAkiCohort(config);
+  EmrCohort b = GenerateNuhAkiCohort(config);
+  EXPECT_EQ(a.dataset.CountPositive(), b.dataset.CountPositive());
+  EXPECT_FLOAT_EQ(a.dataset.at(17, 3, 2), b.dataset.at(17, 3, 2));
+}
+
+TEST(EmrGeneratorTest, TimeVariantFeatureIsMoreInformativeLate) {
+  EmrCohortConfig config = NuhAkiDefaultConfig();
+  config.num_samples = 3000;
+  config.deteriorating_rate = 0.25;
+  EmrCohort cohort = GenerateNuhAkiCohort(config);
+  const int urea = cohort.dataset.FeatureIndex("Urea");
+  const double early = LabelCorrelation(cohort.dataset, 0, urea);
+  const double late = LabelCorrelation(cohort.dataset, 6, urea);
+  EXPECT_GT(late, early + 0.1)
+      << "planted rising signal missing (early=" << early
+      << ", late=" << late << ")";
+  EXPECT_GT(late, 0.17);
+}
+
+TEST(EmrGeneratorTest, NullFeatureIsUninformative) {
+  EmrCohortConfig config = NuhAkiDefaultConfig();
+  config.num_samples = 3000;
+  EmrCohort cohort = GenerateNuhAkiCohort(config);
+  const int hba1c = cohort.dataset.FeatureIndex("HbA1c");
+  for (int t = 0; t < 7; ++t) {
+    EXPECT_LT(std::fabs(LabelCorrelation(cohort.dataset, t, hba1c)), 0.12);
+  }
+}
+
+TEST(EmrGeneratorTest, TimeInvariantFeatureCorrelatesAtAllWindows) {
+  EmrCohortConfig config = NuhAkiDefaultConfig();
+  config.num_samples = 4000;
+  config.deteriorating_rate = 0.25;
+  EmrCohort cohort = GenerateNuhAkiCohort(config);
+  const int urbc = cohort.dataset.FeatureIndex("URBC");
+  for (int t = 0; t < 7; ++t) {
+    EXPECT_GT(LabelCorrelation(cohort.dataset, t, urbc), 0.05)
+        << "window " << t;
+  }
+}
+
+TEST(EmrGeneratorTest, MortalityCohortShapeAndRate) {
+  EmrCohortConfig config = MimicDefaultConfig();
+  config.num_samples = 1500;
+  EmrCohort cohort = GenerateMimicMortalityCohort(config);
+  EXPECT_EQ(cohort.dataset.num_windows(), 24);
+  const double rate =
+      static_cast<double>(cohort.dataset.CountPositive()) / 1500.0;
+  EXPECT_NEAR(rate, 0.083, 0.01);  // calibrated threshold
+  EXPECT_GE(cohort.dataset.FeatureIndex("TEMP"), 0);
+  EXPECT_GE(cohort.dataset.FeatureIndex("MCHC"), 0);
+}
+
+TEST(EmrGeneratorTest, MortalityAcidBaseClusterIsInformative) {
+  EmrCohortConfig config = MimicDefaultConfig();
+  config.num_samples = 3000;
+  EmrCohort cohort = GenerateMimicMortalityCohort(config);
+  const int o2 = cohort.dataset.FeatureIndex("O2");
+  // O2 couples negatively with acuity → negative label correlation late.
+  EXPECT_LT(LabelCorrelation(cohort.dataset, 23, o2), -0.15);
+}
+
+TEST(EmrGeneratorTest, DivergingFeatureHasClusterDependentSign) {
+  EmrCohortConfig config = MimicDefaultConfig();
+  config.num_samples = 3000;
+  EmrCohort cohort = GenerateMimicMortalityCohort(config);
+  const int cp = cohort.dataset.FeatureIndex("CP");
+  // Split the cohort by the ground-truth cluster sign and verify the
+  // feature moves in opposite directions with the latent severity.
+  double mean_pos = 0.0, mean_neg = 0.0;
+  int n_pos = 0, n_neg = 0;
+  for (int i = 0; i < cohort.dataset.num_samples(); ++i) {
+    if (cohort.dataset.label(i) < 0.5f) continue;  // deteriorated patients
+    const float v = cohort.dataset.at(i, 23, cp);
+    if (cohort.cluster_sign[i] > 0) {
+      mean_pos += v;
+      ++n_pos;
+    } else {
+      mean_neg += v;
+      ++n_neg;
+    }
+  }
+  ASSERT_GT(n_pos, 10);
+  ASSERT_GT(n_neg, 10);
+  EXPECT_GT(mean_pos / n_pos, mean_neg / n_neg + 10.0);
+}
+
+TEST(StockGeneratorTest, ShapesAndTickers) {
+  StockMarketConfig config;
+  config.series_length = 200;
+  StockCohort cohort = GenerateStockMarket(config);
+  EXPECT_EQ(cohort.dataset.num_samples(), 190);
+  EXPECT_EQ(cohort.dataset.num_windows(), 10);
+  EXPECT_EQ(cohort.dataset.num_features(), 82);
+  EXPECT_EQ(cohort.dataset.task(), data::TaskType::kRegression);
+  EXPECT_EQ(cohort.dataset.feature_names()[0], "AMZN");
+  EXPECT_EQ(cohort.dataset.feature_names()[80], "VIAB");
+  EXPECT_EQ(cohort.dataset.feature_names()[81], "INDEX_LAG");
+}
+
+TEST(StockGeneratorTest, WeightsAreDescendingAndNormalised) {
+  StockCohort cohort = GenerateStockMarket({});
+  double sum = 0.0;
+  for (size_t j = 0; j < cohort.weights.size(); ++j) {
+    sum += cohort.weights[j];
+    if (j > 0) EXPECT_LE(cohort.weights[j], cohort.weights[j - 1]);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-5);
+  EXPECT_GT(cohort.weights[0], 10 * cohort.weights.back());
+}
+
+TEST(StockGeneratorTest, IndexIsNearWeightedSumOfFinalWindow) {
+  StockMarketConfig config;
+  config.series_length = 120;
+  StockCohort cohort = GenerateStockMarket(config);
+  // The label equals Σ w_j price_j at the target minute plus tiny noise;
+  // the final window holds exactly those prices.
+  for (int i = 0; i < 20; ++i) {
+    double acc = 0.0;
+    for (int j = 0; j < 81; ++j) {
+      acc += cohort.weights[j] *
+             cohort.dataset.at(i, cohort.dataset.num_windows() - 1, j);
+    }
+    EXPECT_NEAR(cohort.dataset.label(i), acc, 0.01);
+  }
+}
+
+TEST(StockGeneratorTest, LaggedIndexNeverEqualsTarget) {
+  StockMarketConfig config;
+  config.series_length = 150;
+  StockCohort cohort = GenerateStockMarket(config);
+  int exact_matches = 0;
+  for (int i = 0; i < cohort.dataset.num_samples(); ++i) {
+    const float lag =
+        cohort.dataset.at(i, cohort.dataset.num_windows() - 1, 81);
+    if (lag == cohort.dataset.label(i)) ++exact_matches;
+  }
+  EXPECT_EQ(exact_matches, 0) << "target leaked into the lagged feature";
+}
+
+TEST(TemperatureGeneratorTest, ShapesAndChannels) {
+  TemperatureConfig config;
+  config.series_length = 300;
+  TemperatureCohort cohort = GenerateTemperatureTrace(config);
+  EXPECT_EQ(cohort.dataset.num_samples(), 290);
+  EXPECT_EQ(cohort.dataset.num_windows(), 10);
+  EXPECT_EQ(cohort.dataset.num_features(), 16);
+  EXPECT_GE(cohort.dataset.FeatureIndex("SL_SOUTH"), 0);
+  EXPECT_GE(cohort.dataset.FeatureIndex("SL_WEST"), 0);
+}
+
+TEST(TemperatureGeneratorTest, IndoorTemperatureIsPlausible) {
+  TemperatureConfig config;
+  config.series_length = 960;  // 10 days
+  TemperatureCohort cohort = GenerateTemperatureTrace(config);
+  for (float temp : cohort.indoor_temp) {
+    EXPECT_GT(temp, 5.0f);
+    EXPECT_LT(temp, 45.0f);
+  }
+}
+
+TEST(TemperatureGeneratorTest, SouthSunlightDrivesIndoorTemperature) {
+  TemperatureConfig config;
+  config.series_length = 2000;
+  TemperatureCohort cohort = GenerateTemperatureTrace(config);
+  const int south = cohort.dataset.FeatureIndex("SL_SOUTH");
+  // Correlation between the final window's south sunlight and the label
+  // must be clearly positive (sun heats the house).
+  const int last = cohort.dataset.num_windows() - 1;
+  double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+  const int n = cohort.dataset.num_samples();
+  for (int i = 0; i < n; ++i) {
+    const double x = cohort.dataset.at(i, last, south);
+    const double y = cohort.dataset.label(i);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    syy += y * y;
+    sxy += x * y;
+  }
+  const double corr =
+      (sxy / n - sx / n * sy / n) /
+      std::sqrt((sxx / n - sx / n * sx / n) * (syy / n - sy / n * sy / n));
+  EXPECT_GT(corr, 0.25);
+}
+
+}  // namespace
+}  // namespace datagen
+}  // namespace tracer

@@ -1,0 +1,182 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/imputation.h"
+
+namespace tracer {
+namespace data {
+namespace {
+
+TimeSeriesDataset Filled(int n, int t, int d, float base = 10.0f) {
+  TimeSeriesDataset ds(TaskType::kBinaryClassification, n, t, d);
+  for (int i = 0; i < n; ++i) {
+    for (int w = 0; w < t; ++w) {
+      for (int f = 0; f < d; ++f) {
+        ds.at(i, w, f) = base + i + w + f;
+      }
+    }
+  }
+  return ds;
+}
+
+TEST(MissingnessMaskTest, DefaultsToAllObserved) {
+  MissingnessMask mask(2, 3, 4);
+  EXPECT_TRUE(mask.observed(1, 2, 3));
+  EXPECT_DOUBLE_EQ(mask.ObservedRate(), 1.0);
+}
+
+TEST(MissingnessMaskTest, SetAndRate) {
+  MissingnessMask mask(1, 2, 2);
+  mask.set_observed(0, 0, 0, false);
+  EXPECT_FALSE(mask.observed(0, 0, 0));
+  EXPECT_DOUBLE_EQ(mask.ObservedRate(), 0.75);
+}
+
+TEST(ApplyRandomMissingnessTest, RateIsRespectedAndEntriesZeroed) {
+  TimeSeriesDataset ds = Filled(50, 6, 8);
+  Rng rng(3);
+  const MissingnessMask mask = ApplyRandomMissingness(&ds, 0.3, rng);
+  EXPECT_NEAR(mask.ObservedRate(), 0.7, 0.03);
+  for (int i = 0; i < ds.num_samples(); ++i) {
+    for (int t = 0; t < ds.num_windows(); ++t) {
+      for (int d = 0; d < ds.num_features(); ++d) {
+        if (!mask.observed(i, t, d)) {
+          EXPECT_FLOAT_EQ(ds.at(i, t, d), 0.0f);
+        }
+      }
+    }
+  }
+}
+
+TEST(ImputeTest, ObservedEntriesAreNeverTouched) {
+  for (ImputationStrategy strategy :
+       {ImputationStrategy::kZero, ImputationStrategy::kForwardFill,
+        ImputationStrategy::kCohortMean,
+        ImputationStrategy::kLinearInterpolate}) {
+    TimeSeriesDataset ds = Filled(10, 5, 3);
+    TimeSeriesDataset original = ds;
+    Rng rng(4);
+    const MissingnessMask mask = ApplyRandomMissingness(&ds, 0.4, rng);
+    Impute(&ds, mask, strategy);
+    for (int i = 0; i < ds.num_samples(); ++i) {
+      for (int t = 0; t < ds.num_windows(); ++t) {
+        for (int d = 0; d < ds.num_features(); ++d) {
+          if (mask.observed(i, t, d)) {
+            EXPECT_FLOAT_EQ(ds.at(i, t, d), original.at(i, t, d));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ImputeTest, ForwardFillCarriesLastObservation) {
+  TimeSeriesDataset ds(TaskType::kBinaryClassification, 1, 4, 1);
+  ds.at(0, 0, 0) = 5.0f;
+  ds.at(0, 1, 0) = 0.0f;  // missing
+  ds.at(0, 2, 0) = 9.0f;
+  ds.at(0, 3, 0) = 0.0f;  // missing
+  MissingnessMask mask(1, 4, 1);
+  mask.set_observed(0, 1, 0, false);
+  mask.set_observed(0, 3, 0, false);
+  Impute(&ds, mask, ImputationStrategy::kForwardFill);
+  EXPECT_FLOAT_EQ(ds.at(0, 1, 0), 5.0f);
+  EXPECT_FLOAT_EQ(ds.at(0, 3, 0), 9.0f);
+}
+
+TEST(ImputeTest, ForwardFillLeadingGapUsesCohortMean) {
+  TimeSeriesDataset ds(TaskType::kBinaryClassification, 2, 2, 1);
+  // Sample 0 contributes observed values 4 and 8 (mean 6); sample 1 is
+  // fully missing at window 0.
+  ds.at(0, 0, 0) = 4.0f;
+  ds.at(0, 1, 0) = 8.0f;
+  ds.at(1, 0, 0) = 0.0f;
+  ds.at(1, 1, 0) = 6.0f;
+  MissingnessMask mask(2, 2, 1);
+  mask.set_observed(1, 0, 0, false);
+  Impute(&ds, mask, ImputationStrategy::kForwardFill);
+  EXPECT_FLOAT_EQ(ds.at(1, 0, 0), 6.0f);  // (4+8+6)/3
+}
+
+TEST(ImputeTest, CohortMeanUsesOnlyObserved) {
+  TimeSeriesDataset ds(TaskType::kBinaryClassification, 1, 3, 1);
+  ds.at(0, 0, 0) = 2.0f;
+  ds.at(0, 1, 0) = 0.0f;  // missing; must not pollute the mean
+  ds.at(0, 2, 0) = 4.0f;
+  MissingnessMask mask(1, 3, 1);
+  mask.set_observed(0, 1, 0, false);
+  Impute(&ds, mask, ImputationStrategy::kCohortMean);
+  EXPECT_FLOAT_EQ(ds.at(0, 1, 0), 3.0f);
+}
+
+TEST(ImputeTest, LinearInterpolationBetweenObservations) {
+  TimeSeriesDataset ds(TaskType::kBinaryClassification, 1, 5, 1);
+  ds.at(0, 0, 0) = 10.0f;
+  ds.at(0, 4, 0) = 30.0f;
+  MissingnessMask mask(1, 5, 1);
+  for (int t = 1; t <= 3; ++t) mask.set_observed(0, t, 0, false);
+  Impute(&ds, mask, ImputationStrategy::kLinearInterpolate);
+  EXPECT_FLOAT_EQ(ds.at(0, 1, 0), 15.0f);
+  EXPECT_FLOAT_EQ(ds.at(0, 2, 0), 20.0f);
+  EXPECT_FLOAT_EQ(ds.at(0, 3, 0), 25.0f);
+}
+
+TEST(ImputeTest, LinearInterpolationBoundaryGapsUseNearest) {
+  TimeSeriesDataset ds(TaskType::kBinaryClassification, 1, 4, 1);
+  ds.at(0, 1, 0) = 7.0f;
+  ds.at(0, 2, 0) = 9.0f;
+  MissingnessMask mask(1, 4, 1);
+  mask.set_observed(0, 0, 0, false);
+  mask.set_observed(0, 3, 0, false);
+  Impute(&ds, mask, ImputationStrategy::kLinearInterpolate);
+  EXPECT_FLOAT_EQ(ds.at(0, 0, 0), 7.0f);
+  EXPECT_FLOAT_EQ(ds.at(0, 3, 0), 9.0f);
+}
+
+TEST(ImputeTest, FullyMissingSeriesFallsBackToMean) {
+  TimeSeriesDataset ds(TaskType::kBinaryClassification, 2, 2, 1);
+  ds.at(0, 0, 0) = 4.0f;
+  ds.at(0, 1, 0) = 6.0f;
+  MissingnessMask mask(2, 2, 1);
+  mask.set_observed(1, 0, 0, false);
+  mask.set_observed(1, 1, 0, false);
+  Impute(&ds, mask, ImputationStrategy::kLinearInterpolate);
+  EXPECT_FLOAT_EQ(ds.at(1, 0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(ds.at(1, 1, 0), 5.0f);
+}
+
+// Property sweep: at every strategy and missing rate, imputation leaves no
+// zeroed holes where the surrounding data is far from zero.
+class ImputationPropertyTest
+    : public ::testing::TestWithParam<std::tuple<ImputationStrategy, double>> {
+};
+
+TEST_P(ImputationPropertyTest, NoHolesLeftBehind) {
+  const auto [strategy, rate] = GetParam();
+  if (strategy == ImputationStrategy::kZero) GTEST_SKIP();
+  TimeSeriesDataset ds = Filled(30, 6, 4, /*base=*/100.0f);
+  Rng rng(11);
+  const MissingnessMask mask = ApplyRandomMissingness(&ds, rate, rng);
+  Impute(&ds, mask, strategy);
+  for (int i = 0; i < ds.num_samples(); ++i) {
+    for (int t = 0; t < ds.num_windows(); ++t) {
+      for (int d = 0; d < ds.num_features(); ++d) {
+        EXPECT_GT(ds.at(i, t, d), 50.0f)
+            << "hole at (" << i << "," << t << "," << d << ")";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StrategiesAndRates, ImputationPropertyTest,
+    ::testing::Combine(
+        ::testing::Values(ImputationStrategy::kForwardFill,
+                          ImputationStrategy::kCohortMean,
+                          ImputationStrategy::kLinearInterpolate),
+        ::testing::Values(0.1, 0.4, 0.7)));
+
+}  // namespace
+}  // namespace data
+}  // namespace tracer

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datagen/kdigo.h"
+
+namespace tracer {
+namespace datagen {
+namespace {
+
+ScrSeries Daily(std::vector<float> values) {
+  ScrSeries s;
+  s.umol_per_l = std::move(values);
+  s.hours_per_step = 24.0;
+  return s;
+}
+
+TEST(KdigoTest, FlatSeriesIsNegative) {
+  const AkiDetection d = DetectAki(Daily({80, 81, 79, 80, 82, 80, 81}));
+  EXPECT_FALSE(d.detected);
+  EXPECT_EQ(d.first_index, -1);
+}
+
+TEST(KdigoTest, AbsoluteCriterionWithin48Hours) {
+  // +27 within two daily steps: absolute AKI.
+  const AkiDetection d = DetectAki(Daily({80, 80, 107, 107}));
+  EXPECT_TRUE(d.detected);
+  EXPECT_TRUE(d.absolute);
+  EXPECT_EQ(d.first_index, 2);
+}
+
+TEST(KdigoTest, AbsoluteCriterionJustBelowThresholdIsNegative) {
+  const AkiDetection d = DetectAki(Daily({80, 80, 106.0f, 106.0f}));
+  EXPECT_FALSE(d.detected);
+}
+
+TEST(KdigoTest, SlowRiseEvadesAbsoluteWindowButTripsRelative) {
+  // +13/day: never +26.5 within 48h, but reaches 1.5× the 7-day low.
+  const AkiDetection d =
+      DetectAki(Daily({60, 73, 86, 99, 112, 125, 138}));
+  EXPECT_TRUE(d.detected);
+  EXPECT_TRUE(d.relative);
+  // 1.5 × 60 = 90 first reached at index 3 (99)... but the absolute
+  // criterion compares within 48h only: 99-73=26 < 26.5, so relative fires.
+  EXPECT_EQ(d.first_index, 3);
+  EXPECT_FALSE(d.absolute);
+}
+
+TEST(KdigoTest, RelativeCriterionExactRatioFires) {
+  const AkiDetection d = DetectAki(Daily({60, 60, 90}));
+  EXPECT_TRUE(d.detected);
+  EXPECT_TRUE(d.relative);
+}
+
+TEST(KdigoTest, AbsoluteWindowExpires) {
+  // +20 then +20: each 48h window sees at most +20... with daily steps,
+  // window covers two prior days, so day2 sees 100-60=40 ≥ 26.5. Construct
+  // a genuinely slow rise instead: +10/day. Relative needs 1.5×; with only
+  // 4 days, max 90/60 = 1.5 → fires exactly at day 3.
+  const AkiDetection d = DetectAki(Daily({60, 70, 80, 89.9f}));
+  EXPECT_FALSE(d.detected);
+}
+
+TEST(KdigoTest, HourlySamplingUsesWiderStepWindows) {
+  // 6-hour sampling: 48h = 8 steps. A +27 rise spread over 6 steps (36h)
+  // must still be caught by the absolute criterion.
+  ScrSeries s;
+  s.hours_per_step = 6.0;
+  s.umol_per_l = {80, 80, 85, 90, 95, 100, 105, 108};
+  const AkiDetection d = DetectAki(s);
+  EXPECT_TRUE(d.detected);
+  EXPECT_TRUE(d.absolute);
+}
+
+TEST(KdigoTest, RelativeWindowIsSevenDays) {
+  // The minimum leaves the 7-day window before the ratio is reached:
+  // day 0 low of 60, then stable 85 for 8 days, then 95: min within the
+  // trailing 7 days at the end is 85, and 95 < 1.5×85.
+  std::vector<float> values{60};
+  for (int i = 0; i < 8; ++i) values.push_back(85);
+  values.push_back(95);
+  const AkiDetection d = DetectAki(Daily(values));
+  EXPECT_FALSE(d.detected);
+}
+
+TEST(KdigoTest, DipThenReboundTriggersRelative) {
+  // SCr dips (recovering kidney) then rebounds ×1.5 of the dip.
+  const AkiDetection d = DetectAki(Daily({90, 60, 62, 61, 92}));
+  EXPECT_TRUE(d.detected);
+  EXPECT_TRUE(d.relative);
+  EXPECT_EQ(d.first_index, 4);
+}
+
+TEST(KdigoTest, EmptySeriesIsNegative) {
+  const AkiDetection d = DetectAki(Daily({}));
+  EXPECT_FALSE(d.detected);
+}
+
+TEST(KdigoTest, SingleMeasurementIsNegative) {
+  const AkiDetection d = DetectAki(Daily({300}));
+  EXPECT_FALSE(d.detected);
+}
+
+// Property: adding a constant to every measurement must not change the
+// absolute criterion's verdict, and scaling must not change the relative
+// criterion's.
+class KdigoPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KdigoPropertyTest, MonotoneSeriesDetectionIsStableUnderShift) {
+  Rng rng(GetParam());
+  std::vector<float> values;
+  float level = static_cast<float>(rng.Uniform(60, 90));
+  for (int i = 0; i < 9; ++i) {
+    values.push_back(level);
+    level += static_cast<float>(rng.Uniform(0.0, 12.0));
+  }
+  const AkiDetection base = DetectAki(Daily(values));
+  std::vector<float> shifted = values;
+  for (float& v : shifted) v += 50.0f;
+  const AkiDetection shifted_det = DetectAki(Daily(shifted));
+  // Shifting can only affect the *relative* criterion (ratios shrink), so
+  // a negative must stay negative under positive shift when detection was
+  // absolute-driven; we assert the weaker invariant that absolute
+  // detection is shift-invariant.
+  if (base.detected && base.absolute) {
+    EXPECT_TRUE(shifted_det.detected);
+  }
+  if (!base.detected) {
+    EXPECT_FALSE(shifted_det.detected && shifted_det.relative &&
+                 !shifted_det.absolute);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KdigoPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace datagen
+}  // namespace tracer

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "autograd/grad_check.h"
+#include "autograd/ops.h"
+#include "nn/lstm.h"
+#include "tensor/tensor_ops.h"
+
+namespace tracer {
+namespace nn {
+namespace {
+
+using autograd::Variable;
+
+TEST(LstmCellTest, StepShapes) {
+  Rng rng(1);
+  LstmCell cell(3, 5, rng);
+  const Variable x = Variable::Constant(Tensor::Randn({2, 3}, rng));
+  LstmCell::State state = cell.InitialState(2);
+  state = cell.Step(x, state);
+  EXPECT_EQ(state.h.value().rows(), 2);
+  EXPECT_EQ(state.h.value().cols(), 5);
+  EXPECT_EQ(state.c.value().cols(), 5);
+}
+
+TEST(LstmCellTest, HiddenStateBounded) {
+  Rng rng(2);
+  LstmCell cell(4, 6, rng);
+  const Variable x = Variable::Constant(Tensor::Randn({3, 4}, rng, 3.0f));
+  LstmCell::State state = cell.InitialState(3);
+  for (int step = 0; step < 5; ++step) state = cell.Step(x, state);
+  // h = o ⊙ tanh(c) ∈ (-1, 1).
+  const Tensor& h = state.h.value();
+  for (int64_t i = 0; i < h.size(); ++i) {
+    EXPECT_GT(h[i], -1.0f);
+    EXPECT_LT(h[i], 1.0f);
+  }
+}
+
+TEST(LstmCellTest, ForgetBiasInitialisedToOne) {
+  Rng rng(3);
+  LstmCell cell(2, 3, rng);
+  bool found = false;
+  for (const auto& [name, param] : cell.NamedParameters()) {
+    if (name == "b_f") {
+      found = true;
+      for (int64_t i = 0; i < param.value().size(); ++i) {
+        EXPECT_FLOAT_EQ(param.value()[i], 1.0f);
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(LstmCellTest, GradCheckThroughTwoSteps) {
+  Rng rng(4);
+  LstmCell cell(2, 3, rng);
+  const Variable x = Variable::Constant(Tensor::Randn({2, 2}, rng, 0.5f));
+  auto forward = [&] {
+    LstmCell::State state = cell.InitialState(2);
+    state = cell.Step(x, state);
+    state = cell.Step(x, state);
+    return autograd::MeanAll(state.h);
+  };
+  for (const auto& [name, param] : cell.NamedParameters()) {
+    EXPECT_LT(autograd::MaxGradError(forward, param), 3e-2f) << name;
+  }
+}
+
+TEST(LstmTest, RunLengthAndCausality) {
+  Rng rng(5);
+  Lstm lstm(2, 4, rng);
+  Rng data_rng(6);
+  std::vector<Tensor> inputs;
+  for (int t = 0; t < 4; ++t) {
+    inputs.push_back(Tensor::Randn({1, 2}, data_rng));
+  }
+  auto run = [&](const std::vector<Tensor>& raw) {
+    std::vector<Variable> xs;
+    for (const Tensor& x : raw) xs.push_back(Variable::Constant(x));
+    return lstm.Run(xs, false);
+  };
+  const auto base = run(inputs);
+  ASSERT_EQ(base.size(), 4u);
+  std::vector<Tensor> perturbed = inputs;
+  perturbed[3].at(0, 0) += 5.0f;
+  const auto changed = run(perturbed);
+  for (int t = 0; t < 3; ++t) {
+    EXPECT_LT(MaxAbsDiff(base[t].value(), changed[t].value()), 1e-7f);
+  }
+  EXPECT_GT(MaxAbsDiff(base[3].value(), changed[3].value()), 1e-6f);
+}
+
+TEST(BiLstmTest, OutputDimAndDirectionality) {
+  Rng rng(7);
+  BiLstm rnn(3, 4, rng);
+  std::vector<Variable> xs;
+  for (int t = 0; t < 3; ++t) {
+    xs.push_back(Variable::Constant(Tensor::Randn({2, 3}, rng)));
+  }
+  const auto states = rnn.Run(xs);
+  ASSERT_EQ(states.size(), 3u);
+  EXPECT_EQ(states[0].value().cols(), 8);
+  EXPECT_EQ(rnn.output_dim(), 8);
+  // Forward and backward halves differ for generic inputs.
+  const Tensor fwd = SliceCols(states[1].value(), 0, 4);
+  const Tensor bwd = SliceCols(states[1].value(), 4, 8);
+  EXPECT_GT(MaxAbsDiff(fwd, bwd), 1e-6f);
+}
+
+TEST(BiLstmTest, ParameterCountMatchesTwoLstms) {
+  Rng rng(8);
+  BiLstm rnn(3, 4, rng);
+  Lstm single(3, 4, rng);
+  EXPECT_EQ(rnn.NumParameters(), 2 * single.NumParameters());
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace tracer

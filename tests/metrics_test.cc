@@ -1,0 +1,199 @@
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "metrics/metrics.h"
+
+namespace tracer {
+namespace metrics {
+namespace {
+
+TEST(AucTest, PerfectSeparation) {
+  EXPECT_DOUBLE_EQ(Auc({0.9f, 0.8f, 0.2f, 0.1f}, {1, 1, 0, 0}), 1.0);
+}
+
+TEST(AucTest, PerfectInversion) {
+  EXPECT_DOUBLE_EQ(Auc({0.1f, 0.2f, 0.8f, 0.9f}, {1, 1, 0, 0}), 0.0);
+}
+
+TEST(AucTest, AllTiedScoresGiveHalf) {
+  EXPECT_DOUBLE_EQ(Auc({0.5f, 0.5f, 0.5f, 0.5f}, {1, 0, 1, 0}), 0.5);
+}
+
+TEST(AucTest, KnownPartialOrdering) {
+  // pos scores {0.8, 0.3}, neg {0.5, 0.1}: pairs won = (0.8>0.5, 0.8>0.1,
+  // 0.3<0.5, 0.3>0.1) = 3/4.
+  EXPECT_DOUBLE_EQ(Auc({0.8f, 0.3f, 0.5f, 0.1f}, {1, 1, 0, 0}), 0.75);
+}
+
+TEST(AucTest, InvariantToMonotonicTransform) {
+  Rng rng(1);
+  std::vector<float> scores, labels;
+  for (int i = 0; i < 200; ++i) {
+    scores.push_back(static_cast<float>(rng.Uniform()));
+    labels.push_back(rng.Bernoulli(0.4) ? 1.0f : 0.0f);
+  }
+  // Ensure both classes.
+  labels[0] = 1.0f;
+  labels[1] = 0.0f;
+  std::vector<float> transformed(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    transformed[i] = std::exp(3.0f * scores[i]);  // strictly increasing
+  }
+  EXPECT_NEAR(Auc(scores, labels), Auc(transformed, labels), 1e-9);
+}
+
+TEST(AucTest, RandomScoresNearHalf) {
+  Rng rng(2);
+  std::vector<float> scores, labels;
+  for (int i = 0; i < 5000; ++i) {
+    scores.push_back(static_cast<float>(rng.Uniform()));
+    labels.push_back(rng.Bernoulli(0.5) ? 1.0f : 0.0f);
+  }
+  EXPECT_NEAR(Auc(scores, labels), 0.5, 0.03);
+}
+
+TEST(AucDeathTest, SingleClassUndefined) {
+  EXPECT_DEATH(Auc({0.5f, 0.6f}, {1, 1}), "both classes");
+}
+
+TEST(CelTest, MatchesManualComputation) {
+  const double expected =
+      0.5 * (-std::log(0.8) - std::log(1.0 - 0.3));
+  EXPECT_NEAR(CrossEntropyLoss({0.8f, 0.3f}, {1, 0}), expected, 1e-7);
+}
+
+TEST(CelTest, ClampsExtremeProbabilities) {
+  const double cel = CrossEntropyLoss({1.0f, 0.0f}, {0, 1});
+  EXPECT_TRUE(std::isfinite(cel));
+  EXPECT_GT(cel, 10.0);  // very wrong, but finite
+}
+
+TEST(RegressionMetricsTest, RmseMae) {
+  EXPECT_DOUBLE_EQ(Rmse({1.0f, 2.0f}, {1.0f, 4.0f}), std::sqrt(2.0));
+  EXPECT_DOUBLE_EQ(Mae({1.0f, 2.0f}, {1.0f, 4.0f}), 1.0);
+  EXPECT_DOUBLE_EQ(Rmse({3.0f}, {3.0f}), 0.0);
+}
+
+TEST(AccuracyTest, ThresholdBehaviour) {
+  EXPECT_DOUBLE_EQ(Accuracy({0.9f, 0.1f}, {1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(Accuracy({0.9f, 0.1f}, {0, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(Accuracy({0.6f, 0.6f}, {1, 0}, 0.7f), 0.5);
+}
+
+TEST(ConfusionTest, CountsAndDerivedRates) {
+  const Confusion c =
+      ConfusionAt({0.9f, 0.8f, 0.2f, 0.6f}, {1, 0, 0, 1}, 0.5f);
+  EXPECT_EQ(c.true_positive, 2);
+  EXPECT_EQ(c.false_positive, 1);
+  EXPECT_EQ(c.true_negative, 1);
+  EXPECT_EQ(c.false_negative, 0);
+  EXPECT_NEAR(c.Precision(), 2.0 / 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(c.Recall(), 1.0);
+  EXPECT_NEAR(c.F1(), 0.8, 1e-9);
+}
+
+TEST(ConfusionTest, EmptyDenominatorsAreZero) {
+  const Confusion c = ConfusionAt({0.1f}, {0}, 0.5f);
+  EXPECT_DOUBLE_EQ(c.Precision(), 0.0);
+  EXPECT_DOUBLE_EQ(c.Recall(), 0.0);
+  EXPECT_DOUBLE_EQ(c.F1(), 0.0);
+}
+
+TEST(EceTest, PerfectCalibrationIsNearZero) {
+  // In each bin, confidence equals empirical accuracy.
+  std::vector<float> probs, labels;
+  Rng rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    const float p = static_cast<float>(rng.Uniform());
+    probs.push_back(p);
+    labels.push_back(rng.Bernoulli(p) ? 1.0f : 0.0f);
+  }
+  EXPECT_LT(ExpectedCalibrationError(probs, labels, 10), 0.02);
+}
+
+TEST(EceTest, OverconfidenceDetected) {
+  std::vector<float> probs(1000, 0.95f);
+  std::vector<float> labels(1000, 0.0f);
+  for (int i = 0; i < 500; ++i) labels[i] = 1.0f;  // true rate 0.5
+  EXPECT_NEAR(ExpectedCalibrationError(probs, labels, 10), 0.45, 1e-6);
+}
+
+TEST(SummarizeTest, MeanAndStd) {
+  const MeanStd s = Summarize({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 1.0);
+  const MeanStd single = Summarize({5.0});
+  EXPECT_DOUBLE_EQ(single.mean, 5.0);
+  EXPECT_DOUBLE_EQ(single.stddev, 0.0);
+}
+
+
+TEST(PrAucTest, PerfectRankingIsOne) {
+  EXPECT_DOUBLE_EQ(PrAuc({0.9f, 0.8f, 0.2f, 0.1f}, {1, 1, 0, 0}), 1.0);
+}
+
+TEST(PrAucTest, WorstRankingApproachesBaseRate) {
+  // All positives ranked last: AP = mean over positives of k_pos/rank.
+  // pos at ranks 3,4 of 4: AP = (1/3 + 2/4)/2 = 0.4166...
+  EXPECT_NEAR(PrAuc({0.9f, 0.8f, 0.2f, 0.1f}, {0, 0, 1, 1}), 5.0 / 12.0,
+              1e-9);
+}
+
+TEST(PrAucTest, SinglePositiveAtTop) {
+  EXPECT_DOUBLE_EQ(PrAuc({0.9f, 0.5f, 0.1f}, {1, 0, 0}), 1.0);
+}
+
+TEST(PrAucTest, RandomScoresNearBaseRate) {
+  Rng rng(5);
+  std::vector<float> scores, labels;
+  for (int i = 0; i < 8000; ++i) {
+    scores.push_back(static_cast<float>(rng.Uniform()));
+    labels.push_back(rng.Bernoulli(0.2) ? 1.0f : 0.0f);
+  }
+  EXPECT_NEAR(PrAuc(scores, labels), 0.2, 0.03);
+}
+
+TEST(PrAucDeathTest, NoPositivesUndefined) {
+  EXPECT_DEATH(PrAuc({0.5f, 0.6f}, {0, 0}), "positives");
+}
+
+TEST(BrierTest, PerfectAndWorst) {
+  EXPECT_DOUBLE_EQ(BrierScore({1.0f, 0.0f}, {1, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(BrierScore({0.0f, 1.0f}, {1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(BrierScore({0.5f, 0.5f}, {1, 0}), 0.25);
+}
+
+// Property sweep: AUC of a noisy-but-informative score should rise with the
+// signal-to-noise ratio.
+class AucMonotoneTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(AucMonotoneTest, SignalRaisesAuc) {
+  const double signal = GetParam();
+  Rng rng(42);
+  std::vector<float> scores, labels;
+  for (int i = 0; i < 4000; ++i) {
+    const bool y = rng.Bernoulli(0.5);
+    labels.push_back(y ? 1.0f : 0.0f);
+    scores.push_back(
+        static_cast<float>(signal * (y ? 1.0 : 0.0) + rng.Normal()));
+  }
+  const double auc = Auc(scores, labels);
+  if (signal == 0.0) {
+    EXPECT_NEAR(auc, 0.5, 0.05);
+  } else if (signal >= 2.0) {
+    EXPECT_GT(auc, 0.85);
+  } else {
+    EXPECT_GT(auc, 0.55);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SignalLevels, AucMonotoneTest,
+                         ::testing::Values(0.0, 0.5, 1.0, 2.0, 4.0));
+
+}  // namespace
+}  // namespace metrics
+}  // namespace tracer

@@ -1,0 +1,222 @@
+#include <cstdio>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "autograd/grad_check.h"
+#include "autograd/ops.h"
+#include "nn/gru.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "nn/serialization.h"
+#include "tensor/tensor_ops.h"
+
+namespace tracer {
+namespace nn {
+namespace {
+
+using autograd::Variable;
+
+TEST(LinearTest, OutputShapeAndAffine) {
+  Rng rng(1);
+  Linear layer(3, 2, rng);
+  Variable x = Variable::Constant(Tensor::Ones({4, 3}));
+  Variable y = layer.Forward(x);
+  EXPECT_EQ(y.value().rows(), 4);
+  EXPECT_EQ(y.value().cols(), 2);
+  // All rows identical for identical inputs.
+  for (int j = 0; j < 2; ++j) {
+    for (int i = 1; i < 4; ++i) {
+      EXPECT_FLOAT_EQ(y.value().at(i, j), y.value().at(0, j));
+    }
+  }
+}
+
+TEST(LinearTest, GradCheckThroughLayer) {
+  Rng rng(2);
+  Linear layer(3, 2, rng);
+  Tensor input = Tensor::Randn({4, 3}, rng, 0.5f);
+  Variable x = Variable::Constant(input);
+  auto forward = [&] { return autograd::MeanAll(layer.Forward(x)); };
+  EXPECT_LT(autograd::MaxGradError(forward, layer.weight()), 2e-2f);
+  EXPECT_LT(autograd::MaxGradError(forward, layer.bias()), 2e-2f);
+}
+
+TEST(LinearTest, ParameterCount) {
+  Rng rng(3);
+  Linear layer(5, 3, rng);
+  EXPECT_EQ(layer.NumParameters(), 5 * 3 + 3);
+  EXPECT_EQ(layer.Parameters().size(), 2u);
+}
+
+TEST(GruCellTest, StepShape) {
+  Rng rng(4);
+  GruCell cell(3, 6, rng);
+  Variable x = Variable::Constant(Tensor::Randn({2, 3}, rng));
+  Variable h = Variable::Constant(Tensor::Zeros({2, 6}));
+  Variable out = cell.Step(x, h);
+  EXPECT_EQ(out.value().rows(), 2);
+  EXPECT_EQ(out.value().cols(), 6);
+}
+
+TEST(GruCellTest, ZeroUpdateGateKeepsCandidateMix) {
+  // With zero hidden state and generic input the output must lie in
+  // (-1, 1) since it is a convex combination of tanh output and zeros.
+  Rng rng(5);
+  GruCell cell(4, 5, rng);
+  Variable x = Variable::Constant(Tensor::Randn({3, 4}, rng, 2.0f));
+  Variable h = Variable::Constant(Tensor::Zeros({3, 5}));
+  const Tensor out = cell.Step(x, h).value();
+  for (int64_t i = 0; i < out.size(); ++i) {
+    EXPECT_GT(out[i], -1.0f);
+    EXPECT_LT(out[i], 1.0f);
+  }
+}
+
+TEST(GruCellTest, GradCheckThroughStep) {
+  Rng rng(6);
+  GruCell cell(2, 3, rng);
+  Tensor input = Tensor::Randn({2, 2}, rng, 0.5f);
+  Variable x = Variable::Constant(input);
+  Variable h0 = Variable::Constant(Tensor::Zeros({2, 3}));
+  auto forward = [&] {
+    return autograd::MeanAll(cell.Step(x, cell.Step(x, h0)));
+  };
+  // Check one weight from each gate family.
+  const auto params = cell.NamedParameters();
+  for (const auto& [name, param] : params) {
+    EXPECT_LT(autograd::MaxGradError(forward, param), 3e-2f) << name;
+  }
+}
+
+TEST(GruTest, RunLengthAndReverseDiffer) {
+  Rng rng(7);
+  Gru gru(3, 4, rng);
+  std::vector<Variable> xs;
+  for (int t = 0; t < 5; ++t) {
+    xs.push_back(Variable::Constant(Tensor::Randn({2, 3}, rng)));
+  }
+  const auto fwd = gru.Run(xs, false);
+  const auto bwd = gru.Run(xs, true);
+  ASSERT_EQ(fwd.size(), 5u);
+  ASSERT_EQ(bwd.size(), 5u);
+  // Forward state at t=0 saw only x_0; backward state at t=0 saw all.
+  EXPECT_GT(MaxAbsDiff(fwd[0].value(), bwd[0].value()), 1e-5f);
+}
+
+TEST(GruTest, CausalityForward) {
+  // Changing x at the final step must not affect earlier hidden states.
+  Rng rng(8);
+  Gru gru(2, 3, rng);
+  Rng data_rng(9);
+  std::vector<Tensor> inputs;
+  for (int t = 0; t < 4; ++t) {
+    inputs.push_back(Tensor::Randn({1, 2}, data_rng));
+  }
+  auto run = [&](const std::vector<Tensor>& raw) {
+    std::vector<Variable> xs;
+    for (const Tensor& x : raw) xs.push_back(Variable::Constant(x));
+    return gru.Run(xs, false);
+  };
+  const auto base = run(inputs);
+  std::vector<Tensor> perturbed = inputs;
+  perturbed[3].at(0, 0) += 10.0f;
+  const auto changed = run(perturbed);
+  for (int t = 0; t < 3; ++t) {
+    EXPECT_LT(MaxAbsDiff(base[t].value(), changed[t].value()), 1e-7f)
+        << "future leaked into step " << t;
+  }
+  EXPECT_GT(MaxAbsDiff(base[3].value(), changed[3].value()), 1e-6f);
+}
+
+TEST(BiGruTest, OutputDimIsTwiceHidden) {
+  Rng rng(10);
+  BiGru rnn(3, 4, rng);
+  std::vector<Variable> xs;
+  for (int t = 0; t < 3; ++t) {
+    xs.push_back(Variable::Constant(Tensor::Randn({2, 3}, rng)));
+  }
+  const auto states = rnn.Run(xs);
+  ASSERT_EQ(states.size(), 3u);
+  EXPECT_EQ(states[0].value().cols(), 8);
+  EXPECT_EQ(rnn.output_dim(), 8);
+}
+
+TEST(BiGruTest, BackwardHalfSeesOnlyFuture) {
+  Rng rng(11);
+  BiGru rnn(2, 3, rng);
+  Rng data_rng(12);
+  std::vector<Tensor> inputs;
+  for (int t = 0; t < 4; ++t) {
+    inputs.push_back(Tensor::Randn({1, 2}, data_rng));
+  }
+  auto run = [&](const std::vector<Tensor>& raw) {
+    std::vector<Variable> xs;
+    for (const Tensor& x : raw) xs.push_back(Variable::Constant(x));
+    return rnn.Run(xs);
+  };
+  const auto base = run(inputs);
+  std::vector<Tensor> perturbed = inputs;
+  perturbed[0].at(0, 0) += 10.0f;  // change the first input
+  const auto changed = run(perturbed);
+  // The backward half at the last window only saw x_T, so it must be
+  // unchanged; the forward half must change.
+  const Tensor base_bwd = SliceCols(base[3].value(), 3, 6);
+  const Tensor changed_bwd = SliceCols(changed[3].value(), 3, 6);
+  EXPECT_LT(MaxAbsDiff(base_bwd, changed_bwd), 1e-7f);
+  const Tensor base_fwd = SliceCols(base[3].value(), 0, 3);
+  const Tensor changed_fwd = SliceCols(changed[3].value(), 0, 3);
+  EXPECT_GT(MaxAbsDiff(base_fwd, changed_fwd), 1e-6f);
+}
+
+TEST(ModuleTest, NamedParametersAreHierarchical) {
+  Rng rng(13);
+  BiGru rnn(2, 3, rng);
+  const auto named = rnn.NamedParameters();
+  EXPECT_EQ(named.size(), 18u);  // 2 directions × 9 GRU tensors
+  bool found = false;
+  for (const auto& [name, param] : named) {
+    if (name == "fwd.cell.w_z") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SerializationTest, CheckpointRoundTrip) {
+  Rng rng(14);
+  std::vector<std::pair<std::string, Tensor>> tensors;
+  tensors.emplace_back("a", Tensor::Randn({3, 4}, rng));
+  tensors.emplace_back("b.c", Tensor::Randn({1, 7}, rng));
+  const std::string path = ::testing::TempDir() + "/ckpt_test.bin";
+  ASSERT_TRUE(SaveCheckpoint(path, tensors).ok());
+  auto loaded = LoadCheckpoint(path);
+  ASSERT_TRUE(loaded.ok());
+  const auto& restored = loaded.value();
+  ASSERT_EQ(restored.size(), 2u);
+  EXPECT_EQ(restored[0].first, "a");
+  EXPECT_EQ(restored[1].first, "b.c");
+  EXPECT_LT(MaxAbsDiff(restored[0].second, tensors[0].second), 1e-9f);
+  EXPECT_LT(MaxAbsDiff(restored[1].second, tensors[1].second), 1e-9f);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, MissingFileIsIOError) {
+  auto loaded = LoadCheckpoint("/nonexistent/path/ckpt.bin");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+TEST(SerializationTest, GarbageFileIsInvalidArgument) {
+  const std::string path = ::testing::TempDir() + "/garbage.bin";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("not a checkpoint at all", f);
+  std::fclose(f);
+  auto loaded = LoadCheckpoint(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace tracer

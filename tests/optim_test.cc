@@ -1,0 +1,142 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "optim/early_stopping.h"
+#include "optim/optimizer.h"
+
+namespace tracer {
+namespace optim {
+namespace {
+
+using autograd::Variable;
+
+// Loss = mean((x - target)^2); optimum at x == target.
+Variable Quadratic(Variable& x, const Tensor& target) {
+  return autograd::MeanSquaredError(x, target);
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  Variable x = Variable::Parameter(Tensor::Full({1, 3}, 5.0f));
+  Tensor target({1, 3}, {1.0f, -2.0f, 0.5f});
+  Sgd opt({x}, /*lr=*/0.3f);
+  for (int i = 0; i < 200; ++i) {
+    opt.ZeroGrad();
+    Variable loss = Quadratic(x, target);
+    loss.Backward();
+    opt.Step();
+  }
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_NEAR(x.value().at(0, j), target.at(0, j), 1e-3f);
+  }
+}
+
+TEST(SgdTest, MomentumAcceleratesConvergence) {
+  // At a small learning rate, heavy-ball momentum converges measurably
+  // faster than plain SGD on a quadratic.
+  Tensor target({1, 1}, {2.0f});
+  auto run = [&](float momentum) {
+    Variable x = Variable::Parameter(Tensor::Full({1, 1}, 10.0f));
+    Sgd opt({x}, 0.005f, momentum);
+    for (int i = 0; i < 60; ++i) {
+      opt.ZeroGrad();
+      Variable loss = Quadratic(x, target);
+      loss.Backward();
+      opt.Step();
+    }
+    return std::fabs(x.value()[0] - 2.0f);
+  };
+  EXPECT_LT(run(0.9f), run(0.0f));
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  Variable x = Variable::Parameter(Tensor::Full({2, 2}, -4.0f));
+  Tensor target({2, 2}, {1.0f, 2.0f, 3.0f, 4.0f});
+  Adam opt({x}, 0.1f);
+  for (int i = 0; i < 500; ++i) {
+    opt.ZeroGrad();
+    Variable loss = Quadratic(x, target);
+    loss.Backward();
+    opt.Step();
+  }
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(x.value()[i], target[i], 1e-2f);
+  }
+}
+
+TEST(AdamTest, WeightDecayShrinksSolution) {
+  // With pure decay (zero data gradient) parameters decay toward zero.
+  Variable x = Variable::Parameter(Tensor::Full({1, 1}, 1.0f));
+  Adam opt({x}, 0.01f, 0.9f, 0.999f, 1e-8f, /*weight_decay=*/0.1f);
+  for (int i = 0; i < 300; ++i) {
+    opt.ZeroGrad();
+    // Touch the gradient so Step sees an allocated (zero) gradient.
+    x.grad();
+    opt.Step();
+  }
+  EXPECT_LT(std::fabs(x.value()[0]), 0.2f);
+}
+
+TEST(OptimizerTest, ClipGradNormRescales) {
+  Variable x = Variable::Parameter(Tensor::Zeros({1, 2}));
+  Sgd opt({x}, 0.1f);
+  x.grad().at(0, 0) = 3.0f;
+  x.grad().at(0, 1) = 4.0f;  // norm 5
+  const float pre_norm = opt.ClipGradNorm(1.0f);
+  EXPECT_FLOAT_EQ(pre_norm, 5.0f);
+  EXPECT_NEAR(x.grad().at(0, 0), 0.6f, 1e-6f);
+  EXPECT_NEAR(x.grad().at(0, 1), 0.8f, 1e-6f);
+}
+
+TEST(OptimizerTest, ClipBelowThresholdIsNoOp) {
+  Variable x = Variable::Parameter(Tensor::Zeros({1, 2}));
+  Sgd opt({x}, 0.1f);
+  x.grad().at(0, 0) = 0.3f;
+  opt.ClipGradNorm(10.0f);
+  EXPECT_FLOAT_EQ(x.grad().at(0, 0), 0.3f);
+}
+
+TEST(EarlyStoppingTest, StopsAfterPatience) {
+  EarlyStopping stopper(2, /*higher_is_better=*/false);
+  EXPECT_TRUE(stopper.Update(1.0f));
+  EXPECT_FALSE(stopper.ShouldStop());
+  EXPECT_FALSE(stopper.Update(1.1f));
+  EXPECT_FALSE(stopper.ShouldStop());
+  EXPECT_FALSE(stopper.Update(1.2f));
+  EXPECT_TRUE(stopper.ShouldStop());
+  EXPECT_FLOAT_EQ(stopper.best(), 1.0f);
+  EXPECT_EQ(stopper.best_epoch(), 1);
+}
+
+TEST(EarlyStoppingTest, ImprovementResetsPatience) {
+  EarlyStopping stopper(2, false);
+  stopper.Update(1.0f);
+  stopper.Update(1.5f);
+  EXPECT_TRUE(stopper.Update(0.8f));  // new best
+  EXPECT_EQ(stopper.epochs_since_best(), 0);
+  EXPECT_FALSE(stopper.ShouldStop());
+}
+
+TEST(EarlyStoppingTest, HigherIsBetterMode) {
+  EarlyStopping stopper(1, /*higher_is_better=*/true);
+  EXPECT_TRUE(stopper.Update(0.7f));
+  EXPECT_TRUE(stopper.Update(0.8f));
+  EXPECT_FALSE(stopper.Update(0.75f));
+  EXPECT_TRUE(stopper.ShouldStop());
+  EXPECT_FLOAT_EQ(stopper.best(), 0.8f);
+}
+
+TEST(EarlyStoppingTest, ResetRestoresPristineState) {
+  EarlyStopping stopper(1, false);
+  stopper.Update(0.5f);
+  stopper.Update(0.9f);
+  EXPECT_TRUE(stopper.ShouldStop());
+  stopper.Reset();
+  EXPECT_FALSE(stopper.ShouldStop());
+  EXPECT_TRUE(stopper.Update(100.0f));  // anything beats +inf after reset
+}
+
+}  // namespace
+}  // namespace optim
+}  // namespace tracer

@@ -1,0 +1,92 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "datagen/emr_generator.h"
+#include "pipeline/emr_pipeline.h"
+
+namespace tracer {
+namespace pipeline {
+namespace {
+
+datagen::EmrCohort MakeCohort(int samples = 600) {
+  datagen::EmrCohortConfig config = datagen::NuhAkiDefaultConfig();
+  config.num_samples = samples;
+  config.num_filler_features = 2;
+  config.deteriorating_rate = 0.3;
+  config.seed = 77;
+  return datagen::GenerateNuhAkiCohort(config);
+}
+
+EmrPipelineConfig FastConfig(int input_dim) {
+  EmrPipelineConfig config;
+  config.tracer.model.input_dim = input_dim;
+  config.tracer.model.rnn_dim = 8;
+  config.tracer.model.film_dim = 8;
+  config.tracer.training.max_epochs = 12;
+  config.tracer.training.learning_rate = 3e-3f;
+  config.tracer.alert_threshold = 0.5f;
+  config.report_features = {"Urea", "CRP"};
+  return config;
+}
+
+TEST(EmrPipelineTest, EndToEndProducesAllArtifacts) {
+  const datagen::EmrCohort cohort = MakeCohort();
+  std::unique_ptr<core::Tracer> tracer_framework;
+  const EmrPipelineResult result =
+      RunEmrPipeline(cohort.dataset, nullptr,
+                     FastConfig(cohort.dataset.num_features()),
+                     &tracer_framework);
+  ASSERT_NE(tracer_framework, nullptr);
+  EXPECT_GT(result.training.epochs_run, 0);
+  EXPECT_GT(result.test_metrics.auc, 0.6);
+  EXPECT_EQ(result.feature_reports.size(), 2u);
+  EXPECT_LE(result.patient_reports.size(), 2u);
+  for (const std::string& report : result.patient_reports) {
+    EXPECT_NE(report.find("Predicted risk"), std::string::npos);
+  }
+  EXPECT_NE(result.feature_reports[0].find("Urea"), std::string::npos);
+  EXPECT_GE(result.test_alerts, result.test_alerts_correct);
+}
+
+TEST(EmrPipelineTest, CleaningStageRepairsMissingness) {
+  datagen::EmrCohort cohort = MakeCohort();
+  data::TimeSeriesDataset damaged = cohort.dataset;
+  Rng rng(5);
+  const data::MissingnessMask mask =
+      data::ApplyRandomMissingness(&damaged, 0.3, rng);
+
+  std::unique_ptr<core::Tracer> with_cleaning;
+  EmrPipelineConfig config = FastConfig(cohort.dataset.num_features());
+  const EmrPipelineResult repaired =
+      RunEmrPipeline(damaged, &mask, config, &with_cleaning);
+
+  std::unique_ptr<core::Tracer> without_cleaning;
+  config.imputation = data::ImputationStrategy::kZero;
+  const EmrPipelineResult zeroed =
+      RunEmrPipeline(damaged, &mask, config, &without_cleaning);
+
+  // Both must run; the repaired pipeline should not be (much) worse.
+  EXPECT_GT(repaired.test_metrics.auc, 0.55);
+  EXPECT_GT(repaired.test_metrics.auc, zeroed.test_metrics.auc - 0.1);
+}
+
+TEST(EmrPipelineTest, InputDimZeroIsInferred) {
+  const datagen::EmrCohort cohort = MakeCohort(300);
+  EmrPipelineConfig config = FastConfig(cohort.dataset.num_features());
+  config.tracer.model.input_dim = 0;  // infer from the cohort
+  config.tracer.training.max_epochs = 3;
+  config.patient_reports = 0;
+  config.report_features.clear();
+  std::unique_ptr<core::Tracer> tracer_framework;
+  const EmrPipelineResult result = RunEmrPipeline(
+      cohort.dataset, nullptr, config, &tracer_framework);
+  EXPECT_EQ(tracer_framework->config().model.input_dim,
+            cohort.dataset.num_features());
+  EXPECT_TRUE(result.patient_reports.empty());
+  EXPECT_TRUE(result.feature_reports.empty());
+}
+
+}  // namespace
+}  // namespace pipeline
+}  // namespace tracer

@@ -1,0 +1,104 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "nn/dropout.h"
+#include "optim/lr_schedule.h"
+#include "tensor/tensor_ops.h"
+
+namespace tracer {
+namespace {
+
+using autograd::Variable;
+
+TEST(DropoutTest, EvalModeIsIdentity) {
+  nn::Dropout dropout(0.5f);
+  Rng rng(1);
+  const Tensor input = Tensor::Randn({4, 8}, rng);
+  const Variable x = Variable::Constant(input);
+  const Variable y = dropout.Apply(x, /*training=*/false);
+  EXPECT_LT(MaxAbsDiff(y.value(), input), 1e-9f);
+}
+
+TEST(DropoutTest, ZeroRateIsIdentityEvenInTraining) {
+  nn::Dropout dropout(0.0f);
+  Rng rng(2);
+  const Tensor input = Tensor::Randn({4, 8}, rng);
+  const Variable x = Variable::Constant(input);
+  const Variable y = dropout.Apply(x, /*training=*/true);
+  EXPECT_LT(MaxAbsDiff(y.value(), input), 1e-9f);
+}
+
+TEST(DropoutTest, DropsApproximatelyRateFraction) {
+  nn::Dropout dropout(0.3f);
+  const Variable x = Variable::Constant(Tensor::Ones({100, 100}));
+  const Variable y = dropout.Apply(x, /*training=*/true);
+  int64_t zeros = 0;
+  for (int64_t i = 0; i < y.value().size(); ++i) {
+    if (y.value()[i] == 0.0f) ++zeros;
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / y.value().size(), 0.3, 0.02);
+}
+
+TEST(DropoutTest, SurvivorsScaledToPreserveExpectation) {
+  nn::Dropout dropout(0.25f);
+  const Variable x = Variable::Constant(Tensor::Ones({200, 200}));
+  const Variable y = dropout.Apply(x, /*training=*/true);
+  // Survivors carry 1/(1-rate); the mean stays ≈ 1.
+  double sum = 0.0;
+  for (int64_t i = 0; i < y.value().size(); ++i) sum += y.value()[i];
+  EXPECT_NEAR(sum / y.value().size(), 1.0, 0.02);
+}
+
+TEST(DropoutTest, GradientFlowsOnlyThroughSurvivors) {
+  nn::Dropout dropout(0.5f);
+  Variable x = Variable::Parameter(Tensor::Ones({10, 10}));
+  Variable y = dropout.Apply(x, /*training=*/true);
+  autograd::SumAll(y).Backward();
+  for (int64_t i = 0; i < x.grad().size(); ++i) {
+    if (y.value()[i] == 0.0f) {
+      EXPECT_FLOAT_EQ(x.grad()[i], 0.0f);
+    } else {
+      EXPECT_FLOAT_EQ(x.grad()[i], 2.0f);  // 1/(1-0.5)
+    }
+  }
+}
+
+TEST(LrScheduleTest, ConstantIsOne) {
+  optim::ConstantLr schedule;
+  EXPECT_FLOAT_EQ(schedule.Multiplier(0), 1.0f);
+  EXPECT_FLOAT_EQ(schedule.Multiplier(1000), 1.0f);
+}
+
+TEST(LrScheduleTest, StepDecayHalvesAtBoundaries) {
+  optim::StepDecayLr schedule(10, 0.5f);
+  EXPECT_FLOAT_EQ(schedule.Multiplier(0), 1.0f);
+  EXPECT_FLOAT_EQ(schedule.Multiplier(9), 1.0f);
+  EXPECT_FLOAT_EQ(schedule.Multiplier(10), 0.5f);
+  EXPECT_FLOAT_EQ(schedule.Multiplier(25), 0.25f);
+}
+
+TEST(LrScheduleTest, CosineDecaysMonotonicallyToFloor) {
+  optim::CosineLr schedule(50, 0.05f);
+  EXPECT_FLOAT_EQ(schedule.Multiplier(0), 1.0f);
+  float prev = 1.0f;
+  for (int epoch = 1; epoch <= 50; ++epoch) {
+    const float m = schedule.Multiplier(epoch);
+    EXPECT_LE(m, prev + 1e-6f);
+    prev = m;
+  }
+  EXPECT_NEAR(schedule.Multiplier(50), 0.05f, 1e-5f);
+  EXPECT_NEAR(schedule.Multiplier(500), 0.05f, 1e-5f);  // clamped
+}
+
+TEST(LrScheduleTest, WarmupRampsUpThenHolds) {
+  optim::WarmupLr schedule(4);
+  EXPECT_LT(schedule.Multiplier(0), schedule.Multiplier(1));
+  EXPECT_LT(schedule.Multiplier(2), schedule.Multiplier(3));
+  EXPECT_FLOAT_EQ(schedule.Multiplier(4), 1.0f);
+  EXPECT_FLOAT_EQ(schedule.Multiplier(100), 1.0f);
+}
+
+}  // namespace
+}  // namespace tracer

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "core/report.h"
+
+namespace tracer {
+namespace core {
+namespace {
+
+TEST(SparklineTest, EmptyAndConstant) {
+  EXPECT_EQ(Sparkline({}), "");
+  const std::string flat = Sparkline({2.0f, 2.0f, 2.0f});
+  // A constant series renders three identical mid-height glyphs.
+  EXPECT_EQ(flat, "▅▅▅");
+}
+
+TEST(SparklineTest, MonotoneRampUsesFullRange) {
+  const std::string ramp =
+      Sparkline({0.0f, 1.0f, 2.0f, 3.0f, 4.0f, 5.0f, 6.0f, 7.0f});
+  EXPECT_EQ(ramp, "▁▂▃▄▅▆▇█");
+}
+
+TEST(SparklineTest, ExtremesMapToEndGlyphs) {
+  const std::string line = Sparkline({0.0f, 100.0f});
+  EXPECT_EQ(line, "▁█");
+}
+
+PatientInterpretation MakeInterp() {
+  PatientInterpretation interp;
+  interp.sample_index = 7;
+  interp.probability = 0.85f;
+  interp.feature_names = {"Urea", "HbA1c", "WBC"};
+  // 4 windows × 3 features: Urea rising, HbA1c flat tiny, WBC stable.
+  interp.fi = {{0.10f, 0.001f, 0.20f},
+               {0.20f, 0.001f, 0.21f},
+               {0.30f, 0.001f, 0.20f},
+               {0.45f, 0.001f, 0.21f}};
+  return interp;
+}
+
+TEST(PatientReportTest, ContainsRiskAlertAndTopFeatures) {
+  AlertDecision decision;
+  decision.probability = 0.85f;
+  decision.alert = true;
+  data::TimeSeriesDataset ds(data::TaskType::kBinaryClassification, 8, 4, 3);
+  ds.feature_names() = {"Urea", "HbA1c", "WBC"};
+  const std::string report =
+      RenderPatientReport(MakeInterp(), decision, ds);
+  EXPECT_NE(report.find("85.0%"), std::string::npos);
+  EXPECT_NE(report.find("ALERT"), std::string::npos);
+  EXPECT_NE(report.find("Urea"), std::string::npos);
+  EXPECT_NE(report.find("rising"), std::string::npos);
+  EXPECT_NE(report.find("stable"), std::string::npos);
+}
+
+TEST(PatientReportTest, TopKLimitsFeatures) {
+  AlertDecision decision;
+  data::TimeSeriesDataset ds(data::TaskType::kBinaryClassification, 8, 4, 3);
+  ds.feature_names() = {"Urea", "HbA1c", "WBC"};
+  ReportOptions options;
+  options.top_k = 2;
+  const std::string report =
+      RenderPatientReport(MakeInterp(), decision, ds, options);
+  // Urea (0.45) and WBC (0.21) dominate the final window; HbA1c excluded.
+  EXPECT_NE(report.find("Urea"), std::string::npos);
+  EXPECT_NE(report.find("WBC"), std::string::npos);
+  EXPECT_EQ(report.find("HbA1c"), std::string::npos);
+}
+
+TEST(PatientReportTest, ExplicitFeatureSelection) {
+  AlertDecision decision;
+  data::TimeSeriesDataset ds(data::TaskType::kBinaryClassification, 8, 4, 3);
+  ds.feature_names() = {"Urea", "HbA1c", "WBC"};
+  ReportOptions options;
+  options.features = {"HbA1c"};
+  options.markdown = false;
+  const std::string report =
+      RenderPatientReport(MakeInterp(), decision, ds, options);
+  EXPECT_NE(report.find("HbA1c"), std::string::npos);
+  EXPECT_EQ(report.find("Urea "), std::string::npos);
+  EXPECT_EQ(report.find("|"), std::string::npos);  // plain text, no table
+}
+
+TEST(FeatureReportTest, RendersDistributionAndTrend) {
+  FeatureInterpretation interp;
+  interp.feature_name = "CRP";
+  for (int t = 0; t < 5; ++t) {
+    FeatureImportanceDistribution dist;
+    dist.window = t;
+    dist.mean = 0.1f * (t + 1);
+    dist.p25 = dist.mean - 0.02f;
+    dist.p75 = dist.mean + 0.02f;
+    interp.windows.push_back(dist);
+  }
+  const std::string report = RenderFeatureReport(interp);
+  EXPECT_NE(report.find("CRP"), std::string::npos);
+  EXPECT_NE(report.find("rising"), std::string::npos);
+  EXPECT_NE(report.find("| 5 |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace tracer

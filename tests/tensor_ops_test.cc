@@ -1,0 +1,180 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+
+namespace tracer {
+namespace {
+
+TEST(MatMulTest, SmallKnownProduct) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = MatMul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(MatMulTest, IdentityIsNoOp) {
+  Rng rng(1);
+  Tensor a = Tensor::Randn({4, 4}, rng);
+  Tensor eye = Tensor::Zeros({4, 4});
+  for (int i = 0; i < 4; ++i) eye.at(i, i) = 1.0f;
+  EXPECT_LT(MaxAbsDiff(MatMul(a, eye), a), 1e-6f);
+  EXPECT_LT(MaxAbsDiff(MatMul(eye, a), a), 1e-6f);
+}
+
+TEST(MatMulTest, TransAMatchesExplicitTranspose) {
+  Rng rng(2);
+  Tensor a = Tensor::Randn({5, 3}, rng);
+  Tensor b = Tensor::Randn({5, 4}, rng);
+  EXPECT_LT(MaxAbsDiff(MatMulTransA(a, b), MatMul(Transpose(a), b)), 1e-4f);
+}
+
+TEST(MatMulTest, TransBMatchesExplicitTranspose) {
+  Rng rng(3);
+  Tensor a = Tensor::Randn({5, 3}, rng);
+  Tensor b = Tensor::Randn({4, 3}, rng);
+  EXPECT_LT(MaxAbsDiff(MatMulTransB(a, b), MatMul(a, Transpose(b))), 1e-4f);
+}
+
+TEST(MatMulTest, AssociativityHolds) {
+  Rng rng(4);
+  Tensor a = Tensor::Randn({3, 4}, rng);
+  Tensor b = Tensor::Randn({4, 5}, rng);
+  Tensor c = Tensor::Randn({5, 2}, rng);
+  EXPECT_LT(
+      MaxAbsDiff(MatMul(MatMul(a, b), c), MatMul(a, MatMul(b, c))), 1e-4f);
+}
+
+TEST(ElementwiseTest, AddSubMulDiv) {
+  Tensor a({1, 4}, {1, 2, 3, 4});
+  Tensor b({1, 4}, {4, 3, 2, 1});
+  EXPECT_FLOAT_EQ(Add(a, b).at(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(Sub(a, b).at(0, 3), 3.0f);
+  EXPECT_FLOAT_EQ(Mul(a, b).at(0, 1), 6.0f);
+  EXPECT_FLOAT_EQ(Div(a, b).at(0, 2), 1.5f);
+}
+
+TEST(ElementwiseTest, AxpyAndAddInPlace) {
+  Tensor out({1, 3}, {1, 1, 1});
+  Tensor a({1, 3}, {2, 4, 6});
+  AddInPlace(&out, a);
+  EXPECT_FLOAT_EQ(out.at(0, 2), 7.0f);
+  Axpy(0.5f, a, &out);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 4.0f);
+}
+
+TEST(BroadcastTest, AddRowBroadcast) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor row({1, 3}, {10, 20, 30});
+  Tensor out = AddRowBroadcast(a, row);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 11.0f);
+  EXPECT_FLOAT_EQ(out.at(1, 2), 36.0f);
+}
+
+TEST(BroadcastTest, MulColBroadcast) {
+  Tensor mat({2, 2}, {1, 2, 3, 4});
+  Tensor col({2, 1}, {2, -1});
+  Tensor out = MulColBroadcast(mat, col);
+  EXPECT_FLOAT_EQ(out.at(0, 1), 4.0f);
+  EXPECT_FLOAT_EQ(out.at(1, 0), -3.0f);
+}
+
+TEST(NonlinearityTest, SigmoidValuesAndStability) {
+  Tensor a({1, 3}, {0.0f, 100.0f, -100.0f});
+  Tensor s = Sigmoid(a);
+  EXPECT_FLOAT_EQ(s.at(0, 0), 0.5f);
+  EXPECT_NEAR(s.at(0, 1), 1.0f, 1e-6f);
+  EXPECT_NEAR(s.at(0, 2), 0.0f, 1e-6f);
+  EXPECT_TRUE(std::isfinite(s.at(0, 1)));
+  EXPECT_TRUE(std::isfinite(s.at(0, 2)));
+}
+
+TEST(NonlinearityTest, TanhAndRelu) {
+  Tensor a({1, 2}, {-1.0f, 2.0f});
+  EXPECT_NEAR(Tanh(a).at(0, 0), std::tanh(-1.0f), 1e-6f);
+  EXPECT_FLOAT_EQ(Relu(a).at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(Relu(a).at(0, 1), 2.0f);
+}
+
+TEST(ReductionTest, SumMeanRowsCols) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_FLOAT_EQ(SumAll(a), 21.0f);
+  EXPECT_FLOAT_EQ(MeanAll(a), 3.5f);
+  Tensor cs = ColSum(a);
+  EXPECT_FLOAT_EQ(cs.at(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(cs.at(0, 2), 9.0f);
+  Tensor rs = RowSum(a);
+  EXPECT_FLOAT_EQ(rs.at(0, 0), 6.0f);
+  EXPECT_FLOAT_EQ(rs.at(1, 0), 15.0f);
+}
+
+TEST(SoftmaxTest, RowsSumToOneAndOrderPreserved) {
+  Rng rng(5);
+  Tensor a = Tensor::Randn({6, 8}, rng, 3.0f);
+  Tensor s = SoftmaxRows(a);
+  for (int i = 0; i < 6; ++i) {
+    double sum = 0.0;
+    for (int j = 0; j < 8; ++j) {
+      sum += s.at(i, j);
+      EXPECT_GT(s.at(i, j), 0.0f);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+    // argmax preserved
+    int arg_in = 0, arg_out = 0;
+    for (int j = 1; j < 8; ++j) {
+      if (a.at(i, j) > a.at(i, arg_in)) arg_in = j;
+      if (s.at(i, j) > s.at(i, arg_out)) arg_out = j;
+    }
+    EXPECT_EQ(arg_in, arg_out);
+  }
+}
+
+TEST(SoftmaxTest, ShiftInvariance) {
+  Tensor a({1, 3}, {1.0f, 2.0f, 3.0f});
+  Tensor b({1, 3}, {101.0f, 102.0f, 103.0f});
+  EXPECT_LT(MaxAbsDiff(SoftmaxRows(a), SoftmaxRows(b)), 1e-5f);
+}
+
+TEST(ShapeOpsTest, TransposeTwiceIsIdentity) {
+  Rng rng(6);
+  Tensor a = Tensor::Randn({3, 5}, rng);
+  EXPECT_LT(MaxAbsDiff(Transpose(Transpose(a)), a), 1e-7f);
+}
+
+TEST(ShapeOpsTest, ConcatAndSliceRoundTrip) {
+  Rng rng(7);
+  Tensor a = Tensor::Randn({3, 2}, rng);
+  Tensor b = Tensor::Randn({3, 4}, rng);
+  Tensor cat = ConcatCols(a, b);
+  EXPECT_EQ(cat.cols(), 6);
+  EXPECT_LT(MaxAbsDiff(SliceCols(cat, 0, 2), a), 1e-7f);
+  EXPECT_LT(MaxAbsDiff(SliceCols(cat, 2, 6), b), 1e-7f);
+}
+
+TEST(NormTest, NormAndMaxAbsDiff) {
+  Tensor a({1, 2}, {3.0f, 4.0f});
+  EXPECT_FLOAT_EQ(Norm(a), 5.0f);
+  Tensor b({1, 2}, {3.0f, 6.0f});
+  EXPECT_FLOAT_EQ(MaxAbsDiff(a, b), 2.0f);
+}
+
+TEST(TensorOpsDeathTest, MatMulShapeMismatch) {
+  Tensor a({2, 3});
+  Tensor b({2, 3});
+  EXPECT_DEATH(MatMul(a, b), "inner-dimension mismatch");
+}
+
+TEST(TensorOpsDeathTest, ElementwiseShapeMismatch) {
+  Tensor a({2, 3});
+  Tensor b({3, 2});
+  EXPECT_DEATH(Add(a, b), "shape mismatch");
+}
+
+}  // namespace
+}  // namespace tracer

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "baselines/logistic_regression.h"
+#include "datagen/emr_generator.h"
+#include "datagen/temperature_generator.h"
+#include "train/trainer.h"
+
+namespace tracer {
+namespace train {
+namespace {
+
+struct Fixture {
+  data::DatasetSplits splits;
+  int input_dim;
+};
+
+Fixture MakeFixture(int samples = 400) {
+  datagen::EmrCohortConfig gen = datagen::NuhAkiDefaultConfig();
+  gen.num_samples = samples;
+  gen.num_filler_features = 2;
+  gen.deteriorating_rate = 0.3;
+  gen.seed = 55;
+  datagen::EmrCohort cohort = datagen::GenerateNuhAkiCohort(gen);
+  Rng rng(3);
+  Fixture f;
+  f.splits = data::SplitDataset(cohort.dataset, rng);
+  data::MinMaxNormalizer norm;
+  norm.Fit(f.splits.train);
+  norm.Apply(&f.splits.train);
+  norm.Apply(&f.splits.val);
+  norm.Apply(&f.splits.test);
+  f.input_dim = cohort.dataset.num_features();
+  return f;
+}
+
+TEST(TrainerTest, LossDecreasesOverEpochs) {
+  Fixture f = MakeFixture();
+  baselines::LogisticRegression model(f.input_dim);
+  TrainConfig tc;
+  tc.max_epochs = 10;
+  tc.patience = 10;
+  const TrainResult result = Fit(&model, f.splits.train, f.splits.val, tc);
+  ASSERT_EQ(result.train_loss.size(), static_cast<size_t>(result.epochs_run));
+  EXPECT_LT(result.train_loss.back(), result.train_loss.front());
+}
+
+TEST(TrainerTest, EarlyStoppingHaltsAndRestoresBest) {
+  Fixture f = MakeFixture(200);
+  baselines::LogisticRegression model(f.input_dim);
+  TrainConfig tc;
+  tc.max_epochs = 200;
+  tc.patience = 3;
+  tc.learning_rate = 5e-2f;  // aggressive: will overshoot and trigger stop
+  const TrainResult result = Fit(&model, f.splits.train, f.splits.val, tc);
+  EXPECT_LT(result.epochs_run, 200);
+  // The model must be restored to the best epoch's parameters: its val
+  // loss must equal the minimum recorded val loss.
+  const double current = DatasetLoss(&model, f.splits.val);
+  double best = result.val_loss[0];
+  for (double v : result.val_loss) best = std::min(best, v);
+  EXPECT_NEAR(current, best, 1e-5);
+  EXPECT_EQ(result.val_loss[result.best_epoch - 1], best);
+}
+
+TEST(TrainerTest, RegressionTaskUsesMse) {
+  datagen::TemperatureConfig gen;
+  gen.series_length = 400;
+  datagen::TemperatureCohort cohort =
+      datagen::GenerateTemperatureTrace(gen);
+  Rng rng(4);
+  data::DatasetSplits splits = data::SplitDataset(cohort.dataset, rng);
+  data::MinMaxNormalizer norm;
+  norm.Fit(splits.train);
+  norm.Apply(&splits.train);
+  norm.Apply(&splits.val);
+  norm.Apply(&splits.test);
+  baselines::LogisticRegression model(cohort.dataset.num_features());
+  TrainConfig tc;
+  tc.max_epochs = 30;
+  tc.patience = 30;
+  tc.learning_rate = 5e-2f;
+  Fit(&model, splits.train, splits.val, tc);
+  const EvalResult eval = Evaluate(&model, splits.test);
+  EXPECT_GT(eval.rmse, 0.0);
+  EXPECT_GE(eval.rmse, eval.mae);  // RMSE ≥ MAE always
+  EXPECT_EQ(eval.auc, 0.0);        // classification metrics untouched
+  // Indoor temperature is highly autocorrelated: the lagged-temperature
+  // feature alone makes a linear model quite accurate.
+  EXPECT_LT(eval.rmse, 2.0);
+}
+
+TEST(TrainerTest, DeterministicGivenSeeds) {
+  Fixture f = MakeFixture(200);
+  TrainConfig tc;
+  tc.max_epochs = 3;
+  tc.seed = 11;
+  baselines::LogisticRegression m1(f.input_dim, baselines::LrInputMode::kAggregate, 0, 9);
+  baselines::LogisticRegression m2(f.input_dim, baselines::LrInputMode::kAggregate, 0, 9);
+  const TrainResult r1 = Fit(&m1, f.splits.train, f.splits.val, tc);
+  const TrainResult r2 = Fit(&m2, f.splits.train, f.splits.val, tc);
+  ASSERT_EQ(r1.train_loss.size(), r2.train_loss.size());
+  for (size_t i = 0; i < r1.train_loss.size(); ++i) {
+    EXPECT_DOUBLE_EQ(r1.train_loss[i], r2.train_loss[i]);
+  }
+}
+
+TEST(TrainerTest, EvaluateClassificationMetrics) {
+  Fixture f = MakeFixture();
+  baselines::LogisticRegression model(f.input_dim);
+  TrainConfig tc;
+  tc.max_epochs = 8;
+  Fit(&model, f.splits.train, f.splits.val, tc);
+  const EvalResult eval = Evaluate(&model, f.splits.test);
+  EXPECT_GT(eval.auc, 0.5);
+  EXPECT_LE(eval.auc, 1.0);
+  EXPECT_GT(eval.cel, 0.0);
+  EXPECT_EQ(eval.rmse, 0.0);
+}
+
+}  // namespace
+}  // namespace train
+}  // namespace tracer
