@@ -35,7 +35,7 @@ int main() {
               eval.mae);
 
   std::vector<double> stock_abs_fi;
-  for (const std::string& name : {"AMZN", "LRCX", "VIAB"}) {
+  for (const char* name : {"AMZN", "LRCX", "VIAB"}) {
     const tracer::core::FeatureInterpretation interp =
         tracer_framework->InterpretFeature(data.splits.test, name);
     const std::vector<double> means =

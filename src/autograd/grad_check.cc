@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "autograd/graph_check.h"
 #include "common/macros.h"
 
 namespace tracer {
@@ -13,6 +14,12 @@ float MaxGradError(const std::function<Variable()>& forward, Variable param,
   param.ZeroGrad();
   Variable out = forward();
   TRACER_CHECK_EQ(out.value().size(), 1) << "grad check needs scalar output";
+  // A malformed tape (wrong shapes, severed gradient flow) would make the
+  // finite-difference comparison meaningless — reject it up front with a
+  // report instead of a confusing numeric mismatch.
+  ValidateOptions validate_options;
+  validate_options.check_nonfinite = true;
+  CheckGraph(out, validate_options);
   out.Backward();
   const Tensor analytic = param.grad();
 

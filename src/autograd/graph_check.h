@@ -1,0 +1,97 @@
+#ifndef TRACER_AUTOGRAD_GRAPH_CHECK_H_
+#define TRACER_AUTOGRAD_GRAPH_CHECK_H_
+
+#include <string>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace tracer {
+namespace autograd {
+
+// Static analysis over a recorded autograd tape. ValidateGraph walks the
+// graph reachable from a root Variable *without* running it and reports
+// structural defects that would otherwise corrupt a training run silently:
+// per-op shape/broadcast incompatibilities, dangling tape nodes, reference
+// cycles (which both break the backward schedule and leak the whole graph,
+// since parents are shared_ptrs), double-backward misuse, and — opt-in —
+// non-finite values, attributed to the op that first produced them.
+//
+// The trainer runs this pass on every minibatch graph in debug builds (see
+// TrainConfig::validate_graph); grad_check runs it before every finite-
+// difference comparison.
+
+/// Kinds of defect the validator reports.
+enum class GraphIssueKind {
+  /// A node's output shape is inconsistent with its parents under the
+  /// recording op's shape rule (e.g. matmul inner dimensions disagree).
+  kShapeMismatch,
+  /// An interior node (it has parents) with no backward closure: gradient
+  /// flow is silently severed at this point.
+  kDanglingNode,
+  /// A node reachable from itself. The backward schedule is undefined and
+  /// the shared_ptr parent edges keep the subgraph alive forever.
+  kCycle,
+  /// Backward() ran more than once over the same tape without an
+  /// intervening ZeroGrad, so interior gradients accumulated twice.
+  kDoubleBackward,
+  /// A parent edge holds a null NodePtr.
+  kNullParent,
+  /// A node's value (or allocated gradient) contains NaN or Inf. For
+  /// values, the reported node is the *originating* op: its inputs are all
+  /// finite but its output is not.
+  kNonFinite,
+};
+
+/// Human-readable name of an issue kind ("shape-mismatch", ...).
+const char* GraphIssueKindName(GraphIssueKind kind);
+
+/// One defect found in the tape.
+struct GraphIssue {
+  GraphIssueKind kind;
+  /// Name of the op that recorded the offending node ("leaf" for
+  /// parameters/constants).
+  std::string op;
+  std::string message;
+
+  /// "[shape-mismatch] matmul: ..." rendering.
+  std::string ToString() const;
+};
+
+/// Validator knobs.
+struct ValidateOptions {
+  /// Also scan every node's value (and allocated gradient) for NaN/Inf and
+  /// attribute the first non-finite value to the op that produced it. Off
+  /// by default: it reads every element of every tensor in the graph, which
+  /// is much more expensive than the O(#nodes) structural checks.
+  bool check_nonfinite = false;
+  /// Stop after this many issues (a malformed graph can otherwise produce
+  /// one report per node).
+  int max_issues = 32;
+};
+
+/// Result of a validation pass.
+struct GraphReport {
+  std::vector<GraphIssue> issues;
+  /// Number of nodes reachable from the root (diagnostic).
+  int nodes_visited = 0;
+
+  bool ok() const { return issues.empty(); }
+  /// Multi-line rendering of every issue; "graph ok" when clean.
+  std::string ToString() const;
+};
+
+/// Validates the tape reachable from `root`. Traversal follows all parent
+/// edges (including into non-differentiated subgraphs) and never mutates
+/// the graph, so it is safe to call before or after Backward().
+GraphReport ValidateGraph(const Variable& root,
+                          const ValidateOptions& options = {});
+
+/// Convenience wrapper: validates and CHECK-fails with the full report if
+/// the graph is malformed. Used by the trainer's debug-build hook.
+void CheckGraph(const Variable& root, const ValidateOptions& options = {});
+
+}  // namespace autograd
+}  // namespace tracer
+
+#endif  // TRACER_AUTOGRAD_GRAPH_CHECK_H_

@@ -20,7 +20,8 @@ bool Wants(const Node& node, size_t i) {
 
 Variable MatMul(const Variable& a, const Variable& b) {
   Tensor value = tracer::MatMul(a.value(), b.value());
-  return MakeOpNode(std::move(value), {a.node(), b.node()}, [](Node& n) {
+  return MakeOpNode("matmul", std::move(value), {a.node(), b.node()},
+                    [](Node& n) {
     if (Wants(n, 0)) {
       MatMulTransBAccum(n.grad, n.parents[1]->value,
                         &n.parents[0]->EnsureGrad());
@@ -34,7 +35,7 @@ Variable MatMul(const Variable& a, const Variable& b) {
 
 Variable Add(const Variable& a, const Variable& b) {
   Tensor value = tracer::Add(a.value(), b.value());
-  return MakeOpNode(std::move(value), {a.node(), b.node()}, [](Node& n) {
+  return MakeOpNode("add", std::move(value), {a.node(), b.node()}, [](Node& n) {
     if (Wants(n, 0)) AddInPlace(&n.parents[0]->EnsureGrad(), n.grad);
     if (Wants(n, 1)) AddInPlace(&n.parents[1]->EnsureGrad(), n.grad);
   });
@@ -42,7 +43,7 @@ Variable Add(const Variable& a, const Variable& b) {
 
 Variable Sub(const Variable& a, const Variable& b) {
   Tensor value = tracer::Sub(a.value(), b.value());
-  return MakeOpNode(std::move(value), {a.node(), b.node()}, [](Node& n) {
+  return MakeOpNode("sub", std::move(value), {a.node(), b.node()}, [](Node& n) {
     if (Wants(n, 0)) AddInPlace(&n.parents[0]->EnsureGrad(), n.grad);
     if (Wants(n, 1)) Axpy(-1.0f, n.grad, &n.parents[1]->EnsureGrad());
   });
@@ -50,7 +51,7 @@ Variable Sub(const Variable& a, const Variable& b) {
 
 Variable Mul(const Variable& a, const Variable& b) {
   Tensor value = tracer::Mul(a.value(), b.value());
-  return MakeOpNode(std::move(value), {a.node(), b.node()}, [](Node& n) {
+  return MakeOpNode("mul", std::move(value), {a.node(), b.node()}, [](Node& n) {
     if (Wants(n, 0)) {
       AddInPlace(&n.parents[0]->EnsureGrad(),
                  tracer::Mul(n.grad, n.parents[1]->value));
@@ -64,7 +65,8 @@ Variable Mul(const Variable& a, const Variable& b) {
 
 Variable AddRows(const Variable& a, const Variable& row) {
   Tensor value = AddRowBroadcast(a.value(), row.value());
-  return MakeOpNode(std::move(value), {a.node(), row.node()}, [](Node& n) {
+  return MakeOpNode("add_rows", std::move(value), {a.node(), row.node()},
+                    [](Node& n) {
     if (Wants(n, 0)) AddInPlace(&n.parents[0]->EnsureGrad(), n.grad);
     if (Wants(n, 1)) {
       AddInPlace(&n.parents[1]->EnsureGrad(), ColSum(n.grad));
@@ -74,7 +76,8 @@ Variable AddRows(const Variable& a, const Variable& row) {
 
 Variable MulColBroadcast(const Variable& mat, const Variable& col) {
   Tensor value = tracer::MulColBroadcast(mat.value(), col.value());
-  return MakeOpNode(std::move(value), {mat.node(), col.node()}, [](Node& n) {
+  return MakeOpNode("mul_col_broadcast", std::move(value),
+                    {mat.node(), col.node()}, [](Node& n) {
     if (Wants(n, 0)) {
       AddInPlace(&n.parents[0]->EnsureGrad(),
                  tracer::MulColBroadcast(n.grad, n.parents[1]->value));
@@ -88,14 +91,14 @@ Variable MulColBroadcast(const Variable& mat, const Variable& col) {
 
 Variable Scale(const Variable& a, float s) {
   Tensor value = tracer::Scale(a.value(), s);
-  return MakeOpNode(std::move(value), {a.node()}, [s](Node& n) {
+  return MakeOpNode("scale", std::move(value), {a.node()}, [s](Node& n) {
     if (Wants(n, 0)) Axpy(s, n.grad, &n.parents[0]->EnsureGrad());
   });
 }
 
 Variable AddScalar(const Variable& a, float s) {
   Tensor value = tracer::AddScalar(a.value(), s);
-  return MakeOpNode(std::move(value), {a.node()}, [](Node& n) {
+  return MakeOpNode("add_scalar", std::move(value), {a.node()}, [](Node& n) {
     if (Wants(n, 0)) AddInPlace(&n.parents[0]->EnsureGrad(), n.grad);
   });
 }
@@ -108,7 +111,7 @@ Variable OneMinus(const Variable& a) {
 
 Variable Sigmoid(const Variable& a) {
   Tensor value = tracer::Sigmoid(a.value());
-  return MakeOpNode(std::move(value), {a.node()}, [](Node& n) {
+  return MakeOpNode("sigmoid", std::move(value), {a.node()}, [](Node& n) {
     if (!Wants(n, 0)) return;
     // dx = dy * y * (1 - y)
     Tensor& dst = n.parents[0]->EnsureGrad();
@@ -124,7 +127,7 @@ Variable Sigmoid(const Variable& a) {
 
 Variable Tanh(const Variable& a) {
   Tensor value = tracer::Tanh(a.value());
-  return MakeOpNode(std::move(value), {a.node()}, [](Node& n) {
+  return MakeOpNode("tanh", std::move(value), {a.node()}, [](Node& n) {
     if (!Wants(n, 0)) return;
     Tensor& dst = n.parents[0]->EnsureGrad();
     const float* y = n.value.data();
@@ -139,7 +142,7 @@ Variable Tanh(const Variable& a) {
 
 Variable Relu(const Variable& a) {
   Tensor value = tracer::Relu(a.value());
-  return MakeOpNode(std::move(value), {a.node()}, [](Node& n) {
+  return MakeOpNode("relu", std::move(value), {a.node()}, [](Node& n) {
     if (!Wants(n, 0)) return;
     Tensor& dst = n.parents[0]->EnsureGrad();
     const float* x = n.parents[0]->value.data();
@@ -156,7 +159,8 @@ Variable ConcatCols(const Variable& a, const Variable& b) {
   Tensor value = tracer::ConcatCols(a.value(), b.value());
   const int na = a.value().cols();
   const int nb = b.value().cols();
-  return MakeOpNode(std::move(value), {a.node(), b.node()}, [na, nb](Node& n) {
+  return MakeOpNode("concat_cols", std::move(value), {a.node(), b.node()},
+                    [na, nb](Node& n) {
     if (Wants(n, 0)) {
       AddInPlace(&n.parents[0]->EnsureGrad(),
                  tracer::SliceCols(n.grad, 0, na));
@@ -177,7 +181,8 @@ Variable ConcatColsMany(const std::vector<Variable>& parts) {
 
 Variable SliceCols(const Variable& a, int begin, int end) {
   Tensor value = tracer::SliceCols(a.value(), begin, end);
-  return MakeOpNode(std::move(value), {a.node()}, [begin, end](Node& n) {
+  return MakeOpNode("slice_cols", std::move(value), {a.node()},
+                    [begin, end](Node& n) {
     if (!Wants(n, 0)) return;
     Tensor& dst = n.parents[0]->EnsureGrad();
     const int m = n.grad.rows();
@@ -191,7 +196,7 @@ Variable SliceCols(const Variable& a, int begin, int end) {
 
 Variable SoftmaxRows(const Variable& a) {
   Tensor value = tracer::SoftmaxRows(a.value());
-  return MakeOpNode(std::move(value), {a.node()}, [](Node& n) {
+  return MakeOpNode("softmax_rows", std::move(value), {a.node()}, [](Node& n) {
     if (!Wants(n, 0)) return;
     // dx = (dy - rowsum(dy * y)) * y
     Tensor& dst = n.parents[0]->EnsureGrad();
@@ -211,7 +216,7 @@ Variable SoftmaxRows(const Variable& a) {
 
 Variable RowSums(const Variable& a) {
   Tensor value = tracer::RowSum(a.value());
-  return MakeOpNode(std::move(value), {a.node()}, [](Node& n) {
+  return MakeOpNode("row_sums", std::move(value), {a.node()}, [](Node& n) {
     if (!Wants(n, 0)) return;
     Tensor& dst = n.parents[0]->EnsureGrad();
     const int m = dst.rows(), cols = dst.cols();
@@ -226,7 +231,7 @@ Variable MeanAll(const Variable& a) {
   Tensor value({1, 1});
   value[0] = tracer::MeanAll(a.value());
   const float inv = 1.0f / static_cast<float>(a.value().size());
-  return MakeOpNode(std::move(value), {a.node()}, [inv](Node& n) {
+  return MakeOpNode("mean_all", std::move(value), {a.node()}, [inv](Node& n) {
     if (!Wants(n, 0)) return;
     Tensor& dst = n.parents[0]->EnsureGrad();
     const float g = n.grad[0] * inv;
@@ -239,7 +244,7 @@ Variable MeanAll(const Variable& a) {
 Variable SumAll(const Variable& a) {
   Tensor value({1, 1});
   value[0] = tracer::SumAll(a.value());
-  return MakeOpNode(std::move(value), {a.node()}, [](Node& n) {
+  return MakeOpNode("sum_all", std::move(value), {a.node()}, [](Node& n) {
     if (!Wants(n, 0)) return;
     Tensor& dst = n.parents[0]->EnsureGrad();
     const float g = n.grad[0];
@@ -275,6 +280,7 @@ Variable BinaryCrossEntropyWithLogits(const Variable& logits,
   value[0] = static_cast<float>(acc / static_cast<double>(count));
   Tensor targets_copy = targets;
   return MakeOpNode(
+      "bce_with_logits",
       std::move(value), {logits.node()},
       [targets_copy = std::move(targets_copy)](Node& n) {
         if (!Wants(n, 0)) return;
@@ -308,6 +314,7 @@ Variable MeanSquaredError(const Variable& pred, const Tensor& target) {
   value[0] = static_cast<float>(acc / static_cast<double>(count));
   Tensor target_copy = target;
   return MakeOpNode(
+      "mse",
       std::move(value), {pred.node()},
       [target_copy = std::move(target_copy)](Node& n) {
         if (!Wants(n, 0)) return;

@@ -33,6 +33,7 @@ Variable Variable::Constant(Tensor value) {
 void Variable::ZeroGrad() {
   TRACER_CHECK(defined());
   if (node_->grad_allocated) node_->grad.SetZero();
+  node_->backward_runs = 0;
 }
 
 namespace {
@@ -83,15 +84,17 @@ void Variable::Backward(const Tensor& output_grad) {
   // is complete before it is pushed to its parents.
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     Node* node = *it;
+    ++node->backward_runs;
     if (node->backward_fn && node->grad_allocated) {
       node->backward_fn(*node);
     }
   }
 }
 
-Variable MakeOpNode(Tensor value, std::vector<NodePtr> parents,
+Variable MakeOpNode(const char* op, Tensor value, std::vector<NodePtr> parents,
                     std::function<void(Node&)> backward_fn) {
   auto node = std::make_shared<Node>();
+  node->op = op;
   node->value = std::move(value);
   for (const NodePtr& p : parents) {
     if (p->requires_grad) {

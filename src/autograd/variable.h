@@ -22,6 +22,15 @@ struct Node {
   Tensor grad;            // allocated on demand; same shape as value
   bool requires_grad = false;
   bool grad_allocated = false;
+  /// Name of the op that recorded this node ("leaf" for parameters and
+  /// constants). Keys the per-op shape rules in graph_check.cc; must point
+  /// at a string literal (never freed).
+  const char* op = "leaf";
+  /// How many Backward() passes have deposited gradient into this node since
+  /// the last ZeroGrad. Interior nodes are recreated on every forward pass,
+  /// so a count > 1 there means Backward ran twice over one tape — the
+  /// double-backward misuse ValidateGraph reports.
+  int backward_runs = 0;
   std::vector<NodePtr> parents;
   /// Propagates this->grad into the parents' grads. Null for leaves.
   std::function<void(Node&)> backward_fn;
@@ -67,8 +76,10 @@ class Variable {
   NodePtr node_;
 };
 
-/// Builds an interior node from parents. `requires_grad` is inferred.
-Variable MakeOpNode(Tensor value, std::vector<NodePtr> parents,
+/// Builds an interior node from parents. `requires_grad` is inferred. `op`
+/// names the recording operation for diagnostics and graph validation; it
+/// must be a string literal (the node stores the pointer, not a copy).
+Variable MakeOpNode(const char* op, Tensor value, std::vector<NodePtr> parents,
                     std::function<void(Node&)> backward_fn);
 
 }  // namespace autograd

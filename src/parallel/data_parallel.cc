@@ -90,7 +90,7 @@ ParallelTrainResult DataParallelTrainer::Fit(
       std::vector<double> shard_loss(num_workers_, 0.0);
       for (int w = 0; w < num_workers_; ++w) {
         if (shards[w].empty()) continue;
-        pool_->Submit([&, w] {
+        const bool submitted = pool_->Submit([&, w] {
           const data::Batch batch = data::MakeBatch(train_set, shards[w]);
           for (auto& p : replica_params[w]) p.ZeroGrad();
           autograd::Variable loss =
@@ -98,6 +98,7 @@ ParallelTrainResult DataParallelTrainer::Fit(
           loss.Backward();
           shard_loss[w] = loss.value()[0];
         });
+        TRACER_CHECK(submitted) << "worker pool shut down mid-fit";
       }
       pool_->WaitAll();
 

@@ -1,11 +1,13 @@
 #include "parallel/thread_pool.h"
 
+#include <utility>
+
 #include "common/macros.h"
 
 namespace tracer {
 namespace parallel {
 
-ThreadPool::ThreadPool(int num_threads) {
+ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
   TRACER_CHECK_GT(num_threads, 0);
   threads_.reserve(num_threads);
   for (int i = 0; i < num_threads; ++i) {
@@ -13,22 +15,35 @@ ThreadPool::ThreadPool(int num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
+  std::vector<std::thread> to_join;
   {
     std::unique_lock<std::mutex> lock(mutex_);
     shutting_down_ = true;
+    // Claim the threads under the lock: if Shutdown races another Shutdown
+    // (or the destructor), exactly one caller joins each worker.
+    to_join.swap(threads_);
   }
   task_available_.notify_all();
-  for (std::thread& t : threads_) t.join();
+  for (std::thread& t : to_join) t.join();
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+bool ThreadPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mutex_);
+    // Rejecting under the same lock that Shutdown takes closes the
+    // enqueue-after-stop race: a task is either queued before the stop flag
+    // is set (and will be drained by a live worker) or refused outright —
+    // it can never sit in the queue with no worker left to run it, which
+    // would hang a later WaitAll.
+    if (shutting_down_) return false;
     tasks_.push(std::move(task));
     ++in_flight_;
   }
   task_available_.notify_one();
+  return true;
 }
 
 void ThreadPool::WaitAll() {

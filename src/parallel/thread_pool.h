@@ -14,6 +14,12 @@ namespace parallel {
 /// Fixed-size worker pool. Submit() enqueues a task; WaitAll() blocks until
 /// every submitted task has finished. Used by the data-parallel trainer to
 /// compute per-worker gradients concurrently.
+///
+/// Shutdown discipline: once Shutdown() (or the destructor) has started,
+/// Submit() rejects new work and returns false instead of racing the worker
+/// teardown; tasks accepted before the stop are still drained. Submit and
+/// Shutdown may be called concurrently from different threads, but never
+/// from inside a pool task (a worker joining itself would deadlock).
 class ThreadPool {
  public:
   explicit ThreadPool(int num_threads);
@@ -22,17 +28,24 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task for execution.
-  void Submit(std::function<void()> task);
+  /// Enqueues a task for execution. Returns false — and does not take the
+  /// task — if shutdown has already started.
+  bool Submit(std::function<void()> task);
 
   /// Blocks until all previously submitted tasks have completed.
   void WaitAll();
 
-  int num_threads() const { return static_cast<int>(threads_.size()); }
+  /// Stops accepting work, drains every already-queued task and joins the
+  /// workers. Idempotent and safe to race with Submit; the destructor calls
+  /// it implicitly.
+  void Shutdown();
+
+  int num_threads() const { return num_threads_; }
 
  private:
   void WorkerLoop();
 
+  const int num_threads_;
   std::vector<std::thread> threads_;
   std::queue<std::function<void()>> tasks_;
   std::mutex mutex_;

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cmath>
 
+#include "autograd/graph_check.h"
 #include "autograd/ops.h"
 #include "common/logging.h"
 #include "metrics/metrics.h"
@@ -86,6 +87,14 @@ TrainResult Fit(nn::SequenceModel* model,
       const data::Batch batch = data::MakeBatch(train_set, idx);
       optimizer.ZeroGrad();
       autograd::Variable loss = BatchLoss(model, batch, train_set.task());
+      if (config.validate_graph) {
+        // Catches silent corruption (shape drift, NaN/Inf, severed gradient
+        // flow) before it can reach the optimizer state; see
+        // TrainConfig::validate_graph.
+        autograd::ValidateOptions validate_options;
+        validate_options.check_nonfinite = true;
+        autograd::CheckGraph(loss, validate_options);
+      }
       loss.Backward();
       if (config.clip_norm > 0.0f) optimizer.ClipGradNorm(config.clip_norm);
       optimizer.Step();

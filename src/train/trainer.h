@@ -25,6 +25,18 @@ struct TrainConfig {
   bool verbose = false;
   /// Seed for minibatch shuffling.
   uint64_t seed = 1;
+  /// Runs the autograd graph validator (autograd/graph_check.h) on every
+  /// minibatch loss graph before Backward, including the NaN/Inf tripwire,
+  /// and aborts with a structured report on the first defect. Defaults on
+  /// in debug builds; opt in explicitly for release-build investigation.
+  bool validate_graph = kValidateGraphDefault;
+
+  static constexpr bool kValidateGraphDefault =
+#ifdef NDEBUG
+      false;
+#else
+      true;
+#endif
 };
 
 /// Outcome of a fit: per-epoch curves, the best epoch and its checkpoint.

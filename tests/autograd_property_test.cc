@@ -99,6 +99,144 @@ TEST(AutogradStressTest, WideFanOutAccumulates) {
   EXPECT_FLOAT_EQ(x.grad()[0], 64.0f);
 }
 
+// --- Per-op finite-difference coverage -------------------------------------
+//
+// Every differentiable op in autograd/ops.h appears below exactly once, so
+// a new op cannot ship without finite-difference verification: add a case
+// here when adding an op (the graph validator's shape rules in
+// graph_check.cc should gain a matching entry too).
+
+struct OpGradCase {
+  const char* name;
+  std::vector<int> shape_a;
+  std::vector<int> shape_b;
+  /// Builds a scalar expression exercising the op from two parameters.
+  Variable (*build)(const Variable& a, const Variable& b);
+};
+
+// Fixed targets for the loss ops (shapes match BuildBce/BuildMse below).
+Tensor BceTargets() { return Tensor({4, 1}, {0.0f, 1.0f, 1.0f, 0.0f}); }
+Tensor MseTargets() { return Tensor({4, 1}, {0.2f, -0.5f, 1.3f, 0.0f}); }
+
+std::vector<OpGradCase> AllOpCases() {
+  return {
+      {"MatMul", {2, 3}, {3, 4},
+       [](const Variable& a, const Variable& b) {
+         return MeanAll(MatMul(a, b));
+       }},
+      {"Add", {2, 3}, {2, 3},
+       [](const Variable& a, const Variable& b) {
+         return MeanAll(Add(a, b));
+       }},
+      {"Sub", {2, 3}, {2, 3},
+       [](const Variable& a, const Variable& b) {
+         return MeanAll(Sub(a, b));
+       }},
+      {"Mul", {2, 3}, {2, 3},
+       [](const Variable& a, const Variable& b) {
+         return MeanAll(Mul(a, b));
+       }},
+      {"AddRows", {3, 4}, {1, 4},
+       [](const Variable& a, const Variable& b) {
+         return MeanAll(AddRows(Tanh(a), b));
+       }},
+      {"MulColBroadcast", {3, 4}, {3, 1},
+       [](const Variable& a, const Variable& b) {
+         return MeanAll(MulColBroadcast(a, b));
+       }},
+      {"Scale", {2, 3}, {2, 3},
+       [](const Variable& a, const Variable& b) {
+         return MeanAll(Scale(Mul(a, b), 1.7f));
+       }},
+      {"AddScalar", {2, 3}, {2, 3},
+       [](const Variable& a, const Variable& b) {
+         return MeanAll(AddScalar(Mul(a, b), -0.4f));
+       }},
+      {"Neg", {2, 3}, {2, 3},
+       [](const Variable& a, const Variable& b) {
+         return MeanAll(Neg(Mul(a, b)));
+       }},
+      {"OneMinus", {2, 3}, {2, 3},
+       [](const Variable& a, const Variable& b) {
+         return MeanAll(OneMinus(Mul(a, b)));
+       }},
+      {"Sigmoid", {2, 3}, {2, 3},
+       [](const Variable& a, const Variable& b) {
+         return MeanAll(Sigmoid(Mul(a, b)));
+       }},
+      {"Tanh", {2, 3}, {2, 3},
+       [](const Variable& a, const Variable& b) {
+         return MeanAll(Tanh(Mul(a, b)));
+       }},
+      {"Relu", {2, 3}, {2, 3},
+       [](const Variable& a, const Variable& b) {
+         // Shifted away from the kink at 0: central differences straddling
+         // it would disagree with the subgradient.
+         return MeanAll(Relu(AddScalar(Mul(a, b), 1.5f)));
+       }},
+      {"ConcatCols", {3, 2}, {3, 4},
+       [](const Variable& a, const Variable& b) {
+         return MeanAll(Tanh(ConcatCols(a, b)));
+       }},
+      {"ConcatColsMany", {3, 2}, {3, 2},
+       [](const Variable& a, const Variable& b) {
+         return MeanAll(Sigmoid(ConcatColsMany({a, b, a})));
+       }},
+      {"SliceCols", {3, 5}, {3, 5},
+       [](const Variable& a, const Variable& b) {
+         return MeanAll(SliceCols(Mul(a, b), 1, 4));
+       }},
+      {"SoftmaxRows", {3, 4}, {3, 4},
+       [](const Variable& a, const Variable& b) {
+         return MeanAll(Mul(SoftmaxRows(a), b));
+       }},
+      {"RowSums", {3, 4}, {3, 4},
+       [](const Variable& a, const Variable& b) {
+         return MeanAll(Tanh(RowSums(Mul(a, b))));
+       }},
+      {"MeanAll", {2, 3}, {2, 3},
+       [](const Variable& a, const Variable& b) {
+         return MeanAll(Mul(a, b));
+       }},
+      {"SumAll", {2, 3}, {2, 3},
+       [](const Variable& a, const Variable& b) {
+         return SumAll(Scale(Mul(a, b), 0.1f));
+       }},
+      {"Average", {2, 3}, {2, 3},
+       [](const Variable& a, const Variable& b) {
+         return MeanAll(Average({a, b, Mul(a, b)}));
+       }},
+      {"BinaryCrossEntropyWithLogits", {4, 1}, {4, 1},
+       [](const Variable& a, const Variable& b) {
+         return BinaryCrossEntropyWithLogits(Mul(a, b), BceTargets());
+       }},
+      {"MeanSquaredError", {4, 1}, {4, 1},
+       [](const Variable& a, const Variable& b) {
+         return MeanSquaredError(Mul(a, b), MseTargets());
+       }},
+  };
+}
+
+class OpGradCheckTest : public ::testing::TestWithParam<OpGradCase> {};
+
+TEST_P(OpGradCheckTest, MatchesFiniteDifferences) {
+  const OpGradCase& op_case = GetParam();
+  Rng rng(99);
+  Variable a =
+      Variable::Parameter(Tensor::Randn(op_case.shape_a, rng, 0.5f));
+  Variable b =
+      Variable::Parameter(Tensor::Randn(op_case.shape_b, rng, 0.5f));
+  auto forward = [&] { return op_case.build(a, b); };
+  EXPECT_LT(MaxGradError(forward, a), 5e-2f) << op_case.name << " d/da";
+  EXPECT_LT(MaxGradError(forward, b), 5e-2f) << op_case.name << " d/db";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, OpGradCheckTest, ::testing::ValuesIn(AllOpCases()),
+    [](const ::testing::TestParamInfo<OpGradCase>& param_info) {
+      return std::string(param_info.param.name);
+    });
+
 TEST(AutogradStressTest, RepeatedBackwardWithZeroGradIsIdempotent) {
   Rng rng(11);
   Variable x = Variable::Parameter(Tensor::Randn({3, 3}, rng));

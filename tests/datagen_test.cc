@@ -167,7 +167,9 @@ TEST(StockGeneratorTest, WeightsAreDescendingAndNormalised) {
   double sum = 0.0;
   for (size_t j = 0; j < cohort.weights.size(); ++j) {
     sum += cohort.weights[j];
-    if (j > 0) EXPECT_LE(cohort.weights[j], cohort.weights[j - 1]);
+    if (j > 0) {
+      EXPECT_LE(cohort.weights[j], cohort.weights[j - 1]);
+    }
   }
   EXPECT_NEAR(sum, 1.0, 1e-5);
   EXPECT_GT(cohort.weights[0], 10 * cohort.weights.back());

@@ -1,5 +1,8 @@
 #include <atomic>
+#include <chrono>
 #include <memory>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -40,6 +43,65 @@ TEST(ThreadPoolTest, ReusableAcrossBatches) {
     pool.WaitAll();
   }
   EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownIsRejected) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  EXPECT_TRUE(pool.Submit([&ran] { ran.fetch_add(1); }));
+  pool.Shutdown();
+  EXPECT_FALSE(pool.Submit([&ran] { ran.fetch_add(1); }));
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  pool.Shutdown();
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_TRUE(pool.Submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::microseconds(20));
+        ran.fetch_add(1);
+      }));
+    }
+  }  // destructor: every accepted task must still run before teardown
+  EXPECT_EQ(ran.load(), 200);
+}
+
+TEST(ThreadPoolTest, ConcurrentSubmitAndShutdownHammer) {
+  // Regression for the enqueue-after-stop race: submitter threads hammer
+  // Submit while the owner calls Shutdown. Every Submit must either run its
+  // task to completion or return false — no lost task, no hang, no
+  // late-queued task with nobody left to run it.
+  for (int round = 0; round < 25; ++round) {
+    ThreadPool pool(3);
+    std::atomic<int> accepted{0};
+    std::atomic<int> ran{0};
+    std::vector<std::thread> submitters;
+    submitters.reserve(4);
+    for (int s = 0; s < 4; ++s) {
+      submitters.emplace_back([&pool, &accepted, &ran] {
+        for (int i = 0; i < 64; ++i) {
+          if (pool.Submit([&ran] { ran.fetch_add(1); })) {
+            accepted.fetch_add(1);
+          } else {
+            return;  // pool stopped; later submits would also be rejected
+          }
+        }
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(50 * round));
+    pool.Shutdown();  // races the submitters by design
+    for (std::thread& t : submitters) t.join();
+    EXPECT_EQ(ran.load(), accepted.load()) << "round " << round;
+  }
 }
 
 struct Fixture {

@@ -1,0 +1,267 @@
+#!/usr/bin/env python3
+"""Repo-invariant linter for the TRACER codebase.
+
+Enforces project conventions that neither the compiler nor clang-tidy
+guards out of the box:
+
+  R1 no-bare-assert          TRACER_CHECK_* instead of assert(); <cassert>
+                             and <assert.h> are banned includes.
+  R2 no-using-namespace      `using namespace` is forbidden in headers
+                             (anywhere), and `using namespace std` is
+                             forbidden everywhere.
+  R3 include-hygiene         Project headers are included as
+                             "subdir/header.h" — quoted includes must be
+                             slash-qualified, must not traverse with "..",
+                             and project subdirs must not use <angle> form.
+  R4 unchecked-status        A call to a Status-returning function may not
+                             appear as a bare statement; assign it, return
+                             it, or wrap it (TRACER_RETURN_IF_ERROR, CHECK,
+                             test macros, (void)).
+  R5 header-guard            Headers under src/ use the canonical
+                             TRACER_<PATH>_H_ guard.
+
+Runs as `ctest -R lint` (registered in the top-level CMakeLists.txt) and
+standalone:  tools/lint.py --root <repo-root>
+
+Exit status is non-zero when any finding is reported. Findings are printed
+as `path:line: [rule] message` so editors can jump to them.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+CPP_DIRS = ("src", "tests", "bench", "examples")
+CPP_EXTENSIONS = (".cc", ".h")
+
+# Top-level directories under src/: quoted project includes must start with
+# one of these, and <angle> includes must not.
+PROJECT_SUBDIRS_CACHE = None
+
+
+def project_subdirs(root):
+    global PROJECT_SUBDIRS_CACHE
+    if PROJECT_SUBDIRS_CACHE is None:
+        src = os.path.join(root, "src")
+        subdirs = {d for d in os.listdir(src)
+                   if os.path.isdir(os.path.join(src, d))}
+        # bench/ and tests/ headers are included relative to the repo root
+        # ("bench/bench_util.h"), so their top dirs are valid roots too.
+        subdirs |= {"bench", "tests"}
+        PROJECT_SUBDIRS_CACHE = sorted(subdirs)
+    return PROJECT_SUBDIRS_CACHE
+
+
+def strip_comments_and_strings(text, keep_strings=False):
+    """Replaces comment bodies (and, unless keep_strings, string/char literal
+    contents) with spaces, preserving line structure so reported line numbers
+    stay exact."""
+    out = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if ch == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif ch == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append("".join(c if c == "\n" else " " for c in text[i:j]))
+            i = j
+        elif ch in "\"'":
+            if keep_strings:
+                quote = ch
+                j = i + 1
+                while j < n and text[j] != quote:
+                    j += 2 if text[j] == "\\" else 1
+                j = min(j + 1, n)
+                out.append(text[i:j])
+                i = j
+                continue
+            quote = ch
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            body = "".join(c if c == "\n" else " " for c in text[i + 1:j - 1])
+            out.append(quote + body + (quote if j <= n else ""))
+            i = j
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def line_of(text, pos):
+    return text.count("\n", 0, pos) + 1
+
+
+def find_status_functions(root):
+    """Names of functions declared to return Status in project headers."""
+    names = set()
+    decl = re.compile(r"(?:^|[\s;{}])Status\s+([A-Za-z_]\w*)\s*\(")
+    for path in walk_cpp_files(root):
+        if not path.endswith(".h"):
+            continue
+        text = strip_comments_and_strings(read_file(path))
+        for match in decl.finditer(text):
+            names.add(match.group(1))
+    # Status factory methods are construction, not fallible calls.
+    names -= {"OK", "InvalidArgument", "NotFound", "IOError", "OutOfRange",
+              "FailedPrecondition", "Internal"}
+    return names
+
+
+def walk_cpp_files(root):
+    for top in CPP_DIRS:
+        base = os.path.join(root, top)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, _, filenames in os.walk(base):
+            for name in sorted(filenames):
+                if name.endswith(CPP_EXTENSIONS):
+                    yield os.path.join(dirpath, name)
+
+
+def read_file(path):
+    with open(path, encoding="utf-8") as handle:
+        return handle.read()
+
+
+class Findings:
+    def __init__(self, root):
+        self.root = root
+        self.items = []
+
+    def add(self, path, line, rule, message):
+        rel = os.path.relpath(path, self.root)
+        self.items.append((rel, line, rule, message))
+
+
+def check_bare_assert(path, text, findings):
+    for match in re.finditer(r"(?<![\w_])assert\s*\(", text):
+        # static_assert is a language feature, not a runtime check.
+        before = text[max(0, match.start() - 7):match.start()]
+        if before.endswith("static_"):
+            continue
+        findings.add(path, line_of(text, match.start()), "no-bare-assert",
+                     "use TRACER_CHECK/TRACER_DCHECK instead of assert()")
+    for match in re.finditer(r"#\s*include\s*<(cassert|assert\.h)>", text):
+        findings.add(path, line_of(text, match.start()), "no-bare-assert",
+                     "<%s> is banned; use common/macros.h checks"
+                     % match.group(1))
+
+
+def check_using_namespace(path, text, findings):
+    for match in re.finditer(r"using\s+namespace\s+([\w:]+)", text):
+        target = match.group(1)
+        line = line_of(text, match.start())
+        if path.endswith(".h"):
+            findings.add(path, line, "no-using-namespace",
+                         "`using namespace %s` in a header leaks into every "
+                         "includer" % target)
+        elif target == "std" or target.startswith("std::"):
+            findings.add(path, line, "no-using-namespace",
+                         "`using namespace std` is forbidden everywhere")
+
+
+def check_include_hygiene(path, text, findings, root):
+    subdirs = project_subdirs(root)
+    for match in re.finditer(r'#\s*include\s*(["<])([^">]+)[">]', text):
+        form, target = match.groups()
+        line = line_of(text, match.start())
+        if form == '"':
+            if ".." in target.split("/"):
+                findings.add(path, line, "include-hygiene",
+                             '"%s": no relative traversal in includes'
+                             % target)
+            elif "/" not in target:
+                findings.add(path, line, "include-hygiene",
+                             '"%s": project includes use the '
+                             '"subdir/header.h" form' % target)
+            elif target.split("/")[0] not in subdirs:
+                findings.add(path, line, "include-hygiene",
+                             '"%s": unknown project subdir "%s"'
+                             % (target, target.split("/")[0]))
+        else:
+            head = target.split("/")[0]
+            if head in subdirs:
+                findings.add(path, line, "include-hygiene",
+                             "<%s>: project headers use quoted includes"
+                             % target)
+
+
+def check_unchecked_status(path, text, findings, status_functions):
+    if not status_functions:
+        return
+    names = "|".join(sorted(status_functions))
+    # A fallible call in statement position: the previous token boundary is
+    # ; { or } (start of a statement), the call may be qualified or through
+    # an object, and nothing consumes the returned Status.
+    pattern = re.compile(
+        r"(?<=[;{}])\s*(?:[A-Za-z_]\w*\s*(?:::|\.|->)\s*)*(%s)\s*\(" % names)
+    for match in pattern.finditer(text):
+        findings.add(path, line_of(text, match.start(1)), "unchecked-status",
+                     "result of Status-returning %s() is discarded; assign, "
+                     "return or TRACER_RETURN_IF_ERROR it" % match.group(1))
+
+
+def check_header_guard(path, text, findings, root):
+    rel = os.path.relpath(path, os.path.join(root, "src"))
+    if rel.startswith("..") or not path.endswith(".h"):
+        return
+    expected = "TRACER_" + re.sub(r"[/.]", "_", rel).upper() + "_"
+    match = re.search(r"#ifndef\s+(\w+)", text)
+    if not match:
+        findings.add(path, 1, "header-guard",
+                     "missing include guard (expected %s)" % expected)
+    elif match.group(1) != expected:
+        findings.add(path, line_of(text, match.start()), "header-guard",
+                     "guard %s should be %s" % (match.group(1), expected))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))),
+        help="repository root (default: parent of tools/)")
+    args = parser.parse_args()
+    root = os.path.abspath(args.root)
+    if not os.path.isdir(os.path.join(root, "src")):
+        print("lint: %s does not look like the repo root (no src/)" % root)
+        return 2
+
+    status_functions = find_status_functions(root)
+    findings = Findings(root)
+    file_count = 0
+    for path in walk_cpp_files(root):
+        file_count += 1
+        raw = read_file(path)
+        text = strip_comments_and_strings(raw)
+        # Include targets are string literals, so the hygiene check runs on
+        # a comment-stripped view that keeps strings intact.
+        with_strings = strip_comments_and_strings(raw, keep_strings=True)
+        check_bare_assert(path, text, findings)
+        check_using_namespace(path, text, findings)
+        check_include_hygiene(path, with_strings, findings, root)
+        check_unchecked_status(path, text, findings, status_functions)
+        check_header_guard(path, text, findings, root)
+
+    for rel, line, rule, message in sorted(findings.items):
+        print("%s:%d: [%s] %s" % (rel, line, rule, message))
+    if findings.items:
+        print("lint: %d finding(s) in %d files"
+              % (len(findings.items), file_count))
+        return 1
+    print("lint ok: %d files, %d Status-returning functions tracked"
+          % (file_count, len(status_functions)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy at the repo root) over every C++
+# source in src/, tests/ and bench/ against a compile database.
+#
+# Usage: tools/run_clang_tidy.sh [build-dir]
+#   build-dir  existing or to-be-created CMake build dir with
+#              CMAKE_EXPORT_COMPILE_COMMANDS (default: <root>/build-tidy)
+#
+# Exits 0 with a notice when clang-tidy is not installed (e.g. the gcc-only
+# CI image): the python linter (tools/lint.py, `ctest -R lint`) still
+# enforces the repo invariants there, so absence of clang-tidy must not
+# fail the build.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-"$ROOT/build-tidy"}"
+
+TIDY_BIN="$(command -v clang-tidy || true)"
+if [[ -z "$TIDY_BIN" ]]; then
+  echo "run_clang_tidy: clang-tidy not found on PATH; skipping (lint.py still applies)" >&2
+  exit 0
+fi
+
+if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+  cmake -S "$ROOT" -B "$BUILD_DIR" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+mapfile -t SOURCES < <(find "$ROOT/src" "$ROOT/tests" "$ROOT/bench" -name '*.cc' | sort)
+echo "run_clang_tidy: checking ${#SOURCES[@]} files with $TIDY_BIN"
+
+STATUS=0
+for src in "${SOURCES[@]}"; do
+  "$TIDY_BIN" --quiet -p "$BUILD_DIR" "$src" || STATUS=1
+done
+
+if [[ "$STATUS" -ne 0 ]]; then
+  echo "run_clang_tidy: findings above must be fixed (WarningsAsErrors: '*')" >&2
+fi
+exit "$STATUS"
