@@ -7,19 +7,32 @@
 //
 // Runtime knobs (environment variables):
 //   TRACER_BENCH_SAMPLES  cohort size            (default 2000)
-//   TRACER_EPOCHS         max training epochs    (default 20)
+//   TRACER_EPOCHS         max training epochs    (default 60)
 //   TRACER_REPEATS        repeats per cell       (default 1; paper uses 10)
 //   TRACER_FULL_GRID      1 = paper-size sensitivity grid {32..1024}
 //   TRACER_RNN_DIM / TRACER_FILM_DIM  model dims (default 16)
+//   TRACER_BENCH_JSON     when set, harnesses write a machine-readable
+//                         BENCH_<name>.json artifact (run id, config,
+//                         per-section wall-time, ops/sec) into this
+//                         directory — or to the exact path if the value
+//                         ends in ".json". See BenchArtifact below.
+
+#include <ctime>
+#include <sys/stat.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
 #include "data/dataset.h"
 #include "datagen/emr_generator.h"
+#include "obs/json.h"
+#include "obs/obs.h"
 
 namespace tracer {
 namespace bench {
@@ -90,6 +103,107 @@ inline void PrintHeader(const std::string& title) {
 inline void PrintRule() {
   std::printf("------------------------------------------------------------\n");
 }
+
+/// Machine-readable benchmark artifact with a stable schema, so successive
+/// runs of the same harness form a comparable perf trajectory:
+///
+///   {"schema_version":1, "bench":"micro_tensor",
+///    "run_id":"micro_tensor-<unix_time>-<pid>", "unix_time":...,
+///    "config":{"build":"Release","obs_enabled":false, ...},
+///    "sections":[{"name":"BM_MatMul/64/64","wall_time_s":...,
+///                 "ops_per_sec":...,"iterations":...}, ...]}
+///
+/// Harnesses fill sections (one per benchmark case / table cell / timed
+/// phase) and call WriteIfRequested(), which is a no-op unless the
+/// TRACER_BENCH_JSON env var names an output directory (or a full path
+/// ending in ".json"). CI uploads the resulting BENCH_<name>.json files as
+/// workflow artifacts.
+class BenchArtifact {
+ public:
+  explicit BenchArtifact(std::string name)
+      : name_(std::move(name)), unix_time_(std::time(nullptr)) {
+    run_id_ = name_ + "-" + std::to_string(unix_time_) + "-" +
+              std::to_string(static_cast<long>(getpid()));
+// The repo's Release config sets only -O3 (no -DNDEBUG), so key the
+// build label on the compiler's optimisation flag rather than NDEBUG.
+#if defined(__OPTIMIZE__) || defined(NDEBUG)
+    AddConfig("build", "Release");
+#else
+    AddConfig("build", "Debug");
+#endif
+    config_.Add("obs_enabled", obs::Enabled());
+  }
+
+  void AddConfig(const std::string& key, const std::string& value) {
+    config_.Add(key, value);
+  }
+  void AddConfig(const std::string& key, double value) {
+    config_.Add(key, value);
+  }
+  void AddConfig(const std::string& key, int64_t value) {
+    config_.Add(key, value);
+  }
+
+  void AddSection(const std::string& section, double wall_time_s,
+                  double ops_per_sec = 0.0, int64_t iterations = 0) {
+    obs::JsonObject obj;
+    obj.Add("name", section);
+    obj.Add("wall_time_s", wall_time_s);
+    obj.Add("ops_per_sec", ops_per_sec);
+    obj.Add("iterations", iterations);
+    if (!sections_.empty()) sections_ += ",";
+    sections_ += obj.Build();
+  }
+
+  std::string ToJson() const {
+    obs::JsonObject root;
+    root.Add("schema_version", static_cast<int64_t>(1));
+    root.Add("bench", name_);
+    root.Add("run_id", run_id_);
+    root.Add("unix_time", static_cast<int64_t>(unix_time_));
+    root.AddRaw("config", config_.Build());
+    root.AddRaw("sections", "[" + sections_ + "]");
+    return root.Build();
+  }
+
+  /// Resolved output path, or "" when TRACER_BENCH_JSON is unset.
+  std::string OutputPath() const {
+    const char* target = std::getenv("TRACER_BENCH_JSON");
+    if (target == nullptr || target[0] == '\0') return "";
+    const std::string dest(target);
+    if (dest.size() > 5 && dest.substr(dest.size() - 5) == ".json") {
+      return dest;
+    }
+    return dest + "/BENCH_" + name_ + ".json";
+  }
+
+  /// Writes the artifact if TRACER_BENCH_JSON is set. Returns true when a
+  /// file was written. Creates the (single-level) output directory if it
+  /// does not exist yet.
+  bool WriteIfRequested() const {
+    const std::string path = OutputPath();
+    if (path.empty()) return false;
+    const std::string::size_type slash = path.find_last_of('/');
+    if (slash != std::string::npos && slash > 0) {
+      ::mkdir(path.substr(0, slash).c_str(), 0775);  // best effort
+    }
+    std::ofstream out(path);
+    if (!out.is_open()) {
+      std::fprintf(stderr, "BenchArtifact: cannot open %s\n", path.c_str());
+      return false;
+    }
+    out << ToJson() << "\n";
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  std::time_t unix_time_;
+  std::string run_id_;
+  obs::JsonObject config_;
+  std::string sections_;
+};
 
 }  // namespace bench
 }  // namespace tracer

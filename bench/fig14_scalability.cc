@@ -22,7 +22,8 @@ namespace tracer {
 namespace {
 
 void RunDataset(const char* title, const bench::PreparedData& data,
-                const bench::BenchOptions& options, int epochs) {
+                const bench::BenchOptions& options, int epochs,
+                bench::BenchArtifact* artifact) {
   bench::PrintHeader(std::string("Figure 14 — ") + title);
   auto factory = [&]() -> std::unique_ptr<nn::SequenceModel> {
     core::TitvConfig config;
@@ -66,6 +67,14 @@ void RunDataset(const char* title, const bench::PreparedData& data,
     if (workers == 8) modeled_8 = modeled;
     std::printf("%-8d %-16.2f %-18.2f %-22.2f\n", workers, result.seconds,
                 result.controlling_seconds, modeled);
+    const int64_t examples =
+        static_cast<int64_t>(data.splits.train.num_samples()) * epochs;
+    artifact->AddSection(
+        std::string(title) + "/workers:" + std::to_string(workers),
+        result.seconds,
+        result.seconds > 0.0 ? static_cast<double>(examples) / result.seconds
+                             : 0.0,
+        epochs);
   }
   bench::PrintRule();
   std::printf("Modeled speedup at 8 devices: %.2fx (paper: sub-linear on "
@@ -79,17 +88,24 @@ void RunDataset(const char* title, const bench::PreparedData& data,
 int main() {
   tracer::bench::BenchOptions options;
   const int epochs = std::min(options.epochs, 6);  // timing, not accuracy
+  tracer::bench::BenchArtifact artifact("fig14_scalability");
+  artifact.AddConfig("samples", static_cast<int64_t>(options.samples));
+  artifact.AddConfig("epochs", static_cast<int64_t>(epochs));
+  artifact.AddConfig("rnn_dim", static_cast<int64_t>(options.rnn_dim));
   {
     tracer::bench::BenchOptions small = options;
     small.samples = options.samples / 2;
     const tracer::bench::PreparedData aki =
         tracer::bench::PrepareAkiCohort(small);
-    tracer::RunDataset("NUH-AKI (small cohort)", aki, options, epochs);
+    tracer::RunDataset("NUH-AKI (small cohort)", aki, options, epochs,
+                       &artifact);
   }
   {
     const tracer::bench::PreparedData mimic =
         tracer::bench::PrepareMimicCohort(options);
-    tracer::RunDataset("MIMIC-III (larger cohort)", mimic, options, epochs);
+    tracer::RunDataset("MIMIC-III (larger cohort)", mimic, options, epochs,
+                       &artifact);
   }
+  artifact.WriteIfRequested();
   return 0;
 }

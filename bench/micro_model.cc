@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "autograd/ops.h"
+#include "bench/micro_main.h"
 #include "baselines/gbdt.h"
 #include "core/titv.h"
 #include "nn/gru.h"
@@ -134,3 +135,7 @@ BENCHMARK(BM_GbdtTreeFit)->Arg(1000)->Arg(10000);
 
 }  // namespace
 }  // namespace tracer
+
+int main(int argc, char** argv) {
+  return tracer::bench::RunMicroBenchmarks("micro_model", argc, argv);
+}

@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/micro_main.h"
 #include "common/rng.h"
 #include "tensor/tensor.h"
 #include "tensor/tensor_ops.h"
@@ -100,3 +101,7 @@ BENCHMARK(BM_ConcatCols)->Arg(32)->Arg(128);
 
 }  // namespace
 }  // namespace tracer
+
+int main(int argc, char** argv) {
+  return tracer::bench::RunMicroBenchmarks("micro_tensor", argc, argv);
+}

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/macros.h"
+#include "obs/autograd_profiler.h"
 #include "tensor/tensor_ops.h"
 
 namespace tracer {
@@ -19,6 +20,7 @@ bool Wants(const Node& node, size_t i) {
 }  // namespace
 
 Variable MatMul(const Variable& a, const Variable& b) {
+  obs::ScopedOpTimer op_timer("matmul");
   Tensor value = tracer::MatMul(a.value(), b.value());
   return MakeOpNode("matmul", std::move(value), {a.node(), b.node()},
                     [](Node& n) {
@@ -34,6 +36,7 @@ Variable MatMul(const Variable& a, const Variable& b) {
 }
 
 Variable Add(const Variable& a, const Variable& b) {
+  obs::ScopedOpTimer op_timer("add");
   Tensor value = tracer::Add(a.value(), b.value());
   return MakeOpNode("add", std::move(value), {a.node(), b.node()}, [](Node& n) {
     if (Wants(n, 0)) AddInPlace(&n.parents[0]->EnsureGrad(), n.grad);
@@ -42,6 +45,7 @@ Variable Add(const Variable& a, const Variable& b) {
 }
 
 Variable Sub(const Variable& a, const Variable& b) {
+  obs::ScopedOpTimer op_timer("sub");
   Tensor value = tracer::Sub(a.value(), b.value());
   return MakeOpNode("sub", std::move(value), {a.node(), b.node()}, [](Node& n) {
     if (Wants(n, 0)) AddInPlace(&n.parents[0]->EnsureGrad(), n.grad);
@@ -50,6 +54,7 @@ Variable Sub(const Variable& a, const Variable& b) {
 }
 
 Variable Mul(const Variable& a, const Variable& b) {
+  obs::ScopedOpTimer op_timer("mul");
   Tensor value = tracer::Mul(a.value(), b.value());
   return MakeOpNode("mul", std::move(value), {a.node(), b.node()}, [](Node& n) {
     if (Wants(n, 0)) {
@@ -64,6 +69,7 @@ Variable Mul(const Variable& a, const Variable& b) {
 }
 
 Variable AddRows(const Variable& a, const Variable& row) {
+  obs::ScopedOpTimer op_timer("add_rows");
   Tensor value = AddRowBroadcast(a.value(), row.value());
   return MakeOpNode("add_rows", std::move(value), {a.node(), row.node()},
                     [](Node& n) {
@@ -75,6 +81,7 @@ Variable AddRows(const Variable& a, const Variable& row) {
 }
 
 Variable MulColBroadcast(const Variable& mat, const Variable& col) {
+  obs::ScopedOpTimer op_timer("mul_col_broadcast");
   Tensor value = tracer::MulColBroadcast(mat.value(), col.value());
   return MakeOpNode("mul_col_broadcast", std::move(value),
                     {mat.node(), col.node()}, [](Node& n) {
@@ -90,6 +97,7 @@ Variable MulColBroadcast(const Variable& mat, const Variable& col) {
 }
 
 Variable Scale(const Variable& a, float s) {
+  obs::ScopedOpTimer op_timer("scale");
   Tensor value = tracer::Scale(a.value(), s);
   return MakeOpNode("scale", std::move(value), {a.node()}, [s](Node& n) {
     if (Wants(n, 0)) Axpy(s, n.grad, &n.parents[0]->EnsureGrad());
@@ -97,6 +105,7 @@ Variable Scale(const Variable& a, float s) {
 }
 
 Variable AddScalar(const Variable& a, float s) {
+  obs::ScopedOpTimer op_timer("add_scalar");
   Tensor value = tracer::AddScalar(a.value(), s);
   return MakeOpNode("add_scalar", std::move(value), {a.node()}, [](Node& n) {
     if (Wants(n, 0)) AddInPlace(&n.parents[0]->EnsureGrad(), n.grad);
@@ -110,6 +119,7 @@ Variable OneMinus(const Variable& a) {
 }
 
 Variable Sigmoid(const Variable& a) {
+  obs::ScopedOpTimer op_timer("sigmoid");
   Tensor value = tracer::Sigmoid(a.value());
   return MakeOpNode("sigmoid", std::move(value), {a.node()}, [](Node& n) {
     if (!Wants(n, 0)) return;
@@ -126,6 +136,7 @@ Variable Sigmoid(const Variable& a) {
 }
 
 Variable Tanh(const Variable& a) {
+  obs::ScopedOpTimer op_timer("tanh");
   Tensor value = tracer::Tanh(a.value());
   return MakeOpNode("tanh", std::move(value), {a.node()}, [](Node& n) {
     if (!Wants(n, 0)) return;
@@ -141,6 +152,7 @@ Variable Tanh(const Variable& a) {
 }
 
 Variable Relu(const Variable& a) {
+  obs::ScopedOpTimer op_timer("relu");
   Tensor value = tracer::Relu(a.value());
   return MakeOpNode("relu", std::move(value), {a.node()}, [](Node& n) {
     if (!Wants(n, 0)) return;
@@ -156,6 +168,7 @@ Variable Relu(const Variable& a) {
 }
 
 Variable ConcatCols(const Variable& a, const Variable& b) {
+  obs::ScopedOpTimer op_timer("concat_cols");
   Tensor value = tracer::ConcatCols(a.value(), b.value());
   const int na = a.value().cols();
   const int nb = b.value().cols();
@@ -180,6 +193,7 @@ Variable ConcatColsMany(const std::vector<Variable>& parts) {
 }
 
 Variable SliceCols(const Variable& a, int begin, int end) {
+  obs::ScopedOpTimer op_timer("slice_cols");
   Tensor value = tracer::SliceCols(a.value(), begin, end);
   return MakeOpNode("slice_cols", std::move(value), {a.node()},
                     [begin, end](Node& n) {
@@ -195,6 +209,7 @@ Variable SliceCols(const Variable& a, int begin, int end) {
 }
 
 Variable SoftmaxRows(const Variable& a) {
+  obs::ScopedOpTimer op_timer("softmax_rows");
   Tensor value = tracer::SoftmaxRows(a.value());
   return MakeOpNode("softmax_rows", std::move(value), {a.node()}, [](Node& n) {
     if (!Wants(n, 0)) return;
@@ -215,6 +230,7 @@ Variable SoftmaxRows(const Variable& a) {
 }
 
 Variable RowSums(const Variable& a) {
+  obs::ScopedOpTimer op_timer("row_sums");
   Tensor value = tracer::RowSum(a.value());
   return MakeOpNode("row_sums", std::move(value), {a.node()}, [](Node& n) {
     if (!Wants(n, 0)) return;
@@ -228,6 +244,7 @@ Variable RowSums(const Variable& a) {
 }
 
 Variable MeanAll(const Variable& a) {
+  obs::ScopedOpTimer op_timer("mean_all");
   Tensor value({1, 1});
   value[0] = tracer::MeanAll(a.value());
   const float inv = 1.0f / static_cast<float>(a.value().size());
@@ -242,6 +259,7 @@ Variable MeanAll(const Variable& a) {
 }
 
 Variable SumAll(const Variable& a) {
+  obs::ScopedOpTimer op_timer("sum_all");
   Tensor value({1, 1});
   value[0] = tracer::SumAll(a.value());
   return MakeOpNode("sum_all", std::move(value), {a.node()}, [](Node& n) {
@@ -263,6 +281,7 @@ Variable Average(const std::vector<Variable>& xs) {
 
 Variable BinaryCrossEntropyWithLogits(const Variable& logits,
                                       const Tensor& targets) {
+  obs::ScopedOpTimer op_timer("bce_with_logits");
   const Tensor& z = logits.value();
   TRACER_CHECK(z.SameShape(targets)) << "BCE: logits/targets shape mismatch";
   TRACER_CHECK_GT(z.size(), 0);
@@ -299,6 +318,7 @@ Variable BinaryCrossEntropyWithLogits(const Variable& logits,
 }
 
 Variable MeanSquaredError(const Variable& pred, const Tensor& target) {
+  obs::ScopedOpTimer op_timer("mse");
   const Tensor& p = pred.value();
   TRACER_CHECK(p.SameShape(target)) << "MSE: shape mismatch";
   TRACER_CHECK_GT(p.size(), 0);

@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "common/macros.h"
+#include "obs/autograd_profiler.h"
 #include "tensor/tensor_ops.h"
 
 namespace tracer {
@@ -82,11 +83,19 @@ void Variable::Backward(const Tensor& output_grad) {
   AddInPlace(&node_->EnsureGrad(), output_grad);
   // Post-order puts the root last; walk in reverse so each node's gradient
   // is complete before it is pushed to its parents.
+  obs::AutogradProfiler& profiler = obs::AutogradProfiler::Global();
+  const bool profile = profiler.enabled();
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     Node* node = *it;
     ++node->backward_runs;
     if (node->backward_fn && node->grad_allocated) {
-      node->backward_fn(*node);
+      if (profile) {
+        const uint64_t start = obs::MonotonicNowNs();
+        node->backward_fn(*node);
+        profiler.RecordBackward(node->op, obs::MonotonicNowNs() - start);
+      } else {
+        node->backward_fn(*node);
+      }
     }
   }
 }

@@ -1,7 +1,13 @@
 #include "common/logging.h"
 
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
+#include <mutex>
+
+#include "obs/obs.h"
 
 namespace tracer {
 
@@ -35,6 +41,30 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+/// UTC wall-clock timestamp, ISO-8601 with millisecond precision
+/// (e.g. 2026-08-06T09:15:02.417Z).
+void FormatTimestamp(char* buf, size_t size) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  const int millis = static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count() %
+      1000);
+  std::tm utc{};
+  gmtime_r(&seconds, &utc);
+  std::snprintf(buf, size, "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday, utc.tm_hour,
+                utc.tm_min, utc.tm_sec, millis);
+}
+
+/// Serializes sink writes: without it, concurrent TRACER_LOG calls from
+/// ThreadPool workers interleave mid-line on stderr.
+std::mutex& SinkMutex() {
+  static std::mutex* mutex = new std::mutex();
+  return *mutex;
+}
+
 }  // namespace
 
 LogLevel GlobalLogLevel() { return MutableLevel(); }
@@ -46,14 +76,22 @@ namespace internal {
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : enabled_(level >= GlobalLogLevel()), level_(level) {
   if (enabled_) {
+    char timestamp[32];
+    FormatTimestamp(timestamp, sizeof(timestamp));
     const char* base = std::strrchr(file, '/');
-    stream_ << "[" << LevelName(level_) << " "
+    stream_ << "[" << LevelName(level_) << " " << timestamp << " tid:"
+            << obs::ThreadId() << " "
             << (base != nullptr ? base + 1 : file) << ":" << line << "] ";
   }
 }
 
 LogMessage::~LogMessage() {
-  if (enabled_) std::cerr << stream_.str() << std::endl;
+  if (!enabled_) return;
+  stream_ << "\n";
+  const std::string line = stream_.str();
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  std::fflush(stderr);
 }
 
 }  // namespace internal

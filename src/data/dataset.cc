@@ -4,6 +4,9 @@
 #include <limits>
 #include <numeric>
 
+#include "obs/metrics.h"
+#include "obs/obs.h"
+
 namespace tracer {
 namespace data {
 
@@ -137,6 +140,14 @@ Batch MakeBatch(const TimeSeriesDataset& dataset,
   }
   for (int b = 0; b < batch; ++b) {
     out.labels.at(b, 0) = dataset.label(indices[b]);
+  }
+  if (obs::Enabled()) {
+    // Rows materialised into model-ready batches — the dataset layer's
+    // ingestion throughput. One relaxed atomic add per batch.
+    static obs::Counter* rows = obs::MetricsRegistry::Global()
+                                    .GetOrCreateCounter(
+                                        "tracer_data_batch_rows_total");
+    rows->Increment(batch);
   }
   return out;
 }

@@ -2,6 +2,9 @@
 
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/obs.h"
+
 namespace tracer {
 namespace data {
 
@@ -151,6 +154,17 @@ void Impute(TimeSeriesDataset* dataset, const MissingnessMask& mask,
   TRACER_CHECK_EQ(dataset->num_samples(), mask.num_samples());
   TRACER_CHECK_EQ(dataset->num_windows(), mask.num_windows());
   TRACER_CHECK_EQ(dataset->num_features(), mask.num_features());
+  if (obs::Enabled()) {
+    const int64_t total = static_cast<int64_t>(dataset->num_samples()) *
+                          dataset->num_windows() * dataset->num_features();
+    const int64_t imputed =
+        total - static_cast<int64_t>(mask.ObservedRate() * total + 0.5);
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    registry.GetOrCreateCounter("tracer_data_impute_calls_total")
+        ->Increment();
+    registry.GetOrCreateCounter("tracer_data_imputed_cells_total")
+        ->Increment(imputed);
+  }
   if (strategy == ImputationStrategy::kZero) {
     for (int i = 0; i < dataset->num_samples(); ++i) {
       for (int t = 0; t < dataset->num_windows(); ++t) {

@@ -1,0 +1,85 @@
+#include "obs/autograd_profiler.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace tracer {
+namespace obs {
+
+AutogradProfiler& AutogradProfiler::Global() {
+  static AutogradProfiler* profiler = new AutogradProfiler();
+  return *profiler;
+}
+
+void AutogradProfiler::SetEnabled(bool enabled) {
+  enabled_.store(enabled, std::memory_order_relaxed);
+}
+
+void AutogradProfiler::RecordForward(const char* op, uint64_t ns) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Cell& cell = cells_[op];
+  ++cell.forward_calls;
+  cell.forward_ns += ns;
+}
+
+void AutogradProfiler::RecordBackward(const char* op, uint64_t ns) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Cell& cell = cells_[op];
+  ++cell.backward_calls;
+  cell.backward_ns += ns;
+}
+
+std::vector<OpProfile> AutogradProfiler::Snapshot() const {
+  std::vector<OpProfile> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.reserve(cells_.size());
+    for (const auto& [op, cell] : cells_) {
+      OpProfile profile;
+      profile.op = op;
+      profile.forward_calls = cell.forward_calls;
+      profile.forward_ns = cell.forward_ns;
+      profile.backward_calls = cell.backward_calls;
+      profile.backward_ns = cell.backward_ns;
+      out.push_back(std::move(profile));
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const OpProfile& a, const OpProfile& b) {
+    if (a.total_ns() != b.total_ns()) return a.total_ns() > b.total_ns();
+    return a.op < b.op;
+  });
+  return out;
+}
+
+uint64_t AutogradProfiler::TotalNs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t total = 0;
+  for (const auto& [op, cell] : cells_) {
+    total += cell.forward_ns + cell.backward_ns;
+  }
+  return total;
+}
+
+std::string AutogradProfiler::ReportTable() const {
+  const std::vector<OpProfile> profiles = Snapshot();
+  std::string out =
+      "op                    fwd_calls     fwd_ms  bwd_calls     bwd_ms\n";
+  for (const OpProfile& p : profiles) {
+    char line[128];
+    std::snprintf(line, sizeof(line), "%-20s %10lld %10.3f %10lld %10.3f\n",
+                  p.op.c_str(), static_cast<long long>(p.forward_calls),
+                  static_cast<double>(p.forward_ns) / 1e6,
+                  static_cast<long long>(p.backward_calls),
+                  static_cast<double>(p.backward_ns) / 1e6);
+    out += line;
+  }
+  return out;
+}
+
+void AutogradProfiler::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  cells_.clear();
+}
+
+}  // namespace obs
+}  // namespace tracer

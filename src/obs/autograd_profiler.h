@@ -1,0 +1,103 @@
+#ifndef TRACER_OBS_AUTOGRAD_PROFILER_H_
+#define TRACER_OBS_AUTOGRAD_PROFILER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace tracer {
+namespace obs {
+
+/// Accumulated wall-time and call counts for one autograd op kind, keyed by
+/// the op name recorded on the tape node (autograd::Node::op).
+struct OpProfile {
+  std::string op;
+  int64_t forward_calls = 0;
+  uint64_t forward_ns = 0;
+  int64_t backward_calls = 0;
+  uint64_t backward_ns = 0;
+  uint64_t total_ns() const { return forward_ns + backward_ns; }
+};
+
+/// Per-op autograd profiler. Disabled by default; when enabled, every
+/// differentiable op in autograd/ops.cc times its forward compute
+/// (ScopedOpTimer) and Variable::Backward times each node's backward
+/// closure, both attributed to the tape's op name. Aggregation is a mutex
+/// plus a map — acceptable because the profiler is an opt-in diagnosis
+/// tool, and each sample already paid for a clock read.
+class AutogradProfiler {
+ public:
+  static AutogradProfiler& Global();
+
+  /// Profiler-local switch, independent of obs::Enabled() so a training run
+  /// can profile without turning on the whole telemetry stack. Always false
+  /// when compiled with TRACER_OBS=0.
+  bool enabled() const {
+#if TRACER_OBS == 0
+    return false;
+#else
+    return enabled_.load(std::memory_order_relaxed);
+#endif
+  }
+  void SetEnabled(bool enabled);
+
+  void RecordForward(const char* op, uint64_t ns);
+  void RecordBackward(const char* op, uint64_t ns);
+
+  /// Per-op profiles sorted by total (forward+backward) time, descending.
+  std::vector<OpProfile> Snapshot() const;
+
+  /// Sum of all recorded forward+backward nanoseconds.
+  uint64_t TotalNs() const;
+
+  /// Human-readable sorted table, one op per line.
+  std::string ReportTable() const;
+
+  void Reset();
+
+ private:
+  struct Cell {
+    int64_t forward_calls = 0;
+    uint64_t forward_ns = 0;
+    int64_t backward_calls = 0;
+    uint64_t backward_ns = 0;
+  };
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::map<std::string, Cell> cells_;
+};
+
+/// Times one forward op when the profiler is enabled; a relaxed atomic load
+/// and nothing else when it is not. `op` must be a string literal.
+class ScopedOpTimer {
+ public:
+  explicit ScopedOpTimer(const char* op)
+      : op_(op), active_(AutogradProfiler::Global().enabled()) {
+    if (active_) start_ns_ = MonotonicNowNs();
+  }
+  ~ScopedOpTimer() {
+    if (active_) {
+      AutogradProfiler::Global().RecordForward(op_,
+                                               MonotonicNowNs() - start_ns_);
+    }
+  }
+
+  ScopedOpTimer(const ScopedOpTimer&) = delete;
+  ScopedOpTimer& operator=(const ScopedOpTimer&) = delete;
+
+ private:
+  const char* op_;
+  bool active_;
+  uint64_t start_ns_ = 0;
+};
+
+}  // namespace obs
+}  // namespace tracer
+
+#endif  // TRACER_OBS_AUTOGRAD_PROFILER_H_

@@ -1,0 +1,117 @@
+#ifndef TRACER_OBS_JSON_H_
+#define TRACER_OBS_JSON_H_
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace tracer {
+namespace obs {
+
+/// Escapes a string for inclusion in a JSON string literal.
+inline std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size() + 8);
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Renders a double as a JSON number (JSON has no NaN/Inf; those become
+/// null so consumers fail loudly instead of parsing garbage).
+inline std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+/// Minimal append-only builder for one-line JSON objects (the shape every
+/// telemetry record and metric export line in this codebase uses). Values
+/// are written eagerly into a flat string; no DOM, no allocator churn.
+class JsonObject {
+ public:
+  JsonObject& Add(const std::string& key, const std::string& value) {
+    Key(key);
+    body_ += '"';
+    body_ += JsonEscape(value);
+    body_ += '"';
+    return *this;
+  }
+
+  JsonObject& Add(const std::string& key, const char* value) {
+    return Add(key, std::string(value));
+  }
+
+  JsonObject& Add(const std::string& key, double value) {
+    Key(key);
+    body_ += JsonNumber(value);
+    return *this;
+  }
+
+  JsonObject& Add(const std::string& key, int64_t value) {
+    Key(key);
+    body_ += std::to_string(value);
+    return *this;
+  }
+
+  JsonObject& Add(const std::string& key, int value) {
+    return Add(key, static_cast<int64_t>(value));
+  }
+
+  JsonObject& Add(const std::string& key, bool value) {
+    Key(key);
+    body_ += value ? "true" : "false";
+    return *this;
+  }
+
+  /// Splices a pre-rendered JSON value (object, array, …) under `key`.
+  JsonObject& AddRaw(const std::string& key, const std::string& json) {
+    Key(key);
+    body_ += json;
+    return *this;
+  }
+
+  std::string Build() const { return "{" + body_ + "}"; }
+
+ private:
+  void Key(const std::string& key) {
+    if (!body_.empty()) body_ += ',';
+    body_ += '"';
+    body_ += JsonEscape(key);
+    body_ += "\":";
+  }
+
+  std::string body_;
+};
+
+}  // namespace obs
+}  // namespace tracer
+
+#endif  // TRACER_OBS_JSON_H_

@@ -1,0 +1,181 @@
+#include "obs/metrics.h"
+
+#include <utility>
+
+#include "common/macros.h"
+#include "obs/json.h"
+
+namespace tracer {
+namespace obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  TRACER_CHECK(!bounds_.empty()) << "histogram needs at least one bound";
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    TRACER_CHECK_LT(bounds_[i - 1], bounds_[i])
+        << "histogram bounds must be strictly increasing";
+  }
+}
+
+void Histogram::Observe(double value) {
+  size_t bucket = bounds_.size();  // +Inf
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    if (value <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double current = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(current, current + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<int64_t> Histogram::CumulativeCounts() const {
+  std::vector<int64_t> out(buckets_.size());
+  int64_t running = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    running += buckets_[i].load(std::memory_order_relaxed);
+    out[i] = running;
+  }
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetOrCreateCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entries_[name];
+  if (entry.counter == nullptr) {
+    TRACER_CHECK(entry.gauge == nullptr && entry.histogram == nullptr)
+        << name << " already registered with a different metric kind";
+    entry.kind = Kind::kCounter;
+    entry.counter = std::make_unique<Counter>();
+  }
+  return entry.counter.get();
+}
+
+Gauge* MetricsRegistry::GetOrCreateGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entries_[name];
+  if (entry.gauge == nullptr) {
+    TRACER_CHECK(entry.counter == nullptr && entry.histogram == nullptr)
+        << name << " already registered with a different metric kind";
+    entry.kind = Kind::kGauge;
+    entry.gauge = std::make_unique<Gauge>();
+  }
+  return entry.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetOrCreateHistogram(const std::string& name,
+                                                 std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entries_[name];
+  if (entry.histogram == nullptr) {
+    TRACER_CHECK(entry.counter == nullptr && entry.gauge == nullptr)
+        << name << " already registered with a different metric kind";
+    entry.kind = Kind::kHistogram;
+    entry.histogram = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return entry.histogram.get();
+}
+
+std::string MetricsRegistry::ExportPrometheus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        out += "# TYPE " + name + " counter\n";
+        out += name + " " + std::to_string(entry.counter->value()) + "\n";
+        break;
+      case Kind::kGauge:
+        out += "# TYPE " + name + " gauge\n";
+        out += name + " " + JsonNumber(entry.gauge->value()) + "\n";
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        out += "# TYPE " + name + " histogram\n";
+        const std::vector<int64_t> cumulative = h.CumulativeCounts();
+        for (size_t i = 0; i < h.bounds().size(); ++i) {
+          out += name + "_bucket{le=\"" + JsonNumber(h.bounds()[i]) + "\"} " +
+                 std::to_string(cumulative[i]) + "\n";
+        }
+        out += name + "_bucket{le=\"+Inf\"} " +
+               std::to_string(cumulative.back()) + "\n";
+        out += name + "_sum " + JsonNumber(h.sum()) + "\n";
+        out += name + "_count " + std::to_string(h.count()) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ExportJsonl() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, entry] : entries_) {
+    JsonObject line;
+    line.Add("metric", name);
+    switch (entry.kind) {
+      case Kind::kCounter:
+        line.Add("type", "counter");
+        line.Add("value", entry.counter->value());
+        break;
+      case Kind::kGauge:
+        line.Add("type", "gauge");
+        line.Add("value", entry.gauge->value());
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        line.Add("type", "histogram");
+        line.Add("sum", h.sum());
+        line.Add("count", h.count());
+        std::string buckets = "[";
+        const std::vector<int64_t> cumulative = h.CumulativeCounts();
+        for (size_t i = 0; i < h.bounds().size(); ++i) {
+          if (i > 0) buckets += ",";
+          buckets += "{\"le\":" + JsonNumber(h.bounds()[i]) +
+                     ",\"count\":" + std::to_string(cumulative[i]) + "}";
+        }
+        buckets += "]";
+        line.AddRaw("buckets", buckets);
+        break;
+      }
+    }
+    out += line.Build() + "\n";
+  }
+  return out;
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        entry.counter->Reset();
+        break;
+      case Kind::kGauge:
+        entry.gauge->Reset();
+        break;
+      case Kind::kHistogram:
+        entry.histogram->Reset();
+        break;
+    }
+  }
+}
+
+}  // namespace obs
+}  // namespace tracer

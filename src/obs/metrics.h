@@ -1,0 +1,116 @@
+#ifndef TRACER_OBS_METRICS_H_
+#define TRACER_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tracer {
+namespace obs {
+
+// Thread-safe process-wide metrics: monotonically increasing counters,
+// settable gauges, and fixed-bucket histograms, looked up by name from a
+// global registry and exportable as Prometheus text or JSONL. Metric names
+// follow the repo convention `tracer_<layer>_<name>` (see DESIGN.md
+// "Observability"); update paths are single relaxed atomics so probes can
+// sit on hot paths behind obs::Enabled().
+
+/// Monotonically increasing integer metric.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-write-wins floating-point metric (queue depths, rates, sizes).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Histogram over fixed upper bounds (Prometheus `le` semantics: a sample v
+/// lands in the first bucket with v <= bound; values above every bound go to
+/// the implicit +Inf bucket). Bounds are set at creation and immutable.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Cumulative count per bound (Prometheus convention), +Inf last.
+  std::vector<int64_t> CumulativeCounts() const;
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  void Reset();
+
+ private:
+  const std::vector<double> bounds_;
+  std::vector<std::atomic<int64_t>> buckets_;  // one per bound, +Inf last
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Name → metric registry. GetOrCreate* return stable pointers that remain
+/// valid for the process lifetime; creation is mutex-serialized, updates via
+/// the returned handles are lock-free. A metric name maps to exactly one
+/// kind — re-requesting it with a different kind is a programming error.
+class MetricsRegistry {
+ public:
+  /// Process-wide instance used by all built-in instrumentation.
+  static MetricsRegistry& Global();
+
+  Counter* GetOrCreateCounter(const std::string& name);
+  Gauge* GetOrCreateGauge(const std::string& name);
+  /// `bounds` must be strictly increasing; ignored if the histogram exists.
+  Histogram* GetOrCreateHistogram(const std::string& name,
+                                  std::vector<double> bounds);
+
+  /// Prometheus text exposition format (one `# TYPE` line per metric).
+  std::string ExportPrometheus() const;
+  /// One JSON object per line: {"metric":...,"type":...,"value":...} for
+  /// counters/gauges; histograms add "sum","count","buckets".
+  std::string ExportJsonl() const;
+
+  /// Zeroes every registered metric in place. Handles stay valid (hot
+  /// paths cache them in function-local statics), names stay registered.
+  void ResetForTest();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace obs
+}  // namespace tracer
+
+#endif  // TRACER_OBS_METRICS_H_

@@ -1,0 +1,56 @@
+#include "obs/obs.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+namespace tracer {
+namespace obs {
+
+namespace {
+
+bool ParseEnvEnabled() {
+  const char* env = std::getenv("TRACER_OBS");
+  if (env == nullptr) return false;
+  return std::strcmp(env, "0") != 0 && std::strcmp(env, "") != 0;
+}
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> enabled(ParseEnvEnabled());
+  return enabled;
+}
+
+}  // namespace
+
+bool Enabled() {
+#if TRACER_OBS == 0
+  return false;
+#else
+  return EnabledFlag().load(std::memory_order_relaxed);
+#endif
+}
+
+void SetEnabled(bool enabled) {
+#if TRACER_OBS == 0
+  (void)enabled;
+#else
+  EnabledFlag().store(enabled, std::memory_order_relaxed);
+#endif
+}
+
+uint64_t MonotonicNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+int ThreadId() {
+  static std::atomic<int> next_id(0);
+  thread_local int id = ++next_id;
+  return id;
+}
+
+}  // namespace obs
+}  // namespace tracer

@@ -1,0 +1,39 @@
+#ifndef TRACER_OBS_OBS_H_
+#define TRACER_OBS_OBS_H_
+
+#include <cstdint>
+
+/// Compile-time observability level. 0 compiles every probe out (spans,
+/// per-op timers and metric updates become empty inline functions the
+/// optimizer deletes); 1 (the default) compiles probes in behind a runtime
+/// enable flag. Set from the build system with -DTRACER_OBS=0.
+#ifndef TRACER_OBS
+#define TRACER_OBS 1
+#endif
+
+namespace tracer {
+namespace obs {
+
+/// Runtime master switch for the whole observability stack (metric updates,
+/// trace spans, autograd profiler wiring in the hot loops). Initialised once
+/// from the TRACER_OBS environment variable ("1"/"2" enable, "0"/unset
+/// disable); tests and tools flip it with SetEnabled(). Always false when
+/// compiled with TRACER_OBS=0.
+bool Enabled();
+
+/// Overrides the runtime switch (no-op when compiled out).
+void SetEnabled(bool enabled);
+
+/// Monotonic-clock timestamp in nanoseconds (steady_clock). Safe to subtract;
+/// not related to wall-clock time.
+uint64_t MonotonicNowNs();
+
+/// Small integer id for the calling thread, assigned on first use (1, 2, …).
+/// Stable for the thread's lifetime; cheaper to read and to print than
+/// std::thread::id.
+int ThreadId();
+
+}  // namespace obs
+}  // namespace tracer
+
+#endif  // TRACER_OBS_OBS_H_

@@ -1,0 +1,118 @@
+#include "obs/trace.h"
+
+#include "obs/json.h"
+
+namespace tracer {
+namespace obs {
+
+namespace {
+
+/// Per-thread stack of live span names; the top is the parent of the next
+/// span opened on this thread.
+std::vector<const char*>& ThreadSpanStack() {
+  thread_local std::vector<const char*> stack;
+  return stack;
+}
+
+}  // namespace
+
+TraceSink& TraceSink::Global() {
+  static TraceSink* sink = new TraceSink();
+  return *sink;
+}
+
+void TraceSink::Record(const SpanRecord& record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(record);
+  } else {
+    ring_[next_ % capacity_] = record;
+  }
+  ++next_;
+  ++recorded_;
+}
+
+std::vector<SpanRecord> TraceSink::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    // The ring is full: next_ % capacity_ is the oldest record.
+    for (size_t i = 0; i < capacity_; ++i) {
+      out.push_back(ring_[(next_ + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+std::string TraceSink::DumpJson() const {
+  const std::vector<SpanRecord> records = Snapshot();
+  std::string out = "[";
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (i > 0) out += ",";
+    JsonObject obj;
+    obj.Add("name", records[i].name);
+    obj.Add("parent", records[i].parent);
+    obj.Add("depth", records[i].depth);
+    obj.Add("thread", records[i].thread_id);
+    obj.Add("start_ns", static_cast<int64_t>(records[i].start_ns));
+    obj.Add("dur_ns", static_cast<int64_t>(records[i].duration_ns));
+    out += obj.Build();
+  }
+  out += "]";
+  return out;
+}
+
+uint64_t TraceSink::recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return recorded_;
+}
+
+uint64_t TraceSink::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return recorded_ > ring_.size() ? recorded_ - ring_.size() : 0;
+}
+
+void TraceSink::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  next_ = 0;
+  recorded_ = 0;
+}
+
+void TraceSink::SetCapacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = capacity > 0 ? capacity : 1;
+  ring_.clear();
+  next_ = 0;
+  recorded_ = 0;
+}
+
+Span::Span(const char* name) : active_(Enabled()) {
+  if (!active_) return;
+  name_ = name;
+  std::vector<const char*>& stack = ThreadSpanStack();
+  depth_ = static_cast<int>(stack.size());
+  parent_ = stack.empty() ? "" : stack.back();
+  stack.push_back(name);
+  start_ns_ = MonotonicNowNs();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  const uint64_t end_ns = MonotonicNowNs();
+  ThreadSpanStack().pop_back();
+  SpanRecord record;
+  record.name = name_;
+  record.parent = parent_;
+  record.depth = depth_;
+  record.thread_id = ThreadId();
+  record.start_ns = start_ns_;
+  record.duration_ns = end_ns - start_ns_;
+  TraceSink::Global().Record(record);
+}
+
+}  // namespace obs
+}  // namespace tracer

@@ -1,0 +1,94 @@
+#ifndef TRACER_OBS_TRACE_H_
+#define TRACER_OBS_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace tracer {
+namespace obs {
+
+/// One completed span. `name` and `parent` point at string literals (the
+/// TRACER_SPAN macro guarantees it), so records are POD and never allocate.
+struct SpanRecord {
+  const char* name = "";
+  const char* parent = "";  // "" for a root span
+  int depth = 0;            // 0 for a root span
+  int thread_id = 0;
+  uint64_t start_ns = 0;
+  uint64_t duration_ns = 0;
+};
+
+/// Fixed-capacity ring buffer of completed spans. Oldest records are
+/// overwritten once the ring is full; `dropped()` reports how many. Dump on
+/// demand (e.g. at the end of a run or from a debugger) — recording is a
+/// short mutex-protected append, cheap relative to any span worth tracing.
+class TraceSink {
+ public:
+  static TraceSink& Global();
+
+  void Record(const SpanRecord& record);
+
+  /// Records in completion order, oldest first.
+  std::vector<SpanRecord> Snapshot() const;
+
+  /// JSON array of {"name","parent","depth","thread","start_ns","dur_ns"}.
+  std::string DumpJson() const;
+
+  /// Spans recorded since the last Clear (including overwritten ones).
+  uint64_t recorded() const;
+  /// Spans lost to ring overwrite since the last Clear.
+  uint64_t dropped() const;
+
+  void Clear();
+  /// Resizes the ring (drops existing content). Default capacity 4096.
+  void SetCapacity(size_t capacity);
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> ring_;
+  size_t capacity_ = 4096;
+  size_t next_ = 0;
+  uint64_t recorded_ = 0;
+};
+
+/// RAII trace span: times the enclosing scope on the monotonic clock and
+/// records it into TraceSink::Global() on destruction. Nesting is tracked
+/// per thread — a span opened while another is live on the same thread
+/// records that span as its parent. Inert when obs::Enabled() is false at
+/// construction.
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  bool active_;
+  const char* name_ = "";
+  const char* parent_ = "";
+  int depth_ = 0;
+  uint64_t start_ns_ = 0;
+};
+
+}  // namespace obs
+}  // namespace tracer
+
+#if TRACER_OBS == 0
+#define TRACER_SPAN(name) ((void)0)
+#else
+#define TRACER_SPAN_CONCAT_INNER(a, b) a##b
+#define TRACER_SPAN_CONCAT(a, b) TRACER_SPAN_CONCAT_INNER(a, b)
+/// Opens a span covering the rest of the enclosing scope:
+///   TRACER_SPAN("train.epoch");
+/// `name` must be a string literal (records keep the pointer).
+#define TRACER_SPAN(name) \
+  ::tracer::obs::Span TRACER_SPAN_CONCAT(tracer_span_, __COUNTER__)(name)
+#endif
+
+#endif  // TRACER_OBS_TRACE_H_

@@ -11,16 +11,20 @@ void Optimizer::ZeroGrad() {
   for (auto& p : params_) p.ZeroGrad();
 }
 
-float Optimizer::ClipGradNorm(float max_norm) {
+float GlobalGradNorm(const std::vector<autograd::Variable>& params) {
   double total_sq = 0.0;
-  for (auto& p : params_) {
-    const Tensor& g = p.grad();
+  for (const auto& p : params) {
+    const Tensor& g = p.node()->EnsureGrad();
     const float* pg = g.data();
     for (int64_t i = 0; i < g.size(); ++i) {
       total_sq += static_cast<double>(pg[i]) * pg[i];
     }
   }
-  const float norm = static_cast<float>(std::sqrt(total_sq));
+  return static_cast<float>(std::sqrt(total_sq));
+}
+
+float Optimizer::ClipGradNorm(float max_norm) {
+  const float norm = GlobalGradNorm(params_);
   if (norm > max_norm && norm > 0.0f) {
     const float scale = max_norm / norm;
     for (auto& p : params_) {

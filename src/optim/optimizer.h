@@ -8,6 +8,10 @@
 namespace tracer {
 namespace optim {
 
+/// Global L2 norm of the gradients currently accumulated in `params`.
+/// Shared by ClipGradNorm and the trainer's telemetry (grad_norm field).
+float GlobalGradNorm(const std::vector<autograd::Variable>& params);
+
 /// Interface for first-order optimizers over a fixed parameter list.
 class Optimizer {
  public:

@@ -3,9 +3,36 @@
 #include <utility>
 
 #include "common/macros.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
 
 namespace tracer {
 namespace parallel {
+
+namespace {
+
+/// Registry handles resolved once; updates behind obs::Enabled() are then
+/// single relaxed atomics, keeping Submit/WorkerLoop overhead negligible.
+struct PoolMetrics {
+  obs::Gauge* queue_depth;
+  obs::Counter* tasks;
+  obs::Counter* busy_ns;
+  obs::Counter* idle_ns;
+
+  static PoolMetrics& Get() {
+    static PoolMetrics metrics = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+      return PoolMetrics{
+          registry.GetOrCreateGauge("tracer_pool_queue_depth"),
+          registry.GetOrCreateCounter("tracer_pool_tasks_total"),
+          registry.GetOrCreateCounter("tracer_pool_busy_ns_total"),
+          registry.GetOrCreateCounter("tracer_pool_idle_ns_total")};
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
   TRACER_CHECK_GT(num_threads, 0);
@@ -41,6 +68,9 @@ bool ThreadPool::Submit(std::function<void()> task) {
     if (shutting_down_) return false;
     tasks_.push(std::move(task));
     ++in_flight_;
+    if (obs::Enabled()) {
+      PoolMetrics::Get().queue_depth->Set(static_cast<double>(tasks_.size()));
+    }
   }
   task_available_.notify_one();
   return true;
@@ -54,6 +84,8 @@ void ThreadPool::WaitAll() {
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
+    const bool observe = obs::Enabled();
+    const uint64_t idle_start = observe ? obs::MonotonicNowNs() : 0;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       task_available_.wait(
@@ -64,8 +96,23 @@ void ThreadPool::WorkerLoop() {
       }
       task = std::move(tasks_.front());
       tasks_.pop();
+      if (observe) {
+        PoolMetrics::Get().queue_depth->Set(
+            static_cast<double>(tasks_.size()));
+      }
+    }
+    uint64_t busy_start = 0;
+    if (observe) {
+      busy_start = obs::MonotonicNowNs();
+      PoolMetrics::Get().idle_ns->Increment(
+          static_cast<int64_t>(busy_start - idle_start));
     }
     task();
+    if (observe) {
+      PoolMetrics::Get().busy_ns->Increment(
+          static_cast<int64_t>(obs::MonotonicNowNs() - busy_start));
+      PoolMetrics::Get().tasks->Increment();
+    }
     {
       std::unique_lock<std::mutex> lock(mutex_);
       --in_flight_;

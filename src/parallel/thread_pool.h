@@ -15,6 +15,11 @@ namespace parallel {
 /// every submitted task has finished. Used by the data-parallel trainer to
 /// compute per-worker gradients concurrently.
 ///
+/// When the observability stack is on (obs::Enabled()), the pool exports
+/// `tracer_pool_queue_depth` (gauge), `tracer_pool_tasks_total` and the
+/// per-worker `tracer_pool_busy_ns_total` / `tracer_pool_idle_ns_total`
+/// counters through obs::MetricsRegistry::Global().
+///
 /// Shutdown discipline: once Shutdown() (or the destructor) has started,
 /// Submit() rejects new work and returns false instead of racing the worker
 /// teardown; tasks accepted before the stop are still drained. Submit and

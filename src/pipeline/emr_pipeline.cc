@@ -5,6 +5,8 @@
 
 #include "common/macros.h"
 #include "core/report.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace tracer {
 namespace pipeline {
@@ -15,6 +17,13 @@ EmrPipelineResult RunEmrPipeline(const data::TimeSeriesDataset& raw_cohort,
                                  std::unique_ptr<core::Tracer>* tracer_out) {
   TRACER_CHECK(tracer_out != nullptr);
   TRACER_CHECK_GT(raw_cohort.num_samples(), 0);
+  TRACER_SPAN("pipeline.emr");
+  if (obs::Enabled()) {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    registry.GetOrCreateCounter("tracer_pipeline_runs_total")->Increment();
+    registry.GetOrCreateCounter("tracer_pipeline_rows_ingested_total")
+        ->Increment(raw_cohort.num_samples());
+  }
 
   // --- Integration / Cleaning: repair missing entries before any
   // statistics are computed.

@@ -7,6 +7,9 @@
 #include "autograd/ops.h"
 #include "common/logging.h"
 #include "metrics/metrics.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "optim/early_stopping.h"
 #include "optim/optimizer.h"
 
@@ -54,6 +57,8 @@ TrainResult Fit(nn::SequenceModel* model,
                 const TrainConfig& config) {
   TRACER_CHECK_GT(train_set.num_samples(), 0);
   TRACER_CHECK_GT(val_set.num_samples(), 0);
+  TRACER_SPAN("train.fit");
+  const bool telemetry = config.telemetry || obs::Enabled();
   const auto start = std::chrono::steady_clock::now();
 
   if (train_set.task() == data::TaskType::kRegression) {
@@ -81,8 +86,12 @@ TrainResult Fit(nn::SequenceModel* model,
   TrainResult result;
   result.best_state = model->StateDict();
   for (int epoch = 0; epoch < config.max_epochs; ++epoch) {
+    TRACER_SPAN("train.epoch");
+    const auto epoch_start = std::chrono::steady_clock::now();
     double epoch_loss = 0.0;
+    double grad_norm_sum = 0.0;
     int64_t seen = 0;
+    int64_t batches = 0;
     for (const std::vector<int>& idx : batcher.EpochBatches()) {
       const data::Batch batch = data::MakeBatch(train_set, idx);
       optimizer.ZeroGrad();
@@ -96,16 +105,53 @@ TrainResult Fit(nn::SequenceModel* model,
         autograd::CheckGraph(loss, validate_options);
       }
       loss.Backward();
-      if (config.clip_norm > 0.0f) optimizer.ClipGradNorm(config.clip_norm);
+      if (config.clip_norm > 0.0f) {
+        grad_norm_sum += optimizer.ClipGradNorm(config.clip_norm);
+      } else if (telemetry) {
+        grad_norm_sum += optim::GlobalGradNorm(optimizer.params());
+      }
       optimizer.Step();
       epoch_loss += static_cast<double>(loss.value()[0]) * idx.size();
       seen += static_cast<int64_t>(idx.size());
+      ++batches;
     }
     epoch_loss /= static_cast<double>(seen);
     const double val_loss = DatasetLoss(model, val_set, 256);
     result.train_loss.push_back(epoch_loss);
     result.val_loss.push_back(val_loss);
     result.epochs_run = epoch + 1;
+    const double epoch_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      epoch_start)
+            .count();
+    if (telemetry) {
+      obs::JsonObject record;
+      record.Add("event", "epoch");
+      record.Add("model", model->name());
+      record.Add("epoch", epoch + 1);
+      record.Add("train_loss", epoch_loss);
+      record.Add("val_loss", val_loss);
+      record.Add("grad_norm", grad_norm_sum / static_cast<double>(batches));
+      record.Add("examples_per_sec",
+                 epoch_seconds > 0.0
+                     ? static_cast<double>(seen) / epoch_seconds
+                     : 0.0);
+      record.Add("epoch_seconds", epoch_seconds);
+      record.Add("batches", batches);
+      result.telemetry.push_back(record.Build());
+      if (obs::Enabled()) {
+        TRACER_LOG(Info) << result.telemetry.back();
+        obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+        registry.GetOrCreateCounter("tracer_train_batches_total")
+            ->Increment(batches);
+        registry.GetOrCreateCounter("tracer_train_examples_total")
+            ->Increment(seen);
+        registry
+            .GetOrCreateHistogram("tracer_train_epoch_seconds",
+                                  {0.01, 0.1, 0.5, 1, 5, 30, 120, 600})
+            ->Observe(epoch_seconds);
+      }
+    }
     if (config.verbose) {
       TRACER_LOG(Info) << model->name() << " epoch " << epoch + 1
                        << " train_loss=" << epoch_loss

@@ -25,6 +25,13 @@ struct TrainConfig {
   bool verbose = false;
   /// Seed for minibatch shuffling.
   uint64_t seed = 1;
+  /// Emits one JSONL telemetry record per epoch into
+  /// TrainResult::telemetry (keys: event, model, epoch, train_loss,
+  /// val_loss, grad_norm, examples_per_sec, epoch_seconds, batches) and
+  /// mirrors it to the log sink. Implied by obs::Enabled() (env
+  /// TRACER_OBS=1); set explicitly to collect telemetry without enabling
+  /// the rest of the observability stack.
+  bool telemetry = false;
   /// Runs the autograd graph validator (autograd/graph_check.h) on every
   /// minibatch loss graph before Backward, including the NaN/Inf tripwire,
   /// and aborts with a structured report on the first defect. Defaults on
@@ -51,6 +58,10 @@ struct TrainResult {
   int epochs_run = 0;
   double seconds = 0.0;
   std::vector<Tensor> best_state;
+  /// One JSON object per epoch when TrainConfig::telemetry (or the obs
+  /// runtime switch) is on; empty otherwise. Each line is self-contained
+  /// JSONL, suitable for appending to a metrics file.
+  std::vector<std::string> telemetry;
 };
 
 /// Evaluation summary on a dataset.

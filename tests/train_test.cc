@@ -1,9 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include "baselines/logistic_regression.h"
 #include "datagen/emr_generator.h"
 #include "datagen/temperature_generator.h"
+#include "obs/autograd_profiler.h"
+#include "obs/obs.h"
 #include "train/trainer.h"
+#include "tests/json_check.h"
 
 namespace tracer {
 namespace train {
@@ -102,6 +109,70 @@ TEST(TrainerTest, DeterministicGivenSeeds) {
   for (size_t i = 0; i < r1.train_loss.size(); ++i) {
     EXPECT_DOUBLE_EQ(r1.train_loss[i], r2.train_loss[i]);
   }
+}
+
+TEST(TrainerTest, TelemetryEmitsOneValidJsonRecordPerEpoch) {
+  Fixture f = MakeFixture(200);
+  baselines::LogisticRegression model(f.input_dim);
+  TrainConfig tc;
+  tc.max_epochs = 4;
+  tc.patience = 4;
+  tc.telemetry = true;
+  const TrainResult result = Fit(&model, f.splits.train, f.splits.val, tc);
+  ASSERT_EQ(result.telemetry.size(),
+            static_cast<size_t>(result.epochs_run));
+  const std::vector<std::string> expected_keys = {
+      "event",   "model",          "epoch",         "train_loss",
+      "val_loss", "grad_norm",     "examples_per_sec",
+      "epoch_seconds", "batches"};
+  for (size_t i = 0; i < result.telemetry.size(); ++i) {
+    const std::string& line = result.telemetry[i];
+    ASSERT_TRUE(testutil::IsValidJson(line)) << line;
+    const std::vector<std::string> keys = testutil::JsonObjectKeys(line);
+    for (const std::string& key : expected_keys) {
+      EXPECT_NE(std::find(keys.begin(), keys.end(), key), keys.end())
+          << "missing key '" << key << "' in: " << line;
+    }
+    EXPECT_NE(line.find("\"event\":\"epoch\""), std::string::npos) << line;
+    // Epochs are 1-based and in order.
+    EXPECT_NE(line.find("\"epoch\":" + std::to_string(i + 1)),
+              std::string::npos)
+        << line;
+  }
+}
+
+TEST(TrainerTest, TelemetryOffByDefault) {
+  // Telemetry is implied by the obs runtime switch; pin it off so the test
+  // is deterministic even when run with TRACER_OBS=1 in the environment.
+  const bool was_enabled = obs::Enabled();
+  obs::SetEnabled(false);
+  Fixture f = MakeFixture(200);
+  baselines::LogisticRegression model(f.input_dim);
+  TrainConfig tc;
+  tc.max_epochs = 2;
+  const TrainResult result = Fit(&model, f.splits.train, f.splits.val, tc);
+  EXPECT_TRUE(result.telemetry.empty());
+  obs::SetEnabled(was_enabled);
+}
+
+TEST(TrainerTest, ProfiledOpTimeIsBoundedByWallTime) {
+  Fixture f = MakeFixture(200);
+  baselines::LogisticRegression model(f.input_dim);
+  TrainConfig tc;
+  tc.max_epochs = 3;
+  tc.patience = 3;
+  obs::AutogradProfiler& profiler = obs::AutogradProfiler::Global();
+  profiler.Reset();
+  profiler.SetEnabled(true);
+  const TrainResult result = Fit(&model, f.splits.train, f.splits.val, tc);
+  profiler.SetEnabled(false);
+  // Only leaf ops are timed (delegating ops are not), and the trainer is
+  // single-threaded, so the per-op total can never exceed the run's wall
+  // time.
+  EXPECT_GT(profiler.TotalNs(), 0u);
+  EXPECT_LE(static_cast<double>(profiler.TotalNs()),
+            result.seconds * 1e9);
+  profiler.Reset();
 }
 
 TEST(TrainerTest, EvaluateClassificationMetrics) {

@@ -19,6 +19,13 @@ guards out of the box:
                              test macros, (void)).
   R5 header-guard            Headers under src/ use the canonical
                              TRACER_<PATH>_H_ guard.
+  R6 no-raw-io               Library code under src/ must log through
+                             common/logging.h, not raw std::cerr/std::cout
+                             or printf-family I/O (snprintf into a buffer is
+                             fine). Allowlisted: the logging sink itself
+                             (common/logging.cc) and the check-failure path
+                             in common/macros.h. bench/, tests/ and
+                             examples/ are user-facing programs and exempt.
 
 Runs as `ctest -R lint` (registered in the top-level CMakeLists.txt) and
 standalone:  tools/lint.py --root <repo-root>
@@ -211,6 +218,29 @@ def check_unchecked_status(path, text, findings, status_functions):
                      "return or TRACER_RETURN_IF_ERROR it" % match.group(1))
 
 
+RAW_IO_ALLOWLIST = (
+    os.path.join("src", "common", "logging.cc"),
+    os.path.join("src", "common", "macros.h"),
+)
+
+
+def check_raw_io(path, text, findings, root):
+    rel = os.path.relpath(path, root)
+    if not rel.startswith("src" + os.sep) or rel in RAW_IO_ALLOWLIST:
+        return
+    for match in re.finditer(r"std\s*::\s*(cerr|cout)(?![\w_])", text):
+        findings.add(path, line_of(text, match.start()), "no-raw-io",
+                     "std::%s in library code; log via TRACER_LOG "
+                     "(common/logging.h)" % match.group(1))
+    # printf/fprintf/puts/fputs write to streams; snprintf/vsnprintf format
+    # into buffers and are fine.
+    for match in re.finditer(
+            r"(?<![\w_])(printf|fprintf|puts|fputs)\s*\(", text):
+        findings.add(path, line_of(text, match.start()), "no-raw-io",
+                     "%s() in library code; log via TRACER_LOG "
+                     "(common/logging.h)" % match.group(1))
+
+
 def check_header_guard(path, text, findings, root):
     rel = os.path.relpath(path, os.path.join(root, "src"))
     if rel.startswith("..") or not path.endswith(".h"):
@@ -250,6 +280,7 @@ def main():
         check_using_namespace(path, text, findings)
         check_include_hygiene(path, with_strings, findings, root)
         check_unchecked_status(path, text, findings, status_functions)
+        check_raw_io(path, text, findings, root)
         check_header_guard(path, text, findings, root)
 
     for rel, line, rule, message in sorted(findings.items):
