@@ -1,0 +1,194 @@
+// Closed-loop latency/throughput harness for the online serving layer
+// (src/serve). A fleet of client threads drives an InferenceServer with
+// single-patient scoring requests as fast as responses come back, sweeping
+// offered load (number of clients) against the micro-batching limit
+// (max_batch_size). For every cell the harness reports throughput,
+// latency percentiles and the realised batch sizes, and emits a
+// BENCH_serve_latency.json artifact when TRACER_BENCH_JSON is set.
+//
+// The serving claim under test: at saturation, micro-batching must beat
+// batch-size-1 scheduling by >= 2x throughput on the micro model, because
+// a coalesced forward shares one tape and one set of op allocations across
+// all rows of the batch.
+//
+// Runtime knobs: TRACER_SERVE_BENCH_MS (wall-time per cell, default 600).
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/titv.h"
+#include "obs/obs.h"
+#include "serve/model_registry.h"
+#include "serve/server.h"
+
+namespace {
+
+using tracer::bench::BenchArtifact;
+using tracer::bench::EnvInt;
+
+struct CellResult {
+  double throughput = 0.0;  // OK responses per second
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double mean_batch = 0.0;
+  int64_t completed = 0;
+  int64_t shed = 0;
+};
+
+double PercentileUs(std::vector<uint64_t>* latencies_ns, double q) {
+  if (latencies_ns->empty()) return 0.0;
+  const size_t rank = static_cast<size_t>(
+      q * static_cast<double>(latencies_ns->size() - 1));
+  std::nth_element(latencies_ns->begin(), latencies_ns->begin() + rank,
+                   latencies_ns->end());
+  return static_cast<double>((*latencies_ns)[rank]) / 1e3;
+}
+
+CellResult RunCell(tracer::serve::ModelRegistry* registry, int clients,
+                   int max_batch_size, int num_windows, int input_dim,
+                   int64_t duration_ms) {
+  tracer::serve::ServeOptions options;
+  options.max_batch_size = max_batch_size;
+  options.num_workers = 2;
+  options.max_queue_delay_us = 1000;
+  options.queue_capacity = 4 * clients < 64 ? 64 : 4 * clients;
+  tracer::serve::InferenceServer server(registry, options);
+
+  // One fixed request per client; scoring cost is identical across cells.
+  tracer::Rng rng(42);
+  std::vector<std::vector<float>> windows(num_windows,
+                                          std::vector<float>(input_dim));
+  for (auto& window : windows) {
+    for (float& v : window) v = static_cast<float>(rng.Uniform(0.0, 1.0));
+  }
+
+  const uint64_t start_ns = tracer::obs::MonotonicNowNs();
+  const uint64_t end_ns =
+      start_ns + static_cast<uint64_t>(duration_ms) * 1000000ull;
+  std::atomic<int64_t> ok{0};
+  std::vector<std::vector<uint64_t>> latencies(
+      static_cast<size_t>(clients));
+  std::vector<std::thread> fleet;
+  fleet.reserve(static_cast<size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    fleet.emplace_back([&, c] {
+      while (tracer::obs::MonotonicNowNs() < end_ns) {
+        tracer::serve::ServeRequest request;
+        request.windows = windows;
+        const tracer::serve::ServeResponse response =
+            server.Infer(std::move(request));
+        if (response.status.ok()) {
+          ok.fetch_add(1);
+          latencies[static_cast<size_t>(c)].push_back(response.total_ns);
+        }
+      }
+    });
+  }
+  for (std::thread& client : fleet) client.join();
+  const double elapsed_s =
+      static_cast<double>(tracer::obs::MonotonicNowNs() - start_ns) / 1e9;
+  server.Shutdown();
+
+  std::vector<uint64_t> all;
+  for (auto& per_client : latencies) {
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  }
+  const tracer::serve::InferenceServer::Stats stats = server.stats();
+  CellResult cell;
+  cell.completed = ok.load();
+  cell.shed = stats.shed;
+  cell.throughput = static_cast<double>(cell.completed) / elapsed_s;
+  cell.p50_us = PercentileUs(&all, 0.50);
+  cell.p99_us = PercentileUs(&all, 0.99);
+  cell.mean_batch = stats.batches > 0 ? static_cast<double>(stats.completed +
+                                                            stats.failed) /
+                                            static_cast<double>(stats.batches)
+                                      : 0.0;
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  const int64_t duration_ms = EnvInt("TRACER_SERVE_BENCH_MS", 600);
+  constexpr int kInputDim = 8;
+  constexpr int kNumWindows = 7;
+
+  // Micro model registered straight from memory — serving cost, not
+  // training, is what this harness measures.
+  tracer::core::TitvConfig config;
+  config.input_dim = kInputDim;
+  config.rnn_dim = 8;
+  config.film_dim = 8;
+  config.seed = 17;
+  const tracer::core::Titv model(config);
+  std::vector<std::pair<std::string, tracer::Tensor>> tensors;
+  for (const auto& [name, param] : model.NamedParameters()) {
+    tensors.emplace_back(name, param.value());
+  }
+  tracer::serve::ModelRegistry registry;
+  const tracer::Result<uint64_t> version =
+      registry.Register(config, std::move(tensors), "<memory>");
+  if (!version.ok()) {
+    std::printf("Register failed: %s\n",
+                version.status().ToString().c_str());
+    return 1;
+  }
+  const tracer::Status published = registry.Publish(version.value());
+  if (!published.ok()) {
+    std::printf("Publish failed: %s\n", published.ToString().c_str());
+    return 1;
+  }
+
+  BenchArtifact artifact("serve_latency");
+  artifact.AddConfig("input_dim", static_cast<int64_t>(kInputDim));
+  artifact.AddConfig("num_windows", static_cast<int64_t>(kNumWindows));
+  artifact.AddConfig("rnn_dim", static_cast<int64_t>(config.rnn_dim));
+  artifact.AddConfig("duration_ms", static_cast<int64_t>(duration_ms));
+  artifact.AddConfig("num_workers", static_cast<int64_t>(2));
+
+  std::printf("serve_latency: micro TITV d=%d T=%d, %lld ms per cell\n\n",
+              kInputDim, kNumWindows,
+              static_cast<long long>(duration_ms));
+  std::printf("%8s %6s | %12s %10s %10s %10s %8s\n", "clients", "batch",
+              "req/s", "p50(us)", "p99(us)", "meanbatch", "shed");
+
+  double batch1_saturated = 0.0;
+  double batched_best = 0.0;
+  for (const int clients : {1, 4, 16}) {
+    for (const int max_batch : {1, 8, 32}) {
+      const CellResult cell = RunCell(&registry, clients, max_batch,
+                                      kNumWindows, kInputDim, duration_ms);
+      std::printf("%8d %6d | %12.0f %10.1f %10.1f %10.2f %8lld\n", clients,
+                  max_batch, cell.throughput, cell.p50_us, cell.p99_us,
+                  cell.mean_batch, static_cast<long long>(cell.shed));
+      const std::string section = "clients=" + std::to_string(clients) +
+                                  "/batch=" + std::to_string(max_batch);
+      artifact.AddSection(section,
+                          static_cast<double>(duration_ms) / 1e3,
+                          cell.throughput, cell.completed);
+      if (clients == 16 && max_batch == 1) {
+        batch1_saturated = cell.throughput;
+      }
+      if (clients == 16 && max_batch > 1 &&
+          cell.throughput > batched_best) {
+        batched_best = cell.throughput;
+      }
+    }
+  }
+
+  if (batch1_saturated > 0.0) {
+    const double speedup = batched_best / batch1_saturated;
+    std::printf("\nsaturated speedup (16 clients, batched vs batch=1): "
+                "%.2fx %s\n",
+                speedup, speedup >= 2.0 ? "(>=2x: PASS)" : "(<2x)");
+    artifact.AddConfig("saturated_speedup", speedup);
+  }
+  artifact.WriteIfRequested();
+  return 0;
+}

@@ -19,6 +19,8 @@ enum class StatusCode {
   kOutOfRange,
   kFailedPrecondition,
   kInternal,
+  kUnavailable,
+  kDeadlineExceeded,
 };
 
 /// Lightweight success/error value. An OK status carries no message.
@@ -45,6 +47,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// The operation was load-shed (e.g. a bounded serving queue is full);
+  /// retrying later may succeed.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  /// The caller's deadline passed before the operation completed.
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

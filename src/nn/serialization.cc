@@ -1,5 +1,7 @@
 #include "nn/serialization.h"
 
+#include <unistd.h>
+
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -26,14 +28,8 @@ bool ReadU32(std::FILE* f, uint32_t* v) {
   return std::fread(v, sizeof(*v), 1, f) == 1;
 }
 
-}  // namespace
-
-Status SaveCheckpoint(
-    const std::string& path,
-    const std::vector<std::pair<std::string, Tensor>>& tensors) {
-  std::unique_ptr<std::FILE, FileCloser> file(std::fopen(path.c_str(), "wb"));
-  if (!file) return Status::IOError("cannot open for write: " + path);
-  std::FILE* f = file.get();
+Status WriteBody(std::FILE* f, const std::string& path,
+                 const std::vector<std::pair<std::string, Tensor>>& tensors) {
   if (std::fwrite(kMagic, sizeof(kMagic), 1, f) != 1 ||
       !WriteU32(f, static_cast<uint32_t>(tensors.size()))) {
     return Status::IOError("write failed: " + path);
@@ -53,6 +49,38 @@ Status SaveCheckpoint(
     if (n > 0 && std::fwrite(tensor.data(), sizeof(float), n, f) != n) {
       return Status::IOError("write failed: " + path);
     }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveCheckpoint(
+    const std::string& path,
+    const std::vector<std::pair<std::string, Tensor>>& tensors) {
+  // Crash-safe protocol: write the full container to a temp file in the
+  // same directory, flush it to stable storage, then atomically rename it
+  // over the destination. A reader (e.g. serve::ModelRegistry) can never
+  // observe a torn or partially written checkpoint at `path`.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  {
+    std::unique_ptr<std::FILE, FileCloser> file(
+        std::fopen(tmp.c_str(), "wb"));
+    if (!file) return Status::IOError("cannot open for write: " + tmp);
+    const Status body = WriteBody(file.get(), tmp, tensors);
+    const bool flushed =
+        body.ok() && std::fflush(file.get()) == 0 &&
+        ::fsync(::fileno(file.get())) == 0;
+    file.reset();  // close before rename/remove
+    if (!body.ok() || !flushed) {
+      std::remove(tmp.c_str());
+      return body.ok() ? Status::IOError("flush failed: " + tmp) : body;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("rename failed: " + tmp + " -> " + path);
   }
   return Status::OK();
 }
@@ -98,6 +126,13 @@ Result<std::vector<std::pair<std::string, Tensor>>> LoadCheckpoint(
       return Status::IOError("truncated: " + path);
     }
     out.emplace_back(std::move(name), std::move(tensor));
+  }
+  // A valid container ends exactly after the last tensor; trailing bytes
+  // mean the file is not a checkpoint this reader understands (e.g. a
+  // concatenation accident) and must be rejected rather than silently
+  // ignored.
+  if (std::fgetc(f) != EOF) {
+    return Status::InvalidArgument("trailing bytes after checkpoint: " + path);
   }
   return out;
 }

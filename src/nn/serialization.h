@@ -14,6 +14,10 @@ namespace nn {
 /// Writes named tensors to a small binary container ("TRCKPT1" magic,
 /// little-endian). Used to persist best-epoch checkpoints so interpretation
 /// runs can reload the exact model the metrics were reported for.
+///
+/// The write is crash-safe: the container goes to a temp file in the same
+/// directory, is fsync'd, and is atomically renamed over `path`, so a
+/// concurrent or subsequent reader never sees a torn checkpoint.
 Status SaveCheckpoint(
     const std::string& path,
     const std::vector<std::pair<std::string, Tensor>>& tensors);

@@ -1,0 +1,167 @@
+#include "serve/model_registry.h"
+
+#include "nn/serialization.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+
+namespace tracer {
+namespace serve {
+
+namespace {
+
+// Matches the pseudo-tensor core::Tracer::SaveCheckpoint appends to carry
+// the regression output calibration.
+constexpr char kOutputTransformKey[] = "__output_transform";
+
+void RecordLoad() {
+  if (!obs::Enabled()) return;
+  static obs::Counter* loads =
+      obs::MetricsRegistry::Global().GetOrCreateCounter(
+          "tracer_serve_model_loads_total");
+  loads->Increment();
+}
+
+void RecordSwap(uint64_t version) {
+  if (!obs::Enabled()) return;
+  static obs::Counter* swaps =
+      obs::MetricsRegistry::Global().GetOrCreateCounter(
+          "tracer_serve_hot_swaps_total");
+  static obs::Gauge* live =
+      obs::MetricsRegistry::Global().GetOrCreateGauge(
+          "tracer_serve_live_version");
+  swaps->Increment();
+  live->Set(static_cast<double>(version));
+}
+
+}  // namespace
+
+std::unique_ptr<core::Titv> ModelSnapshot::NewReplica() const {
+  auto replica = std::make_unique<core::Titv>(config);
+  auto named = replica->NamedParameters();
+  TRACER_CHECK_EQ(named.size(), tensors.size())
+      << "snapshot validated at registration cannot mismatch";
+  for (size_t i = 0; i < named.size(); ++i) {
+    named[i].second.mutable_value() = tensors[i].second;
+  }
+  replica->SetOutputTransform(output_scale, output_offset);
+  return replica;
+}
+
+Result<uint64_t> ModelRegistry::Load(const std::string& path,
+                                     const core::TitvConfig& config) {
+  auto loaded = nn::LoadCheckpoint(path);
+  if (!loaded.ok()) return loaded.status();
+  return Register(config, std::move(loaded).value(), path);
+}
+
+Result<uint64_t> ModelRegistry::Register(
+    const core::TitvConfig& config,
+    std::vector<std::pair<std::string, Tensor>> tensors,
+    const std::string& source) {
+  if (config.input_dim <= 0 || config.rnn_dim <= 0 || config.film_dim <= 0) {
+    return Status::InvalidArgument("invalid TITV config for " + source);
+  }
+  // Validate layout against a freshly constructed probe of the target
+  // architecture — exactly the check core::Tracer::LoadCheckpoint applies,
+  // but performed once per registration instead of once per replica.
+  const core::Titv probe(config);
+  const auto named = probe.NamedParameters();
+  const bool has_transform = tensors.size() == named.size() + 1 &&
+                             tensors.back().first == kOutputTransformKey;
+  if (!has_transform && tensors.size() != named.size()) {
+    return Status::InvalidArgument("checkpoint parameter count mismatch: " +
+                                   source);
+  }
+  for (size_t i = 0; i < named.size(); ++i) {
+    if (named[i].first != tensors[i].first ||
+        !named[i].second.value().SameShape(tensors[i].second)) {
+      return Status::InvalidArgument("checkpoint layout mismatch at " +
+                                     tensors[i].first + ": " + source);
+    }
+  }
+  auto snapshot = std::make_shared<ModelSnapshot>();
+  snapshot->source = source;
+  snapshot->config = config;
+  if (has_transform) {
+    const Tensor& transform = tensors.back().second;
+    if (transform.size() != 2) {
+      return Status::InvalidArgument("malformed output transform record: " +
+                                     source);
+    }
+    snapshot->output_scale = transform[0];
+    snapshot->output_offset = transform[1];
+    tensors.pop_back();
+  }
+  snapshot->tensors = std::move(tensors);
+  uint64_t version = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    version = next_version_++;
+    snapshot->version = version;
+    versions_.emplace(version, std::move(snapshot));
+  }
+  RecordLoad();
+  return version;
+}
+
+Status ModelRegistry::Publish(uint64_t version) {
+  std::shared_ptr<const ModelSnapshot> target;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = versions_.find(version);
+    if (it == versions_.end()) {
+      return Status::NotFound("version " + std::to_string(version) +
+                              " was never staged");
+    }
+    target = it->second;
+    previous_ = live_;
+    live_ = target;
+  }
+  RecordSwap(version);
+  return Status::OK();
+}
+
+Status ModelRegistry::Rollback() {
+  uint64_t version = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (previous_ == nullptr) {
+      return Status::FailedPrecondition("no previous version to roll back to");
+    }
+    std::swap(live_, previous_);
+    version = live_->version;
+  }
+  RecordSwap(version);
+  return Status::OK();
+}
+
+std::shared_ptr<const ModelSnapshot> ModelRegistry::live() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return live_;
+}
+
+std::shared_ptr<const ModelSnapshot> ModelRegistry::Get(
+    uint64_t version) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = versions_.find(version);
+  return it == versions_.end() ? nullptr : it->second;
+}
+
+uint64_t ModelRegistry::live_version() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return live_ == nullptr ? 0 : live_->version;
+}
+
+std::vector<uint64_t> ModelRegistry::Versions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<uint64_t> out;
+  out.reserve(versions_.size());
+  for (const auto& [version, snapshot] : versions_) {
+    (void)snapshot;
+    out.push_back(version);
+  }
+  return out;
+}
+
+}  // namespace serve
+}  // namespace tracer

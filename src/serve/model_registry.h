@@ -1,0 +1,104 @@
+#ifndef TRACER_SERVE_MODEL_REGISTRY_H_
+#define TRACER_SERVE_MODEL_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/titv.h"
+#include "tensor/tensor.h"
+
+namespace tracer {
+namespace serve {
+
+/// Immutable, versioned model artifact held by the registry. A snapshot is
+/// the validated parameter set of one TRCKPT1 checkpoint plus the TITV
+/// architecture it belongs to; it never changes after registration, so any
+/// number of threads may hold a `shared_ptr` to it while newer versions are
+/// published. Worker threads materialise private `Titv` replicas from it
+/// with NewReplica() (the replica owns deep copies of every tensor, so
+/// concurrent forward passes never share autograd state).
+struct ModelSnapshot {
+  /// Registry-assigned version, 1-based and strictly increasing.
+  uint64_t version = 0;
+  /// Where the snapshot came from (checkpoint path, or a caller label for
+  /// in-memory registrations).
+  std::string source;
+  core::TitvConfig config;
+  /// Regression output calibration (identity for classification models).
+  float output_scale = 1.0f;
+  float output_offset = 0.0f;
+  /// Parameters in Module::NamedParameters() order, shape-validated against
+  /// `config` at registration time.
+  std::vector<std::pair<std::string, Tensor>> tensors;
+
+  /// Builds a fresh TITV replica loaded with this snapshot's weights.
+  std::unique_ptr<core::Titv> NewReplica() const;
+};
+
+/// Versioned store of serving models with atomic hot-swap.
+///
+/// Lifecycle: `Load` (or `Register`) validates a checkpoint against the
+/// given architecture and stages it under a new version number; `Publish`
+/// makes a staged version the live one; `Rollback` swaps the live version
+/// with the previously live one. `live()` hands out the current snapshot as
+/// a `shared_ptr` — in-flight work keeps the snapshot it started with, so a
+/// swap never changes the model under a request that has already been
+/// batched (see serve::InferenceServer).
+///
+/// All operations are safe to call concurrently; a training loop can
+/// promote its best-epoch checkpoint into a serving process without a
+/// restart and without pausing traffic.
+class ModelRegistry {
+ public:
+  /// Loads a TRCKPT1 checkpoint (written by core::Tracer::SaveCheckpoint or
+  /// nn::SaveCheckpoint) and stages it as a new version. Fails if the file
+  /// is unreadable/torn or its tensors do not match `config`'s
+  /// architecture. Returns the staged version number.
+  Result<uint64_t> Load(const std::string& path,
+                        const core::TitvConfig& config);
+
+  /// Stages an in-memory parameter set (same layout a checkpoint holds,
+  /// including the optional trailing "__output_transform" record).
+  Result<uint64_t> Register(
+      const core::TitvConfig& config,
+      std::vector<std::pair<std::string, Tensor>> tensors,
+      const std::string& source);
+
+  /// Makes a staged version the live one. NotFound if never staged.
+  Status Publish(uint64_t version);
+
+  /// Re-publishes the previously live version (a one-step undo; calling it
+  /// twice swaps back). FailedPrecondition when there is no previous
+  /// version.
+  Status Rollback();
+
+  /// Current live snapshot, or nullptr when nothing is published.
+  std::shared_ptr<const ModelSnapshot> live() const;
+
+  /// Any staged snapshot by version, or nullptr.
+  std::shared_ptr<const ModelSnapshot> Get(uint64_t version) const;
+
+  /// Version of the live snapshot, 0 when nothing is published.
+  uint64_t live_version() const;
+
+  /// All staged versions, ascending.
+  std::vector<uint64_t> Versions() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<uint64_t, std::shared_ptr<const ModelSnapshot>> versions_;
+  std::shared_ptr<const ModelSnapshot> live_;
+  std::shared_ptr<const ModelSnapshot> previous_;
+  uint64_t next_version_ = 1;
+};
+
+}  // namespace serve
+}  // namespace tracer
+
+#endif  // TRACER_SERVE_MODEL_REGISTRY_H_

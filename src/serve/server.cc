@@ -1,0 +1,430 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "autograd/variable.h"
+#include "common/macros.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+#include "tensor/tensor_ops.h"
+
+namespace tracer {
+namespace serve {
+
+namespace {
+
+ServeOptions Sanitize(ServeOptions options) {
+  options.max_batch_size = std::max(1, options.max_batch_size);
+  options.queue_capacity = std::max(1, options.queue_capacity);
+  options.num_workers = std::max(1, options.num_workers);
+  options.max_queue_delay_us = std::max<int64_t>(0, options.max_queue_delay_us);
+  return options;
+}
+
+std::chrono::steady_clock::time_point ToTimePoint(uint64_t ns) {
+  return std::chrono::steady_clock::time_point(
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::nanoseconds(ns)));
+}
+
+// --- obs probes (no-ops unless the runtime switch is on) -----------------
+
+void RecordAdmitted() {
+  if (!obs::Enabled()) return;
+  static obs::Counter* requests =
+      obs::MetricsRegistry::Global().GetOrCreateCounter(
+          "tracer_serve_requests_total");
+  requests->Increment();
+}
+
+void RecordShed() {
+  if (!obs::Enabled()) return;
+  static obs::Counter* shed =
+      obs::MetricsRegistry::Global().GetOrCreateCounter(
+          "tracer_serve_shed_total");
+  shed->Increment();
+}
+
+void RecordExpired() {
+  if (!obs::Enabled()) return;
+  static obs::Counter* expired =
+      obs::MetricsRegistry::Global().GetOrCreateCounter(
+          "tracer_serve_expired_total");
+  expired->Increment();
+}
+
+void RecordQueueDepth(size_t depth) {
+  if (!obs::Enabled()) return;
+  static obs::Gauge* gauge =
+      obs::MetricsRegistry::Global().GetOrCreateGauge(
+          "tracer_serve_queue_depth");
+  gauge->Set(static_cast<double>(depth));
+}
+
+void RecordBatch(int batch_size) {
+  if (!obs::Enabled()) return;
+  static obs::Counter* batches =
+      obs::MetricsRegistry::Global().GetOrCreateCounter(
+          "tracer_serve_batches_total");
+  static obs::Histogram* sizes =
+      obs::MetricsRegistry::Global().GetOrCreateHistogram(
+          "tracer_serve_batch_size",
+          {1, 2, 4, 8, 16, 32, 64, 128, 256});
+  batches->Increment();
+  sizes->Observe(static_cast<double>(batch_size));
+}
+
+// Bounds shared by the time-in-queue and end-to-end latency histograms:
+// 10µs .. 3s, roughly ×3 per bucket, so p50/p99 are readable at both
+// interactive and saturated operating points.
+const std::vector<double>& LatencyBoundsNs() {
+  static const std::vector<double> bounds = {
+      1e4, 3e4, 1e5, 3e5, 1e6, 3e6, 1e7, 3e7, 1e8, 3e8, 1e9, 3e9};
+  return bounds;
+}
+
+void RecordServed(const ServeResponse& response, bool alert) {
+  if (!obs::Enabled()) return;
+  static obs::Histogram* queue_ns =
+      obs::MetricsRegistry::Global().GetOrCreateHistogram(
+          "tracer_serve_queue_ns", LatencyBoundsNs());
+  static obs::Histogram* latency_ns =
+      obs::MetricsRegistry::Global().GetOrCreateHistogram(
+          "tracer_serve_latency_ns", LatencyBoundsNs());
+  static obs::Counter* alerts =
+      obs::MetricsRegistry::Global().GetOrCreateCounter(
+          "tracer_serve_alerts_total");
+  queue_ns->Observe(static_cast<double>(response.queue_ns));
+  latency_ns->Observe(static_cast<double>(response.total_ns));
+  if (alert) alerts->Increment();
+}
+
+}  // namespace
+
+InferenceServer::InferenceServer(ModelRegistry* registry, ServeOptions options)
+    : registry_(registry), options_(Sanitize(options)) {
+  TRACER_CHECK(registry_ != nullptr);
+  pool_ = std::make_unique<parallel::ThreadPool>(options_.num_workers);
+  scheduler_ = std::thread([this] { SchedulerLoop(); });
+}
+
+InferenceServer::~InferenceServer() { Shutdown(); }
+
+std::future<ServeResponse> InferenceServer::Submit(ServeRequest request) {
+  std::promise<ServeResponse> promise;
+  std::future<ServeResponse> future = promise.get_future();
+
+  // Shape validation up front so malformed input never reaches a batch.
+  bool well_formed = !request.windows.empty();
+  const size_t dim = well_formed ? request.windows.front().size() : 0;
+  if (dim == 0) well_formed = false;
+  for (const std::vector<float>& window : request.windows) {
+    if (window.size() != dim) well_formed = false;
+  }
+  if (!well_formed) {
+    ServeResponse response;
+    response.status = Status::InvalidArgument(
+        "request windows must be non-empty and rectangular");
+    promise.set_value(std::move(response));
+    return future;
+  }
+
+  const uint64_t now = obs::MonotonicNowNs();
+  Status reject;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) {
+      reject = Status::Unavailable("server shutting down");
+    } else if (static_cast<int>(queue_.size()) >= options_.queue_capacity) {
+      reject = Status::Unavailable("admission queue full");
+    } else {
+      Pending pending;
+      pending.request = std::move(request);
+      pending.promise = std::move(promise);
+      pending.enqueue_ns = now;
+      queue_.push_back(std::move(pending));
+      accepted_.fetch_add(1, std::memory_order_relaxed);
+      UpdateQueueDepthLocked();
+    }
+  }
+  if (reject.ok()) {
+    RecordAdmitted();
+    scheduler_cv_.notify_one();
+  } else {
+    // Backpressure: shed immediately instead of blocking the producer.
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    RecordShed();
+    ServeResponse response;
+    response.status = std::move(reject);
+    promise.set_value(std::move(response));
+  }
+  return future;
+}
+
+ServeResponse InferenceServer::Infer(ServeRequest request) {
+  return Submit(std::move(request)).get();
+}
+
+void InferenceServer::CollectExpiredLocked(uint64_t now_ns,
+                                           std::vector<Pending>* out) {
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (it->request.deadline_ns != 0 && it->request.deadline_ns <= now_ns) {
+      out->push_back(std::move(*it));
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (!out->empty()) UpdateQueueDepthLocked();
+}
+
+void InferenceServer::SchedulerLoop() {
+  const uint64_t delay_ns =
+      static_cast<uint64_t>(options_.max_queue_delay_us) * 1000;
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    scheduler_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (stop_) return;
+
+    // Expired requests complete with kDeadlineExceeded instead of occupying
+    // batch slots — including ones buried behind other window lengths.
+    const uint64_t now = obs::MonotonicNowNs();
+    std::vector<Pending> timed_out;
+    CollectExpiredLocked(now, &timed_out);
+    if (!timed_out.empty()) {
+      lock.unlock();
+      for (Pending& pending : timed_out) {
+        expired_.fetch_add(1, std::memory_order_relaxed);
+        RecordExpired();
+        ServeResponse response;
+        response.status =
+            Status::DeadlineExceeded("deadline expired in queue");
+        CompleteOne(&pending, std::move(response));
+      }
+      lock.lock();
+      continue;
+    }
+    if (queue_.empty()) continue;
+
+    // Batch formation: the oldest request anchors the batch; only requests
+    // with the same window count can ride along (TITV consumes rectangular
+    // T×D batches).
+    const size_t num_windows = queue_.front().request.windows.size();
+    const uint64_t close_ns = queue_.front().enqueue_ns + delay_ns;
+    int ready = 0;
+    uint64_t earliest_deadline = close_ns;
+    for (const Pending& pending : queue_) {
+      if (pending.request.windows.size() == num_windows) ++ready;
+      if (pending.request.deadline_ns != 0) {
+        earliest_deadline =
+            std::min(earliest_deadline, pending.request.deadline_ns);
+      }
+    }
+    const bool full = ready >= options_.max_batch_size;
+    const bool aged = obs::MonotonicNowNs() >= close_ns;
+    const bool idle_close =
+        options_.close_on_idle && in_flight_batches_ < options_.num_workers;
+    if (!full && !aged && !idle_close) {
+      // Wait for the batch to fill, the age window to lapse, a deadline to
+      // fire, or a worker to drain; then re-evaluate from scratch.
+      scheduler_cv_.wait_until(lock, ToTimePoint(earliest_deadline));
+      if (stop_) return;
+      continue;
+    }
+
+    auto work = std::make_shared<BatchWork>();
+    work->requests.reserve(
+        std::min<size_t>(ready, options_.max_batch_size));
+    const uint64_t form_ns = obs::MonotonicNowNs();
+    std::vector<Pending> late;
+    for (auto it = queue_.begin();
+         it != queue_.end() &&
+         static_cast<int>(work->requests.size()) < options_.max_batch_size;) {
+      if (it->request.windows.size() != num_windows) {
+        ++it;
+        continue;
+      }
+      if (it->request.deadline_ns != 0 && it->request.deadline_ns <= form_ns) {
+        late.push_back(std::move(*it));
+      } else {
+        work->requests.push_back(std::move(*it));
+      }
+      it = queue_.erase(it);
+    }
+    UpdateQueueDepthLocked();
+    const bool dispatch = !work->requests.empty();
+    if (dispatch) {
+      work->snapshot = registry_->live();
+      work->close_ns = form_ns;
+      ++in_flight_batches_;
+    }
+    lock.unlock();
+
+    for (Pending& pending : late) {
+      expired_.fetch_add(1, std::memory_order_relaxed);
+      RecordExpired();
+      ServeResponse response;
+      response.status = Status::DeadlineExceeded("deadline expired in queue");
+      CompleteOne(&pending, std::move(response));
+    }
+    if (dispatch) {
+      batches_.fetch_add(1, std::memory_order_relaxed);
+      const auto size = static_cast<int64_t>(work->requests.size());
+      if (size > max_batch_.load(std::memory_order_relaxed)) {
+        max_batch_.store(size, std::memory_order_relaxed);
+      }
+      RecordBatch(static_cast<int>(size));
+      const bool submitted =
+          pool_->Submit([this, work] { RunBatch(work); });
+      if (!submitted) {
+        // Only reachable if the pool is torn down mid-dispatch; fail the
+        // batch rather than orphan the promises.
+        for (Pending& pending : work->requests) {
+          ServeResponse response;
+          response.status = Status::Unavailable("server shutting down");
+          CompleteOne(&pending, std::move(response));
+        }
+        std::lock_guard<std::mutex> relock(mutex_);
+        --in_flight_batches_;
+      }
+    }
+    lock.lock();
+  }
+}
+
+void InferenceServer::RunBatch(const std::shared_ptr<BatchWork>& work) {
+  TRACER_SPAN("serve.batch");
+  // Per-worker replica of the batch's snapshot, rebuilt only when the
+  // snapshot changes. Each pool thread owns its replica outright, so
+  // concurrent batches never share autograd state; the shared_ptr keeps the
+  // cached snapshot alive across hot-swaps.
+  thread_local std::shared_ptr<const ModelSnapshot> cached_snapshot;
+  thread_local std::unique_ptr<core::Titv> replica;
+
+  const std::shared_ptr<const ModelSnapshot>& snapshot = work->snapshot;
+  std::vector<Pending*> scorable;
+  scorable.reserve(work->requests.size());
+  for (Pending& pending : work->requests) {
+    if (snapshot == nullptr) {
+      ServeResponse response;
+      response.status = Status::FailedPrecondition("no model published");
+      CompleteOne(&pending, std::move(response));
+    } else if (static_cast<int>(pending.request.windows.front().size()) !=
+               snapshot->config.input_dim) {
+      ServeResponse response;
+      response.status = Status::InvalidArgument(
+          "request feature dim does not match the served model");
+      CompleteOne(&pending, std::move(response));
+    } else {
+      scorable.push_back(&pending);
+    }
+  }
+
+  if (!scorable.empty()) {
+    if (cached_snapshot.get() != snapshot.get()) {
+      replica = snapshot->NewReplica();
+      cached_snapshot = snapshot;
+    }
+    const int batch_size = static_cast<int>(scorable.size());
+    const int num_windows =
+        static_cast<int>(scorable.front()->request.windows.size());
+    const int dim = snapshot->config.input_dim;
+    std::vector<autograd::Variable> xs;
+    xs.reserve(num_windows);
+    for (int t = 0; t < num_windows; ++t) {
+      Tensor x({batch_size, dim});
+      for (int b = 0; b < batch_size; ++b) {
+        const std::vector<float>& window = scorable[b]->request.windows[t];
+        for (int j = 0; j < dim; ++j) x.at(b, j) = window[j];
+      }
+      xs.push_back(autograd::Variable::Constant(std::move(x)));
+    }
+    // Forward-only scoring; identical math to SequenceModel::Predict, so a
+    // batched row is bit-identical to the same sample scored alone.
+    autograd::Variable raw = replica->Forward(xs);
+    const Tensor scores =
+        options_.classification
+            ? tracer::Sigmoid(raw.value())
+            : tracer::AddScalar(
+                  tracer::Scale(raw.value(), snapshot->output_scale),
+                  snapshot->output_offset);
+    for (int b = 0; b < batch_size; ++b) {
+      ServeResponse response;
+      response.decision.probability = scores.at(b, 0);
+      response.decision.alert =
+          options_.classification &&
+          response.decision.probability >= options_.alert_threshold;
+      response.model_version = snapshot->version;
+      response.batch_size = batch_size;
+      response.queue_ns = work->close_ns - scorable[b]->enqueue_ns;
+      CompleteOne(scorable[b], std::move(response));
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --in_flight_batches_;
+  }
+  // A drained worker may allow the scheduler to close a partial batch.
+  scheduler_cv_.notify_one();
+}
+
+void InferenceServer::CompleteOne(Pending* pending, ServeResponse response) {
+  response.total_ns = obs::MonotonicNowNs() - pending->enqueue_ns;
+  if (response.status.ok()) {
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    RecordServed(response, response.decision.alert);
+  } else {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  pending->promise.set_value(std::move(response));
+}
+
+void InferenceServer::UpdateQueueDepthLocked() {
+  RecordQueueDepth(queue_.size());
+}
+
+void InferenceServer::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+    if (shutdown_done_) return;
+    shutdown_done_ = true;
+  }
+  scheduler_cv_.notify_all();
+  if (scheduler_.joinable()) scheduler_.join();
+  // Drains batches already handed to the workers; their futures complete
+  // normally.
+  pool_->Shutdown();
+  // Whatever is still queued was never dispatched; complete it rather than
+  // break the promises.
+  std::deque<Pending> leftover;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    leftover.swap(queue_);
+    UpdateQueueDepthLocked();
+  }
+  for (Pending& pending : leftover) {
+    ServeResponse response;
+    response.status = Status::Unavailable("server shutting down");
+    CompleteOne(&pending, std::move(response));
+  }
+}
+
+InferenceServer::Stats InferenceServer::stats() const {
+  Stats out;
+  out.accepted = accepted_.load(std::memory_order_relaxed);
+  out.shed = shed_.load(std::memory_order_relaxed);
+  out.expired = expired_.load(std::memory_order_relaxed);
+  out.completed = completed_.load(std::memory_order_relaxed);
+  out.failed = failed_.load(std::memory_order_relaxed);
+  out.batches = batches_.load(std::memory_order_relaxed);
+  out.max_batch = max_batch_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace serve
+}  // namespace tracer

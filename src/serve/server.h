@@ -1,0 +1,181 @@
+#ifndef TRACER_SERVE_SERVER_H_
+#define TRACER_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "core/tracer.h"
+#include "parallel/thread_pool.h"
+#include "serve/model_registry.h"
+
+namespace tracer {
+namespace serve {
+
+/// Tuning knobs of one InferenceServer.
+struct ServeOptions {
+  /// A batch closes as soon as this many compatible requests are waiting.
+  int max_batch_size = 16;
+  /// ... or once the oldest waiting request has been queued this long.
+  int64_t max_queue_delay_us = 2000;
+  /// Bound of the admission queue. A Submit that finds the queue full is
+  /// shed immediately with kUnavailable — the backpressure contract: the
+  /// server never blocks producers and never buffers unboundedly.
+  int queue_capacity = 512;
+  /// Worker threads running forward passes (each owns private replicas).
+  int num_workers = 2;
+  /// Close a partial batch early when every worker is idle: waiting out
+  /// max_queue_delay would add latency without enabling any overlap. Under
+  /// load batches still grow naturally (requests accumulate while workers
+  /// are busy). Disable for strictly delay/size-driven batching.
+  bool close_on_idle = true;
+  /// Risk threshold for AlertDecision (§3; calibrate with core/alerting).
+  float alert_threshold = 0.75f;
+  /// Classification scores pass through a sigmoid; regression outputs go
+  /// through the snapshot's affine output transform.
+  bool classification = true;
+};
+
+/// One inference request: the time-window history of a single patient,
+/// `windows[t]` being the D feature values of window t. Histories of
+/// different lengths may be in flight at once; a batch only coalesces
+/// requests with equal window counts.
+struct ServeRequest {
+  std::vector<std::vector<float>> windows;
+  /// Absolute deadline on the obs::MonotonicNowNs() clock; 0 = none. A
+  /// request still queued past its deadline completes with
+  /// kDeadlineExceeded instead of occupying a batch slot.
+  uint64_t deadline_ns = 0;
+};
+
+/// Completion of one ServeRequest. `status` is OK when `decision` is valid;
+/// kUnavailable = shed by backpressure, kDeadlineExceeded = expired in
+/// queue, kFailedPrecondition = no model published, kInvalidArgument =
+/// malformed input.
+struct ServeResponse {
+  Status status;
+  core::AlertDecision decision;
+  /// Version of the ModelSnapshot that scored this request. Every request
+  /// of a batch is scored by exactly one consistent snapshot, even while
+  /// Publish/Rollback swap the live version.
+  uint64_t model_version = 0;
+  /// Size of the micro-batch this request rode in (1 = unbatched).
+  int batch_size = 0;
+  /// Admission → batch close.
+  uint64_t queue_ns = 0;
+  /// Admission → completion.
+  uint64_t total_ns = 0;
+};
+
+/// In-process online serving layer: callers submit single (x, Δ) requests;
+/// a scheduler thread coalesces them into micro-batches closed by size
+/// (`max_batch_size`) or age (`max_queue_delay_us`), runs forward-only TITV
+/// on a parallel::ThreadPool whose workers each hold a private replica of
+/// the current ModelSnapshot, and completes per-request futures with
+/// AlertDecisions.
+///
+/// Contracts:
+///  - Backpressure: the admission queue is bounded; a full queue sheds new
+///    requests with kUnavailable immediately (never blocks, never OOMs).
+///  - Deadlines: an expired request is completed with kDeadlineExceeded at
+///    the next batch formation, not silently scored late.
+///  - Consistency: the live snapshot is captured once per batch, so every
+///    request is scored by exactly one model version even during hot-swap.
+///  - Every accepted future is eventually completed, including across
+///    Shutdown (drained requests complete with kUnavailable).
+///
+/// Instrumented through src/obs when enabled: tracer_serve_requests_total,
+/// _shed_total, _expired_total, _alerts_total, _batches_total,
+/// _queue_depth, _batch_size, _queue_ns, _latency_ns (see DESIGN.md
+/// "Serving").
+class InferenceServer {
+ public:
+  /// `registry` must outlive the server. Workers and the scheduler thread
+  /// start immediately; requests submitted before a model is published
+  /// complete with kFailedPrecondition.
+  InferenceServer(ModelRegistry* registry, ServeOptions options);
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Enqueues a request; the returned future completes with the decision or
+  /// a non-OK status (see ServeResponse). Never blocks on the queue.
+  std::future<ServeResponse> Submit(ServeRequest request);
+
+  /// Synchronous convenience wrapper: Submit + wait.
+  ServeResponse Infer(ServeRequest request);
+
+  /// Stops the scheduler, drains in-flight batches, and completes every
+  /// still-queued request with kUnavailable. Idempotent; the destructor
+  /// calls it.
+  void Shutdown();
+
+  /// Always-on (lock-free) serving counters, independent of src/obs.
+  struct Stats {
+    int64_t accepted = 0;
+    int64_t shed = 0;
+    int64_t expired = 0;
+    int64_t completed = 0;  // completed OK
+    int64_t failed = 0;     // completed non-OK after admission
+    int64_t batches = 0;
+    int64_t max_batch = 0;  // largest batch dispatched so far
+  };
+  Stats stats() const;
+
+  const ServeOptions& options() const { return options_; }
+
+ private:
+  struct Pending {
+    ServeRequest request;
+    std::promise<ServeResponse> promise;
+    uint64_t enqueue_ns = 0;
+  };
+  struct BatchWork {
+    std::shared_ptr<const ModelSnapshot> snapshot;
+    std::vector<Pending> requests;
+    uint64_t close_ns = 0;
+  };
+
+  void SchedulerLoop();
+  /// Completes queued requests whose deadline has passed. Runs under
+  /// `mutex_`; fulfilled promises are handed back for completion outside
+  /// the lock.
+  void CollectExpiredLocked(uint64_t now_ns, std::vector<Pending>* out);
+  void RunBatch(const std::shared_ptr<BatchWork>& work);
+  void CompleteOne(Pending* pending, ServeResponse response);
+  void UpdateQueueDepthLocked();
+
+  ModelRegistry* const registry_;
+  const ServeOptions options_;
+
+  std::mutex mutex_;
+  std::condition_variable scheduler_cv_;
+  std::deque<Pending> queue_;
+  bool stop_ = false;
+  bool shutdown_done_ = false;
+  int in_flight_batches_ = 0;
+
+  std::atomic<int64_t> accepted_{0};
+  std::atomic<int64_t> shed_{0};
+  std::atomic<int64_t> expired_{0};
+  std::atomic<int64_t> completed_{0};
+  std::atomic<int64_t> failed_{0};
+  std::atomic<int64_t> batches_{0};
+  std::atomic<int64_t> max_batch_{0};
+
+  std::unique_ptr<parallel::ThreadPool> pool_;
+  std::thread scheduler_;
+};
+
+}  // namespace serve
+}  // namespace tracer
+
+#endif  // TRACER_SERVE_SERVER_H_

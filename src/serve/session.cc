@@ -1,0 +1,50 @@
+#include "serve/session.h"
+
+#include "common/macros.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+
+namespace tracer {
+namespace serve {
+
+namespace {
+
+void RecordObservation() {
+  if (!obs::Enabled()) return;
+  static obs::Counter* observations =
+      obs::MetricsRegistry::Global().GetOrCreateCounter(
+          "tracer_serve_session_observations_total");
+  observations->Increment();
+}
+
+}  // namespace
+
+PatientSession::PatientSession(InferenceServer* server, std::string patient_id)
+    : server_(server), patient_id_(std::move(patient_id)) {
+  TRACER_CHECK(server_ != nullptr);
+}
+
+std::future<ServeResponse> PatientSession::Observe(std::vector<float> window,
+                                                   uint64_t deadline_ns) {
+  history_.push_back(std::move(window));
+  RecordObservation();
+  ServeRequest request;
+  request.windows = history_;  // full history so far — the growing T
+  request.deadline_ns = deadline_ns;
+  return server_->Submit(std::move(request));
+}
+
+ServeResponse PatientSession::ObserveSync(std::vector<float> window,
+                                          uint64_t deadline_ns) {
+  ServeResponse response = Observe(std::move(window), deadline_ns).get();
+  if (response.status.ok()) {
+    newly_alerted_ = response.decision.alert && !alerting_;
+    alerting_ = response.decision.alert;
+  } else {
+    newly_alerted_ = false;
+  }
+  return response;
+}
+
+}  // namespace serve
+}  // namespace tracer

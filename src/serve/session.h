@@ -1,0 +1,61 @@
+#ifndef TRACER_SERVE_SESSION_H_
+#define TRACER_SERVE_SESSION_H_
+
+#include <cstdint>
+#include <future>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "serve/server.h"
+
+namespace tracer {
+namespace serve {
+
+/// Streaming session for one admitted patient — the paper's real-time
+/// prediction-and-alert scenario (§3, Fig. 2) as an online API. The session
+/// accumulates the growing time-window history (e.g. one window per
+/// monitored day) and re-scores the full history through the
+/// InferenceServer on every new observation, so the risk trajectory and the
+/// alert state are always computed over everything known so far.
+///
+/// A session is not thread-safe (one patient's observations arrive in
+/// order); distinct sessions may share one server freely.
+class PatientSession {
+ public:
+  /// `server` must outlive the session. `patient_id` is a caller label
+  /// carried for logging/reporting.
+  PatientSession(InferenceServer* server, std::string patient_id);
+
+  /// Appends one observation window (the D feature values measured in the
+  /// new time window) and submits the full history for scoring.
+  /// `deadline_ns` is forwarded to ServeRequest::deadline_ns.
+  std::future<ServeResponse> Observe(std::vector<float> window,
+                                     uint64_t deadline_ns = 0);
+
+  /// Synchronous Observe: waits for the decision. Tracks the alert state —
+  /// `newly_alerted()` is true when this observation crossed the threshold
+  /// upward (the moment a clinician would be paged).
+  ServeResponse ObserveSync(std::vector<float> window,
+                            uint64_t deadline_ns = 0);
+
+  const std::string& patient_id() const { return patient_id_; }
+  /// Number of windows observed so far.
+  int num_windows() const { return static_cast<int>(history_.size()); }
+  /// Whether the last ObserveSync decision was an alert.
+  bool alerting() const { return alerting_; }
+  /// Whether the last ObserveSync flipped the session into alert.
+  bool newly_alerted() const { return newly_alerted_; }
+
+ private:
+  InferenceServer* server_;
+  std::string patient_id_;
+  std::vector<std::vector<float>> history_;
+  bool alerting_ = false;
+  bool newly_alerted_ = false;
+};
+
+}  // namespace serve
+}  // namespace tracer
+
+#endif  // TRACER_SERVE_SESSION_H_

@@ -120,7 +120,8 @@ def find_status_functions(root):
             names.add(match.group(1))
     # Status factory methods are construction, not fallible calls.
     names -= {"OK", "InvalidArgument", "NotFound", "IOError", "OutOfRange",
-              "FailedPrecondition", "Internal"}
+              "FailedPrecondition", "Internal", "Unavailable",
+              "DeadlineExceeded"}
     return names
 
 
@@ -228,14 +229,15 @@ def check_raw_io(path, text, findings, root):
     rel = os.path.relpath(path, root)
     if not rel.startswith("src" + os.sep) or rel in RAW_IO_ALLOWLIST:
         return
-    for match in re.finditer(r"std\s*::\s*(cerr|cout)(?![\w_])", text):
+    for match in re.finditer(r"std\s*::\s*(cerr|cout|clog)(?![\w_])", text):
         findings.add(path, line_of(text, match.start()), "no-raw-io",
                      "std::%s in library code; log via TRACER_LOG "
                      "(common/logging.h)" % match.group(1))
-    # printf/fprintf/puts/fputs write to streams; snprintf/vsnprintf format
-    # into buffers and are fine.
+    # printf/fprintf/puts/fputs/perror write to streams; snprintf/vsnprintf
+    # format into buffers and are fine. This covers every src/ subsystem,
+    # including src/serve/ (servers report through Status and src/obs).
     for match in re.finditer(
-            r"(?<![\w_])(printf|fprintf|puts|fputs)\s*\(", text):
+            r"(?<![\w_])(printf|fprintf|puts|fputs|perror)\s*\(", text):
         findings.add(path, line_of(text, match.start()), "no-raw-io",
                      "%s() in library code; log via TRACER_LOG "
                      "(common/logging.h)" % match.group(1))
