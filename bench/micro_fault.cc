@@ -1,0 +1,76 @@
+// Micro-benchmarks for the fault-injection layer's hot-path claim: a
+// TRACER_FAULT_POINT probe must cost one relaxed atomic load while no
+// faults are configured (DESIGN.md "Fault tolerance"), so it can sit on
+// checkpoint-IO, scoring and thread-pool paths permanently. The armed
+// variants price what chaos runs actually pay.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/micro_main.h"
+#include "common/macros.h"
+#include "common/retry.h"
+#include "common/status.h"
+#include "fault/fault.h"
+
+namespace tracer {
+namespace {
+
+void BM_FaultPointDisarmed(benchmark::State& state) {
+  fault::FaultRegistry::Global().Clear();
+  for (auto _ : state) {
+    bool fired = TRACER_FAULT_POINT("ckpt.write");
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FaultPointDisarmed);
+
+void BM_FaultPointArmedOtherPoint(benchmark::State& state) {
+  // Registry armed, but for a different point: the probe pays the map
+  // lookup yet never draws.
+  const Status armed =
+      fault::FaultRegistry::Global().Configure("serve.score:1:0");
+  TRACER_CHECK(armed.ok());
+  for (auto _ : state) {
+    bool fired = TRACER_FAULT_POINT("ckpt.write");
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations());
+  fault::FaultRegistry::Global().Clear();
+}
+BENCHMARK(BM_FaultPointArmedOtherPoint);
+
+void BM_FaultPointArmedDrawing(benchmark::State& state) {
+  // Worst case: every hit draws from the shared stream (p = 0.5 keeps the
+  // branch unpredictable) under the registry mutex.
+  const Status armed =
+      fault::FaultRegistry::Global().Configure("ckpt.write:0.5:0");
+  TRACER_CHECK(armed.ok());
+  for (auto _ : state) {
+    bool fired = TRACER_FAULT_POINT("ckpt.write");
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations());
+  fault::FaultRegistry::Global().Clear();
+}
+BENCHMARK(BM_FaultPointArmedDrawing);
+
+void BM_CallWithRetryFastPath(benchmark::State& state) {
+  // The wrapper's overhead when the op succeeds first try — what every
+  // healthy checkpoint write pays for its crash insurance.
+  RetryPolicy policy;
+  for (auto _ : state) {
+    Status status = CallWithRetry(policy, [] { return Status::OK(); },
+                                  [](uint64_t) {});
+    benchmark::DoNotOptimize(status);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CallWithRetryFastPath);
+
+}  // namespace
+}  // namespace tracer
+
+int main(int argc, char** argv) {
+  return tracer::bench::RunMicroBenchmarks("micro_fault", argc, argv);
+}

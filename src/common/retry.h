@@ -1,0 +1,81 @@
+#ifndef TRACER_COMMON_RETRY_H_
+#define TRACER_COMMON_RETRY_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tracer {
+
+/// Bounded exponential-backoff policy for retrying transiently failing
+/// Status-returning operations (checkpoint writes, pipeline stages). The
+/// backoff sequence is deterministic — no jitter — so tests can assert the
+/// exact sleep schedule under a fake clock.
+struct RetryPolicy {
+  /// Total tries including the first (1 = no retries).
+  int max_attempts = 3;
+  /// Sleep before the first retry.
+  uint64_t initial_backoff_us = 1000;
+  /// Cap on any single sleep.
+  uint64_t max_backoff_us = 100000;
+  /// Growth factor between consecutive sleeps.
+  double multiplier = 2.0;
+  /// Codes worth retrying: transient by this codebase's conventions.
+  /// Everything else (kInvalidArgument, kDataLoss, ...) fails fast — a
+  /// corrupt checkpoint does not heal by re-reading it.
+  std::vector<StatusCode> retryable = {StatusCode::kUnavailable,
+                                       StatusCode::kIOError,
+                                       StatusCode::kDeadlineExceeded};
+
+  bool IsRetryable(StatusCode code) const {
+    for (StatusCode candidate : retryable) {
+      if (candidate == code) return true;
+    }
+    return false;
+  }
+
+  /// Sleep before retry number `retry` (0-based): bounded
+  /// initial * multiplier^retry.
+  uint64_t BackoffUs(int retry) const {
+    double backoff = static_cast<double>(initial_backoff_us);
+    for (int i = 0; i < retry; ++i) backoff *= multiplier;
+    backoff = std::min(backoff, static_cast<double>(max_backoff_us));
+    return static_cast<uint64_t>(backoff);
+  }
+};
+
+/// Sleep hook for CallWithRetry; tests inject a recorder instead of
+/// actually sleeping.
+using RetrySleepFn = std::function<void(uint64_t micros)>;
+
+/// Runs `op` until it returns OK, a non-retryable code, or the attempt
+/// budget is exhausted; returns the last Status either way. Sleeps the
+/// policy's backoff between attempts through `sleep` (real
+/// std::this_thread::sleep_for when omitted).
+inline Status CallWithRetry(const RetryPolicy& policy,
+                            const std::function<Status()>& op,
+                            const RetrySleepFn& sleep = {}) {
+  const int attempts = std::max(1, policy.max_attempts);
+  Status last;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    last = op();
+    if (last.ok() || !policy.IsRetryable(last.code())) return last;
+    if (attempt + 1 >= attempts) break;
+    const uint64_t backoff_us = policy.BackoffUs(attempt);
+    if (sleep) {
+      sleep(backoff_us);
+    } else if (backoff_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+    }
+  }
+  return last;
+}
+
+}  // namespace tracer
+
+#endif  // TRACER_COMMON_RETRY_H_

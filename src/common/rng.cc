@@ -1,5 +1,7 @@
 #include "common/rng.h"
 
+#include <cstring>
+
 #include "common/macros.h"
 
 namespace tracer {
@@ -80,5 +82,22 @@ void Rng::Shuffle(std::vector<int>& indices) {
 }
 
 Rng Rng::Fork() { return Rng(NextUint64()); }
+
+std::vector<uint64_t> Rng::SaveState() const {
+  std::vector<uint64_t> words(state_, state_ + 4);
+  words.push_back(has_spare_ ? 1 : 0);
+  uint64_t spare_bits = 0;
+  static_assert(sizeof(spare_bits) == sizeof(spare_));
+  std::memcpy(&spare_bits, &spare_, sizeof(spare_bits));
+  words.push_back(spare_bits);
+  return words;
+}
+
+void Rng::RestoreState(const std::vector<uint64_t>& words) {
+  TRACER_CHECK_EQ(words.size(), 6u) << "malformed Rng state";
+  for (int i = 0; i < 4; ++i) state_[i] = words[i];
+  has_spare_ = words[4] != 0;
+  std::memcpy(&spare_, &words[5], sizeof(spare_));
+}
 
 }  // namespace tracer

@@ -43,6 +43,15 @@ class Rng {
   /// Derives an independent child generator (for per-worker streams).
   Rng Fork();
 
+  /// Full generator state as opaque words (4 xoshiro words + the Box–Muller
+  /// spare flag and value), for run-state checkpoints. RestoreState resumes
+  /// the exact draw sequence bit-for-bit.
+  std::vector<uint64_t> SaveState() const;
+
+  /// Restores a state captured by SaveState. CHECK-fails on a word vector
+  /// of the wrong length.
+  void RestoreState(const std::vector<uint64_t>& words);
+
  private:
   uint64_t state_[4];
   bool has_spare_ = false;

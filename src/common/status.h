@@ -21,6 +21,7 @@ enum class StatusCode {
   kInternal,
   kUnavailable,
   kDeadlineExceeded,
+  kDataLoss,
 };
 
 /// Lightweight success/error value. An OK status carries no message.
@@ -56,6 +57,12 @@ class Status {
   /// The caller's deadline passed before the operation completed.
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  /// Stored data is unrecoverably damaged (truncated or corrupt container);
+  /// retrying the same read cannot succeed — the artifact must be rebuilt
+  /// or restored from a replica.
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

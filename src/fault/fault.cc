@@ -1,0 +1,175 @@
+#include "fault/fault.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "fault/fault_points.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+
+namespace tracer {
+namespace fault {
+
+namespace {
+
+std::vector<std::string> SplitOn(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  size_t begin = 0;
+  while (begin <= text.size()) {
+    const size_t end = text.find(sep, begin);
+    if (end == std::string::npos) {
+      out.push_back(text.substr(begin));
+      break;
+    }
+    out.push_back(text.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return out;
+}
+
+/// Parsed but not yet installed; Configure stages into this first so a
+/// malformed spec cannot half-apply.
+struct ParsedRule {
+  std::string point;
+  double probability = 0.0;
+  int64_t count = 0;
+};
+
+Status ParseSpec(const std::string& spec, std::vector<ParsedRule>* out) {
+  for (const std::string& entry : SplitOn(spec, ',')) {
+    if (entry.empty()) continue;
+    const std::vector<std::string> fields = SplitOn(entry, ':');
+    if (fields.size() != 3) {
+      return Status::InvalidArgument(
+          "fault spec entry \"" + entry +
+          "\" is not of the form name:prob:count");
+    }
+    ParsedRule rule;
+    rule.point = fields[0];
+    const std::vector<std::string>& known = FaultRegistry::KnownPoints();
+    if (!std::binary_search(known.begin(), known.end(), rule.point)) {
+      return Status::InvalidArgument(
+          "unknown fault point \"" + rule.point +
+          "\" (register it in fault/fault_points.h)");
+    }
+    char* end = nullptr;
+    rule.probability = std::strtod(fields[1].c_str(), &end);
+    if (fields[1].empty() || end == nullptr || *end != '\0' ||
+        rule.probability < 0.0 || rule.probability > 1.0) {
+      return Status::InvalidArgument(
+          "fault probability \"" + fields[1] + "\" is not in [0, 1]");
+    }
+    rule.count = std::strtoll(fields[2].c_str(), &end, 10);
+    if (fields[2].empty() || end == nullptr || *end != '\0' ||
+        rule.count < 0) {
+      return Status::InvalidArgument(
+          "fault count \"" + fields[2] + "\" is not a non-negative integer");
+    }
+    out->push_back(std::move(rule));
+  }
+  return Status::OK();
+}
+
+uint64_t EnvSeed() {
+  const char* env = std::getenv("TRACER_FAULTS_SEED");
+  if (env == nullptr || *env == '\0') return 42;
+  return static_cast<uint64_t>(std::strtoull(env, nullptr, 10));
+}
+
+void RecordInjected() {
+  if (!obs::Enabled()) return;
+  static obs::Counter* injected =
+      obs::MetricsRegistry::Global().GetOrCreateCounter(
+          "tracer_fault_injected_total");
+  injected->Increment();
+}
+
+}  // namespace
+
+FaultRegistry::FaultRegistry() {
+  const char* env = std::getenv("TRACER_FAULTS");
+  if (env != nullptr && *env != '\0') {
+    // A malformed env spec is a configuration error worth failing loudly
+    // on, but Global() runs at static-init-adjacent times; arm nothing and
+    // leave the status visible to Configure callers instead of aborting.
+    const Status configured = Configure(env, EnvSeed());
+    (void)configured;
+  }
+}
+
+FaultRegistry& FaultRegistry::Global() {
+  static FaultRegistry* registry = new FaultRegistry();
+  return *registry;
+}
+
+Status FaultRegistry::Configure(const std::string& spec, uint64_t seed) {
+  std::vector<ParsedRule> parsed;
+  TRACER_RETURN_IF_ERROR(ParseSpec(spec, &parsed));
+  std::lock_guard<std::mutex> lock(mutex_);
+  rules_.clear();
+  for (const ParsedRule& rule : parsed) {
+    Rule installed;
+    installed.probability = rule.probability;
+    installed.budget = rule.count == 0 ? -1 : rule.count;
+    rules_[rule.point] = installed;
+  }
+  rng_ = Rng(seed);
+  armed_.store(!rules_.empty(), std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void FaultRegistry::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rules_.clear();
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+bool FaultRegistry::ShouldFail(const char* point) {
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = rules_.find(point);
+    if (it == rules_.end()) return false;
+    Rule& rule = it->second;
+    if (rule.budget == 0) return false;
+    // One draw per hit keeps the stream deterministic for a fixed call
+    // sequence regardless of how many points are armed.
+    fire = rng_.Bernoulli(rule.probability);
+    if (fire) {
+      if (rule.budget > 0) --rule.budget;
+      ++rule.fired;
+    }
+  }
+  if (fire) RecordInjected();
+  return fire;
+}
+
+int64_t FaultRegistry::FireCount(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = rules_.find(point);
+  return it == rules_.end() ? 0 : it->second.fired;
+}
+
+int64_t FaultRegistry::TotalFired() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int64_t total = 0;
+  for (const auto& [name, rule] : rules_) total += rule.fired;
+  return total;
+}
+
+const std::vector<std::string>& FaultRegistry::KnownPoints() {
+  static const std::vector<std::string>* points = [] {
+    auto* list = new std::vector<std::string>{
+#define TRACER_FAULT_POINT_ENTRY(name, doc) name,
+        TRACER_FAULT_POINT_LIST(TRACER_FAULT_POINT_ENTRY)
+#undef TRACER_FAULT_POINT_ENTRY
+    };
+    std::sort(list->begin(), list->end());
+    return list;
+  }();
+  return *points;
+}
+
+}  // namespace fault
+}  // namespace tracer

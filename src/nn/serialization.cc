@@ -1,11 +1,15 @@
 #include "nn/serialization.h"
 
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <memory>
+
+#include "fault/fault.h"
 
 namespace tracer {
 namespace nn {
@@ -28,8 +32,20 @@ bool ReadU32(std::FILE* f, uint32_t* v) {
   return std::fread(v, sizeof(*v), 1, f) == 1;
 }
 
+/// DataLoss with the byte offset the container stopped making sense at, so
+/// a corrupt checkpoint report pinpoints the damage instead of just naming
+/// the file.
+Status CorruptAt(std::FILE* f, const std::string& path, const char* what) {
+  const long offset = std::ftell(f);
+  return Status::DataLoss(std::string(what) + " at offset " +
+                          std::to_string(offset) + ": " + path);
+}
+
 Status WriteBody(std::FILE* f, const std::string& path,
                  const std::vector<std::pair<std::string, Tensor>>& tensors) {
+  if (TRACER_FAULT_POINT("ckpt.write")) {
+    return Status::IOError("injected fault ckpt.write: " + path);
+  }
   if (std::fwrite(kMagic, sizeof(kMagic), 1, f) != 1 ||
       !WriteU32(f, static_cast<uint32_t>(tensors.size()))) {
     return Status::IOError("write failed: " + path);
@@ -70,15 +86,16 @@ Status SaveCheckpoint(
     if (!file) return Status::IOError("cannot open for write: " + tmp);
     const Status body = WriteBody(file.get(), tmp, tensors);
     const bool flushed =
-        body.ok() && std::fflush(file.get()) == 0 &&
-        ::fsync(::fileno(file.get())) == 0;
+        body.ok() && !TRACER_FAULT_POINT("ckpt.fsync") &&
+        std::fflush(file.get()) == 0 && ::fsync(::fileno(file.get())) == 0;
     file.reset();  // close before rename/remove
     if (!body.ok() || !flushed) {
       std::remove(tmp.c_str());
       return body.ok() ? Status::IOError("flush failed: " + tmp) : body;
     }
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+  if (TRACER_FAULT_POINT("ckpt.rename") ||
+      std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     return Status::IOError("rename failed: " + tmp + " -> " + path);
   }
@@ -87,43 +104,78 @@ Status SaveCheckpoint(
 
 Result<std::vector<std::pair<std::string, Tensor>>> LoadCheckpoint(
     const std::string& path) {
+  if (TRACER_FAULT_POINT("ckpt.read")) {
+    return Status::IOError("injected fault ckpt.read: " + path);
+  }
   std::unique_ptr<std::FILE, FileCloser> file(std::fopen(path.c_str(), "rb"));
   if (!file) return Status::IOError("cannot open for read: " + path);
   std::FILE* f = file.get();
+  // The container size bounds every tensor payload: a corrupted extent can
+  // otherwise claim gigabytes and turn one flipped byte into an OOM.
+  struct stat st;
+  if (::fstat(::fileno(f), &st) != 0) {
+    return Status::IOError("cannot stat: " + path);
+  }
+  const int64_t file_size = static_cast<int64_t>(st.st_size);
   char magic[8];
-  if (std::fread(magic, sizeof(magic), 1, f) != 1 ||
-      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+  if (std::fread(magic, sizeof(magic), 1, f) != 1) {
+    return CorruptAt(f, path, "truncated magic");
+  }
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
     return Status::InvalidArgument("not a TRACER checkpoint: " + path);
   }
   uint32_t count = 0;
-  if (!ReadU32(f, &count)) return Status::IOError("truncated: " + path);
+  if (!ReadU32(f, &count)) {
+    return CorruptAt(f, path, "truncated tensor count");
+  }
   std::vector<std::pair<std::string, Tensor>> out;
-  out.reserve(count);
   for (uint32_t i = 0; i < count; ++i) {
     uint32_t name_len = 0;
-    if (!ReadU32(f, &name_len) || name_len > (1u << 20)) {
-      return Status::IOError("truncated: " + path);
+    if (!ReadU32(f, &name_len)) {
+      return CorruptAt(f, path, "truncated name length");
+    }
+    if (static_cast<int64_t>(name_len) > file_size) {
+      return CorruptAt(f, path, "corrupt name length");
     }
     std::string name(name_len, '\0');
     if (name_len > 0 && std::fread(name.data(), 1, name_len, f) != name_len) {
-      return Status::IOError("truncated: " + path);
+      return CorruptAt(f, path, "truncated name");
     }
     uint32_t rank = 0;
-    if (!ReadU32(f, &rank) || rank > 8) {
-      return Status::IOError("truncated: " + path);
+    if (!ReadU32(f, &rank)) {
+      return CorruptAt(f, path, "truncated rank");
+    }
+    if (rank > 8) {
+      return CorruptAt(f, path, "corrupt rank");
     }
     std::vector<int> shape(rank);
     int64_t size = rank == 0 ? 0 : 1;
     for (uint32_t d = 0; d < rank; ++d) {
       uint32_t extent = 0;
-      if (!ReadU32(f, &extent)) return Status::IOError("truncated: " + path);
+      if (!ReadU32(f, &extent)) {
+        return CorruptAt(f, path, "truncated shape");
+      }
+      // Overflow-safe accumulation: no real checkpoint approaches 2^40
+      // elements, and a corrupted extent must not overflow int64.
+      constexpr int64_t kMaxElements = int64_t{1} << 40;
+      if (extent > static_cast<uint32_t>(
+                       std::numeric_limits<int>::max()) ||
+          (extent != 0 &&
+           size > kMaxElements / static_cast<int64_t>(extent))) {
+        return CorruptAt(f, path, "corrupt tensor extent");
+      }
       shape[d] = static_cast<int>(extent);
-      size *= extent;
+      size *= static_cast<int64_t>(extent);
+    }
+    // Bytes still unread bound the payload this tensor may claim.
+    const int64_t remaining = file_size - static_cast<int64_t>(std::ftell(f));
+    if (size * static_cast<int64_t>(sizeof(float)) > remaining) {
+      return CorruptAt(f, path, "corrupt tensor extent");
     }
     Tensor tensor(shape);
     const size_t n = static_cast<size_t>(size);
     if (n > 0 && std::fread(tensor.data(), sizeof(float), n, f) != n) {
-      return Status::IOError("truncated: " + path);
+      return CorruptAt(f, path, "truncated tensor payload");
     }
     out.emplace_back(std::move(name), std::move(tensor));
   }
@@ -132,7 +184,7 @@ Result<std::vector<std::pair<std::string, Tensor>>> LoadCheckpoint(
   // concatenation accident) and must be rejected rather than silently
   // ignored.
   if (std::fgetc(f) != EOF) {
-    return Status::InvalidArgument("trailing bytes after checkpoint: " + path);
+    return CorruptAt(f, path, "trailing bytes after checkpoint");
   }
   return out;
 }

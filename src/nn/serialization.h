@@ -22,7 +22,11 @@ Status SaveCheckpoint(
     const std::string& path,
     const std::vector<std::pair<std::string, Tensor>>& tensors);
 
-/// Reads a checkpoint written by SaveCheckpoint.
+/// Reads a checkpoint written by SaveCheckpoint. A container that opens but
+/// is truncated or corrupt (bad lengths, impossible extents, trailing
+/// bytes) fails with kDataLoss naming the failing byte offset — the file
+/// must be restored, not retried; a file that is simply not a TRCKPT1
+/// container fails with kInvalidArgument.
 Result<std::vector<std::pair<std::string, Tensor>>> LoadCheckpoint(
     const std::string& path);
 

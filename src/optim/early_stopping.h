@@ -42,6 +42,18 @@ class EarlyStopping {
   /// 1-based epoch index of the best metric (0 if none recorded).
   int best_epoch() const { return best_epoch_; }
   int epochs_since_best() const { return stale_; }
+  /// Epochs recorded so far through Update().
+  int epochs_recorded() const { return epoch_; }
+
+  /// Restores a state captured via the accessors above, for crash-resumable
+  /// training (train/run_state.h): a resumed run continues the patience
+  /// countdown exactly where the interrupted one left off.
+  void Restore(float best, int best_epoch, int epochs_recorded, int stale) {
+    best_ = best;
+    best_epoch_ = best_epoch;
+    epoch_ = epochs_recorded;
+    stale_ = stale;
+  }
 
   /// Resets to the pristine state.
   void Reset() {

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/macros.h"
 #include "tensor/tensor_ops.h"
 
 namespace tracer {
@@ -112,6 +113,21 @@ void Adam::Step() {
       pw[i] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
     }
   }
+}
+
+void Adam::RestoreState(std::vector<Tensor> first_moments,
+                        std::vector<Tensor> second_moments,
+                        int64_t step_count) {
+  TRACER_CHECK_EQ(first_moments.size(), params_.size());
+  TRACER_CHECK_EQ(second_moments.size(), params_.size());
+  TRACER_CHECK_GE(step_count, 0);
+  for (size_t k = 0; k < params_.size(); ++k) {
+    TRACER_CHECK(first_moments[k].SameShape(params_[k].value()));
+    TRACER_CHECK(second_moments[k].SameShape(params_[k].value()));
+  }
+  m_ = std::move(first_moments);
+  v_ = std::move(second_moments);
+  step_count_ = step_count;
 }
 
 }  // namespace optim

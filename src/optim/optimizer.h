@@ -68,6 +68,19 @@ class Adam : public Optimizer {
   float lr() const { return lr_; }
   void set_lr(float lr) { lr_ = lr; }
 
+  /// Optimizer state for run-state checkpoints (train/run_state.h):
+  /// first/second moment estimates in parameter order plus the bias-
+  /// correction step count. The accessors expose exact tensors so a resumed
+  /// run continues bit-identically.
+  int64_t step_count() const { return step_count_; }
+  const std::vector<Tensor>& first_moments() const { return m_; }
+  const std::vector<Tensor>& second_moments() const { return v_; }
+
+  /// Restores state captured from another Adam over the same parameter
+  /// list. CHECK-fails on a count/shape mismatch.
+  void RestoreState(std::vector<Tensor> first_moments,
+                    std::vector<Tensor> second_moments, int64_t step_count);
+
  private:
   float lr_;
   float beta1_;

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/macros.h"
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
 
@@ -58,6 +59,10 @@ void ThreadPool::Shutdown() {
 }
 
 bool ThreadPool::Submit(std::function<void()> task) {
+  // Chaos hook: a spurious rejection exercises every caller's documented
+  // Submit-may-fail path (servers fail the batch, the data-parallel trainer
+  // runs the shard inline) without tearing the pool down.
+  if (TRACER_FAULT_POINT("pool.submit")) return false;
   {
     std::unique_lock<std::mutex> lock(mutex_);
     // Rejecting under the same lock that Shutdown takes closes the

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/logging.h"
 #include "common/macros.h"
 #include "core/report.h"
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -26,10 +28,28 @@ EmrPipelineResult RunEmrPipeline(const data::TimeSeriesDataset& raw_cohort,
   }
 
   // --- Integration / Cleaning: repair missing entries before any
-  // statistics are computed.
+  // statistics are computed. The stage is retried on transient failure
+  // (bounded exponential backoff); a persistently failing cleaner degrades
+  // to the uncleaned cohort rather than aborting the whole pipeline.
   data::TimeSeriesDataset cohort = raw_cohort;
   if (mask != nullptr) {
-    data::Impute(&cohort, *mask, config.imputation);
+    const Status cleaned = CallWithRetry(config.clean_retry, [&] {
+      if (TRACER_FAULT_POINT("pipeline.clean")) {
+        return Status::Unavailable("injected fault pipeline.clean");
+      }
+      data::Impute(&cohort, *mask, config.imputation);
+      return Status::OK();
+    });
+    if (!cleaned.ok()) {
+      TRACER_LOG(Warning) << "cleaning stage failed after retries, "
+                          << "continuing on uncleaned cohort: "
+                          << cleaned.ToString();
+      if (obs::Enabled()) {
+        obs::MetricsRegistry::Global()
+            .GetOrCreateCounter("tracer_pipeline_clean_failures_total")
+            ->Increment();
+      }
+    }
   }
 
   // --- Split and normalize (min–max fit on the training split only).

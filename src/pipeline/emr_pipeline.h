@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/retry.h"
 #include "core/tracer.h"
 #include "data/imputation.h"
 
@@ -18,6 +19,13 @@ struct EmrPipelineConfig {
   /// missingness mask.
   data::ImputationStrategy imputation =
       data::ImputationStrategy::kForwardFill;
+  /// Retry policy for the cleaning stage (in production the stage reads
+  /// from integration systems that fail transiently; here the transient
+  /// surface is the "pipeline.clean" fault point). If the budget is
+  /// exhausted the pipeline logs and continues on the uncleaned cohort —
+  /// degraded, but it still produces a model — and increments
+  /// tracer_pipeline_clean_failures_total.
+  RetryPolicy clean_retry;
   /// Split fractions (§5.1.2).
   double train_fraction = 0.8;
   double val_fraction = 0.1;

@@ -1,0 +1,86 @@
+#include "serve/circuit_breaker.h"
+
+#include <algorithm>
+
+namespace tracer {
+namespace serve {
+
+namespace {
+
+CircuitBreakerOptions Sanitize(CircuitBreakerOptions options) {
+  options.failure_threshold = std::max(1, options.failure_threshold);
+  return options;
+}
+
+}  // namespace
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerOptions options)
+    : options_(Sanitize(options)) {}
+
+bool CircuitBreaker::Allow(uint64_t now_ns) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (now_ns < open_until_ns_) return false;
+      // Cooldown over: admit exactly one probe.
+      state_ = State::kHalfOpen;
+      probe_in_flight_ = true;
+      ++probes_;
+      return true;
+    case State::kHalfOpen:
+      if (probe_in_flight_) return false;
+      probe_in_flight_ = true;
+      ++probes_;
+      return true;
+  }
+  return false;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  consecutive_failures_ = 0;
+  probe_in_flight_ = false;
+  state_ = State::kClosed;
+}
+
+void CircuitBreaker::RecordFailure(uint64_t now_ns) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ == State::kHalfOpen) {
+    // The probe failed: back to open, restart the cooldown.
+    TripLocked(now_ns);
+    return;
+  }
+  ++consecutive_failures_;
+  if (state_ == State::kClosed &&
+      consecutive_failures_ >= options_.failure_threshold) {
+    TripLocked(now_ns);
+  }
+}
+
+void CircuitBreaker::TripLocked(uint64_t now_ns) {
+  state_ = State::kOpen;
+  open_until_ns_ = now_ns + options_.open_duration_ns;
+  consecutive_failures_ = 0;
+  probe_in_flight_ = false;
+  ++opens_;
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+int64_t CircuitBreaker::opens() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return opens_;
+}
+
+int64_t CircuitBreaker::probes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return probes_;
+}
+
+}  // namespace serve
+}  // namespace tracer

@@ -1,0 +1,76 @@
+#ifndef TRACER_SERVE_CIRCUIT_BREAKER_H_
+#define TRACER_SERVE_CIRCUIT_BREAKER_H_
+
+#include <cstdint>
+#include <mutex>
+
+namespace tracer {
+namespace serve {
+
+/// Tuning knobs of one CircuitBreaker.
+struct CircuitBreakerOptions {
+  /// Consecutive recorded failures that trip the breaker open.
+  int failure_threshold = 5;
+  /// How long an open breaker rejects before allowing a half-open probe.
+  uint64_t open_duration_ns = 100ull * 1000 * 1000;  // 100ms
+};
+
+/// Classic closed → open → half-open circuit breaker guarding one serving
+/// replica (see DESIGN.md "Fault tolerance").
+///
+///  - closed: every call is allowed; `failure_threshold` consecutive
+///    failures trip it open.
+///  - open: calls are rejected (the server degrades to its fallback model)
+///    until `open_duration_ns` has elapsed.
+///  - half-open: exactly one probe call is let through; success closes the
+///    breaker, failure re-opens it and restarts the cooldown.
+///
+/// Failure signals are recorded by the caller: a scoring error, a
+/// non-finite score, or a forward pass that finished past every rider's
+/// deadline (deadline-budget exhaustion). All methods are thread-safe;
+/// timestamps come from the caller so tests can drive a fake clock.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(CircuitBreakerOptions options);
+
+  /// True when a protected call may proceed now. An open breaker whose
+  /// cooldown has elapsed transitions to half-open and admits exactly one
+  /// probe (subsequent Allow calls reject until that probe is recorded).
+  bool Allow(uint64_t now_ns);
+
+  /// Records a successful protected call. Closes a half-open breaker and
+  /// resets the consecutive-failure count.
+  void RecordSuccess();
+
+  /// Records a failed protected call; may trip the breaker open (from
+  /// closed, after `failure_threshold` consecutive failures; from
+  /// half-open, immediately).
+  void RecordFailure(uint64_t now_ns);
+
+  State state() const;
+
+  /// Times the breaker transitioned into open, cumulative.
+  int64_t opens() const;
+
+  /// Half-open probes admitted, cumulative.
+  int64_t probes() const;
+
+ private:
+  void TripLocked(uint64_t now_ns);
+
+  const CircuitBreakerOptions options_;
+  mutable std::mutex mutex_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  uint64_t open_until_ns_ = 0;
+  bool probe_in_flight_ = false;
+  int64_t opens_ = 0;
+  int64_t probes_ = 0;
+};
+
+}  // namespace serve
+}  // namespace tracer
+
+#endif  // TRACER_SERVE_CIRCUIT_BREAKER_H_

@@ -140,6 +140,27 @@ std::shared_ptr<const ModelSnapshot> ModelRegistry::live() const {
   return live_;
 }
 
+Status ModelRegistry::SetFallback(uint64_t version) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = versions_.find(version);
+  if (it == versions_.end()) {
+    return Status::NotFound("fallback version " + std::to_string(version) +
+                            " was never staged");
+  }
+  fallback_ = it->second;
+  return Status::OK();
+}
+
+void ModelRegistry::ClearFallback() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  fallback_ = nullptr;
+}
+
+std::shared_ptr<const ModelSnapshot> ModelRegistry::fallback() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fallback_;
+}
+
 std::shared_ptr<const ModelSnapshot> ModelRegistry::Get(
     uint64_t version) const {
   std::lock_guard<std::mutex> lock(mutex_);

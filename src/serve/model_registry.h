@@ -81,6 +81,20 @@ class ModelRegistry {
   /// Current live snapshot, or nullptr when nothing is published.
   std::shared_ptr<const ModelSnapshot> live() const;
 
+  /// Designates a staged version as the degraded-mode fallback: when an
+  /// InferenceServer's circuit breaker opens on the primary, batches are
+  /// scored by this snapshot and responses are marked `degraded=true`
+  /// instead of failing with kUnavailable. Typically a cheaper / older
+  /// model known to be healthy. NotFound if never staged.
+  Status SetFallback(uint64_t version);
+
+  /// Removes the fallback designation (degraded scoring reverts to
+  /// kUnavailable while a breaker is open).
+  void ClearFallback();
+
+  /// Current fallback snapshot, or nullptr when none is designated.
+  std::shared_ptr<const ModelSnapshot> fallback() const;
+
   /// Any staged snapshot by version, or nullptr.
   std::shared_ptr<const ModelSnapshot> Get(uint64_t version) const;
 
@@ -95,6 +109,7 @@ class ModelRegistry {
   std::map<uint64_t, std::shared_ptr<const ModelSnapshot>> versions_;
   std::shared_ptr<const ModelSnapshot> live_;
   std::shared_ptr<const ModelSnapshot> previous_;
+  std::shared_ptr<const ModelSnapshot> fallback_;
   uint64_t next_version_ = 1;
 };
 

@@ -4,8 +4,11 @@
 #include <chrono>
 #include <utility>
 
+#include <cmath>
+
 #include "autograd/variable.h"
 #include "common/macros.h"
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
@@ -77,6 +80,39 @@ void RecordBatch(int batch_size) {
   sizes->Observe(static_cast<double>(batch_size));
 }
 
+void RecordBreakerOpen() {
+  if (!obs::Enabled()) return;
+  static obs::Counter* opens =
+      obs::MetricsRegistry::Global().GetOrCreateCounter(
+          "tracer_serve_breaker_open_total");
+  opens->Increment();
+}
+
+void RecordBreakerProbe() {
+  if (!obs::Enabled()) return;
+  static obs::Counter* probes =
+      obs::MetricsRegistry::Global().GetOrCreateCounter(
+          "tracer_serve_breaker_probes_total");
+  probes->Increment();
+}
+
+void RecordDegraded(int count) {
+  if (!obs::Enabled()) return;
+  static obs::Counter* degraded =
+      obs::MetricsRegistry::Global().GetOrCreateCounter(
+          "tracer_serve_degraded_total");
+  degraded->Increment(count);
+}
+
+/// A replica that emits NaN/Inf is as broken as one that throws: the score
+/// is unusable for alerting, so it counts as a scoring failure.
+bool AllFinite(const Tensor& scores) {
+  for (int64_t i = 0; i < scores.size(); ++i) {
+    if (!std::isfinite(scores[i])) return false;
+  }
+  return true;
+}
+
 // Bounds shared by the time-in-queue and end-to-end latency histograms:
 // 10µs .. 3s, roughly ×3 per bucket, so p50/p99 are readable at both
 // interactive and saturated operating points.
@@ -107,6 +143,10 @@ void RecordServed(const ServeResponse& response, bool alert) {
 InferenceServer::InferenceServer(ModelRegistry* registry, ServeOptions options)
     : registry_(registry), options_(Sanitize(options)) {
   TRACER_CHECK(registry_ != nullptr);
+  breakers_.reserve(options_.num_workers);
+  for (int i = 0; i < options_.num_workers; ++i) {
+    breakers_.push_back(std::make_unique<CircuitBreaker>(options_.breaker));
+  }
   pool_ = std::make_unique<parallel::ThreadPool>(options_.num_workers);
   scheduler_ = std::thread([this] { SchedulerLoop(); });
 }
@@ -258,6 +298,7 @@ void InferenceServer::SchedulerLoop() {
     const bool dispatch = !work->requests.empty();
     if (dispatch) {
       work->snapshot = registry_->live();
+      work->fallback = registry_->fallback();
       work->close_ns = form_ns;
       ++in_flight_batches_;
     }
@@ -278,10 +319,12 @@ void InferenceServer::SchedulerLoop() {
       }
       RecordBatch(static_cast<int>(size));
       const bool submitted =
+          !TRACER_FAULT_POINT("serve.dispatch") &&
           pool_->Submit([this, work] { RunBatch(work); });
       if (!submitted) {
-        // Only reachable if the pool is torn down mid-dispatch; fail the
-        // batch rather than orphan the promises.
+        // Reachable if the pool is torn down mid-dispatch (or chaos
+        // injection severs the hand-off); fail the batch rather than
+        // orphan the promises.
         for (Pending& pending : work->requests) {
           ServeResponse response;
           response.status = Status::Unavailable("server shutting down");
@@ -295,14 +338,27 @@ void InferenceServer::SchedulerLoop() {
   }
 }
 
+CircuitBreaker& InferenceServer::BreakerForThisThread() {
+  // Pool threads are created per server and outlive every batch, so a
+  // once-per-thread slot assignment pins each worker to its own breaker.
+  thread_local int slot = -1;
+  if (slot < 0) {
+    slot = breaker_slots_.fetch_add(1, std::memory_order_relaxed) %
+           static_cast<int>(breakers_.size());
+  }
+  return *breakers_[slot];
+}
+
 void InferenceServer::RunBatch(const std::shared_ptr<BatchWork>& work) {
   TRACER_SPAN("serve.batch");
-  // Per-worker replica of the batch's snapshot, rebuilt only when the
-  // snapshot changes. Each pool thread owns its replica outright, so
-  // concurrent batches never share autograd state; the shared_ptr keeps the
-  // cached snapshot alive across hot-swaps.
+  // Per-worker replicas of the batch's primary and fallback snapshots,
+  // rebuilt only when the snapshot changes. Each pool thread owns its
+  // replicas outright, so concurrent batches never share autograd state;
+  // the shared_ptrs keep the cached snapshots alive across hot-swaps.
   thread_local std::shared_ptr<const ModelSnapshot> cached_snapshot;
   thread_local std::unique_ptr<core::Titv> replica;
+  thread_local std::shared_ptr<const ModelSnapshot> cached_fallback;
+  thread_local std::unique_ptr<core::Titv> fallback_replica;
 
   const std::shared_ptr<const ModelSnapshot>& snapshot = work->snapshot;
   std::vector<Pending*> scorable;
@@ -324,10 +380,6 @@ void InferenceServer::RunBatch(const std::shared_ptr<BatchWork>& work) {
   }
 
   if (!scorable.empty()) {
-    if (cached_snapshot.get() != snapshot.get()) {
-      replica = snapshot->NewReplica();
-      cached_snapshot = snapshot;
-    }
     const int batch_size = static_cast<int>(scorable.size());
     const int num_windows =
         static_cast<int>(scorable.front()->request.windows.size());
@@ -342,25 +394,99 @@ void InferenceServer::RunBatch(const std::shared_ptr<BatchWork>& work) {
       }
       xs.push_back(autograd::Variable::Constant(std::move(x)));
     }
-    // Forward-only scoring; identical math to SequenceModel::Predict, so a
-    // batched row is bit-identical to the same sample scored alone.
-    autograd::Variable raw = replica->Forward(xs);
-    const Tensor scores =
-        options_.classification
-            ? tracer::Sigmoid(raw.value())
-            : tracer::AddScalar(
-                  tracer::Scale(raw.value(), snapshot->output_scale),
-                  snapshot->output_offset);
-    for (int b = 0; b < batch_size; ++b) {
-      ServeResponse response;
-      response.decision.probability = scores.at(b, 0);
-      response.decision.alert =
-          options_.classification &&
-          response.decision.probability >= options_.alert_threshold;
-      response.model_version = snapshot->version;
-      response.batch_size = batch_size;
-      response.queue_ns = work->close_ns - scorable[b]->enqueue_ns;
-      CompleteOne(scorable[b], std::move(response));
+
+    auto score_with = [&](const ModelSnapshot& model, core::Titv* titv) {
+      autograd::Variable raw = titv->Forward(xs);
+      return options_.classification
+                 ? tracer::Sigmoid(raw.value())
+                 : tracer::AddScalar(
+                       tracer::Scale(raw.value(), model.output_scale),
+                       model.output_offset);
+    };
+
+    CircuitBreaker& breaker = BreakerForThisThread();
+    const int64_t probes_before = breaker.probes();
+    const bool try_primary = breaker.Allow(obs::MonotonicNowNs());
+    if (breaker.probes() > probes_before) RecordBreakerProbe();
+
+    bool primary_ok = false;
+    Tensor scores;
+    if (try_primary) {
+      bool failed = TRACER_FAULT_POINT("serve.score");
+      if (!failed) {
+        if (cached_snapshot.get() != snapshot.get()) {
+          replica = snapshot->NewReplica();
+          cached_snapshot = snapshot;
+        }
+        // Forward-only scoring; identical math to SequenceModel::Predict,
+        // so a batched row is bit-identical to the same sample scored
+        // alone.
+        scores = score_with(*snapshot, replica.get());
+        failed = !AllFinite(scores);
+      }
+      const uint64_t done_ns = obs::MonotonicNowNs();
+      bool budget_exhausted = false;
+      if (!failed && options_.breaker_on_deadline_budget) {
+        for (const Pending* pending : scorable) {
+          const uint64_t deadline = pending->request.deadline_ns;
+          if (deadline != 0 && deadline <= done_ns) {
+            budget_exhausted = true;
+            break;
+          }
+        }
+      }
+      if (failed || budget_exhausted) {
+        const int64_t opens_before = breaker.opens();
+        breaker.RecordFailure(done_ns);
+        if (breaker.opens() > opens_before) {
+          breaker_opens_.fetch_add(1, std::memory_order_relaxed);
+          RecordBreakerOpen();
+        }
+      } else {
+        breaker.RecordSuccess();
+      }
+      // Deadline-budget exhaustion degrades *future* batches; this one
+      // still carries valid scores and completes normally.
+      primary_ok = !failed;
+    }
+
+    const std::shared_ptr<const ModelSnapshot>& fallback = work->fallback;
+    bool degraded = false;
+    if (!primary_ok && fallback != nullptr &&
+        fallback->config.input_dim == dim) {
+      if (cached_fallback.get() != fallback.get()) {
+        fallback_replica = fallback->NewReplica();
+        cached_fallback = fallback;
+      }
+      scores = score_with(*fallback, fallback_replica.get());
+      degraded = AllFinite(scores);
+    }
+
+    if (primary_ok || degraded) {
+      const ModelSnapshot& scored_by = degraded ? *fallback : *snapshot;
+      if (degraded) {
+        degraded_.fetch_add(batch_size, std::memory_order_relaxed);
+        RecordDegraded(batch_size);
+      }
+      for (int b = 0; b < batch_size; ++b) {
+        ServeResponse response;
+        response.decision.probability = scores.at(b, 0);
+        response.decision.alert =
+            options_.classification &&
+            response.decision.probability >= options_.alert_threshold;
+        response.model_version = scored_by.version;
+        response.batch_size = batch_size;
+        response.degraded = degraded;
+        response.queue_ns = work->close_ns - scorable[b]->enqueue_ns;
+        CompleteOne(scorable[b], std::move(response));
+      }
+    } else {
+      for (Pending* pending : scorable) {
+        ServeResponse response;
+        response.status = Status::Unavailable(
+            "primary replica unhealthy and no usable fallback model");
+        CompleteOne(pending, std::move(response));
+      }
     }
   }
 
@@ -423,6 +549,8 @@ InferenceServer::Stats InferenceServer::stats() const {
   out.failed = failed_.load(std::memory_order_relaxed);
   out.batches = batches_.load(std::memory_order_relaxed);
   out.max_batch = max_batch_.load(std::memory_order_relaxed);
+  out.degraded = degraded_.load(std::memory_order_relaxed);
+  out.breaker_opens = breaker_opens_.load(std::memory_order_relaxed);
   return out;
 }
 

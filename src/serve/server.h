@@ -14,6 +14,7 @@
 #include "common/status.h"
 #include "core/tracer.h"
 #include "parallel/thread_pool.h"
+#include "serve/circuit_breaker.h"
 #include "serve/model_registry.h"
 
 namespace tracer {
@@ -41,6 +42,18 @@ struct ServeOptions {
   /// Classification scores pass through a sigmoid; regression outputs go
   /// through the snapshot's affine output transform.
   bool classification = true;
+  /// Per-replica circuit breaker (one per worker thread): consecutive
+  /// scoring failures trip it open and batches degrade to the registry's
+  /// fallback model (responses marked `degraded=true`) — or complete with
+  /// kUnavailable when no fallback is designated — until a half-open probe
+  /// succeeds. See DESIGN.md "Fault tolerance".
+  CircuitBreakerOptions breaker;
+  /// Also count deadline-budget exhaustion (a forward pass that finished
+  /// past a rider's deadline; the response itself still succeeds) as a
+  /// breaker failure signal, so a primary too slow for its clients degrades
+  /// to the cheaper fallback. Off by default: with tight deadlines and no
+  /// fallback this converts overload into kUnavailable bursts.
+  bool breaker_on_deadline_budget = false;
 };
 
 /// One inference request: the time-window history of a single patient,
@@ -68,6 +81,10 @@ struct ServeResponse {
   uint64_t model_version = 0;
   /// Size of the micro-batch this request rode in (1 = unbatched).
   int batch_size = 0;
+  /// True when the score came from the registry's fallback model because
+  /// the worker's circuit breaker was open (or the primary failed);
+  /// `model_version` is then the fallback's version.
+  bool degraded = false;
   /// Admission → batch close.
   uint64_t queue_ns = 0;
   /// Admission → completion.
@@ -90,6 +107,11 @@ struct ServeResponse {
 ///    request is scored by exactly one model version even during hot-swap.
 ///  - Every accepted future is eventually completed, including across
 ///    Shutdown (drained requests complete with kUnavailable).
+///  - Degraded mode: each worker guards its replica with a circuit breaker
+///    (ServeOptions::breaker). While a breaker is open, batches are scored
+///    by the registry's fallback model with `degraded=true`, or complete
+///    with kUnavailable when no fallback is designated; a half-open probe
+///    restores normal service once the primary is healthy again.
 ///
 /// Instrumented through src/obs when enabled: tracer_serve_requests_total,
 /// _shed_total, _expired_total, _alerts_total, _batches_total,
@@ -127,6 +149,8 @@ class InferenceServer {
     int64_t failed = 0;     // completed non-OK after admission
     int64_t batches = 0;
     int64_t max_batch = 0;  // largest batch dispatched so far
+    int64_t degraded = 0;       // completed OK via the fallback model
+    int64_t breaker_opens = 0;  // breaker transitions into open, all workers
   };
   Stats stats() const;
 
@@ -140,6 +164,9 @@ class InferenceServer {
   };
   struct BatchWork {
     std::shared_ptr<const ModelSnapshot> snapshot;
+    /// Degraded-mode model, captured at batch formation like `snapshot` so
+    /// the whole batch sees one consistent fallback across hot-swaps.
+    std::shared_ptr<const ModelSnapshot> fallback;
     std::vector<Pending> requests;
     uint64_t close_ns = 0;
   };
@@ -150,6 +177,9 @@ class InferenceServer {
   /// the lock.
   void CollectExpiredLocked(uint64_t now_ns, std::vector<Pending>* out);
   void RunBatch(const std::shared_ptr<BatchWork>& work);
+  /// The circuit breaker owned by the calling worker thread (assigned on
+  /// first use; pool threads live exactly as long as the server).
+  CircuitBreaker& BreakerForThisThread();
   void CompleteOne(Pending* pending, ServeResponse response);
   void UpdateQueueDepthLocked();
 
@@ -170,6 +200,12 @@ class InferenceServer {
   std::atomic<int64_t> failed_{0};
   std::atomic<int64_t> batches_{0};
   std::atomic<int64_t> max_batch_{0};
+  std::atomic<int64_t> degraded_{0};
+  std::atomic<int64_t> breaker_opens_{0};
+
+  /// One breaker per worker replica, fixed at construction.
+  std::vector<std::unique_ptr<CircuitBreaker>> breakers_;
+  std::atomic<int> breaker_slots_{0};
 
   std::unique_ptr<parallel::ThreadPool> pool_;
   std::thread scheduler_;

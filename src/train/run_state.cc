@@ -1,0 +1,279 @@
+#include "train/run_state.h"
+
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <utility>
+
+#include "nn/serialization.h"
+
+namespace tracer {
+namespace train {
+
+namespace {
+
+constexpr uint64_t kFormatVersion = 1;
+constexpr char kHeaderName[] = "__run_state";
+
+// The TRCKPT1 container stores float32 payloads, so scalar run state is
+// bit-packed into a 1-D header tensor: each uint64 becomes four floats, one
+// per 16-bit half-word. Every value in [0, 65535] is exactly representable
+// in float32, so the round trip is lossless for arbitrary 64-bit patterns
+// (including NaN loss accumulators and raw RNG words).
+void PushU64(std::vector<float>* out, uint64_t v) {
+  for (int k = 0; k < 4; ++k) {
+    out->push_back(static_cast<float>((v >> (16 * k)) & 0xFFFFu));
+  }
+}
+
+void PushF64(std::vector<float>* out, double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PushU64(out, bits);
+}
+
+void PushF32(std::vector<float>* out, float v) {
+  uint32_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PushU64(out, bits);
+}
+
+/// Bounds- and integrality-checked cursor over the packed header tensor, so
+/// a damaged header surfaces as a Status instead of undefined behaviour.
+class HeaderReader {
+ public:
+  explicit HeaderReader(const Tensor& t) : t_(t) {}
+
+  Status ReadU64(uint64_t* out) {
+    if (pos_ + 4 > t_.size()) {
+      return Status::InvalidArgument("run-state header truncated");
+    }
+    uint64_t v = 0;
+    for (int k = 0; k < 4; ++k) {
+      const float f = t_.data()[pos_ + k];
+      const int64_t w = static_cast<int64_t>(f);
+      if (static_cast<float>(w) != f || w < 0 || w > 0xFFFF) {
+        return Status::InvalidArgument(
+            "run-state header is not half-word packed");
+      }
+      v |= static_cast<uint64_t>(w) << (16 * k);
+    }
+    pos_ += 4;
+    *out = v;
+    return Status::OK();
+  }
+
+  Status ReadI64(int64_t* out) {
+    uint64_t v = 0;
+    TRACER_RETURN_IF_ERROR(ReadU64(&v));
+    if (v > static_cast<uint64_t>(std::numeric_limits<int64_t>::max())) {
+      return Status::InvalidArgument("run-state count out of range");
+    }
+    *out = static_cast<int64_t>(v);
+    return Status::OK();
+  }
+
+  Status ReadInt(int* out) {
+    int64_t v = 0;
+    TRACER_RETURN_IF_ERROR(ReadI64(&v));
+    if (v > std::numeric_limits<int>::max()) {
+      return Status::InvalidArgument("run-state count out of range");
+    }
+    *out = static_cast<int>(v);
+    return Status::OK();
+  }
+
+  Status ReadF64(double* out) {
+    uint64_t bits = 0;
+    TRACER_RETURN_IF_ERROR(ReadU64(&bits));
+    std::memcpy(out, &bits, sizeof(*out));
+    return Status::OK();
+  }
+
+  Status ReadF32(float* out) {
+    uint64_t bits = 0;
+    TRACER_RETURN_IF_ERROR(ReadU64(&bits));
+    const uint32_t low = static_cast<uint32_t>(bits);
+    std::memcpy(out, &low, sizeof(*out));
+    return Status::OK();
+  }
+
+ private:
+  const Tensor& t_;
+  int64_t pos_ = 0;
+};
+
+std::string IndexedName(const char* prefix, size_t i) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s/%04zu", prefix, i);
+  return std::string(buf);
+}
+
+void AppendTensors(std::vector<std::pair<std::string, Tensor>>* out,
+                   const char* prefix, const std::vector<Tensor>& tensors) {
+  for (size_t i = 0; i < tensors.size(); ++i) {
+    out->emplace_back(IndexedName(prefix, i), tensors[i]);
+  }
+}
+
+Status TakeTensors(const std::vector<std::pair<std::string, Tensor>>& entries,
+                   size_t* cursor, const char* prefix, uint64_t count,
+                   std::vector<Tensor>* out) {
+  out->clear();
+  out->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    const std::string want = IndexedName(prefix, i);
+    if (*cursor >= entries.size() || entries[*cursor].first != want) {
+      return Status::InvalidArgument("run state missing tensor " + want);
+    }
+    out->push_back(entries[*cursor].second);
+    ++*cursor;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveRunState(const std::string& path, const RunState& state) {
+  std::vector<float> header;
+  header.reserve(4 * (24 + state.rng_state.size() + state.train_loss.size() +
+                      state.val_loss.size()));
+  PushU64(&header, kFormatVersion);
+  PushU64(&header, state.completed ? 1 : 0);
+  PushU64(&header, static_cast<uint64_t>(state.epoch));
+  PushU64(&header, static_cast<uint64_t>(state.next_batch));
+  PushF64(&header, state.loss_sum);
+  PushF64(&header, state.grad_norm_sum);
+  PushU64(&header, static_cast<uint64_t>(state.seen));
+  PushU64(&header, static_cast<uint64_t>(state.batches));
+  PushU64(&header, static_cast<uint64_t>(state.epoch_nonfinite));
+  PushU64(&header, static_cast<uint64_t>(state.adam_step_count));
+  PushF32(&header, state.lr);
+  PushF32(&header, state.stopper_best);
+  PushU64(&header, static_cast<uint64_t>(state.stopper_best_epoch));
+  PushU64(&header, static_cast<uint64_t>(state.stopper_epochs));
+  PushU64(&header, static_cast<uint64_t>(state.stopper_stale));
+  PushU64(&header, static_cast<uint64_t>(state.best_epoch));
+  PushU64(&header, static_cast<uint64_t>(state.epochs_run));
+  PushU64(&header, static_cast<uint64_t>(state.nonfinite_batches));
+  PushU64(&header, static_cast<uint64_t>(state.consecutive_nonfinite));
+  PushU64(&header, static_cast<uint64_t>(state.lr_halvings));
+  PushU64(&header, state.rng_state.size());
+  for (uint64_t word : state.rng_state) PushU64(&header, word);
+  PushU64(&header, state.train_loss.size());
+  for (double v : state.train_loss) PushF64(&header, v);
+  PushU64(&header, state.val_loss.size());
+  for (double v : state.val_loss) PushF64(&header, v);
+  PushU64(&header, state.model_state.size());
+  PushU64(&header, state.best_state.size());
+  PushU64(&header, state.adam_m.size());
+  PushU64(&header, state.adam_v.size());
+
+  std::vector<std::pair<std::string, Tensor>> entries;
+  entries.reserve(1 + state.model_state.size() + state.best_state.size() +
+                  state.adam_m.size() + state.adam_v.size());
+  const int header_len = static_cast<int>(header.size());
+  entries.emplace_back(kHeaderName, Tensor({header_len}, std::move(header)));
+  AppendTensors(&entries, "model", state.model_state);
+  AppendTensors(&entries, "best", state.best_state);
+  AppendTensors(&entries, "adam_m", state.adam_m);
+  AppendTensors(&entries, "adam_v", state.adam_v);
+  return nn::SaveCheckpoint(path, entries);
+}
+
+Result<RunState> LoadRunState(const std::string& path) {
+  Result<std::vector<std::pair<std::string, Tensor>>> loaded =
+      nn::LoadCheckpoint(path);
+  if (!loaded.ok()) return loaded.status();
+  const std::vector<std::pair<std::string, Tensor>>& entries = loaded.value();
+  if (entries.empty() || entries[0].first != kHeaderName) {
+    return Status::InvalidArgument("checkpoint is not a run state: " + path);
+  }
+
+  RunState state;
+  HeaderReader reader(entries[0].second);
+  uint64_t version = 0;
+  TRACER_RETURN_IF_ERROR(reader.ReadU64(&version));
+  if (version != kFormatVersion) {
+    return Status::InvalidArgument("unsupported run-state version");
+  }
+  uint64_t completed = 0;
+  TRACER_RETURN_IF_ERROR(reader.ReadU64(&completed));
+  state.completed = completed != 0;
+  TRACER_RETURN_IF_ERROR(reader.ReadInt(&state.epoch));
+  TRACER_RETURN_IF_ERROR(reader.ReadInt(&state.next_batch));
+  TRACER_RETURN_IF_ERROR(reader.ReadF64(&state.loss_sum));
+  TRACER_RETURN_IF_ERROR(reader.ReadF64(&state.grad_norm_sum));
+  TRACER_RETURN_IF_ERROR(reader.ReadI64(&state.seen));
+  TRACER_RETURN_IF_ERROR(reader.ReadI64(&state.batches));
+  TRACER_RETURN_IF_ERROR(reader.ReadI64(&state.epoch_nonfinite));
+  TRACER_RETURN_IF_ERROR(reader.ReadI64(&state.adam_step_count));
+  TRACER_RETURN_IF_ERROR(reader.ReadF32(&state.lr));
+  TRACER_RETURN_IF_ERROR(reader.ReadF32(&state.stopper_best));
+  TRACER_RETURN_IF_ERROR(reader.ReadInt(&state.stopper_best_epoch));
+  TRACER_RETURN_IF_ERROR(reader.ReadInt(&state.stopper_epochs));
+  TRACER_RETURN_IF_ERROR(reader.ReadInt(&state.stopper_stale));
+  TRACER_RETURN_IF_ERROR(reader.ReadInt(&state.best_epoch));
+  TRACER_RETURN_IF_ERROR(reader.ReadInt(&state.epochs_run));
+  TRACER_RETURN_IF_ERROR(reader.ReadI64(&state.nonfinite_batches));
+  TRACER_RETURN_IF_ERROR(reader.ReadInt(&state.consecutive_nonfinite));
+  TRACER_RETURN_IF_ERROR(reader.ReadInt(&state.lr_halvings));
+  // Variable-length sections are bounded by the header size already read,
+  // so a corrupt count fails the next bounds check rather than allocating.
+  uint64_t rng_words = 0;
+  TRACER_RETURN_IF_ERROR(reader.ReadU64(&rng_words));
+  const uint64_t header_capacity =
+      static_cast<uint64_t>(entries[0].second.size());
+  if (rng_words > header_capacity) {
+    return Status::InvalidArgument("run-state count out of range");
+  }
+  state.rng_state.resize(rng_words);
+  for (uint64_t i = 0; i < rng_words; ++i) {
+    TRACER_RETURN_IF_ERROR(reader.ReadU64(&state.rng_state[i]));
+  }
+  uint64_t train_points = 0;
+  TRACER_RETURN_IF_ERROR(reader.ReadU64(&train_points));
+  if (train_points > header_capacity) {
+    return Status::InvalidArgument("run-state count out of range");
+  }
+  state.train_loss.resize(train_points);
+  for (uint64_t i = 0; i < train_points; ++i) {
+    TRACER_RETURN_IF_ERROR(reader.ReadF64(&state.train_loss[i]));
+  }
+  uint64_t val_points = 0;
+  TRACER_RETURN_IF_ERROR(reader.ReadU64(&val_points));
+  if (val_points > header_capacity) {
+    return Status::InvalidArgument("run-state count out of range");
+  }
+  state.val_loss.resize(val_points);
+  for (uint64_t i = 0; i < val_points; ++i) {
+    TRACER_RETURN_IF_ERROR(reader.ReadF64(&state.val_loss[i]));
+  }
+
+  uint64_t model_count = 0;
+  uint64_t best_count = 0;
+  uint64_t adam_m_count = 0;
+  uint64_t adam_v_count = 0;
+  TRACER_RETURN_IF_ERROR(reader.ReadU64(&model_count));
+  TRACER_RETURN_IF_ERROR(reader.ReadU64(&best_count));
+  TRACER_RETURN_IF_ERROR(reader.ReadU64(&adam_m_count));
+  TRACER_RETURN_IF_ERROR(reader.ReadU64(&adam_v_count));
+  size_t cursor = 1;
+  TRACER_RETURN_IF_ERROR(
+      TakeTensors(entries, &cursor, "model", model_count, &state.model_state));
+  TRACER_RETURN_IF_ERROR(
+      TakeTensors(entries, &cursor, "best", best_count, &state.best_state));
+  TRACER_RETURN_IF_ERROR(
+      TakeTensors(entries, &cursor, "adam_m", adam_m_count, &state.adam_m));
+  TRACER_RETURN_IF_ERROR(
+      TakeTensors(entries, &cursor, "adam_v", adam_v_count, &state.adam_v));
+  if (cursor != entries.size()) {
+    return Status::InvalidArgument("run state has unexpected extra tensors");
+  }
+  return state;
+}
+
+}  // namespace train
+}  // namespace tracer

@@ -1,0 +1,84 @@
+#ifndef TRACER_TRAIN_RUN_STATE_H_
+#define TRACER_TRAIN_RUN_STATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace tracer {
+namespace train {
+
+/// Complete dynamic state of an in-progress Fit, captured between batches:
+/// everything a fresh process needs to continue the run bit-identically —
+/// model parameters, Adam moments and step count, the epoch/batch cursor,
+/// the shuffle RNG state as of the start of the current epoch, the partial-
+/// epoch accumulators, early-stopping and non-finite-guard state, and the
+/// curves/best-checkpoint accumulated so far (see Trainer::Resume).
+struct RunState {
+  /// True once training finished (early stop or max_epochs): Resume then
+  /// just restores the best checkpoint instead of training further.
+  bool completed = false;
+  /// Epoch currently in progress (0-based).
+  int epoch = 0;
+  /// Batches of `epoch` already consumed; Resume replays the interrupted
+  /// run's shuffles from TrainConfig::seed, regenerates `epoch`'s batch
+  /// order, and skips this many batches.
+  int next_batch = 0;
+  /// Shuffle-RNG state captured before `epoch`'s shuffle (Rng::SaveState).
+  /// Used as an integrity check: the shuffle replay must land exactly here
+  /// or the state was written under a different seed/dataset.
+  std::vector<uint64_t> rng_state;
+
+  // Partial-epoch accumulators (exact bits; NaN-safe).
+  double loss_sum = 0.0;
+  double grad_norm_sum = 0.0;
+  int64_t seen = 0;
+  int64_t batches = 0;
+  int64_t epoch_nonfinite = 0;
+
+  // Optimizer state.
+  int64_t adam_step_count = 0;
+  float lr = 0.0f;
+  std::vector<Tensor> adam_m;
+  std::vector<Tensor> adam_v;
+
+  // Early-stopping state.
+  float stopper_best = 0.0f;
+  int stopper_best_epoch = 0;
+  int stopper_epochs = 0;
+  int stopper_stale = 0;
+
+  // Result accumulated so far.
+  std::vector<double> train_loss;
+  std::vector<double> val_loss;
+  int best_epoch = 0;
+  int epochs_run = 0;
+
+  // Non-finite guard state.
+  int64_t nonfinite_batches = 0;
+  int consecutive_nonfinite = 0;
+  int lr_halvings = 0;
+
+  // Parameter tensors.
+  std::vector<Tensor> model_state;
+  std::vector<Tensor> best_state;
+};
+
+/// Persists `state` into one TRCKPT1 container at `path` (atomic
+/// temp-file + rename write, like every checkpoint). Scalar state —
+/// including uint64/double values the float32 tensor format cannot carry
+/// directly — is bit-packed losslessly into a header tensor.
+Status SaveRunState(const std::string& path, const RunState& state);
+
+/// Reads a run state written by SaveRunState. Propagates kDataLoss from
+/// the container reader; a container that is valid TRCKPT1 but not a run
+/// state fails with kInvalidArgument.
+Result<RunState> LoadRunState(const std::string& path);
+
+}  // namespace train
+}  // namespace tracer
+
+#endif  // TRACER_TRAIN_RUN_STATE_H_

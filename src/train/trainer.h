@@ -1,8 +1,10 @@
 #ifndef TRACER_TRAIN_TRAINER_H_
 #define TRACER_TRAIN_TRAINER_H_
 
+#include <string>
 #include <vector>
 
+#include "common/retry.h"
 #include "data/dataset.h"
 #include "nn/sequence_model.h"
 
@@ -37,6 +39,18 @@ struct TrainConfig {
   /// and aborts with a structured report on the first defect. Defaults on
   /// in debug builds; opt in explicitly for release-build investigation.
   bool validate_graph = kValidateGraphDefault;
+  /// Non-finite guard: when a minibatch produces a NaN/Inf loss or gradient
+  /// norm, skip the optimizer step for that batch (keeping parameters and
+  /// Adam moments untouched) instead of corrupting the run. Skips are
+  /// counted in TrainResult::nonfinite_batches, surfaced per epoch in the
+  /// telemetry records, and exported as tracer_train_nonfinite_batches.
+  /// Note validate_graph aborts on the same conditions before the guard can
+  /// act; the guard is the production-mode (NDEBUG) recovery path.
+  bool nonfinite_guard = true;
+  /// After this many *consecutive* skipped batches the guard halves the
+  /// learning rate (the usual cause is a too-hot step) and resets the
+  /// consecutive count. 0 disables LR backoff.
+  int nonfinite_lr_patience = 3;
 
   static constexpr bool kValidateGraphDefault =
 #ifdef NDEBUG
@@ -60,8 +74,17 @@ struct TrainResult {
   std::vector<Tensor> best_state;
   /// One JSON object per epoch when TrainConfig::telemetry (or the obs
   /// runtime switch) is on; empty otherwise. Each line is self-contained
-  /// JSONL, suitable for appending to a metrics file.
+  /// JSONL, suitable for appending to a metrics file. A resumed run only
+  /// carries records for the epochs it ran itself.
   std::vector<std::string> telemetry;
+  /// Batches skipped by the non-finite guard (TrainConfig::nonfinite_guard).
+  int64_t nonfinite_batches = 0;
+  /// Times the guard halved the learning rate.
+  int lr_halvings = 0;
+  /// True when the run stopped early via CheckpointOptions::
+  /// stop_after_batches (the crash-simulation hook) — the model then holds
+  /// the in-progress parameters, not the best checkpoint.
+  bool interrupted = false;
 };
 
 /// Evaluation summary on a dataset.
@@ -79,6 +102,54 @@ TrainResult Fit(nn::SequenceModel* model,
                 const data::TimeSeriesDataset& train_set,
                 const data::TimeSeriesDataset& val_set,
                 const TrainConfig& config);
+
+/// Run-state checkpointing for crash-resumable training (see Trainer).
+struct CheckpointOptions {
+  /// Where the run-state container lives. Empty disables checkpointing.
+  std::string path;
+  /// Also checkpoint mid-epoch every N processed batches (0: only at epoch
+  /// boundaries). Mid-epoch states record the batch cursor plus the RNG
+  /// state from the start of the epoch so the shuffle can be replayed.
+  int every_batches = 0;
+  /// Retry policy for run-state writes. A write that still fails after the
+  /// budget is logged and skipped — training continues with the previous
+  /// checkpoint (durability degrades; the run does not abort).
+  RetryPolicy retry;
+  /// Test hook simulating a crash: when > 0, Fit returns after processing
+  /// this many batches (counted across epochs, in this process) WITHOUT
+  /// writing a final checkpoint or restoring the best state, exactly as if
+  /// the process had died. TrainResult::interrupted is set.
+  int stop_after_batches = 0;
+};
+
+/// Crash-resumable trainer. Fit periodically persists the complete run
+/// state (model + optimizer + cursors + RNG) through atomic checkpoint
+/// writes; Resume picks a run back up from the latest state and continues
+/// bit-identically — the resumed run reaches exactly the parameters, curves
+/// and best checkpoint the uninterrupted run would have produced.
+class Trainer {
+ public:
+  Trainer(TrainConfig config, CheckpointOptions checkpoint);
+
+  /// Starts a fresh run (any prior state at `checkpoint.path` is simply
+  /// overwritten at the first checkpoint).
+  TrainResult Fit(nn::SequenceModel* model,
+                  const data::TimeSeriesDataset& train_set,
+                  const data::TimeSeriesDataset& val_set) const;
+
+  /// Resumes from `checkpoint.path`. Fails with the loader's error if the
+  /// state cannot be read (kDataLoss when damaged) and with
+  /// kInvalidArgument if the state does not match `model`'s architecture.
+  /// If the recorded run had already completed, restores its best
+  /// checkpoint and returns the reconstructed result without training.
+  Result<TrainResult> Resume(nn::SequenceModel* model,
+                             const data::TimeSeriesDataset& train_set,
+                             const data::TimeSeriesDataset& val_set) const;
+
+ private:
+  TrainConfig config_;
+  CheckpointOptions checkpoint_;
+};
 
 /// Scores the model on a dataset (AUC+CEL or RMSE+MAE by task).
 EvalResult Evaluate(nn::SequenceModel* model,

@@ -1,0 +1,473 @@
+// Chaos tests for the fault-tolerance layer (run by the CI chaos job under
+// an ASan build, optionally with TRACER_FAULTS set in the environment):
+//  - CircuitBreaker state machine on a fake clock,
+//  - degraded-mode serving: injected scoring failures trip the breaker,
+//    responses fall back with degraded=true, a half-open probe restores
+//    normal service,
+//  - no-fallback degradation surfaces kUnavailable without ever crashing,
+//  - a multi-producer hammer under probabilistic score/dispatch/submit
+//    faults: every future completes with a contractual status,
+//  - training under checkpoint-write faults: the retry policy and the
+//    non-fatal checkpoint contract keep the run alive and resumable.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/logistic_regression.h"
+#include "common/rng.h"
+#include "core/titv.h"
+#include "data/dataset.h"
+#include "datagen/emr_generator.h"
+#include "fault/fault.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "serve/circuit_breaker.h"
+#include "serve/model_registry.h"
+#include "serve/server.h"
+#include "train/run_state.h"
+#include "train/trainer.h"
+
+namespace tracer {
+namespace serve {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+core::TitvConfig MicroConfig(uint64_t seed = 5, int input_dim = 6) {
+  core::TitvConfig config;
+  config.input_dim = input_dim;
+  config.rnn_dim = 4;
+  config.film_dim = 4;
+  config.seed = seed;
+  return config;
+}
+
+uint64_t RegisterFreshModel(ModelRegistry* registry,
+                            const core::TitvConfig& config) {
+  const core::Titv model(config);
+  std::vector<std::pair<std::string, Tensor>> tensors;
+  for (const auto& [name, param] : model.NamedParameters()) {
+    tensors.emplace_back(name, param.value());
+  }
+  auto staged = registry->Register(config, std::move(tensors), "<memory>");
+  EXPECT_TRUE(staged.ok()) << staged.status().ToString();
+  return staged.value();
+}
+
+ServeRequest MakeRequest(int num_windows, int dim, Rng* rng) {
+  ServeRequest request;
+  request.windows.assign(num_windows, std::vector<float>(dim));
+  for (auto& window : request.windows) {
+    for (float& v : window) {
+      v = static_cast<float>(rng->Uniform(-1.0, 1.0));
+    }
+  }
+  return request;
+}
+
+/// Arms an explicit fault spec for the test body and guarantees a disarmed
+/// registry afterwards, even when the CI chaos job exported TRACER_FAULTS.
+class ChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::FaultRegistry::Global().Clear(); }
+  void TearDown() override { fault::FaultRegistry::Global().Clear(); }
+};
+
+// ---------------------------------------------------------------------------
+// CircuitBreaker state machine (fake clock)
+
+TEST(CircuitBreakerTest, TripsAfterConsecutiveFailuresAndProbesHalfOpen) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 3;
+  options.open_duration_ns = 1000;
+  CircuitBreaker breaker(options);
+  uint64_t now = 0;
+
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  // Non-consecutive failures never trip.
+  breaker.RecordFailure(now);
+  breaker.RecordFailure(now);
+  breaker.RecordSuccess();
+  breaker.RecordFailure(now);
+  breaker.RecordFailure(now);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.Allow(now));
+
+  breaker.RecordFailure(now);  // third consecutive -> open
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.opens(), 1);
+  EXPECT_FALSE(breaker.Allow(now));
+  EXPECT_FALSE(breaker.Allow(now + 999));  // still cooling down
+
+  // Cooldown elapsed: exactly one probe is admitted.
+  now += 1000;
+  EXPECT_TRUE(breaker.Allow(now));
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_EQ(breaker.probes(), 1);
+  EXPECT_FALSE(breaker.Allow(now)) << "only one probe while half-open";
+
+  // Probe fails: back to open, fresh cooldown.
+  breaker.RecordFailure(now);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.opens(), 2);
+  EXPECT_FALSE(breaker.Allow(now + 999));
+
+  // Next probe succeeds: closed, and failures must re-accumulate from zero.
+  now += 2000;
+  EXPECT_TRUE(breaker.Allow(now));
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.Allow(now));
+  breaker.RecordFailure(now);
+  breaker.RecordFailure(now);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+// ---------------------------------------------------------------------------
+// Degraded-mode serving
+
+TEST_F(ChaosTest, BreakerOpensFallbackServesDegradedThenProbeRecovers) {
+  const bool was_enabled = obs::Enabled();
+  obs::SetEnabled(true);
+  obs::Counter* opens_counter =
+      obs::MetricsRegistry::Global().GetOrCreateCounter(
+          "tracer_serve_breaker_open_total");
+  obs::Counter* injected_counter =
+      obs::MetricsRegistry::Global().GetOrCreateCounter(
+          "tracer_fault_injected_total");
+  const int64_t opens_before = opens_counter->value();
+  const int64_t injected_before = injected_counter->value();
+
+  ModelRegistry registry;
+  const uint64_t primary = RegisterFreshModel(&registry, MicroConfig(5));
+  const uint64_t fallback = RegisterFreshModel(&registry, MicroConfig(7));
+  ASSERT_TRUE(registry.Publish(primary).ok());
+  ASSERT_TRUE(registry.SetFallback(fallback).ok());
+
+  ServeOptions options;
+  options.num_workers = 1;  // one breaker => a deterministic state walk
+  options.max_batch_size = 1;
+  options.breaker.failure_threshold = 2;
+  options.breaker.open_duration_ns = 0;  // probe immediately on next batch
+  InferenceServer server(&registry, options);
+
+  // The first 5 primary attempts fail (count-budgeted injection), then the
+  // fault heals.
+  ASSERT_TRUE(
+      fault::FaultRegistry::Global().Configure("serve.score:1:5").ok());
+
+  Rng rng(17);
+  std::vector<ServeResponse> responses;
+  for (int i = 0; i < 8; ++i) {
+    responses.push_back(server.Infer(MakeRequest(3, 6, &rng)));
+  }
+
+  // Walk: 2 closed failures (trips open) -> probe/fail cycles until the
+  // budget drains -> successful probe closes -> healthy tail. Every failed
+  // attempt was served by the fallback, marked degraded.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(responses[i].status.ok())
+        << i << ": " << responses[i].status.ToString();
+    EXPECT_TRUE(responses[i].degraded) << "response " << i;
+    EXPECT_EQ(responses[i].model_version, fallback) << "response " << i;
+  }
+  for (int i = 5; i < 8; ++i) {
+    ASSERT_TRUE(responses[i].status.ok())
+        << i << ": " << responses[i].status.ToString();
+    EXPECT_FALSE(responses[i].degraded) << "response " << i;
+    EXPECT_EQ(responses[i].model_version, primary) << "response " << i;
+  }
+
+  const InferenceServer::Stats stats = server.stats();
+  EXPECT_EQ(stats.degraded, 5);
+  // Trip after 2 closed failures, then each failed half-open probe re-opens:
+  // 1 + 3 = 4 transitions into open.
+  EXPECT_EQ(stats.breaker_opens, 4);
+  EXPECT_EQ(stats.completed, 8);
+  EXPECT_EQ(stats.failed, 0);
+  EXPECT_EQ(opens_counter->value() - opens_before, 4);
+  EXPECT_EQ(injected_counter->value() - injected_before, 5);
+  EXPECT_EQ(fault::FaultRegistry::Global().FireCount("serve.score"), 5);
+
+  server.Shutdown();
+  obs::SetEnabled(was_enabled);
+}
+
+TEST_F(ChaosTest, OpenBreakerWithoutFallbackReturnsUnavailableThenHeals) {
+  ModelRegistry registry;
+  const uint64_t primary = RegisterFreshModel(&registry, MicroConfig(5));
+  ASSERT_TRUE(registry.Publish(primary).ok());
+
+  ServeOptions options;
+  options.num_workers = 1;
+  options.max_batch_size = 1;
+  options.breaker.failure_threshold = 2;
+  options.breaker.open_duration_ns = 0;
+  InferenceServer server(&registry, options);
+  ASSERT_TRUE(
+      fault::FaultRegistry::Global().Configure("serve.score:1:3").ok());
+
+  Rng rng(18);
+  std::vector<ServeResponse> responses;
+  for (int i = 0; i < 5; ++i) {
+    responses.push_back(server.Infer(MakeRequest(2, 6, &rng)));
+  }
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(responses[i].status.code(), StatusCode::kUnavailable)
+        << "response " << i;
+    EXPECT_FALSE(responses[i].degraded);
+  }
+  for (int i = 3; i < 5; ++i) {
+    EXPECT_TRUE(responses[i].status.ok())
+        << i << ": " << responses[i].status.ToString();
+    EXPECT_FALSE(responses[i].degraded);
+    EXPECT_EQ(responses[i].model_version, primary);
+  }
+  const InferenceServer::Stats stats = server.stats();
+  EXPECT_EQ(stats.degraded, 0);
+  EXPECT_EQ(stats.failed, 3);
+  EXPECT_EQ(stats.completed, 2);
+  server.Shutdown();
+}
+
+TEST_F(ChaosTest, HammerUnderProbabilisticFaultsNeverLosesAFuture) {
+  ModelRegistry registry;
+  const uint64_t primary = RegisterFreshModel(&registry, MicroConfig(5));
+  const uint64_t fallback = RegisterFreshModel(&registry, MicroConfig(7));
+  ASSERT_TRUE(registry.Publish(primary).ok());
+  ASSERT_TRUE(registry.SetFallback(fallback).ok());
+
+  ServeOptions options;
+  options.num_workers = 2;
+  options.max_batch_size = 4;
+  options.queue_capacity = 64;
+  options.breaker.failure_threshold = 3;
+  options.breaker.open_duration_ns = 1000000;  // 1ms
+  InferenceServer server(&registry, options);
+
+  // Score, dispatch and pool hand-off all fail probabilistically — the
+  // server must degrade, shed or fail requests, but never crash, deadlock
+  // or drop a future.
+  ASSERT_TRUE(fault::FaultRegistry::Global()
+                  .Configure("serve.score:0.3:0,serve.dispatch:0.1:0,"
+                             "pool.submit:0.05:0",
+                             /*seed=*/99)
+                  .ok());
+
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 60;
+  std::vector<std::vector<std::future<ServeResponse>>> futures(kProducers);
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      Rng rng(1000 + p);
+      for (int i = 0; i < kPerProducer; ++i) {
+        futures[p].push_back(
+            server.Submit(MakeRequest(1 + (i % 3), 6, &rng)));
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+
+  int ok = 0;
+  int degraded = 0;
+  int unavailable = 0;
+  for (auto& lane : futures) {
+    for (auto& future : lane) {
+      const ServeResponse response = future.get();  // must never hang
+      if (response.status.ok()) {
+        ++ok;
+        if (response.degraded) ++degraded;
+        EXPECT_TRUE(response.model_version == primary ||
+                    response.model_version == fallback);
+      } else {
+        // The only contractual failure mode under these faults.
+        EXPECT_EQ(response.status.code(), StatusCode::kUnavailable)
+            << response.status.ToString();
+        ++unavailable;
+      }
+    }
+  }
+  EXPECT_EQ(ok + unavailable, kProducers * kPerProducer);
+  EXPECT_GT(ok, 0);
+  EXPECT_GT(degraded, 0) << "score faults at p=0.3 must trip degraded mode";
+
+  // Every admitted request is accounted for: completed, expired or failed.
+  const InferenceServer::Stats stats = server.stats();
+  EXPECT_EQ(stats.accepted + stats.shed,
+            static_cast<int64_t>(kProducers) * kPerProducer);
+  EXPECT_EQ(stats.accepted, stats.completed + stats.expired + stats.failed);
+
+  // Heal the faults: service must fully recover (breakers may need one
+  // probe cycle to close again).
+  fault::FaultRegistry::Global().Clear();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  Rng rng(77);
+  int healthy = 0;
+  for (int i = 0; i < 20; ++i) {
+    const ServeResponse response = server.Infer(MakeRequest(2, 6, &rng));
+    if (response.status.ok() && !response.degraded) ++healthy;
+  }
+  EXPECT_GT(healthy, 0) << "server must return to primary after faults heal";
+  server.Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Environment-driven chaos: the CI chaos job exports TRACER_FAULTS /
+// TRACER_FAULTS_SEED and this test re-arms that exact spec (the fixture
+// cleared it for the deterministic tests above), then drives the serving
+// and training paths under it. Without the env vars it falls back to a
+// broad nonzero-probability spec so the coverage exists locally too.
+
+TEST_F(ChaosTest, EnvSpecServeAndTrainSurviveArbitraryFaultStorm) {
+  const char* env_spec = std::getenv("TRACER_FAULTS");
+  const std::string spec =
+      (env_spec != nullptr && *env_spec != '\0')
+          ? env_spec
+          : "ckpt.write:0.2:0,ckpt.fsync:0.1:0,ckpt.rename:0.05:0,"
+            "serve.score:0.2:0,serve.dispatch:0.05:0,pool.submit:0.02:0";
+  const char* env_seed = std::getenv("TRACER_FAULTS_SEED");
+  const uint64_t seed =
+      (env_seed != nullptr && *env_seed != '\0')
+          ? std::strtoull(env_seed, nullptr, 10)
+          : 20260806ull;
+  // Also validates that the spec CI exports actually parses.
+  ASSERT_TRUE(fault::FaultRegistry::Global().Configure(spec, seed).ok())
+      << "TRACER_FAULTS spec rejected: " << spec;
+
+  // Serving: fallback registered, every future must complete contractually.
+  ModelRegistry registry;
+  const uint64_t primary = RegisterFreshModel(&registry, MicroConfig(5));
+  const uint64_t fallback = RegisterFreshModel(&registry, MicroConfig(7));
+  ASSERT_TRUE(registry.Publish(primary).ok());
+  ASSERT_TRUE(registry.SetFallback(fallback).ok());
+  ServeOptions options;
+  options.num_workers = 2;
+  options.max_batch_size = 4;
+  InferenceServer server(&registry, options);
+  std::vector<std::future<ServeResponse>> futures;
+  Rng rng(5);
+  for (int i = 0; i < 80; ++i) {
+    futures.push_back(server.Submit(MakeRequest(1 + (i % 3), 6, &rng)));
+  }
+  for (auto& future : futures) {
+    const ServeResponse response = future.get();
+    if (!response.status.ok()) {
+      EXPECT_EQ(response.status.code(), StatusCode::kUnavailable)
+          << response.status.ToString();
+    }
+  }
+  const InferenceServer::Stats stats = server.stats();
+  EXPECT_EQ(stats.accepted, stats.completed + stats.expired + stats.failed);
+  server.Shutdown();
+
+  // Training with retried checkpointing: arithmetic must be unaffected by
+  // any checkpoint-IO faults, and non-finite guards keep the run alive.
+  datagen::EmrCohortConfig gen = datagen::NuhAkiDefaultConfig();
+  gen.num_samples = 80;
+  gen.num_filler_features = 2;
+  gen.seed = 56;
+  datagen::EmrCohort cohort = datagen::GenerateNuhAkiCohort(gen);
+  Rng split_rng(3);
+  data::DatasetSplits splits = data::SplitDataset(cohort.dataset, split_rng);
+  data::MinMaxNormalizer norm;
+  norm.Fit(splits.train);
+  norm.Apply(&splits.train);
+  norm.Apply(&splits.val);
+  train::TrainConfig tc;
+  tc.max_epochs = 2;
+  tc.patience = 10;
+  tc.batch_size = 32;
+  tc.seed = 11;
+  train::CheckpointOptions ckpt;
+  ckpt.path = TempPath("env_chaos_run_state.bin");
+  ckpt.every_batches = 1;
+  ckpt.retry.max_attempts = 3;
+  ckpt.retry.initial_backoff_us = 0;
+  baselines::LogisticRegression model(cohort.dataset.num_features(),
+                                      baselines::LrInputMode::kAggregate, 0,
+                                      9);
+  const train::TrainResult result =
+      train::Trainer(tc, ckpt).Fit(&model, splits.train, splits.val);
+  EXPECT_EQ(result.epochs_run, tc.max_epochs);
+  std::remove(ckpt.path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Training under checkpoint faults
+
+TEST_F(ChaosTest, TrainingSurvivesCheckpointWriteFaultsAndStaysResumable) {
+  datagen::EmrCohortConfig gen = datagen::NuhAkiDefaultConfig();
+  gen.num_samples = 120;
+  gen.num_filler_features = 2;
+  gen.seed = 55;
+  datagen::EmrCohort cohort = datagen::GenerateNuhAkiCohort(gen);
+  Rng rng(3);
+  data::DatasetSplits splits = data::SplitDataset(cohort.dataset, rng);
+  data::MinMaxNormalizer norm;
+  norm.Fit(splits.train);
+  norm.Apply(&splits.train);
+  norm.Apply(&splits.val);
+
+  // Half of all checkpoint writes fail at the stream layer; the trainer's
+  // retry policy rides most out, and a persistently failing write must only
+  // degrade durability, never the training arithmetic.
+  ASSERT_TRUE(fault::FaultRegistry::Global()
+                  .Configure("ckpt.write:0.5:0", /*seed=*/4)
+                  .ok());
+
+  train::TrainConfig tc;
+  tc.max_epochs = 3;
+  tc.patience = 10;
+  tc.batch_size = 32;
+  tc.seed = 11;
+  train::CheckpointOptions ckpt;
+  ckpt.path = TempPath("chaos_run_state.bin");
+  ckpt.every_batches = 1;
+  ckpt.retry.max_attempts = 3;
+  ckpt.retry.initial_backoff_us = 0;  // no real sleeping in tests
+
+  const int input_dim = cohort.dataset.num_features();
+  baselines::LogisticRegression noisy(
+      input_dim, baselines::LrInputMode::kAggregate, 0, 9);
+  const train::TrainResult under_faults =
+      train::Trainer(tc, ckpt).Fit(&noisy, splits.train, splits.val);
+  EXPECT_EQ(under_faults.epochs_run, tc.max_epochs);
+  EXPECT_GT(fault::FaultRegistry::Global().FireCount("ckpt.write"), 0);
+
+  // Identical run with no faults: the arithmetic must match exactly.
+  fault::FaultRegistry::Global().Clear();
+  train::CheckpointOptions clean_ckpt = ckpt;
+  clean_ckpt.path = TempPath("chaos_run_state_clean.bin");
+  baselines::LogisticRegression clean(
+      input_dim, baselines::LrInputMode::kAggregate, 0, 9);
+  const train::TrainResult reference =
+      train::Trainer(tc, clean_ckpt).Fit(&clean, splits.train, splits.val);
+  ASSERT_EQ(under_faults.train_loss.size(), reference.train_loss.size());
+  for (size_t i = 0; i < reference.train_loss.size(); ++i) {
+    EXPECT_EQ(under_faults.train_loss[i], reference.train_loss[i]);
+  }
+
+  // Whatever checkpoint survived the fault storm is a valid container (the
+  // atomic temp+rename write can lose recency — a late write may have lost
+  // all its retries — but never integrity).
+  auto state = train::LoadRunState(ckpt.path);
+  ASSERT_TRUE(state.ok()) << state.status().ToString();
+  EXPECT_LE(state.value().epoch, tc.max_epochs);
+  std::remove(ckpt.path.c_str());
+  std::remove(clean_ckpt.path.c_str());
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace tracer

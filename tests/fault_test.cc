@@ -1,0 +1,289 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/retry.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "fault/fault.h"
+#include "nn/serialization.h"
+#include "tensor/tensor.h"
+
+namespace tracer {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+/// Restores a pristine (disarmed) registry around each test so armed faults
+/// never leak into neighbouring tests in this binary.
+class FaultRegistryTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::FaultRegistry::Global().Clear(); }
+};
+
+TEST_F(FaultRegistryTest, DisarmedByDefaultAndZeroFires) {
+  fault::FaultRegistry& reg = fault::FaultRegistry::Global();
+  reg.Clear();
+  EXPECT_FALSE(reg.Armed());
+  EXPECT_FALSE(TRACER_FAULT_POINT("ckpt.write"));
+  EXPECT_EQ(reg.TotalFired(), 0);
+  EXPECT_EQ(reg.FireCount("ckpt.write"), 0);
+}
+
+TEST_F(FaultRegistryTest, ConfigureValidatesSpecs) {
+  fault::FaultRegistry& reg = fault::FaultRegistry::Global();
+  EXPECT_TRUE(reg.Configure("ckpt.write:0.5:0").ok());
+  EXPECT_TRUE(reg.Armed());
+  EXPECT_TRUE(reg.Configure("ckpt.write:1:3,serve.score:0.25:10").ok());
+
+  // Unknown point names, malformed fields and out-of-range values are all
+  // rejected — and rejection must leave the previous configuration armed.
+  EXPECT_EQ(reg.Configure("no.such.point:1:0").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(reg.Configure("ckpt.write:1.5:0").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(reg.Configure("ckpt.write:-0.1:0").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(reg.Configure("ckpt.write:1:-2").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(reg.Configure("ckpt.write:1").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(reg.Configure("ckpt.write:x:0").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(reg.Armed()) << "failed Configure must not disarm";
+
+  // Empty spec disarms.
+  EXPECT_TRUE(reg.Configure("").ok());
+  EXPECT_FALSE(reg.Armed());
+}
+
+TEST_F(FaultRegistryTest, KnownPointsAreSortedAndNonEmpty) {
+  const std::vector<std::string>& points =
+      fault::FaultRegistry::KnownPoints();
+  ASSERT_FALSE(points.empty());
+  EXPECT_TRUE(std::is_sorted(points.begin(), points.end()));
+  EXPECT_NE(std::find(points.begin(), points.end(), "ckpt.write"),
+            points.end());
+  EXPECT_NE(std::find(points.begin(), points.end(), "serve.score"),
+            points.end());
+}
+
+TEST_F(FaultRegistryTest, CountBudgetFiresExactlyNThenHeals) {
+  fault::FaultRegistry& reg = fault::FaultRegistry::Global();
+  ASSERT_TRUE(reg.Configure("ckpt.write:1:5").ok());
+  int fired = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (TRACER_FAULT_POINT("ckpt.write")) ++fired;
+  }
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(reg.FireCount("ckpt.write"), 5);
+  EXPECT_EQ(reg.TotalFired(), 5);
+  // Other points stay untouched.
+  EXPECT_FALSE(TRACER_FAULT_POINT("serve.score"));
+  EXPECT_EQ(reg.FireCount("serve.score"), 0);
+}
+
+TEST_F(FaultRegistryTest, SameSeedSameFirePattern) {
+  fault::FaultRegistry& reg = fault::FaultRegistry::Global();
+  const auto draw_pattern = [&](uint64_t seed) {
+    EXPECT_TRUE(reg.Configure("ckpt.write:0.3:0", seed).ok());
+    std::vector<bool> pattern;
+    pattern.reserve(200);
+    for (int i = 0; i < 200; ++i) {
+      pattern.push_back(TRACER_FAULT_POINT("ckpt.write"));
+    }
+    return pattern;
+  };
+  const std::vector<bool> a = draw_pattern(7);
+  const std::vector<bool> b = draw_pattern(7);
+  const std::vector<bool> c = draw_pattern(8);
+  EXPECT_EQ(a, b) << "same seed must reproduce the same fire pattern";
+  EXPECT_NE(a, c) << "different seeds must diverge";
+  const int fires = static_cast<int>(std::count(a.begin(), a.end(), true));
+  EXPECT_GT(fires, 20);   // ~60 expected at p=0.3
+  EXPECT_LT(fires, 120);
+}
+
+TEST_F(FaultRegistryTest, ClearDisarms) {
+  fault::FaultRegistry& reg = fault::FaultRegistry::Global();
+  ASSERT_TRUE(reg.Configure("ckpt.write:1:0").ok());
+  EXPECT_TRUE(TRACER_FAULT_POINT("ckpt.write"));
+  reg.Clear();
+  EXPECT_FALSE(reg.Armed());
+  EXPECT_FALSE(TRACER_FAULT_POINT("ckpt.write"));
+  EXPECT_EQ(reg.TotalFired(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// common/retry.h
+
+TEST(RetryPolicyTest, BackoffScheduleIsDeterministicAndBounded) {
+  RetryPolicy policy;
+  policy.max_attempts = 6;
+  policy.initial_backoff_us = 1000;
+  policy.multiplier = 2.0;
+  policy.max_backoff_us = 6000;
+  EXPECT_EQ(policy.BackoffUs(0), 1000u);
+  EXPECT_EQ(policy.BackoffUs(1), 2000u);
+  EXPECT_EQ(policy.BackoffUs(2), 4000u);
+  EXPECT_EQ(policy.BackoffUs(3), 6000u);  // capped
+  EXPECT_EQ(policy.BackoffUs(4), 6000u);
+
+  // CallWithRetry must sleep exactly that schedule between attempts.
+  std::vector<uint64_t> slept;
+  int calls = 0;
+  const Status status = CallWithRetry(
+      policy,
+      [&] {
+        ++calls;
+        return Status::Unavailable("transient");
+      },
+      [&](uint64_t us) { slept.push_back(us); });
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 6);
+  EXPECT_EQ(slept,
+            (std::vector<uint64_t>{1000, 2000, 4000, 6000, 6000}));
+}
+
+TEST(RetryPolicyTest, NonRetryableCodesFailFast) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  int calls = 0;
+  std::vector<uint64_t> slept;
+  const Status status = CallWithRetry(
+      policy,
+      [&] {
+        ++calls;
+        return Status::DataLoss("corrupt container");
+      },
+      [&](uint64_t us) { slept.push_back(us); });
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(calls, 1) << "kDataLoss is not retryable: re-reading a corrupt "
+                         "file cannot heal it";
+  EXPECT_TRUE(slept.empty());
+}
+
+TEST(RetryPolicyTest, ExhaustionReturnsLastError) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  int calls = 0;
+  const Status status = CallWithRetry(
+      policy,
+      [&] {
+        ++calls;
+        return calls < 3 ? Status::Unavailable("early")
+                         : Status::IOError("final attempt error");
+      },
+      [](uint64_t) {});
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  EXPECT_EQ(status.message(), "final attempt error");
+}
+
+TEST(RetryPolicyTest, SucceedsMidwayAndStopsRetrying) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  int calls = 0;
+  const Status status = CallWithRetry(
+      policy,
+      [&] {
+        ++calls;
+        return calls < 3 ? Status::Unavailable("transient") : Status::OK();
+      },
+      [](uint64_t) {});
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 3);
+}
+
+TEST_F(FaultRegistryTest, RetryRidesOutInjectedCheckpointFaults) {
+  // A count-budgeted write fault heals after two fires; the retry loop must
+  // absorb exactly those failures and land the checkpoint.
+  fault::FaultRegistry& reg = fault::FaultRegistry::Global();
+  ASSERT_TRUE(reg.Configure("ckpt.write:1:2").ok());
+  const std::string path = TempPath("retry_fault_ckpt.bin");
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  int attempts = 0;
+  const Status status = CallWithRetry(
+      policy,
+      [&] {
+        ++attempts;
+        return nn::SaveCheckpoint(path, {{"w", Tensor({1, 2}, {1, 2})}});
+      },
+      [](uint64_t) {});
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(attempts, 3);
+  EXPECT_EQ(reg.FireCount("ckpt.write"), 2);
+  auto loaded = nn::LoadCheckpoint(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().size(), 1u);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// LoadCheckpoint under random corruption (satellite to the truncation test)
+
+TEST(CheckpointFuzzTest, RandomCorruptionNeverCrashesOrMisparses) {
+  const std::string path = TempPath("fuzz_ckpt.bin");
+  const std::vector<std::pair<std::string, Tensor>> tensors = {
+      {"weights", Tensor({4, 3}, std::vector<float>(12, 0.5f))},
+      {"bias", Tensor({1, 3}, {1, 2, 3})},
+      {"step", Tensor({1, 1}, {42})},
+  };
+  ASSERT_TRUE(nn::SaveCheckpoint(path, tensors).ok());
+  std::ifstream in(path, std::ios::binary);
+  const std::string golden((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_GT(golden.size(), 24u);
+
+  const std::string fuzzed = TempPath("fuzz_ckpt_mut.bin");
+  Rng rng(2026);
+  int rejected = 0;
+  for (int round = 0; round < 400; ++round) {
+    std::string bytes = golden;
+    // Mutate 1-4 random bytes, and in half the rounds also truncate at a
+    // random offset — the reader must survive arbitrary damage.
+    const int flips = 1 + static_cast<int>(rng.UniformInt(4));
+    for (int i = 0; i < flips; ++i) {
+      const size_t pos = rng.UniformInt(bytes.size());
+      bytes[pos] = static_cast<char>(rng.UniformInt(256));
+    }
+    if (rng.UniformInt(2) == 0) {
+      bytes.resize(rng.UniformInt(bytes.size()));
+    }
+    std::ofstream out(fuzzed, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.close();
+
+    const auto loaded = nn::LoadCheckpoint(fuzzed);
+    if (loaded.ok()) {
+      // Damage confined to name/payload bytes is structurally undetectable
+      // in a checksum-less container; accepting it is fine. The property
+      // under test is that parsing never crashes, never over-allocates and
+      // never reports success through a wrong error path.
+      EXPECT_LE(loaded.value().size(), tensors.size());
+    } else {
+      ++rejected;
+      const StatusCode code = loaded.status().code();
+      EXPECT_TRUE(code == StatusCode::kDataLoss ||
+                  code == StatusCode::kInvalidArgument)
+          << "round " << round << ": " << loaded.status().ToString();
+    }
+  }
+  // Most mutations hit structure (header/name/shape bytes), so the reader
+  // must actually exercise its rejection paths, not rubber-stamp.
+  EXPECT_GT(rejected, 100);
+  std::remove(path.c_str());
+  std::remove(fuzzed.c_str());
+}
+
+}  // namespace
+}  // namespace tracer

@@ -1,0 +1,357 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "baselines/logistic_regression.h"
+#include "datagen/emr_generator.h"
+#include "nn/serialization.h"
+#include "train/run_state.h"
+#include "train/trainer.h"
+
+namespace tracer {
+namespace train {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+struct Fixture {
+  data::DatasetSplits splits;
+  int input_dim;
+};
+
+Fixture MakeFixture(int samples = 200) {
+  datagen::EmrCohortConfig gen = datagen::NuhAkiDefaultConfig();
+  gen.num_samples = samples;
+  gen.num_filler_features = 2;
+  gen.deteriorating_rate = 0.3;
+  gen.seed = 55;
+  datagen::EmrCohort cohort = datagen::GenerateNuhAkiCohort(gen);
+  Rng rng(3);
+  Fixture f;
+  f.splits = data::SplitDataset(cohort.dataset, rng);
+  data::MinMaxNormalizer norm;
+  norm.Fit(f.splits.train);
+  norm.Apply(&f.splits.train);
+  norm.Apply(&f.splits.val);
+  norm.Apply(&f.splits.test);
+  f.input_dim = cohort.dataset.num_features();
+  return f;
+}
+
+baselines::LogisticRegression MakeModel(const Fixture& f) {
+  return baselines::LogisticRegression(
+      f.input_dim, baselines::LrInputMode::kAggregate, 0, /*seed=*/9);
+}
+
+TrainConfig MakeConfig() {
+  TrainConfig tc;
+  tc.max_epochs = 4;
+  tc.patience = 10;
+  tc.batch_size = 32;
+  tc.seed = 11;
+  return tc;
+}
+
+void ExpectBitIdentical(const std::vector<Tensor>& a,
+                        const std::vector<Tensor>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t t = 0; t < a.size(); ++t) {
+    ASSERT_TRUE(a[t].SameShape(b[t])) << "tensor " << t;
+    for (int64_t i = 0; i < a[t].size(); ++i) {
+      // Bitwise, not approximate: resume must replay the exact arithmetic.
+      ASSERT_EQ(a[t].data()[i], b[t].data()[i])
+          << "tensor " << t << " element " << i;
+    }
+  }
+}
+
+TEST(RunStateTest, RoundTripsEveryFieldExactly) {
+  RunState s;
+  s.completed = false;
+  s.epoch = 3;
+  s.next_batch = 7;
+  s.rng_state = {1, 0xFFFFFFFFFFFFFFFFull, 42, 0x123456789ABCDEFull, 0, 77};
+  s.loss_sum = std::numeric_limits<double>::quiet_NaN();  // NaN must survive
+  s.grad_norm_sum = -0.125;
+  s.seen = 12345;
+  s.batches = 99;
+  s.epoch_nonfinite = 4;
+  s.adam_step_count = 1ll << 33;
+  s.lr = 2.5e-4f;
+  s.adam_m = {Tensor({2, 2}, {1, 2, 3, 4})};
+  s.adam_v = {Tensor({2, 2}, {5, 6, 7, 8})};
+  s.stopper_best = 0.625f;
+  s.stopper_best_epoch = 2;
+  s.stopper_epochs = 3;
+  s.stopper_stale = 1;
+  s.train_loss = {0.5, 0.25, -0.0};
+  s.val_loss = {0.75, 0.375, 0.1875};
+  s.best_epoch = 2;
+  s.epochs_run = 3;
+  s.nonfinite_batches = 6;
+  s.consecutive_nonfinite = 2;
+  s.lr_halvings = 1;
+  s.model_state = {Tensor({1, 4}, {9, 10, 11, 12})};
+  s.best_state = {Tensor({1, 4}, {13, 14, 15, 16})};
+
+  const std::string path = TempPath("run_state_roundtrip.bin");
+  ASSERT_TRUE(SaveRunState(path, s).ok());
+  auto loaded = LoadRunState(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const RunState& r = loaded.value();
+  EXPECT_EQ(r.completed, s.completed);
+  EXPECT_EQ(r.epoch, s.epoch);
+  EXPECT_EQ(r.next_batch, s.next_batch);
+  EXPECT_EQ(r.rng_state, s.rng_state);
+  EXPECT_TRUE(std::isnan(r.loss_sum));
+  EXPECT_EQ(r.grad_norm_sum, s.grad_norm_sum);
+  EXPECT_EQ(r.seen, s.seen);
+  EXPECT_EQ(r.batches, s.batches);
+  EXPECT_EQ(r.epoch_nonfinite, s.epoch_nonfinite);
+  EXPECT_EQ(r.adam_step_count, s.adam_step_count);
+  EXPECT_EQ(r.lr, s.lr);
+  EXPECT_EQ(r.stopper_best, s.stopper_best);
+  EXPECT_EQ(r.stopper_best_epoch, s.stopper_best_epoch);
+  EXPECT_EQ(r.stopper_epochs, s.stopper_epochs);
+  EXPECT_EQ(r.stopper_stale, s.stopper_stale);
+  ASSERT_EQ(r.train_loss.size(), s.train_loss.size());
+  for (size_t i = 0; i < s.train_loss.size(); ++i) {
+    EXPECT_EQ(r.train_loss[i], s.train_loss[i]);
+  }
+  EXPECT_EQ(r.val_loss, s.val_loss);
+  EXPECT_EQ(r.best_epoch, s.best_epoch);
+  EXPECT_EQ(r.epochs_run, s.epochs_run);
+  EXPECT_EQ(r.nonfinite_batches, s.nonfinite_batches);
+  EXPECT_EQ(r.consecutive_nonfinite, s.consecutive_nonfinite);
+  EXPECT_EQ(r.lr_halvings, s.lr_halvings);
+  ExpectBitIdentical(r.model_state, s.model_state);
+  ExpectBitIdentical(r.best_state, s.best_state);
+  ExpectBitIdentical(r.adam_m, s.adam_m);
+  ExpectBitIdentical(r.adam_v, s.adam_v);
+  std::remove(path.c_str());
+}
+
+TEST(RunStateTest, LoadRejectsForeignAndDamagedContainers) {
+  EXPECT_EQ(LoadRunState(TempPath("nonexistent_run_state.bin")).status().code(),
+            StatusCode::kIOError);
+
+  // A valid TRCKPT1 container that is not a run state.
+  const std::string foreign = TempPath("foreign_ckpt.bin");
+  ASSERT_TRUE(
+      nn::SaveCheckpoint(foreign, {{"weights", Tensor({1, 1}, {1.0f})}}).ok());
+  EXPECT_EQ(LoadRunState(foreign).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // A truncated run state is data loss.
+  RunState s;
+  s.rng_state = {1, 2, 3, 4, 5, 6};
+  s.model_state = {Tensor({2, 2}, {1, 2, 3, 4})};
+  s.best_state = s.model_state;
+  const std::string path = TempPath("truncated_run_state.bin");
+  ASSERT_TRUE(SaveRunState(path, s).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  bytes.resize(bytes.size() / 2);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.close();
+  EXPECT_EQ(LoadRunState(path).status().code(), StatusCode::kDataLoss);
+  std::remove(path.c_str());
+  std::remove(foreign.c_str());
+}
+
+/// The tentpole acceptance test: kill the run at several batch cursors and
+/// prove the resumed run reproduces the uninterrupted run bit for bit.
+TEST(ResumeTest, KillAndResumeIsBitIdenticalToUninterruptedRun) {
+  const Fixture f = MakeFixture();
+  const TrainConfig tc = MakeConfig();
+
+  // Uninterrupted reference run (checkpointing on: writing run states must
+  // not perturb the arithmetic).
+  CheckpointOptions ref_ckpt;
+  ref_ckpt.path = TempPath("ref_run_state.bin");
+  ref_ckpt.every_batches = 2;
+  baselines::LogisticRegression reference = MakeModel(f);
+  const TrainResult ref_result =
+      Trainer(tc, ref_ckpt).Fit(&reference, f.splits.train, f.splits.val);
+  ASSERT_FALSE(ref_result.interrupted);
+
+  for (const int kill_after : {1, 3, 7, 11}) {
+    SCOPED_TRACE("kill_after=" + std::to_string(kill_after));
+    CheckpointOptions crash_ckpt;
+    crash_ckpt.path =
+        TempPath("crash_run_state_" + std::to_string(kill_after) + ".bin");
+    crash_ckpt.every_batches = 2;
+    crash_ckpt.stop_after_batches = kill_after;
+    baselines::LogisticRegression victim = MakeModel(f);
+    const TrainResult crashed = Trainer(tc, crash_ckpt)
+                                    .Fit(&victim, f.splits.train, f.splits.val);
+    ASSERT_TRUE(crashed.interrupted);
+
+    // Restart "in a new process": fresh model object, resume from disk.
+    CheckpointOptions resume_ckpt;
+    resume_ckpt.path = crash_ckpt.path;
+    resume_ckpt.every_batches = 2;
+    baselines::LogisticRegression revived = MakeModel(f);
+    auto resumed =
+        Trainer(tc, resume_ckpt).Resume(&revived, f.splits.train, f.splits.val);
+    ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+    const TrainResult& result = resumed.value();
+
+    EXPECT_FALSE(result.interrupted);
+    EXPECT_EQ(result.epochs_run, ref_result.epochs_run);
+    EXPECT_EQ(result.best_epoch, ref_result.best_epoch);
+    ASSERT_EQ(result.train_loss.size(), ref_result.train_loss.size());
+    for (size_t i = 0; i < ref_result.train_loss.size(); ++i) {
+      EXPECT_EQ(result.train_loss[i], ref_result.train_loss[i]) << "epoch " << i;
+      EXPECT_EQ(result.val_loss[i], ref_result.val_loss[i]) << "epoch " << i;
+    }
+    ExpectBitIdentical(revived.StateDict(), reference.StateDict());
+    ExpectBitIdentical(result.best_state, ref_result.best_state);
+    std::remove(crash_ckpt.path.c_str());
+  }
+  std::remove(ref_ckpt.path.c_str());
+}
+
+TEST(ResumeTest, ResumeOfCompletedRunRestoresBestWithoutTraining) {
+  const Fixture f = MakeFixture();
+  const TrainConfig tc = MakeConfig();
+  CheckpointOptions ckpt;
+  ckpt.path = TempPath("completed_run_state.bin");
+  baselines::LogisticRegression model = MakeModel(f);
+  const TrainResult full =
+      Trainer(tc, ckpt).Fit(&model, f.splits.train, f.splits.val);
+
+  baselines::LogisticRegression revived = MakeModel(f);
+  auto resumed =
+      Trainer(tc, ckpt).Resume(&revived, f.splits.train, f.splits.val);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_EQ(resumed.value().epochs_run, full.epochs_run);
+  EXPECT_EQ(resumed.value().best_epoch, full.best_epoch);
+  ASSERT_EQ(resumed.value().train_loss.size(), full.train_loss.size());
+  ExpectBitIdentical(revived.StateDict(), model.StateDict());
+  std::remove(ckpt.path.c_str());
+}
+
+TEST(ResumeTest, ResumeValidatesArchitectureSeedAndPath) {
+  const Fixture f = MakeFixture();
+  const TrainConfig tc = MakeConfig();
+  CheckpointOptions ckpt;
+  ckpt.path = TempPath("validate_run_state.bin");
+  ckpt.stop_after_batches = 3;
+  ckpt.every_batches = 1;
+  baselines::LogisticRegression model = MakeModel(f);
+  ASSERT_TRUE(Trainer(tc, ckpt)
+                  .Fit(&model, f.splits.train, f.splits.val)
+                  .interrupted);
+  ckpt.stop_after_batches = 0;
+
+  // No checkpoint path configured.
+  baselines::LogisticRegression revived = MakeModel(f);
+  EXPECT_EQ(Trainer(tc, CheckpointOptions{})
+                .Resume(&revived, f.splits.train, f.splits.val)
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+
+  // Architecture mismatch: different input width.
+  baselines::LogisticRegression wrong_arch(
+      f.input_dim + 1, baselines::LrInputMode::kAggregate, 0, 9);
+  EXPECT_EQ(Trainer(tc, ckpt)
+                .Resume(&wrong_arch, f.splits.train, f.splits.val)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  // Shuffle-stream mismatch: resuming under a different seed would diverge
+  // from the interrupted run, so it must be refused.
+  TrainConfig wrong_seed = tc;
+  wrong_seed.seed = tc.seed + 1;
+  baselines::LogisticRegression revived2 = MakeModel(f);
+  EXPECT_EQ(Trainer(wrong_seed, ckpt)
+                .Resume(&revived2, f.splits.train, f.splits.val)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  // The happy path still works after all the rejected attempts.
+  baselines::LogisticRegression revived3 = MakeModel(f);
+  EXPECT_TRUE(Trainer(tc, ckpt)
+                  .Resume(&revived3, f.splits.train, f.splits.val)
+                  .ok());
+  std::remove(ckpt.path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Non-finite guard
+
+TEST(NonfiniteGuardTest, SkipsPoisonedBatchesAndFinishesTraining) {
+  Fixture f = MakeFixture();
+  // Poison one training sample: every batch containing it yields a NaN
+  // loss. The guard must skip exactly those batches and train on the rest.
+  f.splits.train.at(0, 0, 0) = std::numeric_limits<float>::quiet_NaN();
+  baselines::LogisticRegression model = MakeModel(f);
+  TrainConfig tc = MakeConfig();
+  tc.max_epochs = 3;
+  tc.telemetry = true;
+  tc.validate_graph = false;  // the guard, not the validator, is under test
+  const TrainResult result = Fit(&model, f.splits.train, f.splits.val, tc);
+  EXPECT_EQ(result.epochs_run, 3);
+  // The poisoned sample lands in exactly one batch per epoch.
+  EXPECT_EQ(result.nonfinite_batches, 3);
+  EXPECT_EQ(result.lr_halvings, 0);
+  for (const std::string& line : result.telemetry) {
+    EXPECT_NE(line.find("\"nonfinite_batches\":1"), std::string::npos)
+        << line;
+  }
+  for (double loss : result.train_loss) EXPECT_TRUE(std::isfinite(loss));
+}
+
+TEST(NonfiniteGuardTest, AllPoisonedBatchesLeaveParametersUntouched) {
+  Fixture f = MakeFixture();
+  for (int s = 0; s < f.splits.train.num_samples(); ++s) {
+    f.splits.train.at(s, 0, 0) = std::numeric_limits<float>::infinity();
+  }
+  baselines::LogisticRegression model = MakeModel(f);
+  const std::vector<Tensor> initial = model.StateDict();
+  TrainConfig tc = MakeConfig();
+  tc.max_epochs = 2;
+  tc.validate_graph = false;
+  tc.nonfinite_lr_patience = 3;
+  const TrainResult result = Fit(&model, f.splits.train, f.splits.val, tc);
+  const int batches_per_epoch =
+      (f.splits.train.num_samples() + tc.batch_size - 1) / tc.batch_size;
+  EXPECT_EQ(result.nonfinite_batches, 2ll * batches_per_epoch);
+  // Every third consecutive skip halves the LR.
+  EXPECT_EQ(result.lr_halvings, 2 * batches_per_epoch / 3);
+  // No optimizer step ever ran, so the parameters are exactly the initial
+  // ones (best_state restore puts them back regardless).
+  ExpectBitIdentical(model.StateDict(), initial);
+}
+
+TEST(NonfiniteGuardTest, GuardOffPropagatesNonfiniteLoss) {
+  Fixture f = MakeFixture();
+  f.splits.train.at(0, 0, 0) = std::numeric_limits<float>::quiet_NaN();
+  baselines::LogisticRegression model = MakeModel(f);
+  TrainConfig tc = MakeConfig();
+  tc.max_epochs = 1;
+  tc.validate_graph = false;
+  tc.nonfinite_guard = false;
+  const TrainResult result = Fit(&model, f.splits.train, f.splits.val, tc);
+  EXPECT_EQ(result.nonfinite_batches, 0);
+  // Without the guard the NaN reaches the loss average and the parameters.
+  EXPECT_TRUE(std::isnan(result.train_loss[0]));
+}
+
+}  // namespace
+}  // namespace train
+}  // namespace tracer

@@ -209,6 +209,12 @@ TEST(CheckpointSafetyTest, EveryTruncationIsRejected) {
     out.close();
     auto loaded = nn::LoadCheckpoint(cut);
     EXPECT_FALSE(loaded.ok()) << "prefix of " << len << " bytes accepted";
+    // Torn containers are data loss (retrying cannot help), and the error
+    // names the failing byte offset for forensics.
+    EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss)
+        << "prefix of " << len << ": " << loaded.status().ToString();
+    EXPECT_NE(loaded.status().message().find("offset"), std::string::npos)
+        << loaded.status().ToString();
   }
 
   // Trailing garbage after a valid container is just as torn.
@@ -218,7 +224,7 @@ TEST(CheckpointSafetyTest, EveryTruncationIsRejected) {
   out.close();
   auto trailing = nn::LoadCheckpoint(cut);
   EXPECT_FALSE(trailing.ok());
-  EXPECT_EQ(trailing.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(trailing.status().code(), StatusCode::kDataLoss);
 
   // The untouched original still loads.
   auto loaded = nn::LoadCheckpoint(path);

@@ -26,6 +26,11 @@ guards out of the box:
                              (common/logging.cc) and the check-failure path
                              in common/macros.h. bench/, tests/ and
                              examples/ are user-facing programs and exempt.
+  R7 fault-point-registered  Every TRACER_FAULT_POINT("name") usage must
+                             name a point registered in the canonical list
+                             (src/fault/fault_points.h), mirroring the
+                             runtime validation in FaultRegistry::Configure
+                             so a typo'd point can never silently not fire.
 
 Runs as `ctest -R lint` (registered in the top-level CMakeLists.txt) and
 standalone:  tools/lint.py --root <repo-root>
@@ -121,7 +126,7 @@ def find_status_functions(root):
     # Status factory methods are construction, not fallible calls.
     names -= {"OK", "InvalidArgument", "NotFound", "IOError", "OutOfRange",
               "FailedPrecondition", "Internal", "Unavailable",
-              "DeadlineExceeded"}
+              "DeadlineExceeded", "DataLoss"}
     return names
 
 
@@ -243,6 +248,36 @@ def check_raw_io(path, text, findings, root):
                      "(common/logging.h)" % match.group(1))
 
 
+FAULT_POINTS_CACHE = None
+
+
+def registered_fault_points(root):
+    """Point names registered in the canonical src/fault/fault_points.h list."""
+    global FAULT_POINTS_CACHE
+    if FAULT_POINTS_CACHE is None:
+        path = os.path.join(root, "src", "fault", "fault_points.h")
+        names = set()
+        if os.path.isfile(path):
+            # Entries are X("name", "doc..."); only the first literal of each
+            # entry is a point name.
+            for match in re.finditer(r'X\s*\(\s*"([^"]+)"', read_file(path)):
+                names.add(match.group(1))
+        FAULT_POINTS_CACHE = names
+    return FAULT_POINTS_CACHE
+
+
+def check_fault_points(path, with_strings, findings, root):
+    registered = registered_fault_points(root)
+    for match in re.finditer(
+            r'TRACER_FAULT_POINT\s*\(\s*"([^"]+)"\s*\)', with_strings):
+        name = match.group(1)
+        if name not in registered:
+            findings.add(path, line_of(with_strings, match.start()),
+                         "fault-point-registered",
+                         'fault point "%s" is not registered in '
+                         "src/fault/fault_points.h" % name)
+
+
 def check_header_guard(path, text, findings, root):
     rel = os.path.relpath(path, os.path.join(root, "src"))
     if rel.startswith("..") or not path.endswith(".h"):
@@ -283,6 +318,7 @@ def main():
         check_include_hygiene(path, with_strings, findings, root)
         check_unchecked_status(path, text, findings, status_functions)
         check_raw_io(path, text, findings, root)
+        check_fault_points(path, with_strings, findings, root)
         check_header_guard(path, text, findings, root)
 
     for rel, line, rule, message in sorted(findings.items):
