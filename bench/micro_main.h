@@ -53,10 +53,22 @@ class ArtifactReporter : public benchmark::ConsoleReporter {
   std::vector<Row> rows_;
 };
 
+/// Routes benchmark rows whose name starts with `prefix` into their own
+/// BENCH_<artifact_name>.json, so one harness binary can feed several
+/// independent perf trajectories (micro_tensor splits its GEMM sweep out as
+/// BENCH_gemm.json). Splits only separate cleanly when TRACER_BENCH_JSON
+/// names a directory; a literal ".json" path makes the artifacts overwrite
+/// each other.
+struct ArtifactSplit {
+  std::string prefix;
+  std::string artifact_name;
+};
+
 /// Drop-in main() body for a micro harness: runs the registered benchmarks
-/// through ArtifactReporter and emits BENCH_<name>.json when requested.
-inline int RunMicroBenchmarks(const std::string& name, int argc,
-                              char** argv) {
+/// through ArtifactReporter and emits BENCH_<name>.json when requested,
+/// plus one BENCH_<split>.json per matching ArtifactSplit.
+inline int RunMicroBenchmarks(const std::string& name, int argc, char** argv,
+                              const std::vector<ArtifactSplit>& splits = {}) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   ArtifactReporter reporter;
@@ -65,11 +77,33 @@ inline int RunMicroBenchmarks(const std::string& name, int argc,
 
   BenchArtifact artifact(name);
   artifact.AddConfig("harness", "google-benchmark");
+  std::vector<BenchArtifact> split_artifacts;
+  std::vector<bool> split_has_rows(splits.size(), false);
+  split_artifacts.reserve(splits.size());
+  for (const ArtifactSplit& split : splits) {
+    split_artifacts.emplace_back(split.artifact_name);
+    split_artifacts.back().AddConfig("harness", "google-benchmark");
+  }
   for (const ArtifactReporter::Row& row : reporter.rows()) {
-    artifact.AddSection(row.name, row.wall_time_s, row.ops_per_sec,
-                        row.iterations);
+    size_t target = splits.size();  // default: the main artifact
+    for (size_t i = 0; i < splits.size(); ++i) {
+      if (row.name.rfind(splits[i].prefix, 0) == 0) {
+        target = i;
+        break;
+      }
+    }
+    BenchArtifact& dest =
+        target < splits.size() ? split_artifacts[target] : artifact;
+    if (target < splits.size()) split_has_rows[target] = true;
+    dest.AddSection(row.name, row.wall_time_s, row.ops_per_sec,
+                    row.iterations);
   }
   artifact.WriteIfRequested();
+  for (size_t i = 0; i < split_artifacts.size(); ++i) {
+    // A filtered run (--benchmark_filter) may leave a split empty; don't
+    // clobber a previous artifact with a rowless file.
+    if (split_has_rows[i]) split_artifacts[i].WriteIfRequested();
+  }
   return 0;
 }
 

@@ -2,11 +2,21 @@
 // the three transpose variants, the elementwise nonlinearities and the
 // softmax. Shapes mirror the real workloads (batch 64, feature dims
 // 32–256).
+//
+// The BM_Gemm sweep drives tensor/gemm.h directly (naive vs blocked, all
+// three variants, thread counts 1/2/4/8) and is split out into its own
+// BENCH_gemm.json artifact — the perf trajectory the README "Compute
+// kernels" table is built from.
+
+#include <algorithm>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
 #include "bench/micro_main.h"
 #include "common/rng.h"
+#include "parallel/parallel_for.h"
+#include "tensor/gemm.h"
 #include "tensor/tensor.h"
 #include "tensor/tensor_ops.h"
 
@@ -53,6 +63,75 @@ void BM_MatMulTransB(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2LL * m * k * n);
 }
 BENCHMARK(BM_MatMulTransB)->Arg(32)->Arg(128);
+
+/// One cell of the GEMM sweep: args are {m, n, k, threads}. The kernel and
+/// variant are bound at registration (BENCHMARK_CAPTURE) so row names read
+/// BM_Gemm/<variant>_<kernel>/m/n/k/threads. items == flops, so the JSON
+/// ops_per_sec column is FLOP/s.
+void BM_Gemm(benchmark::State& state, gemm::Variant variant,
+             gemm::Kernel kernel) {
+  const int m = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  const int k = static_cast<int>(state.range(2));
+  const int threads = static_cast<int>(state.range(3));
+  const int prev_threads = parallel::MaxThreads();
+  parallel::SetMaxThreads(threads);
+  Rng rng(42);
+  std::vector<float> a(static_cast<size_t>(m) * k);
+  std::vector<float> b(static_cast<size_t>(k) * n);
+  std::vector<float> c(static_cast<size_t>(m) * n);
+  for (float& x : a) x = static_cast<float>(rng.Normal());
+  for (float& x : b) x = static_cast<float>(rng.Normal());
+  for (auto _ : state) {
+    std::fill(c.begin(), c.end(), 0.0f);
+    gemm::Gemm(variant, m, n, k, a.data(), b.data(), c.data(), kernel);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * gemm::FlopCount(m, n, k));
+  parallel::SetMaxThreads(prev_threads);
+}
+
+// Square shapes track raw kernel throughput; {64,48,76} and {64,16,64} are
+// TITV-layer shapes (batch 64, input 76, rnn/film dims); {1,48,76} is the
+// serving single-visit path, which the dispatch heuristic keeps on the
+// naive kernel.
+#define TRACER_GEMM_SHAPES                                                  \
+  Args({128, 128, 128, 1})                                                  \
+      ->Args({256, 256, 256, 1})                                            \
+      ->Args({512, 512, 512, 1})                                            \
+      ->Args({64, 48, 76, 1})                                               \
+      ->Args({64, 16, 64, 1})                                               \
+      ->Args({1, 48, 76, 1})
+
+#define TRACER_GEMM_THREAD_SWEEP                                            \
+  Args({256, 256, 256, 2})                                                  \
+      ->Args({256, 256, 256, 4})                                            \
+      ->Args({256, 256, 256, 8})                                            \
+      ->Args({512, 512, 512, 2})                                            \
+      ->Args({512, 512, 512, 4})                                            \
+      ->Args({512, 512, 512, 8})
+
+BENCHMARK_CAPTURE(BM_Gemm, nn_naive, gemm::Variant::kNN,
+                  gemm::Kernel::kNaive)
+    ->TRACER_GEMM_SHAPES->UseRealTime();
+BENCHMARK_CAPTURE(BM_Gemm, tn_naive, gemm::Variant::kTN,
+                  gemm::Kernel::kNaive)
+    ->TRACER_GEMM_SHAPES->UseRealTime();
+BENCHMARK_CAPTURE(BM_Gemm, nt_naive, gemm::Variant::kNT,
+                  gemm::Kernel::kNaive)
+    ->TRACER_GEMM_SHAPES->UseRealTime();
+BENCHMARK_CAPTURE(BM_Gemm, nn_blocked, gemm::Variant::kNN,
+                  gemm::Kernel::kBlocked)
+    ->TRACER_GEMM_SHAPES->TRACER_GEMM_THREAD_SWEEP->UseRealTime();
+BENCHMARK_CAPTURE(BM_Gemm, tn_blocked, gemm::Variant::kTN,
+                  gemm::Kernel::kBlocked)
+    ->TRACER_GEMM_SHAPES->TRACER_GEMM_THREAD_SWEEP->UseRealTime();
+BENCHMARK_CAPTURE(BM_Gemm, nt_blocked, gemm::Variant::kNT,
+                  gemm::Kernel::kBlocked)
+    ->TRACER_GEMM_SHAPES->TRACER_GEMM_THREAD_SWEEP->UseRealTime();
+
+#undef TRACER_GEMM_SHAPES
+#undef TRACER_GEMM_THREAD_SWEEP
 
 void BM_Sigmoid(benchmark::State& state) {
   Rng rng(4);
@@ -103,5 +182,6 @@ BENCHMARK(BM_ConcatCols)->Arg(32)->Arg(128);
 }  // namespace tracer
 
 int main(int argc, char** argv) {
-  return tracer::bench::RunMicroBenchmarks("micro_tensor", argc, argv);
+  return tracer::bench::RunMicroBenchmarks("micro_tensor", argc, argv,
+                                           {{"BM_Gemm", "gemm"}});
 }

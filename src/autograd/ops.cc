@@ -4,6 +4,7 @@
 
 #include "common/macros.h"
 #include "obs/autograd_profiler.h"
+#include "tensor/gemm.h"
 #include "tensor/tensor_ops.h"
 
 namespace tracer {
@@ -21,16 +22,30 @@ bool Wants(const Node& node, size_t i) {
 
 Variable MatMul(const Variable& a, const Variable& b) {
   obs::ScopedOpTimer op_timer("matmul");
+  op_timer.SetFlops(gemm::FlopCount(a.value().rows(), b.value().cols(),
+                                    a.value().cols()));
   Tensor value = tracer::MatMul(a.value(), b.value());
+  // Backward: dA += dC·Bᵀ and dB += Aᵀ·dC through the fused transpose-GEMM
+  // variants — no transposed copies, no gradient temporaries.
   return MakeOpNode("matmul", std::move(value), {a.node(), b.node()},
                     [](Node& n) {
+    const int64_t m = n.parents[0]->value.rows();
+    const int64_t k = n.parents[0]->value.cols();
+    const int64_t cols = n.parents[1]->value.cols();
+    int64_t flops = 0;
     if (Wants(n, 0)) {
       MatMulTransBAccum(n.grad, n.parents[1]->value,
                         &n.parents[0]->EnsureGrad());
+      flops += gemm::FlopCount(m, k, cols);
     }
     if (Wants(n, 1)) {
       MatMulTransAAccum(n.parents[0]->value, n.grad,
                         &n.parents[1]->EnsureGrad());
+      flops += gemm::FlopCount(k, cols, m);
+    }
+    obs::AutogradProfiler& profiler = obs::AutogradProfiler::Global();
+    if (flops > 0 && profiler.enabled()) {
+      profiler.AddBackwardFlops("matmul", flops);
     }
   });
 }
@@ -58,12 +73,10 @@ Variable Mul(const Variable& a, const Variable& b) {
   Tensor value = tracer::Mul(a.value(), b.value());
   return MakeOpNode("mul", std::move(value), {a.node(), b.node()}, [](Node& n) {
     if (Wants(n, 0)) {
-      AddInPlace(&n.parents[0]->EnsureGrad(),
-                 tracer::Mul(n.grad, n.parents[1]->value));
+      MulAccum(n.grad, n.parents[1]->value, &n.parents[0]->EnsureGrad());
     }
     if (Wants(n, 1)) {
-      AddInPlace(&n.parents[1]->EnsureGrad(),
-                 tracer::Mul(n.grad, n.parents[0]->value));
+      MulAccum(n.grad, n.parents[0]->value, &n.parents[1]->EnsureGrad());
     }
   });
 }
@@ -75,7 +88,7 @@ Variable AddRows(const Variable& a, const Variable& row) {
                     [](Node& n) {
     if (Wants(n, 0)) AddInPlace(&n.parents[0]->EnsureGrad(), n.grad);
     if (Wants(n, 1)) {
-      AddInPlace(&n.parents[1]->EnsureGrad(), ColSum(n.grad));
+      ColSumAccum(n.grad, &n.parents[1]->EnsureGrad());
     }
   });
 }
@@ -86,12 +99,22 @@ Variable MulColBroadcast(const Variable& mat, const Variable& col) {
   return MakeOpNode("mul_col_broadcast", std::move(value),
                     {mat.node(), col.node()}, [](Node& n) {
     if (Wants(n, 0)) {
-      AddInPlace(&n.parents[0]->EnsureGrad(),
-                 tracer::MulColBroadcast(n.grad, n.parents[1]->value));
+      MulColBroadcastAccum(n.grad, n.parents[1]->value,
+                           &n.parents[0]->EnsureGrad());
     }
     if (Wants(n, 1)) {
-      AddInPlace(&n.parents[1]->EnsureGrad(),
-                 RowSum(tracer::Mul(n.grad, n.parents[0]->value)));
+      // dcol[i] += dot(dC row i, mat row i), fused without the Hadamard
+      // temporary.
+      Tensor& dst = n.parents[1]->EnsureGrad();
+      const int m = n.grad.rows(), cols = n.grad.cols();
+      for (int i = 0; i < m; ++i) {
+        double acc = 0.0;
+        for (int j = 0; j < cols; ++j) {
+          acc += static_cast<double>(n.grad.at(i, j)) *
+                 n.parents[0]->value.at(i, j);
+        }
+        dst.at(i, 0) += static_cast<float>(acc);
+      }
     }
   });
 }
@@ -175,12 +198,10 @@ Variable ConcatCols(const Variable& a, const Variable& b) {
   return MakeOpNode("concat_cols", std::move(value), {a.node(), b.node()},
                     [na, nb](Node& n) {
     if (Wants(n, 0)) {
-      AddInPlace(&n.parents[0]->EnsureGrad(),
-                 tracer::SliceCols(n.grad, 0, na));
+      SliceColsAccum(n.grad, 0, na, &n.parents[0]->EnsureGrad());
     }
     if (Wants(n, 1)) {
-      AddInPlace(&n.parents[1]->EnsureGrad(),
-                 tracer::SliceCols(n.grad, na, na + nb));
+      SliceColsAccum(n.grad, na, na + nb, &n.parents[1]->EnsureGrad());
     }
   });
 }

@@ -15,11 +15,13 @@ void AutogradProfiler::SetEnabled(bool enabled) {
   enabled_.store(enabled, std::memory_order_relaxed);
 }
 
-void AutogradProfiler::RecordForward(const char* op, uint64_t ns) {
+void AutogradProfiler::RecordForward(const char* op, uint64_t ns,
+                                     int64_t flops) {
   std::lock_guard<std::mutex> lock(mutex_);
   Cell& cell = cells_[op];
   ++cell.forward_calls;
   cell.forward_ns += ns;
+  cell.forward_flops += flops;
 }
 
 void AutogradProfiler::RecordBackward(const char* op, uint64_t ns) {
@@ -27,6 +29,11 @@ void AutogradProfiler::RecordBackward(const char* op, uint64_t ns) {
   Cell& cell = cells_[op];
   ++cell.backward_calls;
   cell.backward_ns += ns;
+}
+
+void AutogradProfiler::AddBackwardFlops(const char* op, int64_t flops) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  cells_[op].backward_flops += flops;
 }
 
 std::vector<OpProfile> AutogradProfiler::Snapshot() const {
@@ -41,6 +48,8 @@ std::vector<OpProfile> AutogradProfiler::Snapshot() const {
       profile.forward_ns = cell.forward_ns;
       profile.backward_calls = cell.backward_calls;
       profile.backward_ns = cell.backward_ns;
+      profile.forward_flops = cell.forward_flops;
+      profile.backward_flops = cell.backward_flops;
       out.push_back(std::move(profile));
     }
   }
@@ -63,14 +72,18 @@ uint64_t AutogradProfiler::TotalNs() const {
 std::string AutogradProfiler::ReportTable() const {
   const std::vector<OpProfile> profiles = Snapshot();
   std::string out =
-      "op                    fwd_calls     fwd_ms  bwd_calls     bwd_ms\n";
+      "op                    fwd_calls     fwd_ms  fwd_gflops  bwd_calls"
+      "     bwd_ms  bwd_gflops\n";
   for (const OpProfile& p : profiles) {
-    char line[128];
-    std::snprintf(line, sizeof(line), "%-20s %10lld %10.3f %10lld %10.3f\n",
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "%-20s %10lld %10.3f %11.2f %10lld %10.3f %11.2f\n",
                   p.op.c_str(), static_cast<long long>(p.forward_calls),
                   static_cast<double>(p.forward_ns) / 1e6,
+                  p.forward_gflops(),
                   static_cast<long long>(p.backward_calls),
-                  static_cast<double>(p.backward_ns) / 1e6);
+                  static_cast<double>(p.backward_ns) / 1e6,
+                  p.backward_gflops());
     out += line;
   }
   return out;

@@ -21,7 +21,21 @@ struct OpProfile {
   uint64_t forward_ns = 0;
   int64_t backward_calls = 0;
   uint64_t backward_ns = 0;
+  /// Flops the op self-reported (compute ops only; 0 when unknown).
+  int64_t forward_flops = 0;
+  int64_t backward_flops = 0;
   uint64_t total_ns() const { return forward_ns + backward_ns; }
+  /// Achieved forward GFLOP/s (0 when the op reports no flops).
+  double forward_gflops() const {
+    return forward_ns > 0 ? static_cast<double>(forward_flops) /
+                                static_cast<double>(forward_ns)
+                          : 0.0;
+  }
+  double backward_gflops() const {
+    return backward_ns > 0 ? static_cast<double>(backward_flops) /
+                                 static_cast<double>(backward_ns)
+                           : 0.0;
+  }
 };
 
 /// Per-op autograd profiler. Disabled by default; when enabled, every
@@ -46,8 +60,11 @@ class AutogradProfiler {
   }
   void SetEnabled(bool enabled);
 
-  void RecordForward(const char* op, uint64_t ns);
+  void RecordForward(const char* op, uint64_t ns, int64_t flops = 0);
   void RecordBackward(const char* op, uint64_t ns);
+  /// Flops attribution for backward closures: the closure knows its shapes
+  /// but Variable::Backward owns the timing, so flops arrive separately.
+  void AddBackwardFlops(const char* op, int64_t flops);
 
   /// Per-op profiles sorted by total (forward+backward) time, descending.
   std::vector<OpProfile> Snapshot() const;
@@ -66,6 +83,8 @@ class AutogradProfiler {
     uint64_t forward_ns = 0;
     int64_t backward_calls = 0;
     uint64_t backward_ns = 0;
+    int64_t forward_flops = 0;
+    int64_t backward_flops = 0;
   };
 
   std::atomic<bool> enabled_{false};
@@ -74,7 +93,9 @@ class AutogradProfiler {
 };
 
 /// Times one forward op when the profiler is enabled; a relaxed atomic load
-/// and nothing else when it is not. `op` must be a string literal.
+/// and nothing else when it is not. `op` must be a string literal. Compute
+/// ops call SetFlops with their arithmetic cost so the profile reports
+/// achieved GFLOP/s next to the wall time.
 class ScopedOpTimer {
  public:
   explicit ScopedOpTimer(const char* op)
@@ -83,10 +104,17 @@ class ScopedOpTimer {
   }
   ~ScopedOpTimer() {
     if (active_) {
-      AutogradProfiler::Global().RecordForward(op_,
-                                               MonotonicNowNs() - start_ns_);
+      AutogradProfiler::Global().RecordForward(
+          op_, MonotonicNowNs() - start_ns_, flops_);
     }
   }
+
+  /// Flops performed inside this span (e.g. 2·m·n·k for a matmul).
+  void SetFlops(int64_t flops) { flops_ = flops; }
+
+  /// Whether the profiler is recording this span — lets callers skip
+  /// computing flop counts when nobody is listening.
+  bool active() const { return active_; }
 
   ScopedOpTimer(const ScopedOpTimer&) = delete;
   ScopedOpTimer& operator=(const ScopedOpTimer&) = delete;
@@ -95,6 +123,7 @@ class ScopedOpTimer {
   const char* op_;
   bool active_;
   uint64_t start_ns_ = 0;
+  int64_t flops_ = 0;
 };
 
 }  // namespace obs

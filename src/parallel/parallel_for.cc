@@ -1,0 +1,116 @@
+#include "parallel/parallel_for.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include "common/macros.h"
+
+namespace tracer {
+namespace parallel {
+
+namespace {
+
+int DefaultMaxThreads() {
+  if (const char* env = std::getenv("TRACER_THREADS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) return parsed;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+std::atomic<int>& MaxThreadsVar() {
+  static std::atomic<int> value{DefaultMaxThreads()};
+  return value;
+}
+
+/// One ParallelFor call's completion count. Chunks from concurrent calls
+/// interleave freely on the shared pool; each call only waits on its own
+/// latch, never on the pool as a whole.
+struct Latch {
+  std::mutex mutex;
+  std::condition_variable done;
+  int remaining;
+
+  explicit Latch(int count) : remaining(count) {}
+
+  void CountDown() {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (--remaining == 0) done.notify_all();
+  }
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mutex);
+    done.wait(lock, [this] { return remaining == 0; });
+  }
+};
+
+/// Set while a thread is inside a ParallelFor region (caller or worker).
+/// A nested call runs serially: a worker blocking on chunks that are queued
+/// behind it on the same pool would deadlock.
+thread_local bool in_parallel_region = false;
+
+}  // namespace
+
+int MaxThreads() { return MaxThreadsVar().load(std::memory_order_relaxed); }
+
+void SetMaxThreads(int n) {
+  TRACER_CHECK_GT(n, 0);
+  MaxThreadsVar().store(n, std::memory_order_relaxed);
+}
+
+ThreadPool& SharedPool() {
+  // Leaked on purpose: workers park on the condition variable until process
+  // exit, and no static-destruction order can tear the pool down under a
+  // late caller. Capacity is fixed at first use; SetMaxThreads only narrows
+  // how many chunks ParallelFor creates.
+  static ThreadPool* pool = new ThreadPool(std::max(MaxThreads(), 1));
+  return *pool;
+}
+
+void ParallelFor(int64_t grain, int64_t n,
+                 const std::function<void(int64_t, int64_t)>& fn) {
+  if (n <= 0) return;
+  grain = std::max<int64_t>(grain, 1);
+  const int64_t max_chunks =
+      std::min<int64_t>(MaxThreads(), (n + grain - 1) / grain);
+  if (max_chunks <= 1 || in_parallel_region) {
+    in_parallel_region = true;
+    fn(0, n);
+    in_parallel_region = false;
+    return;
+  }
+
+  // Balanced contiguous partition: chunk c covers [c*n/k, (c+1)*n/k).
+  const int chunks = static_cast<int>(max_chunks);
+  Latch latch(chunks);
+  ThreadPool& pool = SharedPool();
+  for (int c = 1; c < chunks; ++c) {
+    const int64_t begin = n * c / chunks;
+    const int64_t end = n * (c + 1) / chunks;
+    const bool accepted = pool.Submit([&fn, &latch, begin, end] {
+      in_parallel_region = true;
+      fn(begin, end);
+      in_parallel_region = false;
+      latch.CountDown();
+    });
+    if (!accepted) {
+      // Pool shutting down or an injected submit fault: run here instead.
+      in_parallel_region = true;
+      fn(begin, end);
+      in_parallel_region = false;
+      latch.CountDown();
+    }
+  }
+  in_parallel_region = true;
+  fn(0, n / chunks);
+  in_parallel_region = false;
+  latch.CountDown();
+  latch.Wait();
+}
+
+}  // namespace parallel
+}  // namespace tracer

@@ -1,0 +1,48 @@
+#ifndef TRACER_PARALLEL_PARALLEL_FOR_H_
+#define TRACER_PARALLEL_PARALLEL_FOR_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "parallel/thread_pool.h"
+
+namespace tracer {
+namespace parallel {
+
+/// Thread budget for ParallelFor. Defaults to TRACER_THREADS (env) when set,
+/// otherwise std::thread::hardware_concurrency(); always >= 1. SetMaxThreads
+/// changes the *chunking* budget at runtime (benchmarks sweep it); the shared
+/// pool itself keeps its creation-time worker count.
+int MaxThreads();
+void SetMaxThreads(int n);
+
+/// The process-wide compute pool behind ParallelFor. Created lazily on first
+/// use with MaxThreads() workers and intentionally leaked (no teardown-order
+/// hazards at exit). Callers other than ParallelFor should not WaitAll() on
+/// it — it is shared.
+ThreadPool& SharedPool();
+
+/// Runs fn(begin, end) over a partition of [0, n) with at most MaxThreads()
+/// contiguous chunks of at least `grain` iterations each. The calling thread
+/// executes the first chunk itself; remaining chunks run on SharedPool().
+///
+/// Guarantees:
+///  - every index in [0, n) is covered exactly once;
+///  - each index is processed by exactly one invocation of fn, so any
+///    computation whose per-index result does not depend on the partition
+///    (e.g. disjoint writes with a fixed per-element reduction order) is
+///    bit-identical for every thread count;
+///  - re-entrant calls (fn itself calling ParallelFor) degrade to serial
+///    execution instead of deadlocking the shared pool;
+///  - if the pool rejects a task (shutdown or injected "pool.submit" fault),
+///    the chunk runs inline on the caller — work is never lost.
+///
+/// fn must not throw: a chunk may execute on a pool worker where an escaped
+/// exception would terminate the process.
+void ParallelFor(int64_t grain, int64_t n,
+                 const std::function<void(int64_t, int64_t)>& fn);
+
+}  // namespace parallel
+}  // namespace tracer
+
+#endif  // TRACER_PARALLEL_PARALLEL_FOR_H_

@@ -3,9 +3,18 @@
 #include <algorithm>
 #include <cmath>
 
+#include "parallel/parallel_for.h"
+#include "tensor/gemm.h"
+
 namespace tracer {
 
 namespace {
+
+// Elementwise loops above this size run on parallel::ParallelFor in chunks
+// of kElementwiseGrain. Indices are independent and each is written by
+// exactly one chunk, so results are bit-identical at every thread count.
+constexpr int64_t kElementwiseParallelMin = int64_t{1} << 16;
+constexpr int64_t kElementwiseGrain = int64_t{1} << 14;
 
 void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
   TRACER_CHECK(a.SameShape(b)) << op << ": shape mismatch " << a.ToString()
@@ -13,12 +22,23 @@ void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
 }
 
 template <typename F>
+void ForEachIndex(int64_t n, F f) {
+  if (n >= kElementwiseParallelMin) {
+    parallel::ParallelFor(kElementwiseGrain, n,
+                          [&f](int64_t begin, int64_t end) {
+                            for (int64_t i = begin; i < end; ++i) f(i);
+                          });
+  } else {
+    for (int64_t i = 0; i < n; ++i) f(i);
+  }
+}
+
+template <typename F>
 Tensor Elementwise(const Tensor& a, F f) {
   Tensor out(a.shape());
   const float* src = a.data();
   float* dst = out.data();
-  const int64_t n = a.size();
-  for (int64_t i = 0; i < n; ++i) dst[i] = f(src[i]);
+  ForEachIndex(a.size(), [&](int64_t i) { dst[i] = f(src[i]); });
   return out;
 }
 
@@ -29,12 +49,16 @@ Tensor Binary(const Tensor& a, const Tensor& b, F f, const char* op) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* dst = out.data();
-  const int64_t n = a.size();
-  for (int64_t i = 0; i < n; ++i) dst[i] = f(pa[i], pb[i]);
+  ForEachIndex(a.size(), [&](int64_t i) { dst[i] = f(pa[i], pb[i]); });
   return out;
 }
 
 }  // namespace
+
+// The three matmul entry points delegate to the compute-kernel layer
+// (tensor/gemm.h): a size heuristic picks between the naive reference and
+// the blocked, packed, thread-parallel kernel — both honoring the same
+// per-element accumulation order, so the choice never changes results.
 
 void MatMulAccum(const Tensor& a, const Tensor& b, Tensor* out) {
   TRACER_CHECK_EQ(a.rank(), 2);
@@ -42,20 +66,7 @@ void MatMulAccum(const Tensor& a, const Tensor& b, Tensor* out) {
   const int m = a.rows(), k = a.cols(), n = b.cols();
   TRACER_CHECK_EQ(k, b.rows()) << "MatMul inner-dimension mismatch";
   TRACER_CHECK(out->rank() == 2 && out->rows() == m && out->cols() == n);
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = out->data();
-  // i-k-j loop order: streams B and C rows, vectorises the inner j loop.
-  for (int i = 0; i < m; ++i) {
-    const float* arow = pa + static_cast<size_t>(i) * k;
-    float* crow = pc + static_cast<size_t>(i) * n;
-    for (int kk = 0; kk < k; ++kk) {
-      const float av = arow[kk];
-      if (av == 0.0f) continue;
-      const float* brow = pb + static_cast<size_t>(kk) * n;
-      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  gemm::Gemm(gemm::Variant::kNN, m, n, k, a.data(), b.data(), out->data());
 }
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
@@ -70,20 +81,7 @@ void MatMulTransAAccum(const Tensor& a, const Tensor& b, Tensor* out) {
   const int k = a.rows(), m = a.cols(), n = b.cols();
   TRACER_CHECK_EQ(k, b.rows()) << "MatMulTransA inner-dimension mismatch";
   TRACER_CHECK(out->rank() == 2 && out->rows() == m && out->cols() == n);
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = out->data();
-  // C[i][j] += sum_kk A[kk][i] * B[kk][j]
-  for (int kk = 0; kk < k; ++kk) {
-    const float* arow = pa + static_cast<size_t>(kk) * m;
-    const float* brow = pb + static_cast<size_t>(kk) * n;
-    for (int i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = pc + static_cast<size_t>(i) * n;
-      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  gemm::Gemm(gemm::Variant::kTN, m, n, k, a.data(), b.data(), out->data());
 }
 
 Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
@@ -98,20 +96,7 @@ void MatMulTransBAccum(const Tensor& a, const Tensor& b, Tensor* out) {
   const int m = a.rows(), k = a.cols(), n = b.rows();
   TRACER_CHECK_EQ(k, b.cols()) << "MatMulTransB inner-dimension mismatch";
   TRACER_CHECK(out->rank() == 2 && out->rows() == m && out->cols() == n);
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = out->data();
-  // C[i][j] += dot(A_row_i, B_row_j): both rows contiguous.
-  for (int i = 0; i < m; ++i) {
-    const float* arow = pa + static_cast<size_t>(i) * k;
-    float* crow = pc + static_cast<size_t>(i) * n;
-    for (int j = 0; j < n; ++j) {
-      const float* brow = pb + static_cast<size_t>(j) * k;
-      float acc = 0.0f;
-      for (int kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-      crow[j] += acc;
-    }
-  }
+  gemm::Gemm(gemm::Variant::kNT, m, n, k, a.data(), b.data(), out->data());
 }
 
 Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
@@ -140,16 +125,66 @@ void AddInPlace(Tensor* out, const Tensor& a) {
   CheckSameShape(*out, a, "AddInPlace");
   float* dst = out->data();
   const float* src = a.data();
-  const int64_t n = a.size();
-  for (int64_t i = 0; i < n; ++i) dst[i] += src[i];
+  ForEachIndex(a.size(), [&](int64_t i) { dst[i] += src[i]; });
 }
 
 void Axpy(float scale, const Tensor& a, Tensor* out) {
   CheckSameShape(*out, a, "Axpy");
   float* dst = out->data();
   const float* src = a.data();
-  const int64_t n = a.size();
-  for (int64_t i = 0; i < n; ++i) dst[i] += scale * src[i];
+  ForEachIndex(a.size(), [&](int64_t i) { dst[i] += scale * src[i]; });
+}
+
+void MulAccum(const Tensor& a, const Tensor& b, Tensor* out) {
+  CheckSameShape(a, b, "MulAccum");
+  CheckSameShape(*out, a, "MulAccum");
+  float* dst = out->data();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  ForEachIndex(a.size(), [&](int64_t i) { dst[i] += pa[i] * pb[i]; });
+}
+
+void MulColBroadcastAccum(const Tensor& mat, const Tensor& col, Tensor* out) {
+  TRACER_CHECK_EQ(mat.rank(), 2);
+  TRACER_CHECK(col.rank() == 2 && col.cols() == 1 && col.rows() == mat.rows())
+      << "MulColBroadcastAccum: col must be rows×1";
+  CheckSameShape(*out, mat, "MulColBroadcastAccum");
+  const int m = mat.rows(), n = mat.cols();
+  const float* pm = mat.data();
+  const float* pc = col.data();
+  float* dst = out->data();
+  for (int i = 0; i < m; ++i) {
+    const float s = pc[i];
+    for (int j = 0; j < n; ++j) {
+      dst[static_cast<size_t>(i) * n + j] +=
+          pm[static_cast<size_t>(i) * n + j] * s;
+    }
+  }
+}
+
+void ColSumAccum(const Tensor& a, Tensor* out) {
+  TRACER_CHECK_EQ(a.rank(), 2);
+  TRACER_CHECK(out->rank() == 2 && out->rows() == 1 &&
+               out->cols() == a.cols())
+      << "ColSumAccum: out must be 1×cols";
+  const int m = a.rows(), n = a.cols();
+  const float* p = a.data();
+  float* dst = out->data();
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) dst[j] += p[static_cast<size_t>(i) * n + j];
+  }
+}
+
+void SliceColsAccum(const Tensor& src, int begin, int end, Tensor* out) {
+  TRACER_CHECK_EQ(src.rank(), 2);
+  TRACER_CHECK(0 <= begin && begin <= end && end <= src.cols())
+      << "SliceColsAccum out of range";
+  TRACER_CHECK(out->rank() == 2 && out->rows() == src.rows() &&
+               out->cols() == end - begin);
+  const int m = src.rows(), n = end - begin;
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) out->at(i, j) += src.at(i, begin + j);
+  }
 }
 
 Tensor AddRowBroadcast(const Tensor& a, const Tensor& row) {

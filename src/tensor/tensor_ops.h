@@ -8,6 +8,13 @@ namespace tracer {
 // Dense kernels over rank-2 tensors (and elementwise over any rank). These
 // are the raw numeric primitives; the autograd layer builds differentiable
 // graphs on top of them. All functions CHECK shape compatibility.
+//
+// The matmul family dispatches into the compute-kernel layer
+// (tensor/gemm.h): large shapes run a cache-blocked, packed, thread-parallel
+// kernel, small ones the naive reference. Both share one per-element
+// accumulation order, so outputs are bit-identical regardless of kernel or
+// thread count. Large elementwise loops parallelize the same way. Overrides:
+// TRACER_GEMM=naive|blocked, TRACER_THREADS=<n>.
 
 /// C = A · B for A (M×K), B (K×N).
 Tensor MatMul(const Tensor& a, const Tensor& b);
@@ -35,6 +42,14 @@ Tensor Div(const Tensor& a, const Tensor& b);
 void AddInPlace(Tensor* out, const Tensor& a);
 /// out += scale * a.
 void Axpy(float scale, const Tensor& a, Tensor* out);
+/// out += a ∘ b (fused Hadamard accumulate — no temporary).
+void MulAccum(const Tensor& a, const Tensor& b, Tensor* out);
+/// out += mat scaled per-row by col (M×1). Fused backward helper.
+void MulColBroadcastAccum(const Tensor& mat, const Tensor& col, Tensor* out);
+/// out (1×N) += column sums of a (M×N). Fused bias-gradient helper.
+void ColSumAccum(const Tensor& a, Tensor* out);
+/// out += src[:, begin:end). Fused concat-backward helper.
+void SliceColsAccum(const Tensor& src, int begin, int end, Tensor* out);
 
 /// a + row, broadcasting a (1×N) row over every row of a (M×N) matrix.
 Tensor AddRowBroadcast(const Tensor& a, const Tensor& row);
