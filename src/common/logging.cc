@@ -1,12 +1,13 @@
 #include "common/logging.h"
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <ctime>
-#include <mutex>
 
+#include "common/mutex.h"
 #include "obs/obs.h"
 
 namespace tracer {
@@ -22,8 +23,11 @@ LogLevel ParseEnvLevel() {
   return LogLevel::kInfo;
 }
 
-LogLevel& MutableLevel() {
-  static LogLevel level = ParseEnvLevel();
+/// Atomic because SetGlobalLogLevel (tests, CLI flags) races the level
+/// check in every TRACER_LOG on worker threads — surfaced by the PR-6
+/// thread-safety annotation sweep; a plain static here was a data race.
+std::atomic<LogLevel>& MutableLevel() {
+  static std::atomic<LogLevel> level{ParseEnvLevel()};
   return level;
 }
 
@@ -60,23 +64,30 @@ void FormatTimestamp(char* buf, size_t size) {
 
 /// Serializes sink writes: without it, concurrent TRACER_LOG calls from
 /// ThreadPool workers interleave mid-line on stderr.
-std::mutex& SinkMutex() {
-  static std::mutex* mutex = new std::mutex();
+common::Mutex& SinkMutex() {
+  static common::Mutex* mutex = new common::Mutex();
   return *mutex;
 }
 
 }  // namespace
 
-LogLevel GlobalLogLevel() { return MutableLevel(); }
+LogLevel GlobalLogLevel() {
+  return MutableLevel().load(std::memory_order_relaxed);
+}
 
-void SetGlobalLogLevel(LogLevel level) { MutableLevel() = level; }
+void SetGlobalLogLevel(LogLevel level) {
+  MutableLevel().store(level, std::memory_order_relaxed);
+}
 
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : enabled_(level >= GlobalLogLevel()), level_(level) {
   if (enabled_) {
-    char timestamp[32];
+    // Sized generously past the 25 bytes a real timestamp needs: newer
+    // GCCs' -Wformat-truncation reasons about the full int range of each
+    // %d field and flags a 32-byte buffer.
+    char timestamp[64];
     FormatTimestamp(timestamp, sizeof(timestamp));
     const char* base = std::strrchr(file, '/');
     stream_ << "[" << LevelName(level_) << " " << timestamp << " tid:"
@@ -89,7 +100,7 @@ LogMessage::~LogMessage() {
   if (!enabled_) return;
   stream_ << "\n";
   const std::string line = stream_.str();
-  std::lock_guard<std::mutex> lock(SinkMutex());
+  common::MutexLock lock(&SinkMutex());
   std::fwrite(line.data(), 1, line.size(), stderr);
   std::fflush(stderr);
 }

@@ -25,7 +25,11 @@ enum class StatusCode {
 };
 
 /// Lightweight success/error value. An OK status carries no message.
-class Status {
+/// [[nodiscard]]: a dropped Status is a swallowed failure — every call
+/// site must consume it (assign, return, TRACER_RETURN_IF_ERROR, check) or
+/// discard it *explicitly* with TRACER_IGNORE_STATUS, which analyzer rule
+/// A2 (tools/analyze.py) and lint rule R4 can count.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -81,8 +85,10 @@ class Status {
 };
 
 /// Value-or-error, the no-exceptions analogue of std::expected.
+/// [[nodiscard]] for the same reason as Status: an unexamined Result hides
+/// the error it may carry.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from a value: `Result<int> r = 3;`
   Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
@@ -120,6 +126,17 @@ class Result {
   do {                                      \
     ::tracer::Status _st = (expr);          \
     if (!_st.ok()) return _st;              \
+  } while (0)
+
+/// Explicitly discards a Status where failure is genuinely acceptable
+/// (best-effort cleanup, an error path already being reported). Greppable
+/// and counted by analyzer rule A2 — prefer handling the status; every use
+/// of this macro is an audited exception, so say why in a comment at the
+/// call site.
+#define TRACER_IGNORE_STATUS(expr)                        \
+  do {                                                    \
+    const ::tracer::Status _ignored_status = (expr);      \
+    (void)_ignored_status;                                \
   } while (0)
 
 #endif  // TRACER_COMMON_STATUS_H_

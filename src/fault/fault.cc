@@ -93,8 +93,7 @@ FaultRegistry::FaultRegistry() {
     // A malformed env spec is a configuration error worth failing loudly
     // on, but Global() runs at static-init-adjacent times; arm nothing and
     // leave the status visible to Configure callers instead of aborting.
-    const Status configured = Configure(env, EnvSeed());
-    (void)configured;
+    TRACER_IGNORE_STATUS(Configure(env, EnvSeed()));
   }
 }
 
@@ -106,7 +105,7 @@ FaultRegistry& FaultRegistry::Global() {
 Status FaultRegistry::Configure(const std::string& spec, uint64_t seed) {
   std::vector<ParsedRule> parsed;
   TRACER_RETURN_IF_ERROR(ParseSpec(spec, &parsed));
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   rules_.clear();
   for (const ParsedRule& rule : parsed) {
     Rule installed;
@@ -120,7 +119,7 @@ Status FaultRegistry::Configure(const std::string& spec, uint64_t seed) {
 }
 
 void FaultRegistry::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   rules_.clear();
   armed_.store(false, std::memory_order_relaxed);
 }
@@ -128,7 +127,7 @@ void FaultRegistry::Clear() {
 bool FaultRegistry::ShouldFail(const char* point) {
   bool fire = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(&mutex_);
     auto it = rules_.find(point);
     if (it == rules_.end()) return false;
     Rule& rule = it->second;
@@ -146,13 +145,13 @@ bool FaultRegistry::ShouldFail(const char* point) {
 }
 
 int64_t FaultRegistry::FireCount(const std::string& point) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   auto it = rules_.find(point);
   return it == rules_.end() ? 0 : it->second.fired;
 }
 
 int64_t FaultRegistry::TotalFired() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   int64_t total = 0;
   for (const auto& [name, rule] : rules_) total += rule.fired;
   return total;

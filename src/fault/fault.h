@@ -3,13 +3,14 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 /// Compile-time fault-injection level, mirroring TRACER_OBS: 0 compiles
 /// every TRACER_FAULT_POINT probe down to a constant `false` the optimizer
@@ -80,10 +81,10 @@ class FaultRegistry {
     int64_t fired = 0;
   };
 
-  mutable std::mutex mutex_;
+  mutable common::Mutex mutex_;
   std::atomic<bool> armed_{false};
-  std::unordered_map<std::string, Rule> rules_;
-  Rng rng_{42};
+  std::unordered_map<std::string, Rule> rules_ TRACER_GUARDED_BY(mutex_);
+  Rng rng_ TRACER_GUARDED_BY(mutex_){42};
 };
 
 }  // namespace fault

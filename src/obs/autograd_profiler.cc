@@ -17,7 +17,7 @@ void AutogradProfiler::SetEnabled(bool enabled) {
 
 void AutogradProfiler::RecordForward(const char* op, uint64_t ns,
                                      int64_t flops) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   Cell& cell = cells_[op];
   ++cell.forward_calls;
   cell.forward_ns += ns;
@@ -25,21 +25,21 @@ void AutogradProfiler::RecordForward(const char* op, uint64_t ns,
 }
 
 void AutogradProfiler::RecordBackward(const char* op, uint64_t ns) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   Cell& cell = cells_[op];
   ++cell.backward_calls;
   cell.backward_ns += ns;
 }
 
 void AutogradProfiler::AddBackwardFlops(const char* op, int64_t flops) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   cells_[op].backward_flops += flops;
 }
 
 std::vector<OpProfile> AutogradProfiler::Snapshot() const {
   std::vector<OpProfile> out;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(&mutex_);
     out.reserve(cells_.size());
     for (const auto& [op, cell] : cells_) {
       OpProfile profile;
@@ -61,7 +61,7 @@ std::vector<OpProfile> AutogradProfiler::Snapshot() const {
 }
 
 uint64_t AutogradProfiler::TotalNs() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   uint64_t total = 0;
   for (const auto& [op, cell] : cells_) {
     total += cell.forward_ns + cell.backward_ns;
@@ -90,7 +90,7 @@ std::string AutogradProfiler::ReportTable() const {
 }
 
 void AutogradProfiler::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   cells_.clear();
 }
 

@@ -4,10 +4,11 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/obs.h"
 
 namespace tracer {
@@ -88,8 +89,8 @@ class AutogradProfiler {
   };
 
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mutex_;
-  std::map<std::string, Cell> cells_;
+  mutable common::Mutex mutex_;
+  std::map<std::string, Cell> cells_ TRACER_GUARDED_BY(mutex_);
 };
 
 /// Times one forward op when the profiler is enabled; a relaxed atomic load

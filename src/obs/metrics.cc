@@ -49,7 +49,7 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter* MetricsRegistry::GetOrCreateCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   Entry& entry = entries_[name];
   if (entry.counter == nullptr) {
     TRACER_CHECK(entry.gauge == nullptr && entry.histogram == nullptr)
@@ -61,7 +61,7 @@ Counter* MetricsRegistry::GetOrCreateCounter(const std::string& name) {
 }
 
 Gauge* MetricsRegistry::GetOrCreateGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   Entry& entry = entries_[name];
   if (entry.gauge == nullptr) {
     TRACER_CHECK(entry.counter == nullptr && entry.histogram == nullptr)
@@ -74,7 +74,7 @@ Gauge* MetricsRegistry::GetOrCreateGauge(const std::string& name) {
 
 Histogram* MetricsRegistry::GetOrCreateHistogram(const std::string& name,
                                                  std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   Entry& entry = entries_[name];
   if (entry.histogram == nullptr) {
     TRACER_CHECK(entry.counter == nullptr && entry.gauge == nullptr)
@@ -86,7 +86,7 @@ Histogram* MetricsRegistry::GetOrCreateHistogram(const std::string& name,
 }
 
 std::string MetricsRegistry::ExportPrometheus() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   std::string out;
   for (const auto& [name, entry] : entries_) {
     switch (entry.kind) {
@@ -118,7 +118,7 @@ std::string MetricsRegistry::ExportPrometheus() const {
 }
 
 std::string MetricsRegistry::ExportJsonl() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   std::string out;
   for (const auto& [name, entry] : entries_) {
     JsonObject line;
@@ -161,7 +161,7 @@ void Histogram::Reset() {
 }
 
 void MetricsRegistry::ResetForTest() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   for (auto& [name, entry] : entries_) {
     switch (entry.kind) {
       case Kind::kCounter:

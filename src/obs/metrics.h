@@ -5,9 +5,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace tracer {
 namespace obs {
@@ -81,21 +83,23 @@ class MetricsRegistry {
   /// Process-wide instance used by all built-in instrumentation.
   static MetricsRegistry& Global();
 
-  Counter* GetOrCreateCounter(const std::string& name);
-  Gauge* GetOrCreateGauge(const std::string& name);
+  Counter* GetOrCreateCounter(const std::string& name)
+      TRACER_EXCLUDES(mutex_);
+  Gauge* GetOrCreateGauge(const std::string& name) TRACER_EXCLUDES(mutex_);
   /// `bounds` must be strictly increasing; ignored if the histogram exists.
   Histogram* GetOrCreateHistogram(const std::string& name,
-                                  std::vector<double> bounds);
+                                  std::vector<double> bounds)
+      TRACER_EXCLUDES(mutex_);
 
   /// Prometheus text exposition format (one `# TYPE` line per metric).
-  std::string ExportPrometheus() const;
+  std::string ExportPrometheus() const TRACER_EXCLUDES(mutex_);
   /// One JSON object per line: {"metric":...,"type":...,"value":...} for
   /// counters/gauges; histograms add "sum","count","buckets".
-  std::string ExportJsonl() const;
+  std::string ExportJsonl() const TRACER_EXCLUDES(mutex_);
 
   /// Zeroes every registered metric in place. Handles stay valid (hot
   /// paths cache them in function-local statics), names stay registered.
-  void ResetForTest();
+  void ResetForTest() TRACER_EXCLUDES(mutex_);
 
  private:
   enum class Kind { kCounter, kGauge, kHistogram };
@@ -106,8 +110,8 @@ class MetricsRegistry {
     std::unique_ptr<Histogram> histogram;
   };
 
-  mutable std::mutex mutex_;
-  std::map<std::string, Entry> entries_;
+  mutable common::Mutex mutex_;
+  std::map<std::string, Entry> entries_ TRACER_GUARDED_BY(mutex_);
 };
 
 }  // namespace obs

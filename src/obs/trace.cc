@@ -22,7 +22,7 @@ TraceSink& TraceSink::Global() {
 }
 
 void TraceSink::Record(const SpanRecord& record) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   if (ring_.size() < capacity_) {
     ring_.push_back(record);
   } else {
@@ -33,7 +33,7 @@ void TraceSink::Record(const SpanRecord& record) {
 }
 
 std::vector<SpanRecord> TraceSink::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   std::vector<SpanRecord> out;
   out.reserve(ring_.size());
   if (ring_.size() < capacity_) {
@@ -66,24 +66,24 @@ std::string TraceSink::DumpJson() const {
 }
 
 uint64_t TraceSink::recorded() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   return recorded_;
 }
 
 uint64_t TraceSink::dropped() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   return recorded_ > ring_.size() ? recorded_ - ring_.size() : 0;
 }
 
 void TraceSink::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   ring_.clear();
   next_ = 0;
   recorded_ = 0;
 }
 
 void TraceSink::SetCapacity(size_t capacity) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   capacity_ = capacity > 0 ? capacity : 1;
   ring_.clear();
   next_ = 0;

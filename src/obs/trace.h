@@ -2,10 +2,11 @@
 #define TRACER_OBS_TRACE_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/obs.h"
 
 namespace tracer {
@@ -48,11 +49,11 @@ class TraceSink {
   void SetCapacity(size_t capacity);
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<SpanRecord> ring_;
-  size_t capacity_ = 4096;
-  size_t next_ = 0;
-  uint64_t recorded_ = 0;
+  mutable common::Mutex mutex_;
+  std::vector<SpanRecord> ring_ TRACER_GUARDED_BY(mutex_);
+  size_t capacity_ TRACER_GUARDED_BY(mutex_) = 4096;
+  size_t next_ TRACER_GUARDED_BY(mutex_) = 0;
+  uint64_t recorded_ TRACER_GUARDED_BY(mutex_) = 0;
 };
 
 /// RAII trace span: times the enclosing scope on the monotonic clock and

@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstdlib>
-#include <mutex>
 #include <thread>
 
 #include "common/macros.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace tracer {
 namespace parallel {
@@ -32,19 +32,19 @@ std::atomic<int>& MaxThreadsVar() {
 /// interleave freely on the shared pool; each call only waits on its own
 /// latch, never on the pool as a whole.
 struct Latch {
-  std::mutex mutex;
-  std::condition_variable done;
-  int remaining;
+  common::Mutex mutex;
+  common::CondVar done;
+  int remaining TRACER_GUARDED_BY(mutex);
 
   explicit Latch(int count) : remaining(count) {}
 
   void CountDown() {
-    std::lock_guard<std::mutex> lock(mutex);
-    if (--remaining == 0) done.notify_all();
+    common::MutexLock lock(&mutex);
+    if (--remaining == 0) done.NotifyAll();
   }
   void Wait() {
-    std::unique_lock<std::mutex> lock(mutex);
-    done.wait(lock, [this] { return remaining == 0; });
+    common::MutexLock lock(&mutex);
+    while (remaining != 0) done.Wait(mutex);
   }
 };
 

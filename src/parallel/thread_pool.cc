@@ -48,13 +48,13 @@ ThreadPool::~ThreadPool() { Shutdown(); }
 void ThreadPool::Shutdown() {
   std::vector<std::thread> to_join;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    common::MutexLock lock(&mutex_);
     shutting_down_ = true;
     // Claim the threads under the lock: if Shutdown races another Shutdown
     // (or the destructor), exactly one caller joins each worker.
     to_join.swap(threads_);
   }
-  task_available_.notify_all();
+  task_available_.NotifyAll();
   for (std::thread& t : to_join) t.join();
 }
 
@@ -63,8 +63,16 @@ bool ThreadPool::Submit(std::function<void()> task) {
   // Submit-may-fail path (servers fail the batch, the data-parallel trainer
   // runs the shard inline) without tearing the pool down.
   if (TRACER_FAULT_POINT("pool.submit")) return false;
+  // Resolve the metric handle before entering the critical section: the
+  // first resolution acquires the MetricsRegistry mutex, and pool.mutex_ →
+  // registry.mutex_ nesting is exactly the lock-order coupling the
+  // annotations exist to keep out of this file. The update itself is one
+  // relaxed atomic store and stays under the lock so the gauge tracks the
+  // queue length exactly.
+  obs::Gauge* queue_depth =
+      obs::Enabled() ? PoolMetrics::Get().queue_depth : nullptr;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    common::MutexLock lock(&mutex_);
     // Rejecting under the same lock that Shutdown takes closes the
     // enqueue-after-stop race: a task is either queued before the stop flag
     // is set (and will be drained by a live worker) or refused outright —
@@ -73,17 +81,17 @@ bool ThreadPool::Submit(std::function<void()> task) {
     if (shutting_down_) return false;
     tasks_.push(std::move(task));
     ++in_flight_;
-    if (obs::Enabled()) {
-      PoolMetrics::Get().queue_depth->Set(static_cast<double>(tasks_.size()));
+    if (queue_depth != nullptr) {
+      queue_depth->Set(static_cast<double>(tasks_.size()));
     }
   }
-  task_available_.notify_one();
+  task_available_.NotifyOne();
   return true;
 }
 
 void ThreadPool::WaitAll() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  common::MutexLock lock(&mutex_);
+  while (in_flight_ != 0) all_done_.Wait(mutex_);
 }
 
 void ThreadPool::WorkerLoop() {
@@ -91,20 +99,25 @@ void ThreadPool::WorkerLoop() {
     std::function<void()> task;
     const bool observe = obs::Enabled();
     const uint64_t idle_start = observe ? obs::MonotonicNowNs() : 0;
+    obs::Gauge* queue_depth =
+        observe ? PoolMetrics::Get().queue_depth : nullptr;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      task_available_.wait(
-          lock, [this] { return shutting_down_ || !tasks_.empty(); });
+      mutex_.Lock();
+      while (!shutting_down_ && tasks_.empty()) task_available_.Wait(mutex_);
       if (tasks_.empty()) {
-        if (shutting_down_) return;
+        // The wait predicate only passes an empty queue when shutdown has
+        // started (snapshot the flag before dropping the lock).
+        const bool stop = shutting_down_;
+        mutex_.Unlock();
+        if (stop) return;
         continue;
       }
       task = std::move(tasks_.front());
       tasks_.pop();
-      if (observe) {
-        PoolMetrics::Get().queue_depth->Set(
-            static_cast<double>(tasks_.size()));
+      if (queue_depth != nullptr) {
+        queue_depth->Set(static_cast<double>(tasks_.size()));
       }
+      mutex_.Unlock();
     }
     uint64_t busy_start = 0;
     if (observe) {
@@ -119,9 +132,9 @@ void ThreadPool::WorkerLoop() {
       PoolMetrics::Get().tasks->Increment();
     }
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      common::MutexLock lock(&mutex_);
       --in_flight_;
-      if (in_flight_ == 0) all_done_.notify_all();
+      if (in_flight_ == 0) all_done_.NotifyAll();
     }
   }
 }

@@ -1,12 +1,13 @@
 #ifndef TRACER_PARALLEL_THREAD_POOL_H_
 #define TRACER_PARALLEL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace tracer {
 namespace parallel {
@@ -51,13 +52,13 @@ class ThreadPool {
   void WorkerLoop();
 
   const int num_threads_;
-  std::vector<std::thread> threads_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable task_available_;
-  std::condition_variable all_done_;
-  int in_flight_ = 0;
-  bool shutting_down_ = false;
+  common::Mutex mutex_;
+  std::vector<std::thread> threads_ TRACER_GUARDED_BY(mutex_);
+  std::queue<std::function<void()>> tasks_ TRACER_GUARDED_BY(mutex_);
+  common::CondVar task_available_;
+  common::CondVar all_done_;
+  int in_flight_ TRACER_GUARDED_BY(mutex_) = 0;
+  bool shutting_down_ TRACER_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace parallel

@@ -18,7 +18,7 @@ CircuitBreaker::CircuitBreaker(CircuitBreakerOptions options)
     : options_(Sanitize(options)) {}
 
 bool CircuitBreaker::Allow(uint64_t now_ns) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   switch (state_) {
     case State::kClosed:
       return true;
@@ -39,14 +39,14 @@ bool CircuitBreaker::Allow(uint64_t now_ns) {
 }
 
 void CircuitBreaker::RecordSuccess() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   consecutive_failures_ = 0;
   probe_in_flight_ = false;
   state_ = State::kClosed;
 }
 
 void CircuitBreaker::RecordFailure(uint64_t now_ns) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   if (state_ == State::kHalfOpen) {
     // The probe failed: back to open, restart the cooldown.
     TripLocked(now_ns);
@@ -68,17 +68,17 @@ void CircuitBreaker::TripLocked(uint64_t now_ns) {
 }
 
 CircuitBreaker::State CircuitBreaker::state() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   return state_;
 }
 
 int64_t CircuitBreaker::opens() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   return opens_;
 }
 
 int64_t CircuitBreaker::probes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   return probes_;
 }
 

@@ -2,7 +2,9 @@
 #define TRACER_SERVE_CIRCUIT_BREAKER_H_
 
 #include <cstdint>
-#include <mutex>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace tracer {
 namespace serve {
@@ -58,16 +60,16 @@ class CircuitBreaker {
   int64_t probes() const;
 
  private:
-  void TripLocked(uint64_t now_ns);
+  void TripLocked(uint64_t now_ns) TRACER_REQUIRES(mutex_);
 
   const CircuitBreakerOptions options_;
-  mutable std::mutex mutex_;
-  State state_ = State::kClosed;
-  int consecutive_failures_ = 0;
-  uint64_t open_until_ns_ = 0;
-  bool probe_in_flight_ = false;
-  int64_t opens_ = 0;
-  int64_t probes_ = 0;
+  mutable common::Mutex mutex_;
+  State state_ TRACER_GUARDED_BY(mutex_) = State::kClosed;
+  int consecutive_failures_ TRACER_GUARDED_BY(mutex_) = 0;
+  uint64_t open_until_ns_ TRACER_GUARDED_BY(mutex_) = 0;
+  bool probe_in_flight_ TRACER_GUARDED_BY(mutex_) = false;
+  int64_t opens_ TRACER_GUARDED_BY(mutex_) = 0;
+  int64_t probes_ TRACER_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace serve

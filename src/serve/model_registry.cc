@@ -95,7 +95,7 @@ Result<uint64_t> ModelRegistry::Register(
   snapshot->tensors = std::move(tensors);
   uint64_t version = 0;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(&mutex_);
     version = next_version_++;
     snapshot->version = version;
     versions_.emplace(version, std::move(snapshot));
@@ -107,7 +107,7 @@ Result<uint64_t> ModelRegistry::Register(
 Status ModelRegistry::Publish(uint64_t version) {
   std::shared_ptr<const ModelSnapshot> target;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(&mutex_);
     const auto it = versions_.find(version);
     if (it == versions_.end()) {
       return Status::NotFound("version " + std::to_string(version) +
@@ -124,7 +124,7 @@ Status ModelRegistry::Publish(uint64_t version) {
 Status ModelRegistry::Rollback() {
   uint64_t version = 0;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(&mutex_);
     if (previous_ == nullptr) {
       return Status::FailedPrecondition("no previous version to roll back to");
     }
@@ -136,12 +136,12 @@ Status ModelRegistry::Rollback() {
 }
 
 std::shared_ptr<const ModelSnapshot> ModelRegistry::live() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   return live_;
 }
 
 Status ModelRegistry::SetFallback(uint64_t version) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   const auto it = versions_.find(version);
   if (it == versions_.end()) {
     return Status::NotFound("fallback version " + std::to_string(version) +
@@ -152,29 +152,29 @@ Status ModelRegistry::SetFallback(uint64_t version) {
 }
 
 void ModelRegistry::ClearFallback() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   fallback_ = nullptr;
 }
 
 std::shared_ptr<const ModelSnapshot> ModelRegistry::fallback() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   return fallback_;
 }
 
 std::shared_ptr<const ModelSnapshot> ModelRegistry::Get(
     uint64_t version) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   const auto it = versions_.find(version);
   return it == versions_.end() ? nullptr : it->second;
 }
 
 uint64_t ModelRegistry::live_version() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   return live_ == nullptr ? 0 : live_->version;
 }
 
 std::vector<uint64_t> ModelRegistry::Versions() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   std::vector<uint64_t> out;
   out.reserve(versions_.size());
   for (const auto& [version, snapshot] : versions_) {

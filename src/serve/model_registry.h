@@ -4,12 +4,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/titv.h"
 #include "tensor/tensor.h"
 
@@ -105,12 +106,13 @@ class ModelRegistry {
   std::vector<uint64_t> Versions() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<uint64_t, std::shared_ptr<const ModelSnapshot>> versions_;
-  std::shared_ptr<const ModelSnapshot> live_;
-  std::shared_ptr<const ModelSnapshot> previous_;
-  std::shared_ptr<const ModelSnapshot> fallback_;
-  uint64_t next_version_ = 1;
+  mutable common::Mutex mutex_;
+  std::map<uint64_t, std::shared_ptr<const ModelSnapshot>> versions_
+      TRACER_GUARDED_BY(mutex_);
+  std::shared_ptr<const ModelSnapshot> live_ TRACER_GUARDED_BY(mutex_);
+  std::shared_ptr<const ModelSnapshot> previous_ TRACER_GUARDED_BY(mutex_);
+  std::shared_ptr<const ModelSnapshot> fallback_ TRACER_GUARDED_BY(mutex_);
+  uint64_t next_version_ TRACER_GUARDED_BY(mutex_) = 1;
 };
 
 }  // namespace serve

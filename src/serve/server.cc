@@ -175,7 +175,7 @@ std::future<ServeResponse> InferenceServer::Submit(ServeRequest request) {
   const uint64_t now = obs::MonotonicNowNs();
   Status reject;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(&mutex_);
     if (stop_) {
       reject = Status::Unavailable("server shutting down");
     } else if (static_cast<int>(queue_.size()) >= options_.queue_capacity) {
@@ -192,7 +192,7 @@ std::future<ServeResponse> InferenceServer::Submit(ServeRequest request) {
   }
   if (reject.ok()) {
     RecordAdmitted();
-    scheduler_cv_.notify_one();
+    scheduler_cv_.NotifyOne();
   } else {
     // Backpressure: shed immediately instead of blocking the producer.
     shed_.fetch_add(1, std::memory_order_relaxed);
@@ -224,10 +224,16 @@ void InferenceServer::CollectExpiredLocked(uint64_t now_ns,
 void InferenceServer::SchedulerLoop() {
   const uint64_t delay_ns =
       static_cast<uint64_t>(options_.max_queue_delay_us) * 1000;
-  std::unique_lock<std::mutex> lock(mutex_);
+  // Hand-over-hand locking, spelled as explicit Lock/Unlock so the
+  // thread-safety analysis can verify it: the lock is held at the top of
+  // every loop iteration and released around promise completion, registry
+  // snapshot capture and pool dispatch (all of which run foreign code —
+  // future continuations, registry locks — that must never execute under
+  // the admission lock).
+  mutex_.Lock();
   while (true) {
-    scheduler_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-    if (stop_) return;
+    while (!stop_ && queue_.empty()) scheduler_cv_.Wait(mutex_);
+    if (stop_) break;
 
     // Expired requests complete with kDeadlineExceeded instead of occupying
     // batch slots — including ones buried behind other window lengths.
@@ -235,7 +241,7 @@ void InferenceServer::SchedulerLoop() {
     std::vector<Pending> timed_out;
     CollectExpiredLocked(now, &timed_out);
     if (!timed_out.empty()) {
-      lock.unlock();
+      mutex_.Unlock();
       for (Pending& pending : timed_out) {
         expired_.fetch_add(1, std::memory_order_relaxed);
         RecordExpired();
@@ -244,7 +250,7 @@ void InferenceServer::SchedulerLoop() {
             Status::DeadlineExceeded("deadline expired in queue");
         CompleteOne(&pending, std::move(response));
       }
-      lock.lock();
+      mutex_.Lock();
       continue;
     }
     if (queue_.empty()) continue;
@@ -270,8 +276,8 @@ void InferenceServer::SchedulerLoop() {
     if (!full && !aged && !idle_close) {
       // Wait for the batch to fill, the age window to lapse, a deadline to
       // fire, or a worker to drain; then re-evaluate from scratch.
-      scheduler_cv_.wait_until(lock, ToTimePoint(earliest_deadline));
-      if (stop_) return;
+      scheduler_cv_.WaitUntil(mutex_, ToTimePoint(earliest_deadline));
+      if (stop_) break;
       continue;
     }
 
@@ -297,13 +303,21 @@ void InferenceServer::SchedulerLoop() {
     UpdateQueueDepthLocked();
     const bool dispatch = !work->requests.empty();
     if (dispatch) {
-      work->snapshot = registry_->live();
-      work->fallback = registry_->fallback();
       work->close_ns = form_ns;
       ++in_flight_batches_;
     }
-    lock.unlock();
+    mutex_.Unlock();
 
+    if (dispatch) {
+      // Snapshot capture runs outside the critical section: live() and
+      // fallback() take the registry's own mutex, and holding the admission
+      // lock across that foreign acquisition stalled every producer during
+      // a hot-swap (annotation-sweep finding, see DESIGN.md "Static
+      // analysis"). The batch's requests are already claimed off the queue,
+      // so per-batch snapshot consistency is unchanged.
+      work->snapshot = registry_->live();
+      work->fallback = registry_->fallback();
+    }
     for (Pending& pending : late) {
       expired_.fetch_add(1, std::memory_order_relaxed);
       RecordExpired();
@@ -330,12 +344,13 @@ void InferenceServer::SchedulerLoop() {
           response.status = Status::Unavailable("server shutting down");
           CompleteOne(&pending, std::move(response));
         }
-        std::lock_guard<std::mutex> relock(mutex_);
+        common::MutexLock relock(&mutex_);
         --in_flight_batches_;
       }
     }
-    lock.lock();
+    mutex_.Lock();
   }
+  mutex_.Unlock();
 }
 
 CircuitBreaker& InferenceServer::BreakerForThisThread() {
@@ -491,11 +506,11 @@ void InferenceServer::RunBatch(const std::shared_ptr<BatchWork>& work) {
   }
 
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(&mutex_);
     --in_flight_batches_;
   }
   // A drained worker may allow the scheduler to close a partial batch.
-  scheduler_cv_.notify_one();
+  scheduler_cv_.NotifyOne();
 }
 
 void InferenceServer::CompleteOne(Pending* pending, ServeResponse response) {
@@ -515,12 +530,12 @@ void InferenceServer::UpdateQueueDepthLocked() {
 
 void InferenceServer::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(&mutex_);
     stop_ = true;
     if (shutdown_done_) return;
     shutdown_done_ = true;
   }
-  scheduler_cv_.notify_all();
+  scheduler_cv_.NotifyAll();
   if (scheduler_.joinable()) scheduler_.join();
   // Drains batches already handed to the workers; their futures complete
   // normally.
@@ -529,7 +544,7 @@ void InferenceServer::Shutdown() {
   // break the promises.
   std::deque<Pending> leftover;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(&mutex_);
     leftover.swap(queue_);
     UpdateQueueDepthLocked();
   }

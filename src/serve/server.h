@@ -2,16 +2,16 @@
 #define TRACER_SERVE_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/tracer.h"
 #include "parallel/thread_pool.h"
 #include "serve/circuit_breaker.h"
@@ -171,27 +171,33 @@ class InferenceServer {
     uint64_t close_ns = 0;
   };
 
-  void SchedulerLoop();
+  void SchedulerLoop() TRACER_EXCLUDES(mutex_);
   /// Completes queued requests whose deadline has passed. Runs under
   /// `mutex_`; fulfilled promises are handed back for completion outside
   /// the lock.
-  void CollectExpiredLocked(uint64_t now_ns, std::vector<Pending>* out);
-  void RunBatch(const std::shared_ptr<BatchWork>& work);
+  void CollectExpiredLocked(uint64_t now_ns, std::vector<Pending>* out)
+      TRACER_REQUIRES(mutex_);
+  void RunBatch(const std::shared_ptr<BatchWork>& work)
+      TRACER_EXCLUDES(mutex_);
   /// The circuit breaker owned by the calling worker thread (assigned on
   /// first use; pool threads live exactly as long as the server).
   CircuitBreaker& BreakerForThisThread();
-  void CompleteOne(Pending* pending, ServeResponse response);
-  void UpdateQueueDepthLocked();
+  /// Fulfils one promise. Completes user-visible futures — callers must
+  /// NOT hold `mutex_` (a continuation attached to the future would run
+  /// under the server's admission lock).
+  void CompleteOne(Pending* pending, ServeResponse response)
+      TRACER_EXCLUDES(mutex_);
+  void UpdateQueueDepthLocked() TRACER_REQUIRES(mutex_);
 
   ModelRegistry* const registry_;
   const ServeOptions options_;
 
-  std::mutex mutex_;
-  std::condition_variable scheduler_cv_;
-  std::deque<Pending> queue_;
-  bool stop_ = false;
-  bool shutdown_done_ = false;
-  int in_flight_batches_ = 0;
+  common::Mutex mutex_;
+  common::CondVar scheduler_cv_;
+  std::deque<Pending> queue_ TRACER_GUARDED_BY(mutex_);
+  bool stop_ TRACER_GUARDED_BY(mutex_) = false;
+  bool shutdown_done_ TRACER_GUARDED_BY(mutex_) = false;
+  int in_flight_batches_ TRACER_GUARDED_BY(mutex_) = 0;
 
   std::atomic<int64_t> accepted_{0};
   std::atomic<int64_t> shed_{0};

@@ -1,0 +1,11 @@
+// Fixture registry for A4: "fx.used" is consumed by a4_fault_use.cc;
+// "fx.unused" is registered but never used, which is itself the A4
+// finding this file carries. Not built; scanned by --self-test.
+#ifndef FX_FAULT_POINTS_H_
+#define FX_FAULT_POINTS_H_
+
+#define FX_FAULT_POINT_LIST(X)                        \
+  X("fx.used", "consumed by a4_fault_use.cc")         \
+  X("fx.unused", "A4: registered but never injected")
+
+#endif  // FX_FAULT_POINTS_H_

@@ -1,0 +1,14 @@
+// Fixture: one half of the A3 include cycle a.h <-> b.h.
+// Not built; scanned by tools/analyze.py --self-test.
+#ifndef FX_A_H_
+#define FX_A_H_
+
+#include "fx/b.h"
+
+namespace fx {
+struct A {
+  B* peer;
+};
+}  // namespace fx
+
+#endif  // FX_A_H_

@@ -1,0 +1,11 @@
+// Fixture: violates A1 (raw std:: synchronization primitive outside
+// common/mutex.h). Not built; scanned by tools/analyze.py --self-test.
+#include <mutex>
+
+namespace fx {
+
+std::mutex state_mutex;  // A1: should be common::Mutex
+
+int guarded_value = 0;
+
+}  // namespace fx

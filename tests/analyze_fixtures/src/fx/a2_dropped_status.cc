@@ -1,0 +1,19 @@
+// Fixture: violates A2 twice (bare dropped Status, (void)-cast Status).
+// Also shows the three accepted forms, which must NOT be flagged.
+// Not built; scanned by tools/analyze.py --self-test.
+#include "fx/fx_status.h"
+
+namespace fx {
+
+void Caller() {
+  DoThing();        // A2: dropped result of a Status-returning call
+  (void)DoThing();  // A2: invisible drop; must be TRACER_IGNORE_STATUS
+
+  const Status consumed = DoThing();   // ok: assigned
+  if (!DoThing().ok()) {               // ok: examined
+    return;
+  }
+  TRACER_IGNORE_STATUS(DoThing());     // ok: auditable explicit drop
+}
+
+}  // namespace fx

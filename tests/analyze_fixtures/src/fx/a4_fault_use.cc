@@ -1,0 +1,12 @@
+// Fixture: violates A4 by injecting at a fault point that the registry
+// (src/fault/fault_points.h of this fixture tree) does not list.
+// Not built; scanned by tools/analyze.py --self-test.
+
+namespace fx {
+
+void Op() {
+  TRACER_FAULT_POINT("fx.used");     // ok: registered
+  TRACER_FAULT_POINT("fx.unknown");  // A4: not in fault_points.h
+}
+
+}  // namespace fx

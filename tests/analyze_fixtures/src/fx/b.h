@@ -1,0 +1,15 @@
+// Fixture: the other half of the A3 include cycle a.h <-> b.h. The
+// analyzer attributes the cycle to this file, whose include edge closes
+// it. Not built; scanned by tools/analyze.py --self-test.
+#ifndef FX_B_H_
+#define FX_B_H_
+
+#include "fx/a.h"
+
+namespace fx {
+struct B {
+  A* peer;
+};
+}  // namespace fx
+
+#endif  // FX_B_H_

@@ -1,0 +1,14 @@
+// Fixture support header: declares the Status-returning function the A2
+// fixtures call. Not built; scanned by tools/analyze.py --self-test.
+#ifndef FX_STATUS_H_
+#define FX_STATUS_H_
+
+namespace fx {
+
+class Status;
+
+Status DoThing();
+
+}  // namespace fx
+
+#endif  // FX_STATUS_H_

@@ -1,0 +1,31 @@
+// Control for the negative-compile gate: the same guarded access as
+// thread_safety_violation.cc, but correctly locked — MUST compile under
+// clang with -Werror=thread-safety. Proves a try_compile failure of the
+// violation fixture means "the analysis rejected it", not "the fixture's
+// includes or flags are broken".
+//
+// Compiled by try_compile only — never part of the build.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    tracer::common::MutexLock lock(&mutex_);
+    balance_ += amount;
+  }
+
+ private:
+  tracer::common::Mutex mutex_;
+  int balance_ TRACER_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  return 0;
+}

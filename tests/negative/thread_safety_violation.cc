@@ -1,0 +1,31 @@
+// Negative-compile fixture: MUST NOT compile under clang with
+// -Werror=thread-safety. Reading and writing a TRACER_GUARDED_BY member
+// without holding its mutex is exactly the bug class the PR-6 annotation
+// layer exists to reject; if this file ever compiles under the analysis,
+// the annotations have been hollowed out (e.g. the shim no-op'd under
+// clang) and the configure-time gate in the top-level CMakeLists fails.
+//
+// Compiled by try_compile only — never part of the build.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    balance_ += amount;  // BUG: mutex_ not held
+  }
+
+ private:
+  tracer::common::Mutex mutex_;
+  int balance_ TRACER_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  return 0;
+}

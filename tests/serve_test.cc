@@ -23,6 +23,7 @@
 #include <gtest/gtest.h>
 
 #include "autograd/variable.h"
+#include "common/mutex.h"
 #include "common/rng.h"
 #include "core/titv.h"
 #include "core/tracer.h"
@@ -361,7 +362,7 @@ TEST(InferenceServerTest, SaturationShedsWithUnavailable) {
   constexpr int kThreads = 4;
   const int per_thread = 50 * StressMultiplier();
   std::vector<std::thread> producers;
-  std::mutex futures_mutex;
+  common::Mutex futures_mutex;
   std::vector<std::future<ServeResponse>> futures;
   for (int t = 0; t < kThreads; ++t) {
     producers.emplace_back([&, t] {
@@ -370,7 +371,7 @@ TEST(InferenceServerTest, SaturationShedsWithUnavailable) {
         ServeRequest request;
         request.windows = RandomWindows(12, config.input_dim, &rng);
         auto future = server.Submit(std::move(request));
-        std::lock_guard<std::mutex> lock(futures_mutex);
+        common::MutexLock lock(&futures_mutex);
         futures.push_back(std::move(future));
       }
     });

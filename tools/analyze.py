@@ -1,0 +1,502 @@
+#!/usr/bin/env python3
+"""Compile-commands-driven static analyzer for the TRACER codebase.
+
+Deeper, whole-repo companion to tools/lint.py: where lint.py checks one
+file at a time, this tool builds cross-file state (an include graph, the
+fault-point and metric-name registries, the set of Status-returning
+functions) and enforces the concurrency / error-handling invariants that
+PR 6 introduced:
+
+  A1 no-raw-sync-primitive   std:: synchronization vocabulary (mutex,
+                             lock_guard, unique_lock, condition_variable,
+                             ...) may appear in exactly one file under
+                             src/: common/mutex.h, the annotated wrapper
+                             layer. Everything else must use common::Mutex
+                             / MutexLock / CondVar so Clang Thread Safety
+                             Analysis sees every lock in the tree.
+  A2 unchecked-status        A call to a Status-returning function must
+                             consume the result. A bare statement is a
+                             finding; so is a `(void)` cast, which would
+                             silently defeat [[nodiscard]] -- intentional
+                             drops must use TRACER_IGNORE_STATUS(expr) so
+                             they stay greppable and countable. Covers
+                             examples/*.cpp, which lint.py does not walk.
+  A3 include-cycle           The quoted-include graph across src/ must be
+                             acyclic. A header cycle means neither file
+                             can be understood (or compiled) first.
+  A4 registry-consistency    Fault points: every TRACER_FAULT_POINT("p")
+                             names an entry of src/fault/fault_points.h
+                             AND every registered entry is used somewhere
+                             under src/ (a dead entry is a stale contract).
+                             Metric names: each literal passed to
+                             GetOrCreate{Counter,Gauge,Histogram} under
+                             src/ is registered at exactly one call site
+                             (the repo caches handles in function-local
+                             statics; a second site for the same name is a
+                             copy/paste fork of that cache).
+
+Engine: when python bindings for libclang are importable
+(`clang.cindex`) and --compile-commands points at a compile_commands.json
+(exported by the top-level CMakeLists via CMAKE_EXPORT_COMPILE_COMMANDS),
+A1 and A3 run over real token streams / include records of each
+translation unit. Otherwise every rule runs on the comment-stripped
+token fallback below -- the tool never silently skips: `ctest -R analyze`
+is green only when the rules actually ran.
+
+Usage:
+  tools/analyze.py --root <repo-root> [--compile-commands <path>]
+  tools/analyze.py --self-test          # fixture corpus round-trip
+
+--self-test runs the analyzer over tests/analyze_fixtures/ (a miniature
+repo tree in which every file violates exactly one rule) and verifies the
+finding set matches the expected list exactly -- both directions: a missed
+violation and a spurious finding both fail. This keeps the analyzer itself
+honest on every ctest run, on every machine, with or without libclang.
+
+Exit status: non-zero when any finding is reported (or the self-test
+mismatches). Findings print as `path:line: [rule] message`.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from lint import (  # noqa: E402
+    line_of,
+    read_file,
+    strip_comments_and_strings,
+)
+
+# Directories the token engine walks, per rule family. A1/A3 are src-only
+# invariants; A2 spans every C++ file we build, including examples/*.cpp.
+SRC_EXTENSIONS = (".cc", ".h")
+ALL_EXTENSIONS = (".cc", ".h", ".cpp")
+A2_DIRS = ("src", "tests", "bench", "examples")
+
+# The fixture corpus is itself full of violations; real-tree walks must
+# never descend into it.
+FIXTURE_DIR = os.path.join("tests", "analyze_fixtures")
+
+# std:: synchronization vocabulary banned outside common/mutex.h (A1).
+RAW_SYNC_RE = re.compile(
+    r"std\s*::\s*("
+    r"mutex|recursive_mutex|timed_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|"
+    r"condition_variable|condition_variable_any|"
+    r"lock_guard|unique_lock|scoped_lock|shared_lock"
+    r")(?![\w_])")
+A1_ALLOWLIST = (os.path.join("src", "common", "mutex.h"),)
+
+METRIC_FACTORY_RE = re.compile(
+    r"GetOrCreate(Counter|Gauge|Histogram)\s*\(")
+STRING_LITERAL_RE = re.compile(r'"([^"\\]*(?:\\.[^"\\]*)*)"')
+METRIC_NAME_RE = re.compile(r"^[A-Za-z_][\w.]*$")
+FAULT_POINT_USE_RE = re.compile(r'TRACER_FAULT_POINT\s*\(\s*"([^"]+)"\s*\)')
+FAULT_POINT_ENTRY_RE = re.compile(r'X\s*\(\s*"([^"]+)"')
+INCLUDE_RE = re.compile(r'#\s*include\s*"([^"]+)"')
+
+
+class Findings:
+    def __init__(self, root):
+        self.root = root
+        self.items = []
+
+    def add(self, path, line, rule, message):
+        rel = os.path.relpath(path, self.root).replace(os.sep, "/")
+        self.items.append((rel, line, rule, message))
+
+
+def walk_files(root, tops, extensions):
+    fixture_abs = os.path.join(root, FIXTURE_DIR)
+    for top in tops:
+        base = os.path.join(root, top)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, dirnames, filenames in os.walk(base):
+            dirnames.sort()  # deterministic order on every filesystem
+            if os.path.abspath(dirpath).startswith(
+                    os.path.abspath(fixture_abs)):
+                dirnames[:] = []
+                continue
+            for name in sorted(filenames):
+                if name.endswith(extensions):
+                    yield os.path.join(dirpath, name)
+
+
+def matching_paren_span(text, open_pos):
+    """Returns the index just past the `)` matching the `(` at open_pos,
+    or len(text) when unbalanced (truncated file)."""
+    depth = 0
+    for i in range(open_pos, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+# --------------------------------------------------------------------------
+# A1: raw std:: synchronization primitives outside common/mutex.h.
+# --------------------------------------------------------------------------
+
+def check_a1(root, findings, engine_notes):
+    checked = 0
+    for path in walk_files(root, ("src",), SRC_EXTENSIONS):
+        rel = os.path.relpath(path, root)
+        if rel in A1_ALLOWLIST:
+            continue
+        checked += 1
+        text = strip_comments_and_strings(read_file(path))
+        for match in RAW_SYNC_RE.finditer(text):
+            findings.add(
+                path, line_of(text, match.start()), "A1",
+                "raw std::%s; use common::Mutex/MutexLock/CondVar "
+                "(common/mutex.h) so thread-safety analysis sees this lock"
+                % match.group(1))
+    engine_notes.append("A1: %d src files (token engine)" % checked)
+
+
+def check_a1_libclang(root, findings, engine_notes, index, compdb_entries):
+    """AST-token A1 over the translation units of compile_commands.json:
+    immune to macro tricks and string-adjacent false positives. Headers
+    are covered through the TUs that include them."""
+    import clang.cindex as ci
+    seen = set()  # (rel, line) pairs, deduped across TUs sharing headers
+    src_prefix = os.path.join(root, "src") + os.sep
+    allow = {os.path.join(root, rel) for rel in A1_ALLOWLIST}
+    n_tus = 0
+    for entry in compdb_entries:
+        source = os.path.join(entry.get("directory", root), entry["file"])
+        source = os.path.normpath(source)
+        if not source.startswith(src_prefix):
+            continue
+        args = [a for a in entry["command"].split()[1:]
+                if a != entry["file"] and not a.endswith(".o") and a != "-o"
+                and a != "-c"]
+        try:
+            tu = index.parse(source, args=args)
+        except ci.TranslationUnitLoadError:
+            continue
+        n_tus += 1
+        tokens = list(tu.get_tokens(extent=tu.cursor.extent))
+        for i, tok in enumerate(tokens):
+            if tok.spelling != "std" or i + 2 >= len(tokens):
+                continue
+            if tokens[i + 1].spelling != "::":
+                continue
+            name = tokens[i + 2].spelling
+            if not RAW_SYNC_RE.match("std::" + name):
+                continue
+            loc = tokens[i + 2].location
+            file_path = os.path.normpath(str(loc.file))
+            if not file_path.startswith(src_prefix) or file_path in allow:
+                continue
+            key = (os.path.relpath(file_path, root), loc.line)
+            if key in seen:
+                continue
+            seen.add(key)
+            findings.add(file_path, loc.line, "A1",
+                         "raw std::%s; use common::Mutex/MutexLock/CondVar "
+                         "(common/mutex.h)" % name)
+    engine_notes.append("A1: %d translation units (libclang engine)" % n_tus)
+
+
+# --------------------------------------------------------------------------
+# A2: dropped Status results.
+# --------------------------------------------------------------------------
+
+def find_status_functions(root):
+    """Names declared to return Status in project headers (mirrors
+    lint.find_status_functions but walks .cpp-bearing dirs too and skips
+    the fixture corpus)."""
+    names = set()
+    decl = re.compile(r"(?:^|[\s;{}])Status\s+([A-Za-z_]\w*)\s*\(")
+    for path in walk_files(root, A2_DIRS, (".h",)):
+        text = strip_comments_and_strings(read_file(path))
+        for match in decl.finditer(text):
+            names.add(match.group(1))
+    names -= {"OK", "InvalidArgument", "NotFound", "IOError", "OutOfRange",
+              "FailedPrecondition", "Internal", "Unavailable",
+              "DeadlineExceeded", "DataLoss"}
+    return names
+
+
+def check_a2(root, findings, engine_notes):
+    status_functions = find_status_functions(root)
+    if not status_functions:
+        engine_notes.append("A2: no Status-returning functions found")
+        return
+    names = "|".join(sorted(status_functions))
+    call = r"(?:[A-Za-z_]\w*\s*(?:::|\.|->)\s*)*(%s)\s*\(" % names
+    # Statement position: previous token boundary is ; { or }.
+    bare = re.compile(r"(?<=[;{}])\s*" + call)
+    # (void) suppresses [[nodiscard]] without leaving an auditable mark.
+    void_cast = re.compile(r"\(\s*void\s*\)\s*" + call)
+    checked = 0
+    for path in walk_files(root, A2_DIRS, ALL_EXTENSIONS):
+        checked += 1
+        text = strip_comments_and_strings(read_file(path))
+        for match in bare.finditer(text):
+            findings.add(
+                path, line_of(text, match.start(1)), "A2",
+                "result of Status-returning %s() is dropped; consume it or "
+                "wrap the call in TRACER_IGNORE_STATUS" % match.group(1))
+        for match in void_cast.finditer(text):
+            findings.add(
+                path, line_of(text, match.start(1)), "A2",
+                "(void)-cast discards %s()'s Status invisibly; use "
+                "TRACER_IGNORE_STATUS so the drop stays auditable"
+                % match.group(1))
+    engine_notes.append(
+        "A2: %d files, %d Status-returning functions"
+        % (checked, len(status_functions)))
+
+
+# --------------------------------------------------------------------------
+# A3: include cycles across src/.
+# --------------------------------------------------------------------------
+
+def build_include_graph(root):
+    """Edges between src/-relative header paths via quoted includes.
+    Includes that do not resolve to a file under src/ (bench/tests
+    helpers, missing files) are ignored -- other rules own those."""
+    graph = {}
+    src = os.path.join(root, "src")
+    for path in walk_files(root, ("src",), ALL_EXTENSIONS):
+        rel = os.path.relpath(path, src).replace(os.sep, "/")
+        text = strip_comments_and_strings(read_file(path), keep_strings=True)
+        edges = []
+        for match in INCLUDE_RE.finditer(text):
+            target = match.group(1)
+            if os.path.isfile(os.path.join(src, target)):
+                edges.append((target, line_of(text, match.start())))
+        graph[rel] = edges
+    return graph
+
+
+def check_a3(root, findings, engine_notes):
+    graph = build_include_graph(root)
+    # Iterative DFS with colors; report each cycle once, at the edge that
+    # closes it, as the full path so the fix is obvious.
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in graph}
+    reported = set()
+
+    def dfs(start):
+        stack = [(start, iter(graph.get(start, ())))]
+        on_path = [start]
+        color[start] = GRAY
+        while stack:
+            node, edge_iter = stack[-1]
+            advanced = False
+            for target, line in edge_iter:
+                state = color.get(target, BLACK)
+                if state == GRAY:
+                    cycle_start = on_path.index(target)
+                    cycle = tuple(sorted(on_path[cycle_start:]))
+                    if cycle not in reported:
+                        reported.add(cycle)
+                        findings.add(
+                            os.path.join(root, "src", node), line, "A3",
+                            "include cycle: %s -> %s"
+                            % (" -> ".join(on_path[cycle_start:]), target))
+                elif state == WHITE:
+                    color[target] = GRAY
+                    stack.append((target, iter(graph.get(target, ()))))
+                    on_path.append(target)
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                stack.pop()
+                on_path.pop()
+
+    for node in sorted(graph):
+        if color[node] == WHITE:
+            dfs(node)
+    edge_count = sum(len(edges) for edges in graph.values())
+    engine_notes.append(
+        "A3: %d nodes, %d edges, %d cycle(s)"
+        % (len(graph), edge_count, len(reported)))
+
+
+# --------------------------------------------------------------------------
+# A4: fault-point and metric-name registry consistency.
+# --------------------------------------------------------------------------
+
+def registered_fault_points(root):
+    path = os.path.join(root, "src", "fault", "fault_points.h")
+    if not os.path.isfile(path):
+        return {}, path
+    text = strip_comments_and_strings(read_file(path), keep_strings=True)
+    return {m.group(1): line_of(text, m.start())
+            for m in FAULT_POINT_ENTRY_RE.finditer(text)}, path
+
+
+def check_a4(root, findings, engine_notes):
+    registered, registry_path = registered_fault_points(root)
+
+    # Fault-point uses, both directions.
+    used = set()
+    for path in walk_files(root, A2_DIRS, ALL_EXTENSIONS):
+        if path == registry_path:
+            continue
+        text = strip_comments_and_strings(read_file(path), keep_strings=True)
+        for match in FAULT_POINT_USE_RE.finditer(text):
+            name = match.group(1)
+            used.add(name)
+            if name not in registered:
+                findings.add(
+                    path, line_of(text, match.start()), "A4",
+                    'fault point "%s" is not registered in '
+                    "src/fault/fault_points.h" % name)
+    for name, line in sorted(registered.items()):
+        if name not in used:
+            findings.add(
+                registry_path, line, "A4",
+                'registered fault point "%s" is never used; remove the '
+                "entry or wire up the injection site" % name)
+
+    # Metric registration sites under src/ only: tests/bench register
+    # scratch metric names at will.
+    sites = {}
+    for path in walk_files(root, ("src",), ALL_EXTENSIONS):
+        text = strip_comments_and_strings(read_file(path), keep_strings=True)
+        for match in METRIC_FACTORY_RE.finditer(text):
+            open_pos = text.find("(", match.end() - 1)
+            span_end = matching_paren_span(text, open_pos)
+            for lit in STRING_LITERAL_RE.finditer(text, open_pos, span_end):
+                name = lit.group(1)
+                if METRIC_NAME_RE.match(name):
+                    sites.setdefault(name, []).append(
+                        (path, line_of(text, lit.start())))
+    dup = 0
+    for name, locations in sorted(sites.items()):
+        if len(locations) > 1:
+            dup += 1
+            first = "%s:%d" % (os.path.relpath(locations[0][0], root),
+                               locations[0][1])
+            for path, line in locations[1:]:
+                findings.add(
+                    path, line, "A4",
+                    'metric "%s" is registered at multiple call sites '
+                    "(first: %s); cache one handle and share it"
+                    % (name, first))
+    engine_notes.append(
+        "A4: %d fault points, %d metric names, %d duplicate(s)"
+        % (len(registered), len(sites), dup))
+
+
+# --------------------------------------------------------------------------
+# Driver.
+# --------------------------------------------------------------------------
+
+def load_libclang(compile_commands):
+    """Returns (index, entries) when the libclang engine is usable, else
+    None. Never raises: absence of clang.cindex downgrades to the token
+    engine, it does not skip the analysis."""
+    if not compile_commands or not os.path.isfile(compile_commands):
+        return None
+    try:
+        import clang.cindex as ci
+        index = ci.Index.create()
+    except Exception:
+        return None
+    try:
+        with open(compile_commands, encoding="utf-8") as handle:
+            entries = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    return index, entries
+
+
+def run_analysis(root, compile_commands=None, force_tokens=False):
+    findings = Findings(root)
+    engine_notes = []
+    libclang = None if force_tokens else load_libclang(compile_commands)
+    if libclang is not None:
+        index, entries = libclang
+        check_a1_libclang(root, findings, engine_notes, index, entries)
+    else:
+        check_a1(root, findings, engine_notes)
+    check_a2(root, findings, engine_notes)
+    check_a3(root, findings, engine_notes)
+    check_a4(root, findings, engine_notes)
+    return findings, engine_notes
+
+
+# Every fixture file violates exactly one rule; this is the ground truth
+# the self-test compares against (path, rule) -- line numbers are left out
+# so editing a fixture comment does not break the harness.
+SELF_TEST_EXPECTED = sorted([
+    ("src/fx/a1_raw_mutex.cc", "A1"),
+    ("src/fx/a2_dropped_status.cc", "A2"),   # bare statement
+    ("src/fx/a2_dropped_status.cc", "A2"),   # (void) cast
+    ("src/fx/b.h", "A3"),                    # a.h <-> b.h cycle, reported
+                                             # at the edge that closes it
+    ("src/fx/a4_fault_use.cc", "A4"),        # unknown point used
+    ("src/fault/fault_points.h", "A4"),      # registered point unused
+    ("src/fx/a4_metric_two.cc", "A4"),       # duplicate metric name
+])
+
+
+def self_test(fixture_root):
+    findings, _ = run_analysis(fixture_root, force_tokens=True)
+    got = sorted((rel, rule) for rel, _, rule, _ in findings.items)
+    expected = SELF_TEST_EXPECTED
+    if got == expected:
+        print("analyze self-test ok: %d expected findings reproduced"
+              % len(expected))
+        return 0
+    print("analyze self-test FAILED")
+    for item in sorted(set(expected) - set(got)):
+        print("  missing: %s [%s]" % item)
+    for item in sorted(set(got) - set(expected)):
+        print("  spurious: %s [%s]" % item)
+    for rel, line, rule, message in sorted(findings.items):
+        print("  raw: %s:%d: [%s] %s" % (rel, line, rule, message))
+    return 1
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    default_root = os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    parser.add_argument("--root", default=default_root,
+                        help="repository root (default: parent of tools/)")
+    parser.add_argument("--compile-commands", default=None,
+                        help="path to compile_commands.json; enables the "
+                        "libclang engine for A1 when clang.cindex imports")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run against tests/analyze_fixtures and "
+                        "verify the exact expected finding set")
+    args = parser.parse_args()
+    root = os.path.abspath(args.root)
+
+    if args.self_test:
+        return self_test(os.path.join(root, FIXTURE_DIR))
+
+    if not os.path.isdir(os.path.join(root, "src")):
+        print("analyze: %s does not look like the repo root (no src/)"
+              % root)
+        return 2
+
+    findings, engine_notes = run_analysis(root, args.compile_commands)
+    for rel, line, rule, message in sorted(findings.items):
+        print("%s:%d: [%s] %s" % (rel, line, rule, message))
+    if findings.items:
+        print("analyze: %d finding(s)" % len(findings.items))
+        return 1
+    print("analyze ok: " + "; ".join(engine_notes))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

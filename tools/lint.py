@@ -47,6 +47,10 @@ import sys
 CPP_DIRS = ("src", "tests", "bench", "examples")
 CPP_EXTENSIONS = (".cc", ".h")
 
+# tools/analyze.py's fixture corpus: a miniature tree whose files each
+# violate one analyzer rule on purpose. Only --self-test scans it.
+EXCLUDED_DIRS = (os.path.join("tests", "analyze_fixtures"),)
+
 # Top-level directories under src/: quoted project includes must start with
 # one of these, and <angle> includes must not.
 PROJECT_SUBDIRS_CACHE = None
@@ -131,11 +135,15 @@ def find_status_functions(root):
 
 
 def walk_cpp_files(root):
+    excluded = tuple(os.path.join(root, rel) for rel in EXCLUDED_DIRS)
     for top in CPP_DIRS:
         base = os.path.join(root, top)
         if not os.path.isdir(base):
             continue
-        for dirpath, _, filenames in os.walk(base):
+        for dirpath, dirnames, filenames in os.walk(base):
+            if os.path.abspath(dirpath).startswith(excluded):
+                dirnames[:] = []
+                continue
             for name in sorted(filenames):
                 if name.endswith(CPP_EXTENSIONS):
                     yield os.path.join(dirpath, name)
