@@ -1,0 +1,79 @@
+// Schema validator for BENCH_*.json artifacts, run by the CI bench job
+// before uploading: a bench that silently writes a malformed or truncated
+// artifact poisons the perf-trend history, so the file is gated on parsing
+// and on carrying the BenchArtifact v1 schema. Serve benches additionally
+// must label their loop mode (open vs closed) — the one config key trend
+// tooling keys on to avoid comparing the two harness families.
+//
+// Usage: artifact_check FILE.json [FILE.json ...]
+// Exit 0 when every file passes; prints one line per failure otherwise.
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tests/json_check.h"
+
+namespace {
+
+bool HasKey(const std::vector<std::string>& keys, const char* key) {
+  return std::find(keys.begin(), keys.end(), key) != keys.end();
+}
+
+bool CheckFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    std::printf("FAIL %s: cannot open\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string text = buffer.str();
+  // Artifacts end in one newline; the checker wants exactly one value.
+  while (!text.empty() && (text.back() == '\n' || text.back() == '\r')) {
+    text.pop_back();
+  }
+  if (!tracer::testutil::IsValidJson(text)) {
+    std::printf("FAIL %s: not valid JSON\n", path.c_str());
+    return false;
+  }
+  const std::vector<std::string> keys =
+      tracer::testutil::JsonObjectKeys(text);
+  for (const char* required :
+       {"schema_version", "bench", "run_id", "unix_time", "config",
+        "sections"}) {
+    if (!HasKey(keys, required)) {
+      std::printf("FAIL %s: missing top-level key \"%s\"\n", path.c_str(),
+                  required);
+      return false;
+    }
+  }
+  // Serve benches must say which side of the open/closed-loop divide their
+  // numbers came from. Cheap textual check: "config" is a flat object
+  // emitted by obs::JsonObject, so the key appears verbatim.
+  if (text.find("\"bench\":\"serve_") != std::string::npos &&
+      text.find("\"loop_mode\":") == std::string::npos) {
+    std::printf("FAIL %s: serve bench artifact lacks config.loop_mode\n",
+                path.c_str());
+    return false;
+  }
+  std::printf("OK   %s\n", path.c_str());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::printf("usage: artifact_check FILE.json [FILE.json ...]\n");
+    return 2;
+  }
+  bool all_ok = true;
+  for (int i = 1; i < argc; ++i) {
+    if (!CheckFile(argv[i])) all_ok = false;
+  }
+  return all_ok ? 0 : 1;
+}

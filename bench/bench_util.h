@@ -151,8 +151,16 @@ class BenchArtifact {
     obj.Add("wall_time_s", wall_time_s);
     obj.Add("ops_per_sec", ops_per_sec);
     obj.Add("iterations", iterations);
+    AddSectionRaw(obj.Build());
+  }
+
+  /// Appends a pre-built JSON object as a section, for harnesses whose
+  /// per-section payload goes beyond the wall-time/ops trio (e.g. the
+  /// open-loop sweep's per-stage latency percentiles). The object should
+  /// still carry a "name" key — trend tooling joins sections on it.
+  void AddSectionRaw(const std::string& json_object) {
     if (!sections_.empty()) sections_ += ",";
-    sections_ += obj.Build();
+    sections_ += json_object;
   }
 
   std::string ToJson() const {

@@ -146,6 +146,12 @@ int main() {
   }
 
   BenchArtifact artifact("serve_latency");
+  // Closed-loop: clients wait for completions before submitting again, so
+  // offered load adapts to service rate and queueing collapse is invisible
+  // by construction. serve_scale is the open-loop counterpart; the label
+  // keeps trend tooling from comparing the two as if they measured the
+  // same thing.
+  artifact.AddConfig("loop_mode", "closed");
   artifact.AddConfig("input_dim", static_cast<int64_t>(kInputDim));
   artifact.AddConfig("num_windows", static_cast<int64_t>(kNumWindows));
   artifact.AddConfig("rnn_dim", static_cast<int64_t>(config.rnn_dim));

@@ -1,0 +1,275 @@
+// Open-loop load harness for the online serving layer (src/serve) — the
+// counterpart of the closed-loop serve_latency sweep. Arrivals follow a
+// Poisson process (exponential inter-arrival times from a seeded Rng),
+// precomputed before the run and submitted on schedule regardless of how
+// fast responses come back, so offered load is independent of service rate.
+// That is the property that makes queueing collapse visible: past the knee,
+// a closed-loop client slows itself down, while this harness keeps offering
+// load and the latency curve bends upward.
+//
+// The harness first calibrates capacity with a short closed-loop burst,
+// then sweeps offered load at fixed fractions of it, reporting p50/p95/p99
+// of total latency plus the per-stage breakdown (queue-wait, batch-wait,
+// compute) from ServeResponse, and emits BENCH_serve_scale.json when
+// TRACER_BENCH_JSON is set.
+//
+// Runtime knobs: TRACER_SERVE_SCALE_MS (wall-time per load point, default
+// 400), TRACER_SERVE_SCALE_WORKERS (worker threads, default 2).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/titv.h"
+#include "obs/obs.h"
+#include "serve/model_registry.h"
+#include "serve/server.h"
+
+namespace {
+
+using tracer::bench::BenchArtifact;
+using tracer::bench::EnvInt;
+
+constexpr int kInputDim = 8;
+constexpr int kNumWindows = 7;
+
+double PercentileUs(std::vector<uint64_t>* values_ns, double q) {
+  if (values_ns->empty()) return 0.0;
+  const size_t rank =
+      static_cast<size_t>(q * static_cast<double>(values_ns->size() - 1));
+  std::nth_element(values_ns->begin(), values_ns->begin() + rank,
+                   values_ns->end());
+  return static_cast<double>((*values_ns)[rank]) / 1e3;
+}
+
+std::vector<std::vector<float>> FixedRequestWindows() {
+  tracer::Rng rng(42);
+  std::vector<std::vector<float>> windows(kNumWindows,
+                                          std::vector<float>(kInputDim));
+  for (auto& window : windows) {
+    for (float& v : window) v = static_cast<float>(rng.Uniform(0.0, 1.0));
+  }
+  return windows;
+}
+
+/// Short closed-loop burst to estimate the server's capacity (OK/s): two
+/// clients per worker keep the batcher saturated without piling a deep
+/// queue. The open-loop sweep is expressed in fractions of this estimate so
+/// the same harness lands on both sides of the knee on any machine.
+double CalibrateCapacityRps(tracer::serve::InferenceServer* server,
+                            const std::vector<std::vector<float>>& windows,
+                            int num_clients, int64_t duration_ms) {
+  const uint64_t start_ns = tracer::obs::MonotonicNowNs();
+  const uint64_t end_ns =
+      start_ns + static_cast<uint64_t>(duration_ms) * 1000000ull;
+  std::atomic<int64_t> ok{0};
+  std::vector<std::thread> fleet;
+  fleet.reserve(static_cast<size_t>(num_clients));
+  for (int c = 0; c < num_clients; ++c) {
+    fleet.emplace_back([&] {
+      while (tracer::obs::MonotonicNowNs() < end_ns) {
+        tracer::serve::ServeRequest request;
+        request.windows = windows;
+        if (server->Infer(std::move(request)).status.ok()) ok.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& client : fleet) client.join();
+  const double elapsed_s =
+      static_cast<double>(tracer::obs::MonotonicNowNs() - start_ns) / 1e9;
+  return elapsed_s > 0.0 ? static_cast<double>(ok.load()) / elapsed_s : 0.0;
+}
+
+struct PointResult {
+  double offered_rps = 0.0;
+  double achieved_rps = 0.0;
+  int64_t submitted = 0;
+  int64_t completed = 0;
+  int64_t shed = 0;
+  double p50_total_us = 0.0, p95_total_us = 0.0, p99_total_us = 0.0;
+  double p50_queue_us = 0.0, p95_queue_us = 0.0, p99_queue_us = 0.0;
+  double p50_batch_us = 0.0, p95_batch_us = 0.0, p99_batch_us = 0.0;
+  double p50_compute_us = 0.0, p95_compute_us = 0.0, p99_compute_us = 0.0;
+};
+
+PointResult RunOpenLoopPoint(tracer::serve::InferenceServer* server,
+                             const std::vector<std::vector<float>>& windows,
+                             double offered_rps, int64_t duration_ms,
+                             uint64_t seed) {
+  PointResult point;
+  point.offered_rps = offered_rps;
+
+  // Precompute the whole Poisson arrival schedule up front: nothing about
+  // submission timing may depend on completions (the open-loop contract),
+  // and drawing inter-arrival gaps during the run would jitter the offered
+  // rate under load.
+  const double horizon_s = static_cast<double>(duration_ms) / 1e3;
+  std::vector<double> arrivals_s;
+  tracer::Rng rng(seed);
+  double t = 0.0;
+  while (true) {
+    t += -std::log(1.0 - rng.Uniform()) / offered_rps;
+    if (t >= horizon_s) break;
+    arrivals_s.push_back(t);
+  }
+
+  std::vector<std::future<tracer::serve::ServeResponse>> futures;
+  futures.reserve(arrivals_s.size());
+  const auto start = std::chrono::steady_clock::now();
+  const uint64_t start_ns = tracer::obs::MonotonicNowNs();
+  for (const double arrival_s : arrivals_s) {
+    std::this_thread::sleep_until(
+        start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(arrival_s)));
+    tracer::serve::ServeRequest request;
+    request.windows = windows;
+    futures.push_back(server->Submit(std::move(request)));
+  }
+  point.submitted = static_cast<int64_t>(futures.size());
+
+  // Collect only after the submission window is over; shed/failed responses
+  // complete immediately, scored ones as the backlog drains.
+  std::vector<uint64_t> total_ns, queue_ns, batch_ns, compute_ns;
+  total_ns.reserve(futures.size());
+  for (std::future<tracer::serve::ServeResponse>& future : futures) {
+    const tracer::serve::ServeResponse response = future.get();
+    if (!response.status.ok()) {
+      ++point.shed;
+      continue;
+    }
+    ++point.completed;
+    total_ns.push_back(response.total_ns);
+    queue_ns.push_back(response.queue_ns);
+    batch_ns.push_back(response.batch_ns);
+    compute_ns.push_back(response.compute_ns);
+  }
+  const double drained_s =
+      static_cast<double>(tracer::obs::MonotonicNowNs() - start_ns) / 1e9;
+  point.achieved_rps =
+      drained_s > 0.0 ? static_cast<double>(point.completed) / drained_s : 0.0;
+  point.p50_total_us = PercentileUs(&total_ns, 0.50);
+  point.p95_total_us = PercentileUs(&total_ns, 0.95);
+  point.p99_total_us = PercentileUs(&total_ns, 0.99);
+  point.p50_queue_us = PercentileUs(&queue_ns, 0.50);
+  point.p95_queue_us = PercentileUs(&queue_ns, 0.95);
+  point.p99_queue_us = PercentileUs(&queue_ns, 0.99);
+  point.p50_batch_us = PercentileUs(&batch_ns, 0.50);
+  point.p95_batch_us = PercentileUs(&batch_ns, 0.95);
+  point.p99_batch_us = PercentileUs(&batch_ns, 0.99);
+  point.p50_compute_us = PercentileUs(&compute_ns, 0.50);
+  point.p95_compute_us = PercentileUs(&compute_ns, 0.95);
+  point.p99_compute_us = PercentileUs(&compute_ns, 0.99);
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  const int64_t duration_ms = EnvInt("TRACER_SERVE_SCALE_MS", 400);
+  const int num_workers = EnvInt("TRACER_SERVE_SCALE_WORKERS", 2);
+
+  tracer::core::TitvConfig config;
+  config.input_dim = kInputDim;
+  config.rnn_dim = 8;
+  config.film_dim = 8;
+  config.seed = 17;
+  const tracer::core::Titv model(config);
+  std::vector<std::pair<std::string, tracer::Tensor>> tensors;
+  for (const auto& [name, param] : model.NamedParameters()) {
+    tensors.emplace_back(name, param.value());
+  }
+  tracer::serve::ModelRegistry registry;
+  const tracer::Result<uint64_t> version =
+      registry.Register(config, std::move(tensors), "<memory>");
+  if (!version.ok()) {
+    std::printf("Register failed: %s\n",
+                version.status().ToString().c_str());
+    return 1;
+  }
+  const tracer::Status published = registry.Publish(version.value());
+  if (!published.ok()) {
+    std::printf("Publish failed: %s\n", published.ToString().c_str());
+    return 1;
+  }
+
+  tracer::serve::ServeOptions options;
+  options.max_batch_size = 16;
+  options.max_queue_delay_us = 1000;
+  options.num_workers = num_workers;
+  // Deep admission queue: the point of the harness is to *watch* the queue
+  // grow past the knee, not to shed the overload away.
+  options.queue_capacity = 4096;
+  tracer::serve::InferenceServer server(&registry, options);
+
+  const std::vector<std::vector<float>> windows = FixedRequestWindows();
+  const double capacity_rps = CalibrateCapacityRps(
+      &server, windows, 2 * num_workers, std::max<int64_t>(200, duration_ms / 2));
+  if (capacity_rps <= 0.0) {
+    std::printf("calibration produced no completions\n");
+    return 1;
+  }
+
+  BenchArtifact artifact("serve_scale");
+  artifact.AddConfig("loop_mode", "open");
+  artifact.AddConfig("input_dim", static_cast<int64_t>(kInputDim));
+  artifact.AddConfig("num_windows", static_cast<int64_t>(kNumWindows));
+  artifact.AddConfig("rnn_dim", static_cast<int64_t>(config.rnn_dim));
+  artifact.AddConfig("duration_ms", static_cast<int64_t>(duration_ms));
+  artifact.AddConfig("num_workers", static_cast<int64_t>(num_workers));
+  artifact.AddConfig("queue_capacity",
+                     static_cast<int64_t>(options.queue_capacity));
+  artifact.AddConfig("capacity_rps", capacity_rps);
+
+  std::printf("serve_scale: open-loop Poisson sweep, capacity ~%.0f req/s, "
+              "%lld ms per point\n\n",
+              capacity_rps, static_cast<long long>(duration_ms));
+  std::printf("%9s %10s %10s | %10s %10s %10s | %10s %10s %10s\n", "offered",
+              "req/s", "done", "p50(us)", "p95(us)", "p99(us)", "q99(us)",
+              "b99(us)", "c99(us)");
+
+  const std::vector<double> fractions = {0.2, 0.4, 0.6, 0.8, 1.0, 1.2};
+  uint64_t seed = 1234;
+  for (const double fraction : fractions) {
+    const PointResult point =
+        RunOpenLoopPoint(&server, windows, fraction * capacity_rps,
+                         duration_ms, seed++);
+    std::printf("%8.1fx %10.0f %10lld | %10.1f %10.1f %10.1f | %10.1f %10.1f "
+                "%10.1f\n",
+                fraction, point.offered_rps,
+                static_cast<long long>(point.completed), point.p50_total_us,
+                point.p95_total_us, point.p99_total_us, point.p99_queue_us,
+                point.p99_batch_us, point.p99_compute_us);
+    tracer::obs::JsonObject section;
+    section.Add("name", "offered=" + std::to_string(fraction) + "x");
+    section.Add("offered_fraction", fraction);
+    section.Add("offered_rps", point.offered_rps);
+    section.Add("achieved_rps", point.achieved_rps);
+    section.Add("submitted", point.submitted);
+    section.Add("completed", point.completed);
+    section.Add("shed", point.shed);
+    section.Add("p50_total_us", point.p50_total_us);
+    section.Add("p95_total_us", point.p95_total_us);
+    section.Add("p99_total_us", point.p99_total_us);
+    section.Add("p50_queue_us", point.p50_queue_us);
+    section.Add("p95_queue_us", point.p95_queue_us);
+    section.Add("p99_queue_us", point.p99_queue_us);
+    section.Add("p50_batch_us", point.p50_batch_us);
+    section.Add("p95_batch_us", point.p95_batch_us);
+    section.Add("p99_batch_us", point.p99_batch_us);
+    section.Add("p50_compute_us", point.p50_compute_us);
+    section.Add("p95_compute_us", point.p95_compute_us);
+    section.Add("p99_compute_us", point.p99_compute_us);
+    artifact.AddSectionRaw(section.Build());
+  }
+
+  server.Shutdown();
+  artifact.WriteIfRequested();
+  return 0;
+}

@@ -9,6 +9,7 @@
 
 #include "common/mutex.h"
 #include "obs/obs.h"
+#include "obs/trace_context.h"
 
 namespace tracer {
 
@@ -91,8 +92,19 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
     FormatTimestamp(timestamp, sizeof(timestamp));
     const char* base = std::strrchr(file, '/');
     stream_ << "[" << LevelName(level_) << " " << timestamp << " tid:"
-            << obs::ThreadId() << " "
-            << (base != nullptr ? base + 1 : file) << ":" << line << "] ";
+            << obs::ThreadId();
+    // A log line emitted under an active trace names the trace, so "why was
+    // this patient's score late" greps straight from the log to the span
+    // tree. Hex to match how trace dump tooling prints ids.
+    const uint64_t trace_id = obs::CurrentTraceContext().trace_id;
+    if (trace_id != 0) {
+      char trace_buf[32];
+      std::snprintf(trace_buf, sizeof(trace_buf), " trace:%llx",
+                    static_cast<unsigned long long>(trace_id));
+      stream_ << trace_buf;
+    }
+    stream_ << " " << (base != nullptr ? base + 1 : file) << ":" << line
+            << "] ";
   }
 }
 

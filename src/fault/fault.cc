@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "fault/fault_points.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
 
@@ -140,7 +141,12 @@ bool FaultRegistry::ShouldFail(const char* point) {
       ++rule.fired;
     }
   }
-  if (fire) RecordInjected();
+  if (fire) {
+    RecordInjected();
+    // Outside the rules lock: dumping snapshots the span ring and metric
+    // registry, which take their own locks.
+    obs::TriggerFlightDump("fault");
+  }
   return fire;
 }
 

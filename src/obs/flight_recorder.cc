@@ -1,0 +1,159 @@
+#include "obs/flight_recorder.h"
+
+#if TRACER_OBS != 0
+
+#include <cctype>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace tracer {
+namespace obs {
+
+namespace {
+
+/// Reasons become filename components; keep them boring.
+std::string SanitizeReason(const char* reason) {
+  std::string out;
+  for (const char* p = reason; *p != '\0'; ++p) {
+    const unsigned char c = static_cast<unsigned char>(*p);
+    out += (std::isalnum(c) != 0) ? *p : '_';
+  }
+  return out.empty() ? std::string("unknown") : out;
+}
+
+int64_t UnixTimeSeconds() {
+  return static_cast<int64_t>(
+      std::chrono::duration_cast<std::chrono::seconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+FlightRecorder::FlightRecorder() {
+  common::MutexLock lock(&mutex_);
+  LoadEnvLocked();
+}
+
+void FlightRecorder::LoadEnvLocked() {
+  const char* dir = std::getenv("TRACER_FLIGHT_DIR");
+  directory_ = dir != nullptr ? dir : "";
+  max_dumps_ = 8;
+  const char* max = std::getenv("TRACER_FLIGHT_MAX");
+  if (max != nullptr) {
+    const long parsed = std::strtol(max, nullptr, 10);
+    if (parsed > 0) max_dumps_ = static_cast<uint64_t>(parsed);
+  }
+  min_interval_ns_ = 500'000'000;
+}
+
+std::string FlightRecorder::Dump(const char* reason) {
+  std::string path;
+  uint64_t seq = 0;
+  {
+    common::MutexLock lock(&mutex_);
+    ++triggers_;
+    if (directory_.empty()) return "";
+    if (dumps_written_ >= max_dumps_) return "";
+    const uint64_t now_ns = MonotonicNowNs();
+    if (last_dump_ns_ != 0 && now_ns - last_dump_ns_ < min_interval_ns_) {
+      return "";
+    }
+    last_dump_ns_ = now_ns;
+    seq = dumps_written_++;
+    path = directory_ + "/flight_" + SanitizeReason(reason) + "_" +
+           std::to_string(seq) + ".jsonl";
+  }
+  // Snapshot and write outside the recorder lock: TraceSink and the metric
+  // registry have their own locks, and the file write can be slow.
+  const std::vector<SpanRecord> spans = TraceSink::Global().Snapshot();
+  std::ostringstream out;
+  JsonObject header;
+  header.Add("record", "flight_header");
+  header.Add("reason", reason);
+  header.Add("unix_time", UnixTimeSeconds());
+  header.Add("seq", static_cast<int64_t>(seq));
+  header.Add("spans_recorded",
+             static_cast<int64_t>(TraceSink::Global().recorded()));
+  header.Add("spans_dropped",
+             static_cast<int64_t>(TraceSink::Global().dropped()));
+  out << header.Build() << "\n";
+  for (const SpanRecord& s : spans) {
+    JsonObject line;
+    line.Add("record", "span");
+    line.Add("name", s.name);
+    line.Add("parent", s.parent);
+    line.Add("depth", s.depth);
+    line.Add("thread", s.thread_id);
+    line.Add("start_ns", static_cast<int64_t>(s.start_ns));
+    line.Add("dur_ns", static_cast<int64_t>(s.duration_ns));
+    line.Add("trace_id", static_cast<int64_t>(s.trace_id));
+    line.Add("span_id", static_cast<int64_t>(s.span_id));
+    line.Add("parent_span_id", static_cast<int64_t>(s.parent_span_id));
+    out << line.Build() << "\n";
+  }
+  std::istringstream metrics(MetricsRegistry::Global().ExportJsonl());
+  std::string metric_line;
+  while (std::getline(metrics, metric_line)) {
+    if (metric_line.empty()) continue;
+    // ExportJsonl lines are flat objects; tag them in place.
+    out << "{\"record\":\"metric\"," << metric_line.substr(1) << "\n";
+  }
+  std::ofstream file(path, std::ios::out | std::ios::trunc);
+  if (!file.is_open()) return "";
+  file << out.str();
+  file.close();
+  return path;
+}
+
+uint64_t FlightRecorder::triggers() const {
+  common::MutexLock lock(&mutex_);
+  return triggers_;
+}
+
+uint64_t FlightRecorder::dumps_written() const {
+  common::MutexLock lock(&mutex_);
+  return dumps_written_;
+}
+
+void FlightRecorder::SetDirectoryForTest(const std::string& dir) {
+  common::MutexLock lock(&mutex_);
+  directory_ = dir;
+}
+
+void FlightRecorder::SetLimitsForTest(uint64_t max_dumps,
+                                      uint64_t min_interval_ns) {
+  common::MutexLock lock(&mutex_);
+  max_dumps_ = max_dumps;
+  min_interval_ns_ = min_interval_ns;
+}
+
+void FlightRecorder::ResetForTest() {
+  common::MutexLock lock(&mutex_);
+  LoadEnvLocked();
+  last_dump_ns_ = 0;
+  triggers_ = 0;
+  dumps_written_ = 0;
+}
+
+void TriggerFlightDump(const char* reason) {
+  if (!Enabled()) return;
+  FlightRecorder::Global().Dump(reason);
+}
+
+}  // namespace obs
+}  // namespace tracer
+
+#endif  // TRACER_OBS != 0

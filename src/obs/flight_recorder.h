@@ -1,0 +1,82 @@
+#ifndef TRACER_OBS_FLIGHT_RECORDER_H_
+#define TRACER_OBS_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "obs/obs.h"
+
+namespace tracer {
+namespace obs {
+
+#if TRACER_OBS == 0
+
+inline void TriggerFlightDump(const char*) {}
+
+#else
+
+/// Post-incident evidence capture: when something goes wrong (a circuit
+/// breaker opens, a fault point trips), snapshot the recent span ring and
+/// every registered metric to a JSONL file so the failure ships with its
+/// own diagnosis material — essential for chaos CI, where the process that
+/// failed is gone by the time a human looks.
+///
+/// Disabled unless the TRACER_FLIGHT_DIR environment variable names a
+/// writable directory. Bounded by design: at most TRACER_FLIGHT_MAX dumps
+/// per process (default 8) and at most one dump per 500 ms, so a flapping
+/// breaker cannot fill a disk.
+///
+/// Dump format (one JSON object per line):
+///   {"record":"flight_header","reason":...,"unix_time":...,"seq":...,
+///    "spans_recorded":...,"spans_dropped":...}
+///   {"record":"span","name":...,...}        — one per ring entry
+///   {"record":"metric","metric":...,...}    — one per registered metric
+class FlightRecorder {
+ public:
+  static FlightRecorder& Global();
+
+  /// Writes a dump if the recorder is enabled and within its rate/count
+  /// budget. Returns the path written, or "" when suppressed. Thread-safe;
+  /// concurrent triggers serialize and the budget applies across them.
+  std::string Dump(const char* reason) TRACER_EXCLUDES(mutex_);
+
+  /// Dumps attempted (including suppressed) / actually written.
+  uint64_t triggers() const TRACER_EXCLUDES(mutex_);
+  uint64_t dumps_written() const TRACER_EXCLUDES(mutex_);
+
+  /// Test hooks: override the directory (empty disables) and the bounds.
+  /// ResetForTest restores the environment-derived configuration and clears
+  /// all counters so tests are order-independent.
+  void SetDirectoryForTest(const std::string& dir) TRACER_EXCLUDES(mutex_);
+  void SetLimitsForTest(uint64_t max_dumps, uint64_t min_interval_ns)
+      TRACER_EXCLUDES(mutex_);
+  void ResetForTest() TRACER_EXCLUDES(mutex_);
+
+ private:
+  FlightRecorder();
+  /// (Re)reads TRACER_FLIGHT_DIR / TRACER_FLIGHT_MAX and the defaults.
+  void LoadEnvLocked() TRACER_REQUIRES(mutex_);
+
+  mutable common::Mutex mutex_;
+  std::string directory_ TRACER_GUARDED_BY(mutex_);
+  uint64_t max_dumps_ TRACER_GUARDED_BY(mutex_) = 8;
+  uint64_t min_interval_ns_ TRACER_GUARDED_BY(mutex_) = 500'000'000;
+  uint64_t last_dump_ns_ TRACER_GUARDED_BY(mutex_) = 0;
+  uint64_t triggers_ TRACER_GUARDED_BY(mutex_) = 0;
+  uint64_t dumps_written_ TRACER_GUARDED_BY(mutex_) = 0;
+};
+
+/// Fire-and-forget trigger used at incident sites (fault injection, breaker
+/// open). Never throws, never blocks on anything but the dump file write;
+/// does nothing when observability is runtime-disabled or no directory is
+/// configured.
+void TriggerFlightDump(const char* reason);
+
+#endif  // TRACER_OBS == 0
+
+}  // namespace obs
+}  // namespace tracer
+
+#endif  // TRACER_OBS_FLIGHT_RECORDER_H_

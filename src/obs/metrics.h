@@ -74,6 +74,60 @@ class Histogram {
   std::atomic<double> sum_{0.0};
 };
 
+/// Log-bucketed histogram for latency-style values with unknown range: 16
+/// geometric buckets per decade spanning [1, 1e12) (1 ns … ~17 min when fed
+/// nanoseconds), plus an underflow bucket (< 1, including negatives) and an
+/// overflow bucket. No hand-picked bounds, and any quantile is off by at
+/// most one bucket width (~15% relative) — accurate enough for p99 tail
+/// tracking where the fixed-bound Histogram is useless. Each bucket keeps
+/// one *exemplar* id (last sample's trace id) so a p99 bucket links back to
+/// a concrete trace. Updates are single relaxed atomics.
+class LogHistogram {
+ public:
+  static constexpr int kBucketsPerDecade = 16;
+  static constexpr int kDecades = 12;
+  /// Interior buckets + underflow (index 0) + overflow (last index).
+  static constexpr int kBucketCount = kBucketsPerDecade * kDecades + 2;
+
+  struct Bucket {
+    double lower = 0.0;      // inclusive; 0 for the underflow bucket
+    double upper = 0.0;      // exclusive; +Inf for the overflow bucket
+    int64_t count = 0;
+    uint64_t exemplar = 0;   // last nonzero exemplar id observed, 0 if none
+  };
+
+  LogHistogram();
+
+  /// Records `value`; `exemplar_id` (usually a trace id, 0 = none) replaces
+  /// the containing bucket's exemplar when nonzero.
+  void Observe(double value, uint64_t exemplar_id = 0);
+
+  /// Streaming quantile estimate for q in [0,1]: the geometric midpoint of
+  /// the bucket holding the q-th sample. Returns 0 when empty.
+  double Quantile(double q) const;
+
+  /// Exemplar id of the bucket that `value` would land in (0 if none) —
+  /// how a quantile estimate is tied back to a concrete trace.
+  uint64_t ExemplarNear(double value) const;
+
+  /// Buckets with nonzero counts, in ascending value order.
+  std::vector<Bucket> NonzeroBuckets() const;
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  void Reset();
+
+ private:
+  static int BucketIndex(double value);
+  static double BucketLower(int index);
+  static double BucketUpper(int index);
+
+  std::vector<std::atomic<int64_t>> buckets_;
+  std::vector<std::atomic<uint64_t>> exemplars_;
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
 /// Name → metric registry. GetOrCreate* return stable pointers that remain
 /// valid for the process lifetime; creation is mutex-serialized, updates via
 /// the returned handles are lock-free. A metric name maps to exactly one
@@ -90,6 +144,8 @@ class MetricsRegistry {
   Histogram* GetOrCreateHistogram(const std::string& name,
                                   std::vector<double> bounds)
       TRACER_EXCLUDES(mutex_);
+  LogHistogram* GetOrCreateLogHistogram(const std::string& name)
+      TRACER_EXCLUDES(mutex_);
 
   /// Prometheus text exposition format (one `# TYPE` line per metric).
   std::string ExportPrometheus() const TRACER_EXCLUDES(mutex_);
@@ -102,12 +158,13 @@ class MetricsRegistry {
   void ResetForTest() TRACER_EXCLUDES(mutex_);
 
  private:
-  enum class Kind { kCounter, kGauge, kHistogram };
+  enum class Kind { kCounter, kGauge, kHistogram, kLogHistogram };
   struct Entry {
     Kind kind;
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
+    std::unique_ptr<LogHistogram> log_histogram;
   };
 
   mutable common::Mutex mutex_;

@@ -8,6 +8,8 @@
 namespace tracer {
 namespace obs {
 
+#if TRACER_OBS != 0
+
 namespace {
 
 bool ParseEnvEnabled() {
@@ -23,21 +25,13 @@ std::atomic<bool>& EnabledFlag() {
 
 }  // namespace
 
-bool Enabled() {
-#if TRACER_OBS == 0
-  return false;
-#else
-  return EnabledFlag().load(std::memory_order_relaxed);
-#endif
-}
+bool Enabled() { return EnabledFlag().load(std::memory_order_relaxed); }
 
 void SetEnabled(bool enabled) {
-#if TRACER_OBS == 0
-  (void)enabled;
-#else
   EnabledFlag().store(enabled, std::memory_order_relaxed);
-#endif
 }
+
+#endif  // TRACER_OBS != 0
 
 uint64_t MonotonicNowNs() {
   return static_cast<uint64_t>(

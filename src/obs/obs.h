@@ -14,15 +14,22 @@
 namespace tracer {
 namespace obs {
 
+#if TRACER_OBS == 0
+/// Compiled out: constant false, inline so `if (Enabled()) { ... }` probe
+/// blocks are dead-code-eliminated and the binary links without the
+/// observability objects at all (the zero-cost gate checks exactly this).
+inline bool Enabled() { return false; }
+inline void SetEnabled(bool) {}
+#else
 /// Runtime master switch for the whole observability stack (metric updates,
 /// trace spans, autograd profiler wiring in the hot loops). Initialised once
 /// from the TRACER_OBS environment variable ("1"/"2" enable, "0"/unset
-/// disable); tests and tools flip it with SetEnabled(). Always false when
-/// compiled with TRACER_OBS=0.
+/// disable); tests and tools flip it with SetEnabled().
 bool Enabled();
 
-/// Overrides the runtime switch (no-op when compiled out).
+/// Overrides the runtime switch.
 void SetEnabled(bool enabled);
+#endif
 
 /// Monotonic-clock timestamp in nanoseconds (steady_clock). Safe to subtract;
 /// not related to wall-clock time.

@@ -59,9 +59,41 @@ std::string TraceSink::DumpJson() const {
     obj.Add("thread", records[i].thread_id);
     obj.Add("start_ns", static_cast<int64_t>(records[i].start_ns));
     obj.Add("dur_ns", static_cast<int64_t>(records[i].duration_ns));
+    obj.Add("trace_id", static_cast<int64_t>(records[i].trace_id));
+    obj.Add("span_id", static_cast<int64_t>(records[i].span_id));
+    obj.Add("parent_span_id",
+            static_cast<int64_t>(records[i].parent_span_id));
     out += obj.Build();
   }
   out += "]";
+  return out;
+}
+
+std::string TraceSink::DumpChromeTrace() const {
+  const std::vector<SpanRecord> records = Snapshot();
+  std::string out = "{\"traceEvents\":[";
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (i > 0) out += ",";
+    const SpanRecord& r = records[i];
+    JsonObject args;
+    args.Add("trace_id", static_cast<int64_t>(r.trace_id));
+    args.Add("span_id", static_cast<int64_t>(r.span_id));
+    args.Add("parent_span_id", static_cast<int64_t>(r.parent_span_id));
+    args.Add("depth", r.depth);
+    JsonObject obj;
+    obj.Add("name", r.name);
+    obj.Add("ph", "X");
+    // Trace-event timestamps are microseconds (doubles in the viewer), so
+    // ns/1000 keeps sub-microsecond spans visible as fractional durations.
+    obj.AddRaw("ts", JsonNumber(static_cast<double>(r.start_ns) / 1000.0));
+    obj.AddRaw("dur",
+               JsonNumber(static_cast<double>(r.duration_ns) / 1000.0));
+    obj.Add("pid", 1);
+    obj.Add("tid", r.thread_id);
+    obj.AddRaw("args", args.Build());
+    out += obj.Build();
+  }
+  out += "]}";
   return out;
 }
 
@@ -97,6 +129,16 @@ Span::Span(const char* name) : active_(Enabled()) {
   depth_ = static_cast<int>(stack.size());
   parent_ = stack.empty() ? "" : stack.back();
   stack.push_back(name);
+#if TRACER_OBS != 0
+  // Adopt the ambient context: this span parents under the current ambient
+  // span and becomes the ambient parent for anything opened inside it. The
+  // span id is minted even with no active trace so a context captured inside
+  // this scope still names its enclosing span.
+  TraceContext* ambient = internal::AmbientContext();
+  saved_ambient_ = *ambient;
+  span_id_ = NextSpanId();
+  ambient->span_id = span_id_;
+#endif
   start_ns_ = MonotonicNowNs();
 }
 
@@ -111,8 +153,33 @@ Span::~Span() {
   record.thread_id = ThreadId();
   record.start_ns = start_ns_;
   record.duration_ns = end_ns - start_ns_;
+#if TRACER_OBS != 0
+  record.trace_id = saved_ambient_.trace_id;
+  record.span_id = span_id_;
+  record.parent_span_id = saved_ambient_.span_id;
+  *internal::AmbientContext() = saved_ambient_;
+#endif
   TraceSink::Global().Record(record);
 }
+
+#if TRACER_OBS != 0
+void RecordSpan(const char* name, const char* parent_name, uint64_t trace_id,
+                uint64_t span_id, uint64_t parent_span_id, uint64_t start_ns,
+                uint64_t end_ns, int depth) {
+  if (!Enabled()) return;
+  SpanRecord record;
+  record.name = name;
+  record.parent = parent_name;
+  record.depth = depth;
+  record.thread_id = ThreadId();
+  record.start_ns = start_ns;
+  record.duration_ns = end_ns > start_ns ? end_ns - start_ns : 0;
+  record.trace_id = trace_id;
+  record.span_id = span_id;
+  record.parent_span_id = parent_span_id;
+  TraceSink::Global().Record(record);
+}
+#endif
 
 }  // namespace obs
 }  // namespace tracer

@@ -8,12 +8,14 @@
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "obs/obs.h"
+#include "obs/trace_context.h"
 
 namespace tracer {
 namespace obs {
 
 /// One completed span. `name` and `parent` point at string literals (the
-/// TRACER_SPAN macro guarantees it), so records are POD and never allocate.
+/// TRACER_SPAN macro and RecordSpan contract guarantee it), so records are
+/// POD and never allocate.
 struct SpanRecord {
   const char* name = "";
   const char* parent = "";  // "" for a root span
@@ -21,6 +23,12 @@ struct SpanRecord {
   int thread_id = 0;
   uint64_t start_ns = 0;
   uint64_t duration_ns = 0;
+  /// Request-scoped identity (see obs/trace_context.h). trace_id is 0 for a
+  /// span recorded outside any trace; span ids are process-unique, so spans
+  /// of one trace stitch into one tree across threads via parent_span_id.
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
 };
 
 /// Fixed-capacity ring buffer of completed spans. Oldest records are
@@ -36,8 +44,16 @@ class TraceSink {
   /// Records in completion order, oldest first.
   std::vector<SpanRecord> Snapshot() const;
 
-  /// JSON array of {"name","parent","depth","thread","start_ns","dur_ns"}.
+  /// JSON array of {"name","parent","depth","thread","start_ns","dur_ns",
+  /// "trace_id","span_id","parent_span_id"}.
   std::string DumpJson() const;
+
+  /// Chrome trace-event JSON ({"traceEvents":[...]}) — load in
+  /// ui.perfetto.dev or chrome://tracing. Each span becomes one complete
+  /// ("ph":"X") event with microsecond ts/dur, tid = the repo's small
+  /// thread id, and the trace/span/parent ids under "args" so one request's
+  /// spans can be followed across threads.
+  std::string DumpChromeTrace() const;
 
   /// Spans recorded since the last Clear (including overwritten ones).
   uint64_t recorded() const;
@@ -59,8 +75,10 @@ class TraceSink {
 /// RAII trace span: times the enclosing scope on the monotonic clock and
 /// records it into TraceSink::Global() on destruction. Nesting is tracked
 /// per thread — a span opened while another is live on the same thread
-/// records that span as its parent. Inert when obs::Enabled() is false at
-/// construction.
+/// records that span as its parent — and the thread's ambient TraceContext
+/// is adopted and advanced, so spans opened under a ScopedTraceContext join
+/// that request's trace with explicit id parenting. Inert when
+/// obs::Enabled() is false at construction.
 class Span {
  public:
   explicit Span(const char* name);
@@ -75,7 +93,23 @@ class Span {
   const char* parent_ = "";
   int depth_ = 0;
   uint64_t start_ns_ = 0;
+  TraceContext saved_ambient_;
+  uint64_t span_id_ = 0;
 };
+
+#if TRACER_OBS == 0
+inline void RecordSpan(const char*, const char*, uint64_t, uint64_t, uint64_t,
+                       uint64_t, uint64_t, int = 0) {}
+#else
+/// Records an already-timed span with explicit identity — the cross-thread
+/// form of TRACER_SPAN for stages whose begin and end happen on different
+/// threads (e.g. a request's queue wait). `name`/`parent_name` must be
+/// string literals; mint `span_id` with NextSpanId() (or reuse an id handed
+/// out earlier for the enclosing stage).
+void RecordSpan(const char* name, const char* parent_name, uint64_t trace_id,
+                uint64_t span_id, uint64_t parent_span_id, uint64_t start_ns,
+                uint64_t end_ns, int depth = 0);
+#endif
 
 }  // namespace obs
 }  // namespace tracer

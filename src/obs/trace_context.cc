@@ -1,0 +1,58 @@
+#include "obs/trace_context.h"
+
+#include <atomic>
+
+#if TRACER_OBS != 0
+
+namespace tracer {
+namespace obs {
+
+namespace {
+
+/// Ids start at 1 so 0 can mean "none" everywhere; trace ids and span ids
+/// draw from separate sequences purely so a trace id is never confused for
+/// a span id while reading a dump.
+std::atomic<uint64_t> next_trace_id{1};
+std::atomic<uint64_t> next_span_id{1};
+
+}  // namespace
+
+namespace internal {
+
+TraceContext* AmbientContext() {
+  thread_local TraceContext ambient;
+  return &ambient;
+}
+
+}  // namespace internal
+
+uint64_t NewTraceId() {
+  return next_trace_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t NextSpanId() {
+  return next_span_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+TraceContext CurrentTraceContext() { return *internal::AmbientContext(); }
+
+TraceContext NewTraceContext() {
+  TraceContext context;
+  context.trace_id = NewTraceId();
+  context.span_id = NextSpanId();
+  return context;
+}
+
+ScopedTraceContext::ScopedTraceContext(const TraceContext& context)
+    : saved_(*internal::AmbientContext()) {
+  *internal::AmbientContext() = context;
+}
+
+ScopedTraceContext::~ScopedTraceContext() {
+  *internal::AmbientContext() = saved_;
+}
+
+}  // namespace obs
+}  // namespace tracer
+
+#endif  // TRACER_OBS != 0

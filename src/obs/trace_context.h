@@ -1,0 +1,101 @@
+#ifndef TRACER_OBS_TRACE_CONTEXT_H_
+#define TRACER_OBS_TRACE_CONTEXT_H_
+
+#include <cstdint>
+
+#include "obs/obs.h"
+
+namespace tracer {
+namespace obs {
+
+/// Identity of one request-scoped trace: which trace a span belongs to and
+/// which span is the current parent. POD and always defined (request structs
+/// embed it even when observability is compiled out); a zero trace_id means
+/// "not tracing".
+///
+/// Propagation model: every thread carries an ambient TraceContext
+/// (thread-local). RAII `Span`s update the ambient span_id for their scope,
+/// so same-thread nesting is implicit; crossing a thread boundary is
+/// explicit — capture `CurrentTraceContext()` on the producing thread, ship
+/// it with the work item, and install it on the consuming thread with
+/// `ScopedTraceContext` (or record completed stages directly with
+/// `RecordSpan`, passing the captured ids). One request's spans then stitch
+/// into one tree no matter how many threads executed them.
+struct TraceContext {
+  /// Which trace this context belongs to; 0 = no active trace.
+  uint64_t trace_id = 0;
+  /// The span that new child spans should parent under; 0 = root position.
+  uint64_t span_id = 0;
+
+  bool active() const { return trace_id != 0; }
+};
+
+#if TRACER_OBS == 0
+
+inline uint64_t NewTraceId() { return 0; }
+inline uint64_t NextSpanId() { return 0; }
+inline TraceContext CurrentTraceContext() { return TraceContext{}; }
+inline TraceContext NewTraceContext() { return TraceContext{}; }
+
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext&) {}
+};
+
+#else
+
+/// Mints a process-unique trace id (nonzero). Cheap: one relaxed atomic.
+uint64_t NewTraceId();
+
+/// Mints a process-unique span id (nonzero). Cheap: one relaxed atomic.
+uint64_t NextSpanId();
+
+/// The calling thread's ambient context. `trace_id` is nonzero only inside
+/// a ScopedTraceContext (or a Span opened beneath one); `span_id` is the
+/// innermost live Span on this thread regardless of tracing, so callers can
+/// always discover their parent span.
+TraceContext CurrentTraceContext();
+
+/// Convenience: a fresh root context (new trace id, new root span id) —
+/// what a server mints at admission.
+TraceContext NewTraceContext();
+
+/// Installs `context` as the calling thread's ambient context for the
+/// enclosing scope and restores the previous ambient on destruction. Spans
+/// opened inside adopt the context's trace id and parent under its span id.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext& context);
+  ~ScopedTraceContext();
+
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
+namespace internal {
+/// Mutable access to the thread-local ambient context (Span ctor/dtor).
+TraceContext* AmbientContext();
+}  // namespace internal
+
+#endif  // TRACER_OBS == 0
+
+}  // namespace obs
+}  // namespace tracer
+
+#if TRACER_OBS == 0
+#define TRACER_TRACE_SCOPE(context) ((void)sizeof(context))
+#else
+#define TRACER_TRACE_SCOPE_CONCAT_INNER(a, b) a##b
+#define TRACER_TRACE_SCOPE_CONCAT(a, b) TRACER_TRACE_SCOPE_CONCAT_INNER(a, b)
+/// Installs a captured TraceContext for the rest of the enclosing scope:
+///   TRACER_TRACE_SCOPE(work.trace);
+/// Spans (TRACER_SPAN) opened below join that trace.
+#define TRACER_TRACE_SCOPE(context)                 \
+  ::tracer::obs::ScopedTraceContext TRACER_TRACE_SCOPE_CONCAT( \
+      tracer_trace_scope_, __COUNTER__)(context)
+#endif
+
+#endif  // TRACER_OBS_TRACE_CONTEXT_H_

@@ -9,9 +9,11 @@
 #include "autograd/variable.h"
 #include "common/macros.h"
 #include "fault/fault.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 #include "tensor/tensor_ops.h"
 
 namespace tracer {
@@ -86,6 +88,9 @@ void RecordBreakerOpen() {
       obs::MetricsRegistry::Global().GetOrCreateCounter(
           "tracer_serve_breaker_open_total");
   opens->Increment();
+  // A breaker opening is the serving layer's incident signal: capture the
+  // span ring + metrics now, while the evidence is still in the buffers.
+  obs::TriggerFlightDump("breaker_open");
 }
 
 void RecordBreakerProbe() {
@@ -136,6 +141,27 @@ void RecordServed(const ServeResponse& response, bool alert) {
   queue_ns->Observe(static_cast<double>(response.queue_ns));
   latency_ns->Observe(static_cast<double>(response.total_ns));
   if (alert) alerts->Increment();
+  // Per-stage tail-latency breakdown in log-bucketed histograms, with the
+  // request's trace id as exemplar so a p99 bucket names a concrete trace.
+  static obs::LogHistogram* queue_wait =
+      obs::MetricsRegistry::Global().GetOrCreateLogHistogram(
+          "tracer_serve_queue_wait_ns");
+  static obs::LogHistogram* batch_wait =
+      obs::MetricsRegistry::Global().GetOrCreateLogHistogram(
+          "tracer_serve_batch_wait_ns");
+  static obs::LogHistogram* compute =
+      obs::MetricsRegistry::Global().GetOrCreateLogHistogram(
+          "tracer_serve_compute_ns");
+  static obs::LogHistogram* total =
+      obs::MetricsRegistry::Global().GetOrCreateLogHistogram(
+          "tracer_serve_total_ns");
+  queue_wait->Observe(static_cast<double>(response.queue_ns),
+                      response.trace_id);
+  batch_wait->Observe(static_cast<double>(response.batch_ns),
+                      response.trace_id);
+  compute->Observe(static_cast<double>(response.compute_ns),
+                   response.trace_id);
+  total->Observe(static_cast<double>(response.total_ns), response.trace_id);
 }
 
 }  // namespace
@@ -172,6 +198,27 @@ std::future<ServeResponse> InferenceServer::Submit(ServeRequest request) {
     return future;
   }
 
+  // Admission is where a request's trace is rooted: join the trace the
+  // caller shipped in the request (cross-thread) or the caller's ambient
+  // trace (same thread), else mint a fresh one. The root "serve.request"
+  // span id is pre-minted here so every stage span — recorded later on the
+  // scheduler and worker threads — parents under it.
+  obs::TraceContext trace;
+  uint64_t parent_span_id = 0;
+  if (obs::Enabled()) {
+    const obs::TraceContext ambient = obs::CurrentTraceContext();
+    if (request.trace.active()) {
+      trace.trace_id = request.trace.trace_id;
+      parent_span_id = request.trace.span_id;
+    } else if (ambient.active()) {
+      trace.trace_id = ambient.trace_id;
+      parent_span_id = ambient.span_id;
+    } else {
+      trace.trace_id = obs::NewTraceId();
+    }
+    trace.span_id = obs::NextSpanId();
+  }
+
   const uint64_t now = obs::MonotonicNowNs();
   Status reject;
   {
@@ -185,6 +232,8 @@ std::future<ServeResponse> InferenceServer::Submit(ServeRequest request) {
       pending.request = std::move(request);
       pending.promise = std::move(promise);
       pending.enqueue_ns = now;
+      pending.trace = trace;
+      pending.parent_span_id = parent_span_id;
       queue_.push_back(std::move(pending));
       accepted_.fetch_add(1, std::memory_order_relaxed);
       UpdateQueueDepthLocked();
@@ -366,6 +415,9 @@ CircuitBreaker& InferenceServer::BreakerForThisThread() {
 
 void InferenceServer::RunBatch(const std::shared_ptr<BatchWork>& work) {
   TRACER_SPAN("serve.batch");
+  // Worker pickup time: close→pickup is the batch-wait stage of every
+  // request in this batch, pickup→scores-ready its compute stage.
+  const uint64_t exec_ns = obs::MonotonicNowNs();
   // Per-worker replicas of the batch's primary and fallback snapshots,
   // rebuilt only when the snapshot changes. Each pool thread owns its
   // replicas outright, so concurrent batches never share autograd state;
@@ -483,6 +535,7 @@ void InferenceServer::RunBatch(const std::shared_ptr<BatchWork>& work) {
         degraded_.fetch_add(batch_size, std::memory_order_relaxed);
         RecordDegraded(batch_size);
       }
+      const uint64_t scored_ns = obs::MonotonicNowNs();
       for (int b = 0; b < batch_size; ++b) {
         ServeResponse response;
         response.decision.probability = scores.at(b, 0);
@@ -493,6 +546,9 @@ void InferenceServer::RunBatch(const std::shared_ptr<BatchWork>& work) {
         response.batch_size = batch_size;
         response.degraded = degraded;
         response.queue_ns = work->close_ns - scorable[b]->enqueue_ns;
+        response.batch_ns =
+            exec_ns > work->close_ns ? exec_ns - work->close_ns : 0;
+        response.compute_ns = scored_ns > exec_ns ? scored_ns - exec_ns : 0;
         CompleteOne(scorable[b], std::move(response));
       }
     } else {
@@ -515,6 +571,30 @@ void InferenceServer::RunBatch(const std::shared_ptr<BatchWork>& work) {
 
 void InferenceServer::CompleteOne(Pending* pending, ServeResponse response) {
   response.total_ns = obs::MonotonicNowNs() - pending->enqueue_ns;
+  response.trace_id = pending->trace.trace_id;
+  if (obs::Enabled() && pending->trace.active()) {
+    // Stitch this request's tree from the breakdown timestamps. Stage
+    // begin/end happened on three different threads (submitter, scheduler,
+    // worker), so spans are recorded here explicitly under the root span id
+    // pre-minted at admission rather than via thread-ambient nesting.
+    const uint64_t tid = pending->trace.trace_id;
+    const uint64_t root = pending->trace.span_id;
+    const uint64_t t0 = pending->enqueue_ns;
+    const uint64_t end_ns = t0 + response.total_ns;
+    if (response.status.ok() && response.compute_ns > 0) {
+      const uint64_t close = t0 + response.queue_ns;
+      const uint64_t pickup = close + response.batch_ns;
+      const uint64_t scored = pickup + response.compute_ns;
+      obs::RecordSpan("serve.queue", "serve.request", tid, obs::NextSpanId(),
+                      root, t0, close, 1);
+      obs::RecordSpan("serve.batch_wait", "serve.request", tid,
+                      obs::NextSpanId(), root, close, pickup, 1);
+      obs::RecordSpan("serve.score", "serve.request", tid, obs::NextSpanId(),
+                      root, pickup, scored, 1);
+    }
+    obs::RecordSpan("serve.request", "", tid, root, pending->parent_span_id,
+                    t0, end_ns, 0);
+  }
   if (response.status.ok()) {
     completed_.fetch_add(1, std::memory_order_relaxed);
     RecordServed(response, response.decision.alert);

@@ -13,6 +13,7 @@
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "core/tracer.h"
+#include "obs/trace_context.h"
 #include "parallel/thread_pool.h"
 #include "serve/circuit_breaker.h"
 #include "serve/model_registry.h"
@@ -66,6 +67,10 @@ struct ServeRequest {
   /// request still queued past its deadline completes with
   /// kDeadlineExceeded instead of occupying a batch slot.
   uint64_t deadline_ns = 0;
+  /// Optional trace to join (e.g. a PatientSession's session trace,
+  /// captured on another thread). Inactive (the default) means Submit
+  /// adopts the caller's ambient trace, or mints a fresh one.
+  obs::TraceContext trace;
 };
 
 /// Completion of one ServeRequest. `status` is OK when `decision` is valid;
@@ -87,8 +92,16 @@ struct ServeResponse {
   bool degraded = false;
   /// Admission → batch close.
   uint64_t queue_ns = 0;
+  /// Batch close → worker pickup (time spent waiting for a worker).
+  uint64_t batch_ns = 0;
+  /// Worker pickup → scores ready (replica build + forward pass).
+  uint64_t compute_ns = 0;
   /// Admission → completion.
   uint64_t total_ns = 0;
+  /// Id of the trace this request's spans were recorded under (0 when
+  /// observability is off) — the handle for finding "why was *this*
+  /// patient's score late" in a trace dump.
+  uint64_t trace_id = 0;
 };
 
 /// In-process online serving layer: callers submit single (x, Δ) requests;
@@ -161,6 +174,12 @@ class InferenceServer {
     ServeRequest request;
     std::promise<ServeResponse> promise;
     uint64_t enqueue_ns = 0;
+    /// Root context for this request: trace.span_id is the pre-minted
+    /// "serve.request" span id every per-stage span parents under, so the
+    /// tree stitches across the scheduler and worker threads.
+    obs::TraceContext trace;
+    /// Caller's ambient span at Submit (0 = request is the trace root).
+    uint64_t parent_span_id = 0;
   };
   struct BatchWork {
     std::shared_ptr<const ModelSnapshot> snapshot;

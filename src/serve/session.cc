@@ -3,6 +3,8 @@
 #include "common/macros.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
+#include "obs/trace.h"
+#include "obs/trace_context.h"
 
 namespace tracer {
 namespace serve {
@@ -22,15 +24,25 @@ void RecordObservation() {
 PatientSession::PatientSession(InferenceServer* server, std::string patient_id)
     : server_(server), patient_id_(std::move(patient_id)) {
   TRACER_CHECK(server_ != nullptr);
+  // One trace per patient session: every Observe (and the serve.request
+  // trees underneath) share this id, so a patient's full trajectory is one
+  // tree in the dump.
+  if (obs::Enabled()) trace_ = obs::NewTraceContext();
 }
 
 std::future<ServeResponse> PatientSession::Observe(std::vector<float> window,
                                                    uint64_t deadline_ns) {
+  TRACER_TRACE_SCOPE(trace_);
+  TRACER_SPAN("serve.observe");
   history_.push_back(std::move(window));
   RecordObservation();
   ServeRequest request;
   request.windows = history_;  // full history so far — the growing T
   request.deadline_ns = deadline_ns;
+  // Explicit hand-off: Submit enqueues, but completion happens on server
+  // threads; shipping the context in the request keeps the server's spans
+  // in this session's trace even though they run elsewhere.
+  request.trace = obs::CurrentTraceContext();
   return server_->Submit(std::move(request));
 }
 

@@ -46,6 +46,10 @@ class PatientSession {
   bool alerting() const { return alerting_; }
   /// Whether the last ObserveSync flipped the session into alert.
   bool newly_alerted() const { return newly_alerted_; }
+  /// Id of the session-scoped trace every Observe of this patient joins
+  /// (0 when observability is disabled). The whole risk trajectory of one
+  /// patient is one trace.
+  uint64_t trace_id() const { return trace_.trace_id; }
 
  private:
   InferenceServer* server_;
@@ -53,6 +57,8 @@ class PatientSession {
   std::vector<std::vector<float>> history_;
   bool alerting_ = false;
   bool newly_alerted_ = false;
+  /// Minted at construction; each Observe submits under it.
+  obs::TraceContext trace_;
 };
 
 }  // namespace serve

@@ -1,11 +1,11 @@
-// Fixture: first registration site of metric "fx_dup_total" — legal on
+// Fixture: first registration site of metric "tracer_fx_dup_total" — legal on
 // its own; the duplicate in a4_metric_two.cc is the A4 finding.
 // Not built; scanned by tools/analyze.py --self-test.
 
 namespace fx {
 
 void RecordOne() {
-  GetOrCreateCounter("fx_dup_total");
+  GetOrCreateCounter("tracer_fx_dup_total");
 }
 
 }  // namespace fx

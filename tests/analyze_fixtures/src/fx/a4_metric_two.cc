@@ -1,11 +1,11 @@
-// Fixture: violates A4 — registers metric "fx_dup_total" a second time
+// Fixture: violates A4 — registers metric "tracer_fx_dup_total" a second time
 // (first site: a4_metric_one.cc). One name, one cached handle.
 // Not built; scanned by tools/analyze.py --self-test.
 
 namespace fx {
 
 void RecordTwo() {
-  GetOrCreateCounter("fx_dup_total");  // A4: duplicate registration
+  GetOrCreateCounter("tracer_fx_dup_total");  // A4: duplicate registration
 }
 
 }  // namespace fx

@@ -1,0 +1,11 @@
+// Fixture: violates A5 — metric name does not follow the
+// `tracer_<layer>_<name>` lower_snake convention.
+// Not built; scanned by tools/analyze.py --self-test.
+
+namespace fx {
+
+void RecordBadName() {
+  GetOrCreateCounter("FxBadMetricName");  // A5: not tracer_[a-z0-9_]+
+}
+
+}  // namespace fx

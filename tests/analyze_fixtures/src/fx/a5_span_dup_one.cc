@@ -1,0 +1,11 @@
+// Fixture: first site opening span "fx.dup" — legal on its own; the
+// second site in a5_span_dup_two.cc is the A5 finding.
+// Not built; scanned by tools/analyze.py --self-test.
+
+namespace fx {
+
+void SpanOne() {
+  TRACER_SPAN("fx.dup");
+}
+
+}  // namespace fx

@@ -1,0 +1,12 @@
+// Fixture: violates A5 — opens span "fx.dup" at a second site (first:
+// a5_span_dup_one.cc). One span name, one place in the code; duplicated
+// names make a trace ambiguous about which code path ran.
+// Not built; scanned by tools/analyze.py --self-test.
+
+namespace fx {
+
+void SpanTwo() {
+  TRACER_SPAN("fx.dup");  // A5: duplicate span registration site
+}
+
+}  // namespace fx

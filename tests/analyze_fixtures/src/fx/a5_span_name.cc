@@ -1,0 +1,11 @@
+// Fixture: violates A5 — span name does not follow the
+// `<subsystem>.<operation>` lowercase-dotted convention.
+// Not built; scanned by tools/analyze.py --self-test.
+
+namespace fx {
+
+void BadSpan() {
+  TRACER_SPAN("Fx.BadSpan");  // A5: uppercase; must be subsystem.operation
+}
+
+}  // namespace fx

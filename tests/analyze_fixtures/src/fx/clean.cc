@@ -11,7 +11,7 @@ void Quiet() {
   if (!status.ok()) {
     TRACER_IGNORE_STATUS(DoThing());
   }
-  GetOrCreateGauge("fx_clean_depth");
+  GetOrCreateGauge("tracer_fx_clean_depth");
 }
 
 }  // namespace fx

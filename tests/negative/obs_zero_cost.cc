@@ -1,0 +1,37 @@
+// Zero-cost fixture for the TRACER_OBS gate (top-level CMakeLists.txt).
+//
+// This file exercises every observability entry point a hot path may touch
+// — a TRACER_SPAN, a TRACER_TRACE_SCOPE, and an `if (obs::Enabled())`
+// probe block reaching the metrics registry, the log-bucketed histogram,
+// manual span recording, the trace sink, and the flight recorder — and is
+// then linked WITHOUT any obs object files.
+//
+// With -DTRACER_OBS=0 -O2 it must link: Enabled() is an inline constant
+// false, the macros expand to nothing, and dead-code elimination removes
+// every out-of-line reference — the "compiles out" claim, checked at the
+// linker. With -DTRACER_OBS=1 it must FAIL to link (undefined obs
+// symbols): the control proving this fixture genuinely references the
+// observability layer, so the zero-cost pass cannot rot into vacuity.
+
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+#include "obs/trace_context.h"
+
+int main() {
+  TRACER_SPAN("fx.zero_cost");
+  tracer::obs::TraceContext context = tracer::obs::CurrentTraceContext();
+  TRACER_TRACE_SCOPE(context);
+  if (tracer::obs::Enabled()) {
+    tracer::obs::LogHistogram* histogram =
+        tracer::obs::MetricsRegistry::Global().GetOrCreateLogHistogram(
+            "tracer_fx_zero_cost_ns");
+    histogram->Observe(static_cast<double>(tracer::obs::MonotonicNowNs()),
+                       tracer::obs::NewTraceId());
+    tracer::obs::RecordSpan("fx.zero_cost_manual", "", 1, 2, 0, 0, 1, 0);
+    tracer::obs::TriggerFlightDump("fx_zero_cost");
+    return static_cast<int>(tracer::obs::TraceSink::Global().recorded());
+  }
+  return 0;
+}

@@ -5,11 +5,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 #include <map>
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "autograd/ops.h"
@@ -84,6 +86,68 @@ TEST_F(ObsTest, HistogramBucketBoundariesUseLeSemantics) {
   EXPECT_EQ(histogram.count(), 6);
 }
 
+TEST_F(ObsTest, HistogramHandlesNegativeAndExtremeValues) {
+  Histogram histogram({0.0, 10.0});
+  histogram.Observe(-1e300);
+  histogram.Observe(-0.5);
+  histogram.Observe(0.0);
+  histogram.Observe(1e300);
+  const std::vector<int64_t> cumulative = histogram.CumulativeCounts();
+  ASSERT_EQ(cumulative.size(), 3u);
+  // Every negative value collapses into the first bucket (le="0").
+  EXPECT_EQ(cumulative[0], 3);
+  EXPECT_EQ(cumulative[1], 3);
+  EXPECT_EQ(cumulative[2], 4);  // 1e300 only reaches +Inf
+  EXPECT_EQ(histogram.count(), 4);
+}
+
+TEST_F(ObsTest, HistogramCumulativeInvariantHoldsUnderLoad) {
+  Histogram histogram({1.0, 2.0, 3.0});
+  Rng rng(99);
+  for (int i = 0; i < 5000; ++i) {
+    histogram.Observe(rng.Uniform(-1.0, 5.0));
+  }
+  const std::vector<int64_t> cumulative = histogram.CumulativeCounts();
+  ASSERT_EQ(cumulative.size(), 4u);
+  // Cumulative counts are monotone and the +Inf bucket equals count():
+  // the invariant Prometheus consumers rely on.
+  for (size_t i = 1; i < cumulative.size(); ++i) {
+    EXPECT_GE(cumulative[i], cumulative[i - 1]);
+  }
+  EXPECT_EQ(cumulative.back(), histogram.count());
+  EXPECT_EQ(histogram.count(), 5000);
+}
+
+TEST_F(ObsTest, HistogramResetRacesObserveSafely) {
+  // Exercised under TSan in CI: Reset concurrent with Observe must be
+  // data-race-free. The post-condition is only checked after the threads
+  // join (mid-flight counts are unspecified but must not corrupt).
+  Histogram histogram({1.0});
+  std::atomic<bool> stop{false};
+  std::thread resetter([&histogram, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      histogram.Reset();
+    }
+  });
+  {
+    parallel::ThreadPool pool(4);
+    for (int t = 0; t < 4; ++t) {
+      pool.Submit([&histogram] {
+        for (int i = 0; i < 20000; ++i) {
+          histogram.Observe(i % 2 == 0 ? 0.5 : 1.5);
+        }
+      });
+    }
+    pool.WaitAll();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  resetter.join();
+  histogram.Reset();
+  histogram.Observe(0.25);
+  EXPECT_EQ(histogram.count(), 1);
+  EXPECT_EQ(histogram.CumulativeCounts().back(), 1);
+}
+
 TEST_F(ObsTest, RegistryConcurrencyHammer) {
   MetricsRegistry& registry = MetricsRegistry::Global();
   constexpr int kThreads = 8;
@@ -116,6 +180,143 @@ TEST_F(ObsTest, RegistryConcurrencyHammer) {
   ASSERT_EQ(cumulative.size(), 2u);
   EXPECT_EQ(cumulative[0], kThreads * kIncrementsPerTask / 2);
   EXPECT_EQ(cumulative[1], kThreads * kIncrementsPerTask);
+}
+
+TEST_F(ObsTest, LogHistogramBucketPlacementAndQuantiles) {
+  LogHistogram histogram;
+  // Underflow: negatives, zero, sub-1 values and NaN all land below the
+  // first decade.
+  histogram.Observe(-5.0);
+  histogram.Observe(0.0);
+  histogram.Observe(0.5);
+  histogram.Observe(std::numeric_limits<double>::quiet_NaN());
+  // Interior decades.
+  for (int i = 0; i < 96; ++i) histogram.Observe(1000.0);
+  // Overflow: beyond the last decade.
+  histogram.Observe(1e13);
+  EXPECT_EQ(histogram.count(), 101);
+
+  const std::vector<LogHistogram::Bucket> buckets =
+      histogram.NonzeroBuckets();
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_EQ(buckets[0].count, 4);  // the underflow bucket
+  EXPECT_EQ(buckets[0].lower, 0.0);
+  EXPECT_EQ(buckets[1].count, 96);
+  // 1000 sits inside [lower, upper) of its log bucket.
+  EXPECT_LE(buckets[1].lower, 1000.0);
+  EXPECT_GT(buckets[1].upper, 1000.0);
+  EXPECT_EQ(buckets[2].count, 1);  // overflow
+
+  // The bulk of the mass is at 1000; the log-bucket estimate must land
+  // within one bucket width (~15% relative error).
+  EXPECT_NEAR(histogram.Quantile(0.5), 1000.0, 160.0);
+  // p0 is in the underflow bucket, p100 in the overflow bucket.
+  EXPECT_LT(histogram.Quantile(0.0), 1.0);
+  EXPECT_GE(histogram.Quantile(1.0), 1e12);
+  // Empty histogram: quantiles degrade to 0.
+  histogram.Reset();
+  EXPECT_EQ(histogram.count(), 0);
+  EXPECT_EQ(histogram.Quantile(0.99), 0.0);
+  EXPECT_TRUE(histogram.NonzeroBuckets().empty());
+}
+
+TEST_F(ObsTest, LogHistogramQuantileAccuracyOnUniformSpread) {
+  LogHistogram histogram;
+  // 1..100000 uniformly: every estimated quantile must be within one
+  // log-bucket (10^(1/16) ~ 1.155x) of the exact order statistic.
+  for (int i = 1; i <= 100000; ++i) {
+    histogram.Observe(static_cast<double>(i));
+  }
+  for (double q : {0.5, 0.9, 0.95, 0.99, 0.999}) {
+    const double exact = q * 100000.0;
+    const double estimate = histogram.Quantile(q);
+    EXPECT_GT(estimate, exact / 1.2) << "q=" << q;
+    EXPECT_LT(estimate, exact * 1.2) << "q=" << q;
+  }
+}
+
+TEST_F(ObsTest, LogHistogramKeepsExemplarsPerBucket) {
+  LogHistogram histogram;
+  histogram.Observe(100.0, /*exemplar_id=*/111);
+  histogram.Observe(1e6, /*exemplar_id=*/222);
+  // Same bucket, later sample wins.
+  histogram.Observe(101.0, /*exemplar_id=*/333);
+  // Zero exemplars never overwrite a real one.
+  histogram.Observe(102.0, /*exemplar_id=*/0);
+  EXPECT_EQ(histogram.ExemplarNear(100.0), 333u);
+  EXPECT_EQ(histogram.ExemplarNear(1e6), 222u);
+  // A bucket that never saw an exemplar reports 0.
+  EXPECT_EQ(histogram.ExemplarNear(1e9), 0u);
+}
+
+TEST_F(ObsTest, LogHistogramRegistryAndExports) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  LogHistogram* histogram =
+      registry.GetOrCreateLogHistogram("tracer_test_log_ns");
+  EXPECT_EQ(registry.GetOrCreateLogHistogram("tracer_test_log_ns"),
+            histogram);
+  for (int i = 0; i < 100; ++i) {
+    histogram->Observe(1000.0 + i, /*exemplar_id=*/7000 + i);
+  }
+
+  // Prometheus: exported as a summary with streaming quantiles.
+  const std::string text = registry.ExportPrometheus();
+  EXPECT_NE(text.find("# TYPE tracer_test_log_ns summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("tracer_test_log_ns{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("tracer_test_log_ns{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("tracer_test_log_ns_count 100"), std::string::npos);
+
+  // JSONL: one valid object carrying quantiles and exemplar-tagged buckets.
+  const std::string jsonl = registry.ExportJsonl();
+  std::istringstream lines(jsonl);
+  std::string line;
+  bool found = false;
+  while (std::getline(lines, line)) {
+    if (line.find("\"metric\":\"tracer_test_log_ns\"") == std::string::npos) {
+      continue;
+    }
+    found = true;
+    ASSERT_TRUE(testutil::IsValidJson(line)) << line;
+    EXPECT_NE(line.find("\"type\":\"log_histogram\""), std::string::npos);
+    for (const char* key :
+         {"\"p50\":", "\"p95\":", "\"p99\":", "\"buckets\":",
+          "\"exemplar\":"}) {
+      EXPECT_NE(line.find(key), std::string::npos) << key;
+    }
+  }
+  EXPECT_TRUE(found);
+
+  // ResetForTest zeroes the metric in place; the handle stays valid.
+  registry.ResetForTest();
+  EXPECT_EQ(
+      registry.GetOrCreateLogHistogram("tracer_test_log_ns")->count(), 0);
+}
+
+TEST_F(ObsTest, LogHistogramConcurrentObserveIsLossless) {
+  LogHistogram histogram;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  {
+    parallel::ThreadPool pool(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      pool.Submit([&histogram, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          histogram.Observe(static_cast<double>(1 + (t * kPerThread + i) % 9),
+                            /*exemplar_id=*/static_cast<uint64_t>(t + 1));
+        }
+      });
+    }
+    pool.WaitAll();
+  }
+  EXPECT_EQ(histogram.count(), kThreads * kPerThread);
+  int64_t bucket_total = 0;
+  for (const LogHistogram::Bucket& bucket : histogram.NonzeroBuckets()) {
+    bucket_total += bucket.count;
+  }
+  EXPECT_EQ(bucket_total, kThreads * kPerThread);
 }
 
 TEST_F(ObsTest, PrometheusExportRoundTrip) {
@@ -185,6 +386,11 @@ TEST_F(ObsTest, JsonlExportRoundTrip) {
       EXPECT_NE(std::find(keys.begin(), keys.end(), "sum"), keys.end());
       EXPECT_NE(std::find(keys.begin(), keys.end(), "count"), keys.end());
       EXPECT_NE(std::find(keys.begin(), keys.end(), "buckets"), keys.end());
+    } else if (line.find("\"type\":\"log_histogram\"") !=
+               std::string::npos) {
+      // Entries persist across tests (ResetForTest zeroes in place), so a
+      // log histogram registered earlier may legitimately appear here.
+      EXPECT_NE(std::find(keys.begin(), keys.end(), "p99"), keys.end());
     } else {
       EXPECT_NE(std::find(keys.begin(), keys.end(), "value"), keys.end());
       if (line.find("\"type\":\"counter\"") != std::string::npos) {

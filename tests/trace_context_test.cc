@@ -1,0 +1,557 @@
+// Tests for request-scoped tracing (src/obs/trace_context.h) and its
+// integration through the serving path:
+//  - ambient TraceContext install/restore and Span adoption,
+//  - explicit cross-thread propagation (capture -> ship -> install),
+//  - the end-to-end stitched trace tree of one InferenceServer request
+//    (admission -> queue -> batch wait -> score spans share one trace id
+//    across the submitter and worker threads),
+//  - Chrome trace-event export (structural validation),
+//  - trace ids in log lines,
+//  - the flight recorder (dump format, triggers, rate/count budget, fault
+//    integration).
+
+#include <sys/stat.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "autograd/variable.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "core/titv.h"
+#include "fault/fault.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+#include "obs/trace_context.h"
+#include "serve/model_registry.h"
+#include "serve/server.h"
+#include "serve/session.h"
+#include "tests/json_check.h"
+
+namespace tracer {
+namespace obs {
+namespace {
+
+#if TRACER_OBS == 0
+
+// The whole layer is compiled out: the only contract left to test is that
+// the stubs are inert. (The configure-time negative-link gate proves the
+// stronger claim that probes vanish from optimized binaries.)
+TEST(TraceContextTest, StubsAreInertWhenCompiledOut) {
+  EXPECT_EQ(NewTraceId(), 0u);
+  EXPECT_EQ(NextSpanId(), 0u);
+  EXPECT_FALSE(CurrentTraceContext().active());
+  EXPECT_FALSE(NewTraceContext().active());
+  const TraceContext context;
+  TRACER_TRACE_SCOPE(context);
+  RecordSpan("test.ctx_stub", "", 1, 2, 0, 0, 1, 0);
+  TriggerFlightDump("stub");
+  SUCCEED();
+}
+
+#else
+
+// Tracing mutates process-global state (the enabled flag, the span ring,
+// the metrics registry, the flight recorder); restore the quiescent default
+// around each test so ordering cannot leak.
+class TraceContextTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ResetAll(); }
+  void TearDown() override { ResetAll(); }
+
+  static void ResetAll() {
+    SetEnabled(false);
+    MetricsRegistry::Global().ResetForTest();
+    TraceSink::Global().SetCapacity(4096);  // also clears
+    FlightRecorder::Global().ResetForTest();
+    fault::FaultRegistry::Global().Clear();
+  }
+};
+
+core::TitvConfig MicroConfig(uint64_t seed = 17) {
+  core::TitvConfig config;
+  config.input_dim = 6;
+  config.rnn_dim = 4;
+  config.film_dim = 4;
+  config.seed = seed;
+  return config;
+}
+
+// Registers and publishes a deterministic fresh TITV so the server scores.
+void PublishFreshModel(serve::ModelRegistry* registry,
+                       const core::TitvConfig& config) {
+  const core::Titv model(config);
+  std::vector<std::pair<std::string, Tensor>> tensors;
+  for (const auto& [name, param] : model.NamedParameters()) {
+    tensors.emplace_back(name, param.value());
+  }
+  auto staged = registry->Register(config, std::move(tensors), "<memory>");
+  ASSERT_TRUE(staged.ok()) << staged.status().ToString();
+  ASSERT_TRUE(registry->Publish(staged.value()).ok());
+}
+
+std::vector<std::vector<float>> RandomWindows(int num_windows, int dim,
+                                              uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<float>> windows(num_windows,
+                                          std::vector<float>(dim));
+  for (auto& window : windows) {
+    for (float& v : window) {
+      v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+    }
+  }
+  return windows;
+}
+
+// ---------------------------------------------------------------------------
+// Ambient context mechanics
+
+TEST_F(TraceContextTest, AmbientIsInactiveByDefault) {
+  const TraceContext ambient = CurrentTraceContext();
+  EXPECT_FALSE(ambient.active());
+  EXPECT_EQ(ambient.trace_id, 0u);
+}
+
+TEST_F(TraceContextTest, ScopedContextInstallsAndRestores) {
+  const TraceContext context = NewTraceContext();
+  EXPECT_TRUE(context.active());
+  EXPECT_NE(context.span_id, 0u);
+  {
+    ScopedTraceContext scope(context);
+    EXPECT_EQ(CurrentTraceContext().trace_id, context.trace_id);
+    EXPECT_EQ(CurrentTraceContext().span_id, context.span_id);
+    // Nesting: an inner scope shadows, then restores, the outer one.
+    const TraceContext inner = NewTraceContext();
+    {
+      ScopedTraceContext inner_scope(inner);
+      EXPECT_EQ(CurrentTraceContext().trace_id, inner.trace_id);
+    }
+    EXPECT_EQ(CurrentTraceContext().trace_id, context.trace_id);
+  }
+  EXPECT_FALSE(CurrentTraceContext().active());
+}
+
+TEST_F(TraceContextTest, IdsAreUniqueAndNonzero) {
+  std::set<uint64_t> trace_ids;
+  std::set<uint64_t> span_ids;
+  for (int i = 0; i < 1000; ++i) {
+    trace_ids.insert(NewTraceId());
+    span_ids.insert(NextSpanId());
+  }
+  EXPECT_EQ(trace_ids.size(), 1000u);
+  EXPECT_EQ(span_ids.size(), 1000u);
+  EXPECT_EQ(trace_ids.count(0), 0u);
+  EXPECT_EQ(span_ids.count(0), 0u);
+}
+
+TEST_F(TraceContextTest, SpansAdoptAmbientContextAndParentExplicitly) {
+  SetEnabled(true);
+  TraceSink& sink = TraceSink::Global();
+  const TraceContext context = NewTraceContext();
+  {
+    ScopedTraceContext scope(context);
+    TRACER_SPAN("test.ctx_outer");
+    {
+      TRACER_SPAN("test.ctx_inner");
+    }
+  }
+  const std::vector<SpanRecord> spans = sink.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  // Completion order: inner first.
+  EXPECT_STREQ(spans[0].name, "test.ctx_inner");
+  EXPECT_STREQ(spans[1].name, "test.ctx_outer");
+  // Both spans joined the installed trace.
+  EXPECT_EQ(spans[0].trace_id, context.trace_id);
+  EXPECT_EQ(spans[1].trace_id, context.trace_id);
+  // Explicit id parenting: outer parents under the context's root span,
+  // inner parents under outer.
+  EXPECT_EQ(spans[1].parent_span_id, context.span_id);
+  EXPECT_EQ(spans[0].parent_span_id, spans[1].span_id);
+  EXPECT_NE(spans[0].span_id, spans[1].span_id);
+}
+
+TEST_F(TraceContextTest, SpansOutsideAnyContextRecordZeroTraceId) {
+  SetEnabled(true);
+  {
+    TRACER_SPAN("test.ctx_untraced");
+  }
+  const std::vector<SpanRecord> spans = TraceSink::Global().Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].trace_id, 0u);
+  // Span ids are still minted so same-thread nesting stays unambiguous.
+  EXPECT_NE(spans[0].span_id, 0u);
+}
+
+TEST_F(TraceContextTest, ContextPropagatesAcrossThreadsExplicitly) {
+  SetEnabled(true);
+  TraceContext captured;
+  uint64_t producer_span_id = 0;
+  {
+    ScopedTraceContext scope(NewTraceContext());
+    TRACER_SPAN("test.ctx_producer");
+    captured = CurrentTraceContext();  // inside the producer span
+  }
+  const std::vector<SpanRecord> producer = TraceSink::Global().Snapshot();
+  ASSERT_EQ(producer.size(), 1u);
+  producer_span_id = producer[0].span_id;
+  // The captured context parents under the live producer span.
+  EXPECT_EQ(captured.span_id, producer_span_id);
+
+  std::thread consumer([captured] {
+    // A fresh thread has no ambient trace until one is installed.
+    EXPECT_FALSE(CurrentTraceContext().active());
+    TRACER_TRACE_SCOPE(captured);
+    TRACER_SPAN("test.ctx_consumer");
+  });
+  consumer.join();
+
+  const std::vector<SpanRecord> spans = TraceSink::Global().Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_STREQ(spans[1].name, "test.ctx_consumer");
+  EXPECT_EQ(spans[1].trace_id, captured.trace_id);
+  EXPECT_EQ(spans[1].parent_span_id, producer_span_id);
+  EXPECT_NE(spans[1].thread_id, spans[0].thread_id);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: one request through InferenceServer = one stitched tree
+
+TEST_F(TraceContextTest, ServerRequestProducesOneStitchedTraceTree) {
+  SetEnabled(true);
+  const core::TitvConfig config = MicroConfig();
+  serve::ModelRegistry registry;
+  PublishFreshModel(&registry, config);
+
+  serve::ServeOptions options;
+  options.num_workers = 2;
+  serve::InferenceServer server(&registry, options);
+  serve::PatientSession session(&server, "patient-42");
+  const uint64_t session_trace = session.trace_id();
+  ASSERT_NE(session_trace, 0u);
+
+  const auto windows = RandomWindows(3, config.input_dim, /*seed=*/7);
+  serve::ServeResponse response;
+  std::future<serve::ServeResponse> future =
+      session.Observe(windows[0]);
+  response = future.get();
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_EQ(response.trace_id, session_trace);
+
+  // Collect every span of the session's trace: the tree must stitch even
+  // though its stages ran on the submitter, scheduler, and worker threads.
+  std::map<std::string, SpanRecord> by_name;
+  for (const SpanRecord& span : TraceSink::Global().Snapshot()) {
+    if (span.trace_id == session_trace) {
+      by_name[span.name] = span;
+    }
+  }
+  for (const char* name :
+       {"serve.observe", "serve.request", "serve.queue", "serve.batch_wait",
+        "serve.score"}) {
+    ASSERT_TRUE(by_name.count(name)) << name << " missing from trace";
+  }
+
+  // serve.request is the root of the server-side subtree, parented under
+  // the session's serve.observe span (captured at Submit).
+  const SpanRecord& root = by_name["serve.request"];
+  const SpanRecord& observe = by_name["serve.observe"];
+  EXPECT_EQ(root.parent_span_id, observe.span_id);
+  EXPECT_EQ(root.depth, 0);
+  // Every stage parents under the pre-minted root span id.
+  for (const char* stage : {"serve.queue", "serve.batch_wait", "serve.score"}) {
+    const SpanRecord& span = by_name[stage];
+    EXPECT_EQ(span.parent_span_id, root.span_id) << stage;
+    EXPECT_STREQ(span.parent, "serve.request");
+    EXPECT_EQ(span.depth, 1) << stage;
+  }
+  // The stages tile the request: queue + batch_wait + compute timestamps
+  // are contiguous and stay inside the root span.
+  const SpanRecord& queue = by_name["serve.queue"];
+  const SpanRecord& batch_wait = by_name["serve.batch_wait"];
+  const SpanRecord& score = by_name["serve.score"];
+  EXPECT_EQ(queue.start_ns, root.start_ns);
+  EXPECT_EQ(batch_wait.start_ns, queue.start_ns + queue.duration_ns);
+  EXPECT_EQ(score.start_ns, batch_wait.start_ns + batch_wait.duration_ns);
+  EXPECT_LE(score.start_ns + score.duration_ns,
+            root.start_ns + root.duration_ns);
+  // Cross-thread: the session observed on this thread; the tree was
+  // recorded by a worker.
+  EXPECT_NE(root.thread_id, observe.thread_id);
+
+  // A second observation joins the SAME session trace (one patient, one
+  // trace), with a fresh root span.
+  std::future<serve::ServeResponse> second = session.Observe(windows[1]);
+  const serve::ServeResponse response2 = second.get();
+  ASSERT_TRUE(response2.status.ok());
+  EXPECT_EQ(response2.trace_id, session_trace);
+  int request_roots = 0;
+  for (const SpanRecord& span : TraceSink::Global().Snapshot()) {
+    if (span.trace_id == session_trace &&
+        std::string(span.name) == "serve.request") {
+      ++request_roots;
+    }
+  }
+  EXPECT_EQ(request_roots, 2);
+}
+
+TEST_F(TraceContextTest, DirectSubmitMintsAFreshTracePerRequest) {
+  SetEnabled(true);
+  const core::TitvConfig config = MicroConfig();
+  serve::ModelRegistry registry;
+  PublishFreshModel(&registry, config);
+  serve::InferenceServer server(&registry, serve::ServeOptions{});
+
+  serve::ServeRequest first;
+  first.windows = RandomWindows(2, config.input_dim, /*seed=*/8);
+  serve::ServeRequest second;
+  second.windows = RandomWindows(2, config.input_dim, /*seed=*/9);
+  const serve::ServeResponse r1 = server.Infer(std::move(first));
+  const serve::ServeResponse r2 = server.Infer(std::move(second));
+  ASSERT_TRUE(r1.status.ok());
+  ASSERT_TRUE(r2.status.ok());
+  // No session, no ambient trace: admission minted distinct root traces.
+  EXPECT_NE(r1.trace_id, 0u);
+  EXPECT_NE(r2.trace_id, 0u);
+  EXPECT_NE(r1.trace_id, r2.trace_id);
+  // Each response's breakdown is internally consistent.
+  EXPECT_GT(r1.compute_ns, 0u);
+  EXPECT_LE(r1.queue_ns + r1.batch_ns + r1.compute_ns, r1.total_ns);
+}
+
+TEST_F(TraceContextTest, TraceIdsAreZeroWhenObservabilityDisabled) {
+  ASSERT_FALSE(Enabled());
+  const core::TitvConfig config = MicroConfig();
+  serve::ModelRegistry registry;
+  PublishFreshModel(&registry, config);
+  serve::InferenceServer server(&registry, serve::ServeOptions{});
+  serve::PatientSession session(&server, "patient-off");
+  EXPECT_EQ(session.trace_id(), 0u);
+  serve::ServeRequest request;
+  request.windows = RandomWindows(2, config.input_dim, /*seed=*/10);
+  const serve::ServeResponse response = server.Infer(std::move(request));
+  ASSERT_TRUE(response.status.ok());
+  EXPECT_EQ(response.trace_id, 0u);
+  EXPECT_EQ(TraceSink::Global().recorded(), 0u);
+}
+
+TEST_F(TraceContextTest, LatencyBreakdownFeedsLogHistogramsWithExemplars) {
+  SetEnabled(true);
+  const core::TitvConfig config = MicroConfig();
+  serve::ModelRegistry registry;
+  PublishFreshModel(&registry, config);
+  serve::InferenceServer server(&registry, serve::ServeOptions{});
+  serve::ServeRequest request;
+  request.windows = RandomWindows(2, config.input_dim, /*seed=*/11);
+  const serve::ServeResponse response = server.Infer(std::move(request));
+  ASSERT_TRUE(response.status.ok());
+
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  LogHistogram* total =
+      metrics.GetOrCreateLogHistogram("tracer_serve_total_ns");
+  ASSERT_EQ(total->count(), 1);
+  // The per-request exemplar links the latency sample back to its trace.
+  EXPECT_EQ(total->ExemplarNear(static_cast<double>(response.total_ns)),
+            response.trace_id);
+  LogHistogram* compute =
+      metrics.GetOrCreateLogHistogram("tracer_serve_compute_ns");
+  EXPECT_EQ(compute->count(), 1);
+  EXPECT_GT(total->Quantile(0.99), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace export
+
+TEST_F(TraceContextTest, ChromeTraceExportIsStructurallyValid) {
+  SetEnabled(true);
+  const TraceContext context = NewTraceContext();
+  {
+    ScopedTraceContext scope(context);
+    TRACER_SPAN("test.ctx_chrome_outer");
+    {
+      TRACER_SPAN("test.ctx_chrome_inner");
+    }
+  }
+  const std::string json = TraceSink::Global().DumpChromeTrace();
+  ASSERT_TRUE(testutil::IsValidJson(json)) << json;
+  const std::vector<std::string> keys = testutil::JsonObjectKeys(json);
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0], "traceEvents");
+  // Complete events with the fields Perfetto needs, ids under args.
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  for (const char* field :
+       {"\"name\":", "\"ts\":", "\"dur\":", "\"pid\":", "\"tid\":",
+        "\"args\":", "\"trace_id\":", "\"span_id\":", "\"parent_span_id\":"}) {
+    EXPECT_NE(json.find(field), std::string::npos) << field;
+  }
+  std::ostringstream want_trace_id;
+  want_trace_id << "\"trace_id\":" << context.trace_id;
+  EXPECT_NE(json.find(want_trace_id.str()), std::string::npos);
+  // An empty sink still exports a valid (empty) document.
+  TraceSink::Global().Clear();
+  const std::string empty = TraceSink::Global().DumpChromeTrace();
+  EXPECT_TRUE(testutil::IsValidJson(empty)) << empty;
+}
+
+// ---------------------------------------------------------------------------
+// Log lines carry the active trace id
+
+TEST_F(TraceContextTest, LogLinesIncludeActiveTraceId) {
+  SetEnabled(true);
+  const TraceContext context = NewTraceContext();
+  char want[32];
+  std::snprintf(want, sizeof(want), "trace:%llx",
+                static_cast<unsigned long long>(context.trace_id));
+
+  testing::internal::CaptureStderr();
+  {
+    ScopedTraceContext scope(context);
+    TRACER_LOG(Info) << "traced message";
+  }
+  TRACER_LOG(Info) << "untraced message";
+  const std::string captured = testing::internal::GetCapturedStderr();
+
+  const size_t traced = captured.find("traced message");
+  const size_t untraced = captured.find("untraced message");
+  ASSERT_NE(traced, std::string::npos);
+  ASSERT_NE(untraced, std::string::npos);
+  const std::string traced_line = captured.substr(0, traced);
+  const std::string untraced_line = captured.substr(traced, untraced - traced);
+  EXPECT_NE(traced_line.find(want), std::string::npos) << captured;
+  EXPECT_EQ(untraced_line.find("trace:"), std::string::npos) << captured;
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+
+std::string FlightDir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/" + name;
+  std::remove(dir.c_str());
+  mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+TEST_F(TraceContextTest, FlightRecorderWritesStructuredDump) {
+  SetEnabled(true);
+  {
+    TRACER_SPAN("test.ctx_flight");
+  }
+  MetricsRegistry::Global()
+      .GetOrCreateCounter("tracer_test_flight_total")
+      ->Increment(3);
+
+  FlightRecorder& recorder = FlightRecorder::Global();
+  const std::string dir = FlightDir("flight_basic");
+  recorder.SetDirectoryForTest(dir);
+  const std::string path = recorder.Dump("unit test: breaker");
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.find(dir), 0u);
+  // Reasons are sanitized into the filename.
+  EXPECT_EQ(path.find(' '), std::string::npos);
+  EXPECT_EQ(recorder.triggers(), 1u);
+  EXPECT_EQ(recorder.dumps_written(), 1u);
+
+  const std::vector<std::string> lines = ReadLines(path);
+  ASSERT_GE(lines.size(), 3u);  // header + >=1 span + >=1 metric
+  for (const std::string& line : lines) {
+    EXPECT_TRUE(testutil::IsValidJson(line)) << line;
+  }
+  EXPECT_NE(lines[0].find("\"record\":\"flight_header\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"reason\":\"unit test: breaker\""),
+            std::string::npos);
+  bool saw_span = false;
+  bool saw_metric = false;
+  for (const std::string& line : lines) {
+    if (line.find("\"record\":\"span\"") != std::string::npos &&
+        line.find("test.ctx_flight") != std::string::npos) {
+      saw_span = true;
+    }
+    if (line.find("\"record\":\"metric\"") != std::string::npos &&
+        line.find("tracer_test_flight_total") != std::string::npos) {
+      saw_metric = true;
+    }
+  }
+  EXPECT_TRUE(saw_span);
+  EXPECT_TRUE(saw_metric);
+}
+
+TEST_F(TraceContextTest, FlightRecorderHonoursCountAndRateBudget) {
+  SetEnabled(true);
+  FlightRecorder& recorder = FlightRecorder::Global();
+  recorder.SetDirectoryForTest(FlightDir("flight_budget"));
+  // Rate limit: with a huge min interval, only the first dump lands.
+  recorder.SetLimitsForTest(/*max_dumps=*/8,
+                            /*min_interval_ns=*/3'600'000'000'000ull);
+  EXPECT_FALSE(recorder.Dump("first").empty());
+  EXPECT_TRUE(recorder.Dump("rate_limited").empty());
+  EXPECT_EQ(recorder.triggers(), 2u);
+  EXPECT_EQ(recorder.dumps_written(), 1u);
+
+  // Count limit: budget exhausted after max_dumps writes.
+  recorder.ResetForTest();
+  recorder.SetDirectoryForTest(FlightDir("flight_budget2"));
+  recorder.SetLimitsForTest(/*max_dumps=*/2, /*min_interval_ns=*/0);
+  EXPECT_FALSE(recorder.Dump("one").empty());
+  EXPECT_FALSE(recorder.Dump("two").empty());
+  EXPECT_TRUE(recorder.Dump("over_budget").empty());
+  EXPECT_EQ(recorder.dumps_written(), 2u);
+}
+
+TEST_F(TraceContextTest, FlightRecorderInertWithoutDirectoryOrObs) {
+  SetEnabled(true);
+  FlightRecorder& recorder = FlightRecorder::Global();
+  // No directory configured: triggers count, nothing is written.
+  recorder.SetDirectoryForTest("");
+  EXPECT_TRUE(recorder.Dump("nowhere").empty());
+  EXPECT_EQ(recorder.dumps_written(), 0u);
+  // Observability disabled: TriggerFlightDump is a no-op even with a dir.
+  SetEnabled(false);
+  recorder.SetDirectoryForTest(FlightDir("flight_disabled"));
+  TriggerFlightDump("disabled");
+  EXPECT_EQ(recorder.triggers(), 1u);  // only the "nowhere" attempt
+}
+
+TEST_F(TraceContextTest, FaultFireTriggersFlightDump) {
+  SetEnabled(true);
+  FlightRecorder& recorder = FlightRecorder::Global();
+  const std::string dir = FlightDir("flight_fault");
+  recorder.SetDirectoryForTest(dir);
+  recorder.SetLimitsForTest(/*max_dumps=*/8, /*min_interval_ns=*/0);
+
+  // Arm a fault point to fire exactly once; the fire must leave evidence.
+  ASSERT_TRUE(
+      fault::FaultRegistry::Global().Configure("serve.score:1:1").ok());
+  EXPECT_TRUE(TRACER_FAULT_POINT("serve.score"));
+  EXPECT_EQ(fault::FaultRegistry::Global().FireCount("serve.score"), 1);
+  EXPECT_EQ(recorder.dumps_written(), 1u);
+  // Healed (budget exhausted): no further dumps.
+  EXPECT_FALSE(TRACER_FAULT_POINT("serve.score"));
+  EXPECT_EQ(recorder.dumps_written(), 1u);
+}
+
+#endif  // TRACER_OBS == 0
+
+}  // namespace
+}  // namespace obs
+}  // namespace tracer

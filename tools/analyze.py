@@ -34,6 +34,12 @@ PR 6 introduced:
                              (the repo caches handles in function-local
                              statics; a second site for the same name is a
                              copy/paste fork of that cache).
+  A5 obs-naming              Observability names follow the conventions:
+                             metric literals at GetOrCreate* sites under
+                             src/ must match tracer_[a-z0-9_]+, span
+                             literals (TRACER_SPAN / RecordSpan) must be
+                             lowercase <subsystem>.<operation>, and each
+                             span name is opened at exactly one site.
 
 Engine: when python bindings for libclang are importable
 (`clang.cindex`) and --compile-commands points at a compile_commands.json
@@ -91,12 +97,20 @@ RAW_SYNC_RE = re.compile(
 A1_ALLOWLIST = (os.path.join("src", "common", "mutex.h"),)
 
 METRIC_FACTORY_RE = re.compile(
-    r"GetOrCreate(Counter|Gauge|Histogram)\s*\(")
+    r"GetOrCreate(Counter|Gauge|Histogram|LogHistogram)\s*\(")
 STRING_LITERAL_RE = re.compile(r'"([^"\\]*(?:\\.[^"\\]*)*)"')
 METRIC_NAME_RE = re.compile(r"^[A-Za-z_][\w.]*$")
 FAULT_POINT_USE_RE = re.compile(r'TRACER_FAULT_POINT\s*\(\s*"([^"]+)"\s*\)')
 FAULT_POINT_ENTRY_RE = re.compile(r'X\s*\(\s*"([^"]+)"')
 INCLUDE_RE = re.compile(r'#\s*include\s*"([^"]+)"')
+
+# A5: observability naming conventions (DESIGN.md "Observability").
+# Metrics: tracer_<layer>_<name>, lower_snake. Spans (TRACER_SPAN and the
+# first literal of obs::RecordSpan): <subsystem>.<operation>, lowercase
+# dotted, at least two segments.
+A5_METRIC_NAME_RE = re.compile(r"^tracer_[a-z0-9_]+$")
+A5_SPAN_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
+SPAN_SITE_RE = re.compile(r'(?:TRACER_SPAN|RecordSpan)\s*\(\s*"([^"]+)"')
 
 
 class Findings:
@@ -393,6 +407,57 @@ def check_a4(root, findings, engine_notes):
 
 
 # --------------------------------------------------------------------------
+# A5: span/metric naming conventions and span-site uniqueness.
+# --------------------------------------------------------------------------
+
+def check_a5(root, findings, engine_notes):
+    """Both directions of the observability naming contract under src/:
+    every registered name follows the convention, and every span name is
+    opened at exactly one site (a duplicated span name makes a trace
+    ambiguous about which code path produced it). Metric *duplication* is
+    A4's half of the contract; A5 owns the spelling."""
+    n_metrics = 0
+    span_sites = {}
+    for path in walk_files(root, ("src",), ALL_EXTENSIONS):
+        text = strip_comments_and_strings(read_file(path), keep_strings=True)
+        for match in METRIC_FACTORY_RE.finditer(text):
+            open_pos = text.find("(", match.end() - 1)
+            span_end = matching_paren_span(text, open_pos)
+            for lit in STRING_LITERAL_RE.finditer(text, open_pos, span_end):
+                n_metrics += 1
+                name = lit.group(1)
+                if not A5_METRIC_NAME_RE.match(name):
+                    findings.add(
+                        path, line_of(text, lit.start()), "A5",
+                        'metric name "%s" violates the tracer_<layer>_<name> '
+                        "convention (tracer_[a-z0-9_]+)" % name)
+                break  # first literal only: histogram bounds etc. follow
+        for match in SPAN_SITE_RE.finditer(text):
+            name = match.group(1)
+            site = (path, line_of(text, match.start(1)))
+            if not A5_SPAN_NAME_RE.match(name):
+                findings.add(
+                    path, site[1], "A5",
+                    'span name "%s" violates the <subsystem>.<operation> '
+                    "convention (lowercase dotted)" % name)
+            span_sites.setdefault(name, []).append(site)
+    dup = 0
+    for name, locations in sorted(span_sites.items()):
+        if len(locations) > 1:
+            dup += 1
+            first = "%s:%d" % (os.path.relpath(locations[0][0], root),
+                               locations[0][1])
+            for path, line in locations[1:]:
+                findings.add(
+                    path, line, "A5",
+                    'span "%s" is opened at multiple sites (first: %s); '
+                    "give each code path its own span name" % (name, first))
+    engine_notes.append(
+        "A5: %d metric literals, %d span names, %d duplicate span(s)"
+        % (n_metrics, len(span_sites), dup))
+
+
+# --------------------------------------------------------------------------
 # Driver.
 # --------------------------------------------------------------------------
 
@@ -427,6 +492,7 @@ def run_analysis(root, compile_commands=None, force_tokens=False):
     check_a2(root, findings, engine_notes)
     check_a3(root, findings, engine_notes)
     check_a4(root, findings, engine_notes)
+    check_a5(root, findings, engine_notes)
     return findings, engine_notes
 
 
@@ -442,6 +508,9 @@ SELF_TEST_EXPECTED = sorted([
     ("src/fx/a4_fault_use.cc", "A4"),        # unknown point used
     ("src/fault/fault_points.h", "A4"),      # registered point unused
     ("src/fx/a4_metric_two.cc", "A4"),       # duplicate metric name
+    ("src/fx/a5_metric_name.cc", "A5"),      # metric naming convention
+    ("src/fx/a5_span_name.cc", "A5"),        # span naming convention
+    ("src/fx/a5_span_dup_two.cc", "A5"),     # duplicate span site
 ])
 
 
