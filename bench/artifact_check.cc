@@ -60,6 +60,34 @@ bool CheckFile(const std::string& path) {
                 path.c_str());
     return false;
   }
+  // The fidelity artifact must carry every <method>.<stage> section plus
+  // the fields trend tooling plots (curve AUCs, monotonicity, attribution
+  // mass quantiles, the two correlation gates) — a run that silently drops
+  // a method or stage would otherwise upload as a hole in the history.
+  if (text.find("\"bench\":\"interp_fidelity\"") != std::string::npos) {
+    for (const char* method : {"native", "ig", "occlusion"}) {
+      for (const char* stage :
+           {"deletion", "insertion", "rank_corr", "randomization"}) {
+        const std::string section =
+            std::string("\"name\":\"") + method + "." + stage + "\"";
+        if (text.find(section) == std::string::npos) {
+          std::printf("FAIL %s: missing fidelity section %s.%s\n",
+                      path.c_str(), method, stage);
+          return false;
+        }
+      }
+    }
+    for (const char* field :
+         {"\"auc_drop\":", "\"auc_gain\":", "\"monotone\":", "\"p25\":",
+          "\"p50\":", "\"p75\":", "\"rank_correlation\":",
+          "\"attr_correlation\":"}) {
+      if (text.find(field) == std::string::npos) {
+        std::printf("FAIL %s: fidelity artifact lacks field %s\n",
+                    path.c_str(), field);
+        return false;
+      }
+    }
+  }
   std::printf("OK   %s\n", path.c_str());
   return true;
 }

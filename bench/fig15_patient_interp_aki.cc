@@ -19,8 +19,9 @@ int main() {
 
   tracer::bench::PrintHeader(
       "Figure 15: patient-level interpretation (NUH-AKI)");
-  const std::vector<int> patients = tracer::bench::HighestRiskSamples(
-      *tracer_framework, data.splits.test, 2);
+  const std::vector<int> patients = tracer::interpret::TopRiskSamples(
+      tracer_framework->model().Predict(data.splits.test), data.splits.test,
+      2);
   const std::vector<std::string> features = {"NEUP", "ICAP", "NP",
                                              "WBC",  "CO2",  "NA"};
   for (int sample : patients) {
@@ -39,8 +40,8 @@ int main() {
     }
     std::printf("  NEUP FI slope %+0.4f vs WBC FI slope %+0.4f "
                 "(paper: NEUP rising, WBC stable)\n\n",
-                tracer::bench::Slope(neup_curve),
-                tracer::bench::Slope(wbc_curve));
+                tracer::interpret::Slope(neup_curve),
+                tracer::interpret::Slope(wbc_curve));
   }
   return 0;
 }

@@ -41,8 +41,9 @@ int main() {
 
   tracer::bench::PrintHeader(
       "Figure 16: patient-level interpretation (MIMIC-III)");
-  const std::vector<int> patients = tracer::bench::HighestRiskSamples(
-      *tracer_framework, data.splits.test, 2);
+  const std::vector<int> patients = tracer::interpret::TopRiskSamples(
+      tracer_framework->model().Predict(data.splits.test), data.splits.test,
+      2);
   const std::vector<std::string> features = {"O2", "PH", "CO2", "TEMP",
                                              "BE"};
   for (int sample : patients) {

@@ -28,7 +28,7 @@ int main() {
         tracer_framework->InterpretFeature(data.splits.test, name);
     const std::vector<double> means =
         tracer::bench::PrintFeatureInterpretation(interp);
-    slopes.push_back(tracer::bench::Slope(means));
+    slopes.push_back(tracer::interpret::Slope(means));
   }
   tracer::bench::PrintRule();
   std::printf("FI-mean slope per window (|slope| large = varying pattern, "

@@ -45,7 +45,7 @@ int main() {
     stock_abs_fi.push_back(abs_fi / interp.windows.size());
     std::printf("  FI-mean slope over windows: %+0.5f (paper: stable over "
                 "the short horizon)\n\n",
-                tracer::bench::Slope(means));
+                tracer::interpret::Slope(means));
   }
   tracer::bench::PrintRule();
   std::printf("mean |FI|: AMZN %.5f  LRCX %.5f  VIAB %.5f\n",

@@ -36,7 +36,7 @@ int main() {
         tracer_framework->InterpretFeature(data.splits.test, name);
     const std::vector<double> means =
         tracer::bench::PrintFeatureInterpretation(interp);
-    const double slope = tracer::bench::Slope(means);
+    const double slope = tracer::interpret::Slope(means);
     if (name == "SL_SOUTH") {
       south_slope = slope;
     } else {

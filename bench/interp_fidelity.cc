@@ -1,0 +1,212 @@
+// Fidelity artifact for the attribution subsystem (src/interpret): runs the
+// robustness suite — deletion/insertion perturbation curves, planted
+// ground-truth rank correlation and the model-randomization sanity check —
+// for every attribution method on the NUH-AKI cohort, prints a summary
+// table, and writes BENCH_interp_fidelity.json when TRACER_BENCH_JSON is
+// set.
+//
+// Artifact layout: sections are named "<method>.<stage>" with methods
+// {native, ig, occlusion} and stages {deletion, insertion, rank_corr,
+// randomization}. Deletion/insertion sections carry the curve AUC
+// ("auc_drop" / "auc_gain"), a "monotone" flag and the p25/p50/p75
+// quantiles of per-sample attribution mass Σ|fi|; rank_corr carries
+// "rank_correlation" against the generator's planted relevances;
+// randomization carries "attr_correlation" against an untrained model.
+// bench/artifact_check.cc gates this layout before CI uploads the file.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/interp_shared.h"
+#include "interpret/adapters.h"
+#include "interpret/fidelity.h"
+#include "obs/json.h"
+
+namespace {
+
+using tracer::Tensor;
+namespace interpret = tracer::interpret;
+
+/// Quantiles of per-sample attribution mass Σ|fi| — the "how much signal
+/// did the method place" distribution the artifact tracks across runs.
+struct MassQuantiles {
+  double p25 = 0.0;
+  double p50 = 0.0;
+  double p75 = 0.0;
+};
+
+MassQuantiles AttributionMass(const interpret::AttributionResult& result) {
+  std::vector<double> mass;
+  mass.reserve(result.samples.size());
+  for (const interpret::SampleAttribution& sample : result.samples) {
+    double total = 0.0;
+    for (const std::vector<float>& window : sample.fi) {
+      for (float v : window) total += std::fabs(v);
+    }
+    mass.push_back(total);
+  }
+  std::sort(mass.begin(), mass.end());
+  auto quantile = [&](double q) {
+    return mass[static_cast<size_t>(q * (mass.size() - 1))];
+  };
+  MassQuantiles out;
+  out.p25 = quantile(0.25);
+  out.p50 = quantile(0.50);
+  out.p75 = quantile(0.75);
+  return out;
+}
+
+double SecondsSince(uint64_t t0_ns) {
+  return static_cast<double>(tracer::obs::MonotonicNowNs() - t0_ns) * 1e-9;
+}
+
+}  // namespace
+
+int main() {
+  const tracer::bench::BenchOptions options;
+
+  // Generate the cohort directly (instead of PrepareAkiCohort) so the
+  // generator's feature panel — and with it the planted relevances — stays
+  // in hand for the rank-correlation stage.
+  tracer::datagen::EmrCohortConfig config =
+      tracer::datagen::NuhAkiDefaultConfig();
+  config.num_samples = options.samples;
+  config.seed = 7;
+  const tracer::datagen::EmrCohort cohort =
+      tracer::datagen::GenerateNuhAkiCohort(config);
+  const tracer::bench::PreparedData data =
+      tracer::bench::Prepare(cohort.dataset, 8);
+  auto tracer_framework = tracer::bench::TrainTracer(data, options);
+  tracer::core::Titv& model = tracer_framework->model();
+
+  // Evaluation subset: occlusion and the perturbation curves cost O(T·D)
+  // forward passes per sample, so a capped slice of the test split keeps
+  // the suite interactive at any cohort size.
+  const int eval_n = std::min(48, data.splits.test.num_samples());
+  std::vector<int> subset(eval_n);
+  for (int i = 0; i < eval_n; ++i) subset[i] = i;
+  const tracer::data::Batch batch =
+      tracer::data::MakeBatch(data.splits.test, subset);
+  const std::vector<Tensor>& xs = batch.xs;
+
+  interpret::ModelScorer scorer = interpret::WrapSequenceModel(&model);
+  const interpret::BaselineBuilder zero(interpret::BaselineKind::kZero);
+
+  // Freshly initialised, never-trained twin for the randomization check.
+  tracer::core::TitvConfig random_config;
+  random_config.input_dim = data.input_dim;
+  random_config.rnn_dim = options.rnn_dim;
+  random_config.film_dim = options.film_dim;
+  random_config.seed = 91;
+  tracer::core::Titv random_model(random_config);
+
+  auto attribute = [&](const std::string& method, tracer::core::Titv* m) {
+    interpret::ModelScorer s = interpret::WrapSequenceModel(m);
+    if (method == "native") {
+      interpret::TitvAttributor attributor(m, /*classification=*/true);
+      return attributor.Attribute(xs);
+    }
+    if (method == "ig") {
+      interpret::IntegratedGradientsOptions ig;
+      ig.steps = 16;
+      interpret::IntegratedGradients attributor(s.tape, zero, ig, s.reset);
+      return attributor.Attribute(xs);
+    }
+    interpret::Occlusion attributor(s.score, zero);
+    return attributor.Attribute(xs);
+  };
+
+  tracer::bench::BenchArtifact artifact("interp_fidelity");
+  artifact.AddConfig("samples", static_cast<int64_t>(options.samples));
+  artifact.AddConfig("eval_samples", static_cast<int64_t>(eval_n));
+  artifact.AddConfig("epochs", static_cast<int64_t>(options.epochs));
+  artifact.AddConfig("baseline", interpret::BaselineName(zero.kind()));
+
+  const std::vector<double> relevance =
+      interpret::PlantedRelevance(cohort.panel);
+
+  tracer::bench::PrintHeader("Attribution fidelity suite (NUH-AKI)");
+  std::printf("%-10s %-10s %-10s %-10s %-10s %-10s\n", "method", "del_auc",
+              "ins_auc", "monotone", "rank_corr", "rand_corr");
+
+  for (const char* method : {"native", "ig", "occlusion"}) {
+    uint64_t t0 = tracer::obs::MonotonicNowNs();
+    const interpret::AttributionResult attribution = attribute(method, &model);
+    const double attr_s = SecondsSince(t0);
+    const MassQuantiles mass = AttributionMass(attribution);
+
+    t0 = tracer::obs::MonotonicNowNs();
+    const interpret::FidelityCurve deletion =
+        interpret::DeletionCurve(scorer.score, xs, attribution, zero);
+    const double deletion_s = attr_s + SecondsSince(t0);
+    const bool deletion_monotone =
+        interpret::MonotoneWithin(deletion, /*non_increasing=*/true, 0.05);
+
+    t0 = tracer::obs::MonotonicNowNs();
+    const interpret::FidelityCurve insertion =
+        interpret::InsertionCurve(scorer.score, xs, attribution, zero);
+    const double insertion_s = SecondsSince(t0);
+    const bool insertion_monotone =
+        interpret::MonotoneWithin(insertion, /*non_increasing=*/false, 0.05);
+
+    t0 = tracer::obs::MonotonicNowNs();
+    const double rank_corr = interpret::SpearmanRankCorrelation(
+        interpret::MeanAbsPerFeature(attribution), relevance);
+    const double rank_s = SecondsSince(t0);
+
+    t0 = tracer::obs::MonotonicNowNs();
+    const interpret::AttributionResult randomized =
+        attribute(method, &random_model);
+    const double attr_corr =
+        interpret::AttributionCorrelation(attribution, randomized);
+    const double randomization_s = SecondsSince(t0);
+
+    std::printf("%-10s %+-10.4f %+-10.4f %-10s %+-10.4f %+-10.4f\n", method,
+                deletion.auc, insertion.auc,
+                deletion_monotone && insertion_monotone ? "yes" : "no",
+                rank_corr, attr_corr);
+
+    {
+      tracer::obs::JsonObject section;
+      section.Add("name", std::string(method) + ".deletion");
+      section.Add("wall_time_s", deletion_s);
+      section.Add("auc_drop", deletion.auc);
+      section.Add("monotone", deletion_monotone);
+      section.Add("p25", mass.p25);
+      section.Add("p50", mass.p50);
+      section.Add("p75", mass.p75);
+      artifact.AddSectionRaw(section.Build());
+    }
+    {
+      tracer::obs::JsonObject section;
+      section.Add("name", std::string(method) + ".insertion");
+      section.Add("wall_time_s", insertion_s);
+      section.Add("auc_gain", insertion.auc);
+      section.Add("monotone", insertion_monotone);
+      section.Add("p25", mass.p25);
+      section.Add("p50", mass.p50);
+      section.Add("p75", mass.p75);
+      artifact.AddSectionRaw(section.Build());
+    }
+    {
+      tracer::obs::JsonObject section;
+      section.Add("name", std::string(method) + ".rank_corr");
+      section.Add("wall_time_s", rank_s);
+      section.Add("rank_correlation", rank_corr);
+      artifact.AddSectionRaw(section.Build());
+    }
+    {
+      tracer::obs::JsonObject section;
+      section.Add("name", std::string(method) + ".randomization");
+      section.Add("wall_time_s", randomization_s);
+      section.Add("attr_correlation", attr_corr);
+      artifact.AddSectionRaw(section.Build());
+    }
+  }
+
+  artifact.WriteIfRequested();
+  return 0;
+}

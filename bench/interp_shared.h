@@ -4,17 +4,18 @@
 // Shared plumbing for the interpretation harnesses (Figures 15–20): train
 // a TRACER instance on a prepared cohort (best-validation checkpoint, as
 // the paper does before plotting), then print Feature Importance – Time
-// Window series.
+// Window series. Sample selection and curve summarisation live in the
+// attribution library (interpret::TopRiskSamples, interpret::Slope); this
+// header keeps only the bench-side training and printing glue.
 
-#include <algorithm>
 #include <cstdio>
 #include <memory>
-#include <numeric>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "core/tracer.h"
+#include "interpret/summary.h"
 
 namespace tracer {
 namespace bench {
@@ -36,25 +37,6 @@ inline std::unique_ptr<core::Tracer> TrainTracer(const PreparedData& data,
   auto tracer_framework = std::make_unique<core::Tracer>(config);
   tracer_framework->Train(data.splits.train, data.splits.val);
   return tracer_framework;
-}
-
-/// Indices of the `count` positively-labelled test samples with the
-/// highest predicted probability — the paper's interpretation figures
-/// study representative patients who actually developed AKI / passed away.
-inline std::vector<int> HighestRiskSamples(core::Tracer& tracer_framework,
-                                           const data::TimeSeriesDataset& ds,
-                                           int count) {
-  const std::vector<float> probs = tracer_framework.model().Predict(ds);
-  std::vector<int> order;
-  for (size_t i = 0; i < probs.size(); ++i) {
-    if (ds.label(static_cast<int>(i)) > 0.5f) {
-      order.push_back(static_cast<int>(i));
-    }
-  }
-  std::sort(order.begin(), order.end(),
-            [&](int a, int b) { return probs[a] > probs[b]; });
-  order.resize(std::min<size_t>(order.size(), count));
-  return order;
 }
 
 /// Prints one patient's FI curves for the named features, one row per
@@ -98,22 +80,6 @@ inline std::vector<double> PrintFeatureInterpretation(
     means.push_back(w.mean);
   }
   return means;
-}
-
-/// Linear trend (least-squares slope) of a series — used to classify FI
-/// curves as rising / stable / falling when summarising figures.
-inline double Slope(const std::vector<double>& series) {
-  const int n = static_cast<int>(series.size());
-  if (n < 2) return 0.0;
-  double sx = 0, sy = 0, sxx = 0, sxy = 0;
-  for (int i = 0; i < n; ++i) {
-    sx += i;
-    sy += series[i];
-    sxx += static_cast<double>(i) * i;
-    sxy += i * series[i];
-  }
-  const double denom = n * sxx - sx * sx;
-  return denom == 0.0 ? 0.0 : (n * sxy - sx * sy) / denom;
 }
 
 }  // namespace bench

@@ -37,6 +37,14 @@ void Variable::ZeroGrad() {
   node_->backward_runs = 0;
 }
 
+Tensor Variable::TakeGrad() {
+  TRACER_CHECK(defined());
+  node_->backward_runs = 0;
+  if (!node_->grad_allocated) return Tensor::Zeros(node_->value.shape());
+  node_->grad_allocated = false;
+  return std::move(node_->grad);
+}
+
 namespace {
 
 void TopoSort(const NodePtr& root, std::vector<Node*>* order) {

@@ -63,6 +63,14 @@ class Variable {
   /// Zeroes the accumulated gradient (no-op if never allocated).
   void ZeroGrad();
 
+  /// Moves the accumulated gradient out of this node and resets it to the
+  /// unallocated state (the next Backward starts from zero). Returns a zero
+  /// tensor when no gradient was ever deposited. The bulk-consume
+  /// counterpart of grad() for callers that harvest input gradients once per
+  /// pass — e.g. integrated gradients over input leaves — without paying a
+  /// copy plus ZeroGrad.
+  Tensor TakeGrad();
+
   /// Runs reverse-mode differentiation from this (scalar, 1×1) variable:
   /// seeds d(this)/d(this) = 1 and accumulates gradients into every
   /// reachable node with requires_grad. Gradients of parameters are

@@ -1,10 +1,8 @@
 #include "core/tracer.h"
 
-#include <algorithm>
-#include <cmath>
-#include <numeric>
-
 #include "common/macros.h"
+#include "interpret/adapters.h"
+#include "interpret/summary.h"
 #include "nn/serialization.h"
 
 namespace tracer {
@@ -44,19 +42,13 @@ PatientInterpretation Tracer::InterpretPatient(
   const data::Batch batch = data::MakeBatch(dataset, {sample_index});
   const bool classification =
       dataset.task() == data::TaskType::kBinaryClassification;
-  const FeatureImportanceTrace trace =
-      model_->ComputeFeatureImportance(batch, classification);
+  interpret::TitvAttributor attributor(model_.get(), classification);
+  const interpret::AttributionResult result = attributor.Attribute(batch.xs);
   PatientInterpretation out;
   out.sample_index = sample_index;
-  out.probability = trace.outputs.at(0, 0);
+  out.probability = result.samples[0].score;
   out.feature_names = dataset.feature_names();
-  out.fi.resize(trace.fi.size());
-  for (size_t t = 0; t < trace.fi.size(); ++t) {
-    out.fi[t].resize(dataset.num_features());
-    for (int d = 0; d < dataset.num_features(); ++d) {
-      out.fi[t][d] = trace.fi[t].at(0, d);
-    }
-  }
+  out.fi = result.samples[0].fi;
   return out;
 }
 
@@ -65,67 +57,27 @@ FeatureInterpretation Tracer::InterpretFeature(
     const std::vector<int>& restrict_to) {
   const int feature = dataset.FeatureIndex(feature_name);
   TRACER_CHECK_GE(feature, 0) << "unknown feature " << feature_name;
-  std::vector<int> cohort = restrict_to;
-  if (cohort.empty()) {
-    cohort.resize(dataset.num_samples());
-    std::iota(cohort.begin(), cohort.end(), 0);
-  }
   const bool classification =
       dataset.task() == data::TaskType::kBinaryClassification;
-
+  interpret::TitvAttributor attributor(model_.get(), classification);
+  const std::vector<interpret::WindowStats> stats =
+      interpret::FeatureDistribution(attributor, dataset, feature,
+                                     restrict_to);
   FeatureInterpretation out;
   out.feature_name = feature_name;
   out.feature_index = feature;
-  out.windows.resize(dataset.num_windows());
-  std::vector<std::vector<float>> per_window(dataset.num_windows());
-
-  // Batch the cohort through the model, collecting this feature's FI.
-  constexpr int kBatch = 256;
-  for (size_t begin = 0; begin < cohort.size(); begin += kBatch) {
-    const size_t end = std::min(cohort.size(), begin + kBatch);
-    const std::vector<int> idx(cohort.begin() + begin,
-                               cohort.begin() + end);
-    const data::Batch batch = data::MakeBatch(dataset, idx);
-    const FeatureImportanceTrace trace =
-        model_->ComputeFeatureImportance(batch, classification);
-    for (int t = 0; t < dataset.num_windows(); ++t) {
-      for (int b = 0; b < batch.batch_size(); ++b) {
-        per_window[t].push_back(trace.fi[t].at(b, feature));
-      }
-    }
-  }
-
-  for (int t = 0; t < dataset.num_windows(); ++t) {
-    std::vector<float>& values = per_window[t];
-    TRACER_CHECK(!values.empty());
-    std::sort(values.begin(), values.end());
-    FeatureImportanceDistribution dist;
-    dist.window = t;
-    double sum = 0.0;
-    double abs_sum = 0.0;
-    for (float v : values) {
-      sum += v;
-      abs_sum += std::fabs(v);
-    }
-    dist.mean = static_cast<float>(sum / values.size());
-    dist.mean_abs = static_cast<float>(abs_sum / values.size());
-    double sq = 0.0;
-    for (float v : values) {
-      sq += (v - dist.mean) * (v - dist.mean);
-    }
-    dist.stddev = values.size() > 1
-                      ? static_cast<float>(std::sqrt(sq / (values.size() - 1)))
-                      : 0.0f;
-    auto quantile = [&](double q) {
-      const size_t pos = static_cast<size_t>(q * (values.size() - 1));
-      return values[pos];
-    };
-    dist.min = values.front();
-    dist.p25 = quantile(0.25);
-    dist.median = quantile(0.5);
-    dist.p75 = quantile(0.75);
-    dist.max = values.back();
-    out.windows[t] = dist;
+  out.windows.resize(stats.size());
+  for (size_t t = 0; t < stats.size(); ++t) {
+    FeatureImportanceDistribution& dist = out.windows[t];
+    dist.window = stats[t].window;
+    dist.mean = stats[t].mean;
+    dist.mean_abs = stats[t].mean_abs;
+    dist.stddev = stats[t].stddev;
+    dist.p25 = stats[t].p25;
+    dist.median = stats[t].median;
+    dist.p75 = stats[t].p75;
+    dist.min = stats[t].min;
+    dist.max = stats[t].max;
   }
   return out;
 }

@@ -30,6 +30,8 @@
     "parallel/thread_pool: Submit spuriously rejects a task")               \
   X("pipeline.clean",                                                       \
     "pipeline/emr_pipeline: the cleaning/imputation stage fails "           \
-    "transiently")
+    "transiently")                                                           \
+  X("interpret.explain",                                                     \
+    "serve/server: computing attributions for an explain batch fails")
 
 #endif  // TRACER_FAULT_FAULT_POINTS_H_

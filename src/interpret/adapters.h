@@ -1,0 +1,52 @@
+#ifndef TRACER_INTERPRET_ADAPTERS_H_
+#define TRACER_INTERPRET_ADAPTERS_H_
+
+#include "baselines/gbdt.h"
+#include "core/titv.h"
+#include "interpret/attribution.h"
+#include "nn/sequence_model.h"
+
+namespace tracer {
+namespace interpret {
+
+/// Scoring closures of one model, in the shapes the attributors consume.
+/// Scores are the model's raw outputs (logits for classification): additive
+/// offsets and monotone activations do not change attribution rankings, and
+/// raw outputs keep IG completeness exact on linear models.
+struct ModelScorer {
+  ScoreFn score;
+  TapeScoreFn tape;
+  /// Zeroes the model's parameter gradients; IntegratedGradients calls this
+  /// after every backward pass so attribution never pollutes training state.
+  std::function<void()> reset;
+};
+
+/// Wraps any nn::SequenceModel (TITV, LR, the RNN baselines) for both
+/// black-box and gradient-based attribution.
+ModelScorer WrapSequenceModel(nn::SequenceModel* model);
+
+/// Wraps a trained GBDT: windows are averaged per feature (the same
+/// aggregation the baseline trains on) and scored with the raw boosted
+/// score. Trees have no useful gradients, so GBDT gets occlusion only.
+ScoreFn WrapGbdt(const baselines::Gbdt* model);
+
+/// Adapter over TITV's native Eq. 17 importances, free with one forward
+/// pass. `score` / `baseline_score` report the model output in task units
+/// (a probability for classification); `baseline_score` is 0 — the native
+/// method has no reference input.
+class TitvAttributor : public Attributor {
+ public:
+  explicit TitvAttributor(core::Titv* model, bool classification = true);
+
+  Method method() const override { return Method::kTitvNative; }
+  AttributionResult Attribute(const std::vector<Tensor>& xs) override;
+
+ private:
+  core::Titv* model_;
+  bool classification_;
+};
+
+}  // namespace interpret
+}  // namespace tracer
+
+#endif  // TRACER_INTERPRET_ADAPTERS_H_

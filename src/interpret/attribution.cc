@@ -1,0 +1,314 @@
+#include "interpret/attribution.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/macros.h"
+#include "data/imputation.h"
+#include "parallel/parallel_for.h"
+
+namespace tracer {
+namespace interpret {
+
+const char* MethodName(Method method) {
+  switch (method) {
+    case Method::kTitvNative:
+      return "native";
+    case Method::kIntegratedGradients:
+      return "ig";
+    case Method::kOcclusion:
+      return "occlusion";
+  }
+  return "unknown";
+}
+
+const char* BaselineName(BaselineKind kind) {
+  switch (kind) {
+    case BaselineKind::kZero:
+      return "zero";
+    case BaselineKind::kCarryForward:
+      return "carry_forward";
+    case BaselineKind::kPopulationMean:
+      return "population_mean";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// One-sample dataset holding `series`, the shape data::Impute consumes.
+data::TimeSeriesDataset SeriesDataset(
+    const std::vector<std::vector<float>>& series) {
+  const int T = static_cast<int>(series.size());
+  const int D = static_cast<int>(series[0].size());
+  data::TimeSeriesDataset ds(data::TaskType::kBinaryClassification, 1, T, D);
+  for (int t = 0; t < T; ++t) {
+    for (int d = 0; d < D; ++d) ds.at(0, t, d) = series[t][d];
+  }
+  return ds;
+}
+
+}  // namespace
+
+void BaselineBuilder::FitPopulation(const data::TimeSeriesDataset& reference) {
+  TRACER_CHECK_GT(reference.num_samples(), 0);
+  population_mean_.assign(reference.num_features(), 0.0f);
+  for (int d = 0; d < reference.num_features(); ++d) {
+    double sum = 0.0;
+    for (int s = 0; s < reference.num_samples(); ++s) {
+      for (int t = 0; t < reference.num_windows(); ++t) {
+        sum += reference.at(s, t, d);
+      }
+    }
+    population_mean_[d] = static_cast<float>(
+        sum / (static_cast<double>(reference.num_samples()) *
+               reference.num_windows()));
+  }
+  fitted_ = true;
+}
+
+std::vector<std::vector<float>> BaselineBuilder::Series(
+    const std::vector<std::vector<float>>& series) const {
+  TRACER_CHECK(!series.empty());
+  const int T = static_cast<int>(series.size());
+  const int D = static_cast<int>(series[0].size());
+  std::vector<std::vector<float>> out(T, std::vector<float>(D, 0.0f));
+  switch (kind_) {
+    case BaselineKind::kZero:
+      break;
+    case BaselineKind::kCarryForward: {
+      // Mark everything after window 0 unobserved (the mask constructs
+      // fully observed) and forward-fill: the baseline is the admission
+      // state frozen over the whole series.
+      data::TimeSeriesDataset ds = SeriesDataset(series);
+      data::MissingnessMask mask(1, T, D);
+      for (int t = 1; t < T; ++t) {
+        for (int d = 0; d < D; ++d) mask.set_observed(0, t, d, false);
+      }
+      data::Impute(&ds, mask, data::ImputationStrategy::kForwardFill);
+      for (int t = 0; t < T; ++t) {
+        for (int d = 0; d < D; ++d) out[t][d] = ds.at(0, t, d);
+      }
+      break;
+    }
+    case BaselineKind::kPopulationMean:
+      TRACER_CHECK(fitted_)
+          << "population-mean baseline used before FitPopulation";
+      TRACER_CHECK_EQ(static_cast<int>(population_mean_.size()), D);
+      for (int t = 0; t < T; ++t) {
+        for (int d = 0; d < D; ++d) out[t][d] = population_mean_[d];
+      }
+      break;
+  }
+  return out;
+}
+
+float BaselineBuilder::Cell(const std::vector<std::vector<float>>& series,
+                            int window, int feature) const {
+  switch (kind_) {
+    case BaselineKind::kZero:
+      return 0.0f;
+    case BaselineKind::kCarryForward: {
+      // Mask exactly the occluded cell; forward fill carries the previous
+      // window's value in (window 0 falls back to the feature's observed
+      // mean, per the imputation contract).
+      const int T = static_cast<int>(series.size());
+      const int D = static_cast<int>(series[0].size());
+      data::TimeSeriesDataset ds = SeriesDataset(series);
+      data::MissingnessMask mask(1, T, D);
+      for (int t = 0; t < T; ++t) {
+        for (int d = 0; d < D; ++d) mask.set_observed(0, t, d, true);
+      }
+      mask.set_observed(0, window, feature, false);
+      data::Impute(&ds, mask, data::ImputationStrategy::kForwardFill);
+      return ds.at(0, window, feature);
+    }
+    case BaselineKind::kPopulationMean:
+      TRACER_CHECK(fitted_)
+          << "population-mean baseline used before FitPopulation";
+      return population_mean_[feature];
+  }
+  return 0.0f;
+}
+
+std::vector<std::vector<float>> SampleSeries(const std::vector<Tensor>& xs,
+                                             int row) {
+  TRACER_CHECK(!xs.empty());
+  const int T = static_cast<int>(xs.size());
+  const int D = xs[0].cols();
+  std::vector<std::vector<float>> series(T, std::vector<float>(D));
+  for (int t = 0; t < T; ++t) {
+    for (int d = 0; d < D; ++d) series[t][d] = xs[t].at(row, d);
+  }
+  return series;
+}
+
+std::vector<Tensor> PackSeries(
+    const std::vector<std::vector<std::vector<float>>>& series) {
+  TRACER_CHECK(!series.empty());
+  const int B = static_cast<int>(series.size());
+  const int T = static_cast<int>(series[0].size());
+  const int D = static_cast<int>(series[0][0].size());
+  std::vector<Tensor> xs(T);
+  for (int t = 0; t < T; ++t) {
+    Tensor w({B, D});
+    for (int b = 0; b < B; ++b) {
+      for (int d = 0; d < D; ++d) w.at(b, d) = series[b][t][d];
+    }
+    xs[t] = std::move(w);
+  }
+  return xs;
+}
+
+IntegratedGradients::IntegratedGradients(TapeScoreFn tape,
+                                         BaselineBuilder baseline,
+                                         IntegratedGradientsOptions options,
+                                         std::function<void()> after_backward)
+    : tape_(std::move(tape)),
+      baseline_(std::move(baseline)),
+      options_(options),
+      after_backward_(std::move(after_backward)) {
+  TRACER_CHECK(tape_ != nullptr);
+  TRACER_CHECK_GE(options_.steps, 1);
+}
+
+AttributionResult IntegratedGradients::Attribute(
+    const std::vector<Tensor>& xs) {
+  TRACER_CHECK(!xs.empty());
+  const int T = static_cast<int>(xs.size());
+  const int B = xs[0].rows();
+  const int D = xs[0].cols();
+  const int m = options_.steps;
+
+  AttributionResult result;
+  result.method = Method::kIntegratedGradients;
+  result.num_windows = T;
+  result.num_features = D;
+  result.samples.resize(B);
+
+  for (int b = 0; b < B; ++b) {
+    const std::vector<std::vector<float>> series = SampleSeries(xs, b);
+    const std::vector<std::vector<float>> base = baseline_.Series(series);
+
+    // All m path points of this sample as rows of one batch, so the whole
+    // path is one forward/backward through the GEMM kernels. Midpoint rule:
+    // alpha_k = (k + 1/2)/m.
+    std::vector<autograd::Variable> path(T);
+    for (int t = 0; t < T; ++t) {
+      Tensor p({m, D});
+      parallel::ParallelFor(64, m, [&](int64_t begin, int64_t end) {
+        for (int64_t k = begin; k < end; ++k) {
+          const float alpha = (static_cast<float>(k) + 0.5f) / m;
+          for (int d = 0; d < D; ++d) {
+            p.at(static_cast<int>(k), d) =
+                base[t][d] + alpha * (series[t][d] - base[t][d]);
+          }
+        }
+      });
+      path[t] = autograd::Variable::Parameter(std::move(p));
+    }
+
+    autograd::Variable out = tape_(path);
+    TRACER_CHECK_EQ(out.value().rows(), m);
+    TRACER_CHECK_EQ(out.value().cols(), 1);
+    out.Backward(Tensor::Ones({m, 1}));
+
+    SampleAttribution& sample = result.samples[b];
+    sample.fi.assign(T, std::vector<float>(D, 0.0f));
+    for (int t = 0; t < T; ++t) {
+      const Tensor grad = path[t].TakeGrad();
+      for (int d = 0; d < D; ++d) {
+        // Serial ascending-k reduction: the step average is independent of
+        // the thread budget by construction.
+        double acc = 0.0;
+        for (int k = 0; k < m; ++k) acc += grad.at(k, d);
+        sample.fi[t][d] = static_cast<float>(
+            (series[t][d] - base[t][d]) * (acc / m));
+      }
+    }
+    if (after_backward_) after_backward_();
+
+    // Path endpoints in one 2-row forward: row 0 the input, row 1 the
+    // baseline.
+    std::vector<autograd::Variable> endpoints(T);
+    for (int t = 0; t < T; ++t) {
+      Tensor e({2, D});
+      for (int d = 0; d < D; ++d) {
+        e.at(0, d) = series[t][d];
+        e.at(1, d) = base[t][d];
+      }
+      endpoints[t] = autograd::Variable::Constant(std::move(e));
+    }
+    const Tensor scores = tape_(endpoints).value();
+    sample.score = scores.at(0, 0);
+    sample.baseline_score = scores.at(1, 0);
+  }
+  return result;
+}
+
+Occlusion::Occlusion(ScoreFn score, BaselineBuilder baseline,
+                     OcclusionOptions options)
+    : score_(std::move(score)),
+      baseline_(std::move(baseline)),
+      options_(options) {
+  TRACER_CHECK(score_ != nullptr);
+  TRACER_CHECK_GE(options_.max_batch, 1);
+}
+
+AttributionResult Occlusion::Attribute(const std::vector<Tensor>& xs) {
+  TRACER_CHECK(!xs.empty());
+  const int T = static_cast<int>(xs.size());
+  const int B = xs[0].rows();
+  const int D = xs[0].cols();
+
+  AttributionResult result;
+  result.method = Method::kOcclusion;
+  result.num_windows = T;
+  result.num_features = D;
+  result.samples.resize(B);
+
+  const Tensor base_scores = score_(xs);
+  TRACER_CHECK_EQ(base_scores.rows(), B);
+
+  for (int b = 0; b < B; ++b) {
+    const std::vector<std::vector<float>> series = SampleSeries(xs, b);
+    SampleAttribution& sample = result.samples[b];
+    sample.score = base_scores.at(b, 0);
+    sample.fi.assign(T, std::vector<float>(D, 0.0f));
+    sample.baseline_score =
+        score_(PackSeries({baseline_.Series(series)})).at(0, 0);
+
+    // One occluded variant per cell, scored in fixed-size chunks so the
+    // batching (and therefore the arithmetic) never depends on the thread
+    // budget.
+    const int total = T * D;
+    for (int chunk_begin = 0; chunk_begin < total;
+         chunk_begin += options_.max_batch) {
+      const int n = std::min(options_.max_batch, total - chunk_begin);
+      std::vector<Tensor> variants(T);
+      for (int t = 0; t < T; ++t) {
+        Tensor w({n, D});
+        for (int r = 0; r < n; ++r) {
+          for (int d = 0; d < D; ++d) w.at(r, d) = series[t][d];
+        }
+        variants[t] = std::move(w);
+      }
+      for (int r = 0; r < n; ++r) {
+        const int cell = chunk_begin + r;
+        const int t = cell / D;
+        const int d = cell % D;
+        variants[t].at(r, d) = baseline_.Cell(series, t, d);
+      }
+      const Tensor scores = score_(variants);
+      for (int r = 0; r < n; ++r) {
+        const int cell = chunk_begin + r;
+        sample.fi[cell / D][cell % D] =
+            sample.score - scores.at(r, 0);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace interpret
+}  // namespace tracer

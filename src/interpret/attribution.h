@@ -1,0 +1,177 @@
+#ifndef TRACER_INTERPRET_ATTRIBUTION_H_
+#define TRACER_INTERPRET_ATTRIBUTION_H_
+
+#include <functional>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "data/dataset.h"
+#include "tensor/tensor.h"
+
+namespace tracer {
+namespace interpret {
+
+/// Black-box scoring closure: xs[t] is the B×D matrix of time window t,
+/// the result is the B×1 raw model output (a logit for classification, a
+/// real prediction for regression). Every model family in the repo — TITV,
+/// LR, the RNN baselines, GBDT — can be wrapped into this shape (see
+/// adapters.h), which is what makes the attributors model-agnostic.
+using ScoreFn = std::function<Tensor(const std::vector<Tensor>& xs)>;
+
+/// White-box scoring closure over the autograd tape, for gradient-based
+/// attribution. The input variables are Parameter leaves so Backward
+/// deposits d(score)/d(input) into them.
+using TapeScoreFn =
+    std::function<autograd::Variable(const std::vector<autograd::Variable>&)>;
+
+/// The attribution methods behind the unified interface.
+enum class Method {
+  /// TITV's native Eq. 17 importances (β ⊕ α_t) · w — free with the
+  /// forward pass, but only defined for the TITV model.
+  kTitvNative,
+  /// Integrated gradients along the straight path from a baseline input:
+  /// fi(t,d) = (x − x')_{t,d} · mean_k ∂f/∂x_{t,d}(x' + α_k(x − x')).
+  kIntegratedGradients,
+  /// Occlusion / feature ablation: fi(t,d) = f(x) − f(x with cell (t,d)
+  /// replaced by its baseline value).
+  kOcclusion,
+};
+
+const char* MethodName(Method method);
+
+/// Reference-input family for IG paths and occlusion replacements.
+enum class BaselineKind {
+  /// All-zero input (the post-normalisation "feature absent" point).
+  kZero,
+  /// The admission state frozen in time: window 0 carried forward over the
+  /// series, so attributions measure the contribution of *temporal change*.
+  kCarryForward,
+  /// Per-feature mean over a reference cohort (requires FitPopulation).
+  kPopulationMean,
+};
+
+const char* BaselineName(BaselineKind kind);
+
+/// Per-sample attribution: fi[t][d] plus the raw scores at the input and at
+/// the baseline, so completeness (Σ fi ≈ score − baseline_score) is
+/// checkable by the caller.
+struct SampleAttribution {
+  std::vector<std::vector<float>> fi;
+  float score = 0.0f;
+  float baseline_score = 0.0f;
+};
+
+struct AttributionResult {
+  Method method = Method::kOcclusion;
+  int num_windows = 0;
+  int num_features = 0;
+  std::vector<SampleAttribution> samples;
+};
+
+/// Builds reference inputs, reusing the data-cleaning imputation machinery
+/// (data::Impute) so "carry forward" means exactly what the pipeline's
+/// forward-fill means.
+class BaselineBuilder {
+ public:
+  explicit BaselineBuilder(BaselineKind kind) : kind_(kind) {}
+
+  BaselineKind kind() const { return kind_; }
+  bool fitted() const { return fitted_; }
+
+  /// Computes the per-feature population mean from a reference cohort.
+  /// Required before use for kPopulationMean; a no-op hint otherwise.
+  void FitPopulation(const data::TimeSeriesDataset& reference);
+
+  /// Full reference series for one sample: series[t][d] in, baseline out.
+  std::vector<std::vector<float>> Series(
+      const std::vector<std::vector<float>>& series) const;
+
+  /// Reference value for one cell (t, d) of the sample — what occlusion
+  /// writes over the observed value.
+  float Cell(const std::vector<std::vector<float>>& series, int window,
+             int feature) const;
+
+ private:
+  BaselineKind kind_;
+  bool fitted_ = false;
+  std::vector<float> population_mean_;
+};
+
+/// One attribution method behind the model-agnostic interface. `xs` uses the
+/// data::Batch window layout (xs[t] = B×D), so data::FullBatch(ds).xs feeds
+/// straight in.
+class Attributor {
+ public:
+  virtual ~Attributor() = default;
+
+  virtual Method method() const = 0;
+  const char* name() const { return MethodName(method()); }
+
+  virtual AttributionResult Attribute(const std::vector<Tensor>& xs) = 0;
+};
+
+struct IntegratedGradientsOptions {
+  /// Riemann midpoint steps along the path. Error decays as O(1/steps);
+  /// exact for linear models at any step count.
+  int steps = 16;
+};
+
+/// Integrated gradients over the autograd tape. The m path points of one
+/// sample are batched as m rows of one forward pass, so the path rides the
+/// blocked GEMM kernels; the per-cell step average is reduced serially in
+/// ascending step order, which together with the gemm accumulation contract
+/// makes results bit-identical across thread counts and kernels.
+class IntegratedGradients : public Attributor {
+ public:
+  /// `after_backward` runs once per sample after gradients are harvested —
+  /// wrap the model's parameter ZeroGrad here so tape reuse stays clean
+  /// (input-leaf gradients are consumed via TakeGrad automatically).
+  IntegratedGradients(TapeScoreFn tape, BaselineBuilder baseline,
+                      IntegratedGradientsOptions options = {},
+                      std::function<void()> after_backward = {});
+
+  Method method() const override { return Method::kIntegratedGradients; }
+  AttributionResult Attribute(const std::vector<Tensor>& xs) override;
+
+ private:
+  TapeScoreFn tape_;
+  BaselineBuilder baseline_;
+  IntegratedGradientsOptions options_;
+  std::function<void()> after_backward_;
+};
+
+struct OcclusionOptions {
+  /// Occluded variants scored per forward call. Fixed chunking (independent
+  /// of the thread budget) keeps results deterministic for any parallelism.
+  int max_batch = 256;
+};
+
+/// Occlusion attribution over a black-box ScoreFn: every cell is replaced by
+/// its baseline value one at a time and the score drop recorded.
+class Occlusion : public Attributor {
+ public:
+  Occlusion(ScoreFn score, BaselineBuilder baseline,
+            OcclusionOptions options = {});
+
+  Method method() const override { return Method::kOcclusion; }
+  AttributionResult Attribute(const std::vector<Tensor>& xs) override;
+
+ private:
+  ScoreFn score_;
+  BaselineBuilder baseline_;
+  OcclusionOptions options_;
+};
+
+/// series[t][d] of one batch row (the per-sample view fidelity curves and
+/// baselines operate on).
+std::vector<std::vector<float>> SampleSeries(const std::vector<Tensor>& xs,
+                                             int row);
+
+/// Packs per-sample series back into the batch window layout (xs[t] = B×D).
+std::vector<Tensor> PackSeries(
+    const std::vector<std::vector<std::vector<float>>>& series);
+
+}  // namespace interpret
+}  // namespace tracer
+
+#endif  // TRACER_INTERPRET_ATTRIBUTION_H_

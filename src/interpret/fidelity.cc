@@ -1,0 +1,229 @@
+#include "interpret/fidelity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/macros.h"
+
+namespace tracer {
+namespace interpret {
+
+namespace {
+
+// Cells of one sample ranked by |fi| descending; flat index (t*D + d)
+// ascending breaks ties, so the ranking is a pure function of the
+// attribution values.
+std::vector<int> RankedCells(const SampleAttribution& sample, int T, int D) {
+  std::vector<int> order(static_cast<size_t>(T) * D);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const float fa = std::fabs(sample.fi[a / D][a % D]);
+    const float fb = std::fabs(sample.fi[b / D][b % D]);
+    if (fa != fb) return fa > fb;
+    return a < b;
+  });
+  return order;
+}
+
+FidelityCurve PerturbationCurve(const ScoreFn& score,
+                                const std::vector<Tensor>& xs,
+                                const AttributionResult& attribution,
+                                const BaselineBuilder& baseline,
+                                const PerturbationOptions& options,
+                                bool deletion) {
+  TRACER_CHECK(!xs.empty());
+  TRACER_CHECK(!options.fractions.empty());
+  const int T = static_cast<int>(xs.size());
+  const int B = xs[0].rows();
+  const int D = xs[0].cols();
+  TRACER_CHECK_EQ(static_cast<int>(attribution.samples.size()), B);
+  const int total = T * D;
+
+  std::vector<std::vector<std::vector<float>>> series(B);
+  std::vector<std::vector<std::vector<float>>> base(B);
+  std::vector<std::vector<int>> order(B);
+  for (int b = 0; b < B; ++b) {
+    series[b] = SampleSeries(xs, b);
+    base[b] = baseline.Series(series[b]);
+    order[b] = RankedCells(attribution.samples[b], T, D);
+  }
+
+  FidelityCurve curve;
+  for (const double fraction : options.fractions) {
+    TRACER_CHECK(fraction >= 0.0 && fraction <= 1.0);
+    const int k = static_cast<int>(std::lround(fraction * total));
+    double sum = 0.0;
+    for (int chunk_begin = 0; chunk_begin < B;
+         chunk_begin += options.max_batch) {
+      const int n = std::min(options.max_batch, B - chunk_begin);
+      std::vector<std::vector<std::vector<float>>> modified(n);
+      for (int r = 0; r < n; ++r) {
+        const int b = chunk_begin + r;
+        // Deletion walks from the observed input toward the baseline;
+        // insertion from the baseline toward the observed input — in both
+        // directions the most-attributed cells move first.
+        modified[r] = deletion ? series[b] : base[b];
+        const std::vector<std::vector<float>>& target =
+            deletion ? base[b] : series[b];
+        for (int i = 0; i < k; ++i) {
+          const int cell = order[b][i];
+          modified[r][cell / D][cell % D] = target[cell / D][cell % D];
+        }
+      }
+      const Tensor scores = score(PackSeries(modified));
+      for (int r = 0; r < n; ++r) sum += scores.at(r, 0);
+    }
+    curve.points.push_back({fraction, sum / B});
+  }
+
+  // Trapezoid area between the curve and its fraction-0 level: score drop
+  // for deletion, score recovery for insertion.
+  const double origin = curve.points.front().mean_score;
+  double auc = 0.0;
+  for (size_t i = 1; i < curve.points.size(); ++i) {
+    const double w = curve.points[i].fraction - curve.points[i - 1].fraction;
+    const double a = deletion ? origin - curve.points[i - 1].mean_score
+                              : curve.points[i - 1].mean_score - origin;
+    const double b = deletion ? origin - curve.points[i].mean_score
+                              : curve.points[i].mean_score - origin;
+    auc += w * (a + b) / 2.0;
+  }
+  curve.auc = auc;
+  return curve;
+}
+
+// Tie-aware average ranks of `values`.
+std::vector<double> AverageRanks(const std::vector<double>& values) {
+  const size_t n = values.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return values[a] < values[b]; });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    const double avg = (static_cast<double>(i) + j) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double Pearson(const std::vector<double>& a, const std::vector<double>& b) {
+  TRACER_CHECK_EQ(a.size(), b.size());
+  TRACER_CHECK(!a.empty());
+  const size_t n = a.size();
+  double ma = 0.0, mb = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= n;
+  mb /= n;
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    cov += (a[i] - ma) * (b[i] - mb);
+    va += (a[i] - ma) * (a[i] - ma);
+    vb += (b[i] - mb) * (b[i] - mb);
+  }
+  if (va == 0.0 || vb == 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+}  // namespace
+
+FidelityCurve DeletionCurve(const ScoreFn& score,
+                            const std::vector<Tensor>& xs,
+                            const AttributionResult& attribution,
+                            const BaselineBuilder& baseline,
+                            const PerturbationOptions& options) {
+  return PerturbationCurve(score, xs, attribution, baseline, options,
+                           /*deletion=*/true);
+}
+
+FidelityCurve InsertionCurve(const ScoreFn& score,
+                             const std::vector<Tensor>& xs,
+                             const AttributionResult& attribution,
+                             const BaselineBuilder& baseline,
+                             const PerturbationOptions& options) {
+  return PerturbationCurve(score, xs, attribution, baseline, options,
+                           /*deletion=*/false);
+}
+
+bool MonotoneWithin(const FidelityCurve& curve, bool non_increasing,
+                    double tolerance) {
+  for (size_t i = 1; i < curve.points.size(); ++i) {
+    const double step =
+        curve.points[i].mean_score - curve.points[i - 1].mean_score;
+    if (non_increasing ? step > tolerance : step < -tolerance) return false;
+  }
+  return true;
+}
+
+double SpearmanRankCorrelation(const std::vector<double>& a,
+                               const std::vector<double>& b) {
+  TRACER_CHECK_EQ(a.size(), b.size());
+  TRACER_CHECK_GE(a.size(), 2u);
+  return Pearson(AverageRanks(a), AverageRanks(b));
+}
+
+std::vector<double> MeanAbsPerFeature(const AttributionResult& attribution) {
+  TRACER_CHECK(!attribution.samples.empty());
+  const int T = attribution.num_windows;
+  const int D = attribution.num_features;
+  std::vector<double> out(D, 0.0);
+  for (const SampleAttribution& sample : attribution.samples) {
+    for (int t = 0; t < T; ++t) {
+      for (int d = 0; d < D; ++d) out[d] += std::fabs(sample.fi[t][d]);
+    }
+  }
+  const double denom = static_cast<double>(attribution.samples.size()) * T;
+  for (double& v : out) v /= denom;
+  return out;
+}
+
+std::vector<double> PlantedRelevance(
+    const std::vector<datagen::FeatureSpec>& panel) {
+  // Models consume min–max-normalised inputs, so a feature's attainable
+  // importance is governed by how much of its dynamic range the latent
+  // signal explains — the coupling-to-noise ratio, not the raw coupling
+  // (whose units are arbitrary per lab test).
+  std::vector<double> out;
+  out.reserve(panel.size());
+  for (const datagen::FeatureSpec& spec : panel) {
+    const double noise = std::max(1e-6, static_cast<double>(spec.noise));
+    double relevance = std::fabs(spec.coupling) / noise;
+    if (spec.role == datagen::FeatureRole::kNull) {
+      // The generator couples kNull features at 0.1× their nominal
+      // strength; pure fillers (coupling 0) stay exactly 0.
+      relevance *= 0.1;
+    }
+    out.push_back(relevance);
+  }
+  return out;
+}
+
+double AttributionCorrelation(const AttributionResult& a,
+                              const AttributionResult& b) {
+  TRACER_CHECK_EQ(a.samples.size(), b.samples.size());
+  TRACER_CHECK_EQ(a.num_windows, b.num_windows);
+  TRACER_CHECK_EQ(a.num_features, b.num_features);
+  std::vector<double> va, vb;
+  va.reserve(a.samples.size() * a.num_windows * a.num_features);
+  vb.reserve(va.capacity());
+  for (size_t s = 0; s < a.samples.size(); ++s) {
+    for (int t = 0; t < a.num_windows; ++t) {
+      for (int d = 0; d < a.num_features; ++d) {
+        va.push_back(a.samples[s].fi[t][d]);
+        vb.push_back(b.samples[s].fi[t][d]);
+      }
+    }
+  }
+  return Pearson(va, vb);
+}
+
+}  // namespace interpret
+}  // namespace tracer

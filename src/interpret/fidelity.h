@@ -1,0 +1,90 @@
+#ifndef TRACER_INTERPRET_FIDELITY_H_
+#define TRACER_INTERPRET_FIDELITY_H_
+
+#include <vector>
+
+#include "datagen/emr_generator.h"
+#include "interpret/attribution.h"
+
+namespace tracer {
+namespace interpret {
+
+// Robustness suite for attributions: perturbation-fidelity curves, planted
+// ground-truth rank correlation and the model-randomization sanity check —
+// the checks "Failure Modes of Time Series Interpretability Algorithms"
+// argues attributions must ship with. Runnable both as ctest gates
+// (tests/interpret_fidelity_test.cc) and as the BENCH_interp_fidelity.json
+// artifact (bench/interp_fidelity.cc).
+
+/// One point of a perturbation curve: `fraction` of the most-attributed
+/// cells perturbed, mean raw score over the evaluated samples.
+struct CurvePoint {
+  double fraction = 0.0;
+  double mean_score = 0.0;
+};
+
+/// Deletion/insertion fidelity curve. `auc` is the trapezoid area between
+/// the curve and its fraction-0 value: the mean score *drop* for deletion,
+/// the mean score *recovery* for insertion. A faithful attributor removes
+/// (or restores) the influential cells first, so its AUC beats a random
+/// ranking's.
+struct FidelityCurve {
+  std::vector<CurvePoint> points;
+  double auc = 0.0;
+};
+
+struct PerturbationOptions {
+  /// Fractions of cells perturbed, ascending, starting at 0.
+  std::vector<double> fractions = {0.0, 0.1, 0.25, 0.5, 0.75, 1.0};
+  /// Samples scored per forward call.
+  int max_batch = 256;
+};
+
+/// Deletion curve: per sample, rank cells by |fi| descending (index order
+/// breaks ties, so the curve is deterministic) and replace the top fraction
+/// with their baseline values.
+FidelityCurve DeletionCurve(const ScoreFn& score,
+                            const std::vector<Tensor>& xs,
+                            const AttributionResult& attribution,
+                            const BaselineBuilder& baseline,
+                            const PerturbationOptions& options = {});
+
+/// Insertion curve: start from the all-baseline input and restore the top
+/// fraction of cells to their observed values.
+FidelityCurve InsertionCurve(const ScoreFn& score,
+                             const std::vector<Tensor>& xs,
+                             const AttributionResult& attribution,
+                             const BaselineBuilder& baseline,
+                             const PerturbationOptions& options = {});
+
+/// True when the curve's mean score moves monotonically (non-increasing for
+/// deletion, non-decreasing for insertion) up to `tolerance` per step.
+bool MonotoneWithin(const FidelityCurve& curve, bool non_increasing,
+                    double tolerance);
+
+/// Tie-aware Spearman rank correlation (average ranks + Pearson on ranks).
+double SpearmanRankCorrelation(const std::vector<double>& a,
+                               const std::vector<double>& b);
+
+/// Mean |fi| per feature across samples and windows — the per-feature
+/// saliency profile compared against planted ground truth.
+std::vector<double> MeanAbsPerFeature(const AttributionResult& attribution);
+
+/// Ground-truth relevance of each panel feature: |coupling| for the driven
+/// roles, the generator's residual 0.1·|coupling| for kNull, 0 for pure
+/// fillers (coupling 0).
+std::vector<double> PlantedRelevance(
+    const std::vector<datagen::FeatureSpec>& panel);
+
+/// Pearson correlation between two attribution sets over the flattened
+/// (sample, window, feature) cells. The model-randomization sanity check
+/// compares a trained model's attributions against a freshly re-initialised
+/// model's: a faithful method decorrelates (|r| small) because its output
+/// depends on the learned parameters.
+double AttributionCorrelation(const AttributionResult& a,
+                              const AttributionResult& b);
+
+}  // namespace interpret
+}  // namespace tracer
+
+#endif  // TRACER_INTERPRET_FIDELITY_H_

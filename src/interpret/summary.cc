@@ -1,0 +1,110 @@
+#include "interpret/summary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/macros.h"
+
+namespace tracer {
+namespace interpret {
+
+std::vector<WindowStats> FeatureDistribution(
+    Attributor& attributor, const data::TimeSeriesDataset& dataset,
+    int feature, const std::vector<int>& cohort, int batch_size) {
+  TRACER_CHECK(feature >= 0 && feature < dataset.num_features());
+  TRACER_CHECK_GE(batch_size, 1);
+  std::vector<int> samples = cohort;
+  if (samples.empty()) {
+    samples.resize(dataset.num_samples());
+    std::iota(samples.begin(), samples.end(), 0);
+  }
+
+  const int T = dataset.num_windows();
+  std::vector<std::vector<float>> per_window(T);
+  for (size_t begin = 0; begin < samples.size();
+       begin += static_cast<size_t>(batch_size)) {
+    const size_t end =
+        std::min(samples.size(), begin + static_cast<size_t>(batch_size));
+    const std::vector<int> idx(samples.begin() + begin,
+                               samples.begin() + end);
+    const data::Batch batch = data::MakeBatch(dataset, idx);
+    const AttributionResult result = attributor.Attribute(batch.xs);
+    for (int t = 0; t < T; ++t) {
+      for (int b = 0; b < batch.batch_size(); ++b) {
+        per_window[t].push_back(result.samples[b].fi[t][feature]);
+      }
+    }
+  }
+
+  std::vector<WindowStats> out(T);
+  for (int t = 0; t < T; ++t) {
+    std::vector<float>& values = per_window[t];
+    TRACER_CHECK(!values.empty());
+    std::sort(values.begin(), values.end());
+    WindowStats stats;
+    stats.window = t;
+    double sum = 0.0;
+    double abs_sum = 0.0;
+    for (float v : values) {
+      sum += v;
+      abs_sum += std::fabs(v);
+    }
+    stats.mean = static_cast<float>(sum / values.size());
+    stats.mean_abs = static_cast<float>(abs_sum / values.size());
+    double sq = 0.0;
+    for (float v : values) {
+      sq += (v - stats.mean) * (v - stats.mean);
+    }
+    stats.stddev =
+        values.size() > 1
+            ? static_cast<float>(std::sqrt(sq / (values.size() - 1)))
+            : 0.0f;
+    auto quantile = [&](double q) {
+      const size_t pos = static_cast<size_t>(q * (values.size() - 1));
+      return values[pos];
+    };
+    stats.min = values.front();
+    stats.p25 = quantile(0.25);
+    stats.median = quantile(0.5);
+    stats.p75 = quantile(0.75);
+    stats.max = values.back();
+    out[t] = stats;
+  }
+  return out;
+}
+
+double Slope(const std::vector<double>& series) {
+  const int n = static_cast<int>(series.size());
+  if (n < 2) return 0.0;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (int i = 0; i < n; ++i) {
+    sx += i;
+    sy += series[i];
+    sxx += static_cast<double>(i) * i;
+    sxy += i * series[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  return denom == 0.0 ? 0.0 : (n * sxy - sx * sy) / denom;
+}
+
+std::vector<int> TopRiskSamples(const std::vector<float>& probabilities,
+                                const data::TimeSeriesDataset& dataset,
+                                int count) {
+  TRACER_CHECK_EQ(static_cast<int>(probabilities.size()),
+                  dataset.num_samples());
+  std::vector<int> order;
+  for (size_t i = 0; i < probabilities.size(); ++i) {
+    if (dataset.label(static_cast<int>(i)) > 0.5f) {
+      order.push_back(static_cast<int>(i));
+    }
+  }
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return probabilities[a] > probabilities[b];
+  });
+  order.resize(std::min<size_t>(order.size(), count));
+  return order;
+}
+
+}  // namespace interpret
+}  // namespace tracer

@@ -1,0 +1,51 @@
+#ifndef TRACER_INTERPRET_SUMMARY_H_
+#define TRACER_INTERPRET_SUMMARY_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "interpret/attribution.h"
+
+namespace tracer {
+namespace interpret {
+
+/// Distribution of one feature's attribution across a cohort, per time
+/// window — the statistics behind the paper's §5.4 feature-level plots.
+struct WindowStats {
+  int window = 0;
+  float mean = 0.0f;
+  /// Mean of |FI| — robust to per-patient sign flips.
+  float mean_abs = 0.0f;
+  float stddev = 0.0f;
+  float p25 = 0.0f;
+  float median = 0.0f;
+  float p75 = 0.0f;
+  float min = 0.0f;
+  float max = 0.0f;
+};
+
+/// Attributes the cohort in fixed-size minibatches through `attributor` and
+/// summarises feature `feature` per window. `cohort` optionally restricts
+/// the samples (empty = all). Deterministic: values are collected in cohort
+/// order, sorted, then reduced serially.
+std::vector<WindowStats> FeatureDistribution(Attributor& attributor,
+                                             const data::TimeSeriesDataset& dataset,
+                                             int feature,
+                                             const std::vector<int>& cohort = {},
+                                             int batch_size = 256);
+
+/// Linear trend (least-squares slope) of a series — classifies FI curves as
+/// rising / stable / falling when summarising figures.
+double Slope(const std::vector<double>& series);
+
+/// Indices of the `count` positively-labelled samples with the highest
+/// predicted probability — the representative patients the paper's
+/// interpretation figures study.
+std::vector<int> TopRiskSamples(const std::vector<float>& probabilities,
+                                const data::TimeSeriesDataset& dataset,
+                                int count);
+
+}  // namespace interpret
+}  // namespace tracer
+
+#endif  // TRACER_INTERPRET_SUMMARY_H_

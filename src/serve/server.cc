@@ -9,6 +9,7 @@
 #include "autograd/variable.h"
 #include "common/macros.h"
 #include "fault/fault.h"
+#include "interpret/adapters.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
@@ -164,6 +165,26 @@ void RecordServed(const ServeResponse& response, bool alert) {
   total->Observe(static_cast<double>(response.total_ns), response.trace_id);
 }
 
+void RecordExplained(uint64_t explain_ns, uint64_t trace_id) {
+  if (!obs::Enabled()) return;
+  static obs::Counter* requests =
+      obs::MetricsRegistry::Global().GetOrCreateCounter(
+          "tracer_interpret_requests_total");
+  static obs::LogHistogram* latency =
+      obs::MetricsRegistry::Global().GetOrCreateLogHistogram(
+          "tracer_interpret_latency_ns");
+  requests->Increment();
+  latency->Observe(static_cast<double>(explain_ns), trace_id);
+}
+
+void RecordExplainFailure() {
+  if (!obs::Enabled()) return;
+  static obs::Counter* failures =
+      obs::MetricsRegistry::Global().GetOrCreateCounter(
+          "tracer_interpret_failures_total");
+  failures->Increment();
+}
+
 }  // namespace
 
 InferenceServer::InferenceServer(ModelRegistry* registry, ServeOptions options)
@@ -180,6 +201,31 @@ InferenceServer::InferenceServer(ModelRegistry* registry, ServeOptions options)
 InferenceServer::~InferenceServer() { Shutdown(); }
 
 std::future<ServeResponse> InferenceServer::Submit(ServeRequest request) {
+  return SubmitInternal(std::move(request), /*explain=*/false, ExplainSpec{});
+}
+
+std::future<ServeResponse> InferenceServer::SubmitExplain(ServeRequest request,
+                                                          ExplainSpec spec) {
+  if (spec.baseline == interpret::BaselineKind::kPopulationMean) {
+    std::promise<ServeResponse> promise;
+    ServeResponse response;
+    response.status = Status::InvalidArgument(
+        "population-mean baseline needs a fitted reference cohort, which "
+        "the serving process does not hold");
+    promise.set_value(std::move(response));
+    return promise.get_future();
+  }
+  spec.ig_steps = std::min(128, std::max(1, spec.ig_steps));
+  return SubmitInternal(std::move(request), /*explain=*/true, spec);
+}
+
+ServeResponse InferenceServer::Explain(ServeRequest request,
+                                       ExplainSpec spec) {
+  return SubmitExplain(std::move(request), spec).get();
+}
+
+std::future<ServeResponse> InferenceServer::SubmitInternal(
+    ServeRequest request, bool explain, ExplainSpec spec) {
   std::promise<ServeResponse> promise;
   std::future<ServeResponse> future = promise.get_future();
 
@@ -234,6 +280,8 @@ std::future<ServeResponse> InferenceServer::Submit(ServeRequest request) {
       pending.enqueue_ns = now;
       pending.trace = trace;
       pending.parent_span_id = parent_span_id;
+      pending.explain = explain;
+      pending.spec = spec;
       queue_.push_back(std::move(pending));
       accepted_.fetch_add(1, std::memory_order_relaxed);
       UpdateQueueDepthLocked();
@@ -306,13 +354,24 @@ void InferenceServer::SchedulerLoop() {
 
     // Batch formation: the oldest request anchors the batch; only requests
     // with the same window count can ride along (TITV consumes rectangular
-    // T×D batches).
+    // T×D batches), and explain requests only batch with explain requests
+    // of the identical spec (a batch computes one attribution pass).
     const size_t num_windows = queue_.front().request.windows.size();
+    const bool explain_batch = queue_.front().explain;
+    const ExplainSpec anchor_spec = queue_.front().spec;
+    auto compatible = [&](const Pending& pending) {
+      if (pending.request.windows.size() != num_windows) return false;
+      if (pending.explain != explain_batch) return false;
+      if (!explain_batch) return true;
+      return pending.spec.method == anchor_spec.method &&
+             pending.spec.ig_steps == anchor_spec.ig_steps &&
+             pending.spec.baseline == anchor_spec.baseline;
+    };
     const uint64_t close_ns = queue_.front().enqueue_ns + delay_ns;
     int ready = 0;
     uint64_t earliest_deadline = close_ns;
     for (const Pending& pending : queue_) {
-      if (pending.request.windows.size() == num_windows) ++ready;
+      if (compatible(pending)) ++ready;
       if (pending.request.deadline_ns != 0) {
         earliest_deadline =
             std::min(earliest_deadline, pending.request.deadline_ns);
@@ -338,7 +397,7 @@ void InferenceServer::SchedulerLoop() {
     for (auto it = queue_.begin();
          it != queue_.end() &&
          static_cast<int>(work->requests.size()) < options_.max_batch_size;) {
-      if (it->request.windows.size() != num_windows) {
+      if (!compatible(*it)) {
         ++it;
         continue;
       }
@@ -536,7 +595,97 @@ void InferenceServer::RunBatch(const std::shared_ptr<BatchWork>& work) {
         RecordDegraded(batch_size);
       }
       const uint64_t scored_ns = obs::MonotonicNowNs();
+
+      // Explain batches attribute against the exact replica that produced
+      // the scores — the per-batch snapshot — so a hot-swap between scoring
+      // and attribution can never mix model versions in one response.
+      const bool explain_batch = scorable.front()->explain;
+      interpret::AttributionResult attribution;
+      std::vector<char> explain_late;
+      bool explain_ok = false;
+      uint64_t explain_t0 = 0;
+      uint64_t explain_t1 = 0;
+      if (explain_batch) {
+        explain_t0 = scored_ns;
+        explain_late.assign(batch_size, 0);
+        bool any_live = false;
+        for (int b = 0; b < batch_size; ++b) {
+          const uint64_t deadline = scorable[b]->request.deadline_ns;
+          if (deadline != 0 && deadline <= explain_t0) {
+            explain_late[b] = 1;
+          } else {
+            any_live = true;
+          }
+        }
+        // Requests already past their deadline complete below with
+        // kDeadlineExceeded instead of paying for attributions they cannot
+        // use; when the whole batch is late the pass is skipped outright.
+        if (any_live && !TRACER_FAULT_POINT("interpret.explain")) {
+          core::Titv* model =
+              degraded ? fallback_replica.get() : replica.get();
+          const ExplainSpec& spec = scorable.front()->spec;
+          std::vector<Tensor> windows;
+          windows.reserve(xs.size());
+          for (const autograd::Variable& x : xs) {
+            windows.push_back(x.value());
+          }
+          interpret::BaselineBuilder baseline(spec.baseline);
+          switch (spec.method) {
+            case interpret::Method::kTitvNative: {
+              interpret::TitvAttributor attributor(model,
+                                                   options_.classification);
+              attribution = attributor.Attribute(windows);
+              break;
+            }
+            case interpret::Method::kIntegratedGradients: {
+              interpret::ModelScorer scorer =
+                  interpret::WrapSequenceModel(model);
+              interpret::IntegratedGradientsOptions ig;
+              ig.steps = spec.ig_steps;
+              interpret::IntegratedGradients attributor(
+                  scorer.tape, std::move(baseline), ig, scorer.reset);
+              attribution = attributor.Attribute(windows);
+              break;
+            }
+            case interpret::Method::kOcclusion: {
+              interpret::ModelScorer scorer =
+                  interpret::WrapSequenceModel(model);
+              interpret::Occlusion attributor(scorer.score,
+                                              std::move(baseline));
+              attribution = attributor.Attribute(windows);
+              break;
+            }
+          }
+          explain_ok =
+              static_cast<int>(attribution.samples.size()) == batch_size;
+        }
+        explain_t1 = obs::MonotonicNowNs();
+        if (obs::Enabled() && explain_ok) {
+          for (int b = 0; b < batch_size; ++b) {
+            if (explain_late[b] || !scorable[b]->trace.active()) continue;
+            obs::RecordSpan("interpret.explain", "serve.request",
+                            scorable[b]->trace.trace_id, obs::NextSpanId(),
+                            scorable[b]->trace.span_id, explain_t0,
+                            explain_t1, 1);
+          }
+        }
+      }
+
       for (int b = 0; b < batch_size; ++b) {
+        if (explain_batch && explain_late[b]) {
+          ServeResponse response;
+          response.status = Status::DeadlineExceeded(
+              "deadline expired before attribution");
+          CompleteOne(scorable[b], std::move(response));
+          continue;
+        }
+        if (explain_batch && !explain_ok) {
+          RecordExplainFailure();
+          ServeResponse response;
+          response.status = Status::Unavailable("attribution pass failed");
+          CompleteOne(scorable[b], std::move(response));
+          continue;
+        }
         ServeResponse response;
         response.decision.probability = scores.at(b, 0);
         response.decision.alert =
@@ -549,6 +698,13 @@ void InferenceServer::RunBatch(const std::shared_ptr<BatchWork>& work) {
         response.batch_ns =
             exec_ns > work->close_ns ? exec_ns - work->close_ns : 0;
         response.compute_ns = scored_ns > exec_ns ? scored_ns - exec_ns : 0;
+        if (explain_batch) {
+          response.attributions = std::move(attribution.samples[b].fi);
+          response.attribution_method =
+              interpret::MethodName(scorable.front()->spec.method);
+          RecordExplained(explain_t1 - explain_t0,
+                          scorable[b]->trace.trace_id);
+        }
         CompleteOne(scorable[b], std::move(response));
       }
     } else {

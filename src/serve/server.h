@@ -13,6 +13,7 @@
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "core/tracer.h"
+#include "interpret/attribution.h"
 #include "obs/trace_context.h"
 #include "parallel/thread_pool.h"
 #include "serve/circuit_breaker.h"
@@ -73,6 +74,19 @@ struct ServeRequest {
   obs::TraceContext trace;
 };
 
+/// How an explain-on-demand request wants its attributions computed.
+/// Requests with identical specs (and window counts) coalesce into one
+/// batch; differing specs ride in separate batches.
+struct ExplainSpec {
+  interpret::Method method = interpret::Method::kTitvNative;
+  /// Path steps for integrated gradients (clamped to [1, 128] at submit).
+  int ig_steps = 8;
+  /// Reference input for IG / occlusion. kPopulationMean needs a fitted
+  /// reference cohort, which the serving process does not hold —
+  /// SubmitExplain rejects it with kInvalidArgument.
+  interpret::BaselineKind baseline = interpret::BaselineKind::kZero;
+};
+
 /// Completion of one ServeRequest. `status` is OK when `decision` is valid;
 /// kUnavailable = shed by backpressure, kDeadlineExceeded = expired in
 /// queue, kFailedPrecondition = no model published, kInvalidArgument =
@@ -102,6 +116,13 @@ struct ServeResponse {
   /// observability is off) — the handle for finding "why was *this*
   /// patient's score late" in a trace dump.
   uint64_t trace_id = 0;
+  /// Explain requests only: attributions[t][d] of window t, feature d,
+  /// computed against the same snapshot (`model_version`) that produced
+  /// `decision` — hot-swap consistent with the score by construction.
+  std::vector<std::vector<float>> attributions;
+  /// interpret::MethodName of the attribution method (empty for plain
+  /// scoring requests).
+  std::string attribution_method;
 };
 
 /// In-process online serving layer: callers submit single (x, Δ) requests;
@@ -148,6 +169,19 @@ class InferenceServer {
   /// Synchronous convenience wrapper: Submit + wait.
   ServeResponse Infer(ServeRequest request);
 
+  /// Explain-on-demand: like Submit, but the response additionally carries
+  /// per-window/per-feature attributions computed by `spec.method` against
+  /// the same per-batch snapshot that scored the request. Explain batches
+  /// honor deadlines (a request past its deadline when attribution starts
+  /// completes with kDeadlineExceeded instead of paying for attributions it
+  /// cannot use), are fault-injectable via the "interpret.explain" point,
+  /// and export tracer_interpret_* metrics + "interpret.explain" spans.
+  std::future<ServeResponse> SubmitExplain(ServeRequest request,
+                                           ExplainSpec spec);
+
+  /// Synchronous convenience wrapper: SubmitExplain + wait.
+  ServeResponse Explain(ServeRequest request, ExplainSpec spec);
+
   /// Stops the scheduler, drains in-flight batches, and completes every
   /// still-queued request with kUnavailable. Idempotent; the destructor
   /// calls it.
@@ -180,6 +214,10 @@ class InferenceServer {
     obs::TraceContext trace;
     /// Caller's ambient span at Submit (0 = request is the trace root).
     uint64_t parent_span_id = 0;
+    /// Explain-on-demand request: attribute after scoring. Only requests
+    /// with equal specs coalesce (see SchedulerLoop's compatibility check).
+    bool explain = false;
+    ExplainSpec spec;
   };
   struct BatchWork {
     std::shared_ptr<const ModelSnapshot> snapshot;
@@ -190,6 +228,10 @@ class InferenceServer {
     uint64_t close_ns = 0;
   };
 
+  /// Shared admission path of Submit and SubmitExplain.
+  std::future<ServeResponse> SubmitInternal(ServeRequest request, bool explain,
+                                            ExplainSpec spec)
+      TRACER_EXCLUDES(mutex_);
   void SchedulerLoop() TRACER_EXCLUDES(mutex_);
   /// Completes queued requests whose deadline has passed. Runs under
   /// `mutex_`; fulfilled promises are handed back for completion outside

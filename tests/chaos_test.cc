@@ -335,7 +335,8 @@ TEST_F(ChaosTest, EnvSpecServeAndTrainSurviveArbitraryFaultStorm) {
       (env_spec != nullptr && *env_spec != '\0')
           ? env_spec
           : "ckpt.write:0.2:0,ckpt.fsync:0.1:0,ckpt.rename:0.05:0,"
-            "serve.score:0.2:0,serve.dispatch:0.05:0,pool.submit:0.02:0";
+            "serve.score:0.2:0,serve.dispatch:0.05:0,pool.submit:0.02:0,"
+            "interpret.explain:0.2:0";
   const char* env_seed = std::getenv("TRACER_FAULTS_SEED");
   const uint64_t seed =
       (env_seed != nullptr && *env_seed != '\0')
@@ -358,7 +359,14 @@ TEST_F(ChaosTest, EnvSpecServeAndTrainSurviveArbitraryFaultStorm) {
   std::vector<std::future<ServeResponse>> futures;
   Rng rng(5);
   for (int i = 0; i < 80; ++i) {
-    futures.push_back(server.Submit(MakeRequest(1 + (i % 3), 6, &rng)));
+    // Every fourth request asks for attributions, so the storm also drives
+    // the interpret.explain fault point on the serve path.
+    if (i % 4 == 3) {
+      futures.push_back(server.SubmitExplain(MakeRequest(1 + (i % 3), 6, &rng),
+                                             ExplainSpec{}));
+    } else {
+      futures.push_back(server.Submit(MakeRequest(1 + (i % 3), 6, &rng)));
+    }
   }
   for (auto& future : futures) {
     const ServeResponse response = future.get();

@@ -1,0 +1,300 @@
+// Fidelity gates for the attribution subsystem (src/interpret/fidelity.h),
+// run as ctest properties per the robustness suite's contract:
+//  - deletion perturbation curves are monotone (AUC-drop) for IG and
+//    occlusion on a trained TITV,
+//  - per-feature attribution saliency rank-correlates >= 0.8 with the
+//    generator's planted importances,
+//  - model randomization degrades attributions (trained vs freshly
+//    initialised model decorrelate) on TITV and on two baseline families
+//    (LR, BIRNN).
+//
+// The cohort is tuned for signal: low observation noise and small patient
+// offsets so the planted panel ordering is learnable in a few epochs. The
+// full-noise regime is exercised by the bench artifact
+// (bench/interp_fidelity.cc), which reports rather than gates.
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/birnn_model.h"
+#include "baselines/logistic_regression.h"
+#include "common/rng.h"
+#include "core/tracer.h"
+#include "data/dataset.h"
+#include "datagen/emr_generator.h"
+#include "interpret/adapters.h"
+#include "interpret/attribution.h"
+#include "interpret/fidelity.h"
+#include "train/trainer.h"
+
+namespace tracer {
+namespace interpret {
+namespace {
+
+struct Suite {
+  datagen::EmrCohort cohort;
+  data::DatasetSplits splits;
+  std::unique_ptr<core::Tracer> framework;
+  /// Test-split indices of the highest-risk samples — the cohort slice
+  /// where deletion toward the population mean must walk the score down.
+  std::vector<int> top_indices;
+  data::Batch top_batch;
+  BaselineBuilder population{BaselineKind::kPopulationMean};
+};
+
+Suite* BuildSuite() {
+  auto* s = new Suite;
+  datagen::EmrCohortConfig config = datagen::NuhAkiDefaultConfig();
+  config.num_samples = 3000;
+  config.num_filler_features = 8;
+  config.noise_multiplier = 0.4;
+  config.patient_offset_scale = 0.0;
+  config.benign_severity = 0.2;
+  config.expression_gain = 0.0;
+  config.seed = 11;
+  s->cohort = datagen::GenerateNuhAkiCohort(config);
+
+  Rng rng(12);
+  s->splits = data::SplitDataset(s->cohort.dataset, rng);
+  data::MinMaxNormalizer norm;
+  norm.Fit(s->splits.train);
+  norm.Apply(&s->splits.train);
+  norm.Apply(&s->splits.val);
+  norm.Apply(&s->splits.test);
+
+  core::TracerConfig tracer_config;
+  tracer_config.model.input_dim = s->cohort.dataset.num_features();
+  tracer_config.model.rnn_dim = 16;
+  tracer_config.model.film_dim = 8;
+  tracer_config.model.seed = 17;
+  tracer_config.training.max_epochs = 25;
+  tracer_config.training.patience = 8;
+  tracer_config.training.learning_rate = 3e-3f;
+  tracer_config.training.seed = 18;
+  s->framework = std::make_unique<core::Tracer>(tracer_config);
+  s->framework->Train(s->splits.train, s->splits.val);
+
+  const std::vector<float> probabilities =
+      s->framework->model().Predict(s->splits.test);
+  std::vector<int> order(probabilities.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return probabilities[a] > probabilities[b];
+  });
+  order.resize(std::min<size_t>(16, order.size()));
+  s->top_indices = order;
+  s->top_batch = data::MakeBatch(s->splits.test, s->top_indices);
+
+  s->population.FitPopulation(s->splits.train);
+  return s;
+}
+
+const Suite& GetSuite() {
+  static Suite* suite = BuildSuite();
+  return *suite;
+}
+
+AttributionResult Attribute(Method method, core::Titv* model,
+                            const std::vector<Tensor>& xs,
+                            const BaselineBuilder& baseline) {
+  ModelScorer scorer = WrapSequenceModel(model);
+  switch (method) {
+    case Method::kTitvNative: {
+      TitvAttributor attributor(model, /*classification=*/true);
+      return attributor.Attribute(xs);
+    }
+    case Method::kIntegratedGradients: {
+      IntegratedGradientsOptions options;
+      options.steps = 16;
+      IntegratedGradients attributor(scorer.tape, baseline, options,
+                                     scorer.reset);
+      return attributor.Attribute(xs);
+    }
+    case Method::kOcclusion: {
+      Occlusion attributor(scorer.score, baseline);
+      return attributor.Attribute(xs);
+    }
+  }
+  return {};
+}
+
+// ---------------------------------------------------------------------------
+// Gate 1: deletion-AUC monotonicity for IG and occlusion
+
+TEST(InterpretFidelityTest, DeletionCurveMonotoneForIgAndOcclusion) {
+  const Suite& suite = GetSuite();
+  core::Titv& model = suite.framework->model();
+  ModelScorer scorer = WrapSequenceModel(&model);
+  for (Method method : {Method::kIntegratedGradients, Method::kOcclusion}) {
+    const AttributionResult attribution =
+        Attribute(method, &model, suite.top_batch.xs, suite.population);
+    const FidelityCurve curve = DeletionCurve(
+        scorer.score, suite.top_batch.xs, attribution, suite.population);
+    // High-risk samples sit above the population mean, so replacing the
+    // most-attributed cells with their population values must walk the
+    // score down — monotonically up to a small per-step tolerance, with a
+    // positive total drop.
+    EXPECT_TRUE(MonotoneWithin(curve, /*non_increasing=*/true, 0.10))
+        << MethodName(method);
+    EXPECT_GT(curve.auc, 0.0) << MethodName(method);
+  }
+}
+
+TEST(InterpretFidelityTest, InsertionCurveRecoversScore) {
+  const Suite& suite = GetSuite();
+  core::Titv& model = suite.framework->model();
+  ModelScorer scorer = WrapSequenceModel(&model);
+  for (Method method : {Method::kIntegratedGradients, Method::kOcclusion}) {
+    const AttributionResult attribution =
+        Attribute(method, &model, suite.top_batch.xs, suite.population);
+    const FidelityCurve curve = InsertionCurve(
+        scorer.score, suite.top_batch.xs, attribution, suite.population);
+    // Restoring observed cells into the population-mean input must recover
+    // score: positive AUC (mean gain over the curve).
+    EXPECT_GT(curve.auc, 0.0) << MethodName(method);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Gate 2: rank correlation against the generator's planted importances
+
+// The ranking is gated on a weight-decayed linear model: ridge-regularised
+// logistic regression distributes weight across the panel's correlated labs
+// in proportion to each lab's signal-to-noise, so its *optimal* reliance
+// ordering is the planted one — the gate then tests whether the
+// attribution methods recover that reliance. (A recurrent model is free to
+// concentrate on any subset of the redundant labs, so its per-feature
+// ordering is not identified and would gate nothing.) The suite cohort
+// carries eight pure-noise fillers so the correlation is dominated by the
+// separation the methods must get right — planted signal above planted
+// noise — rather than by fine orderings within the correlated lab group.
+TEST(InterpretFidelityTest, SaliencyMatchesPlantedImportances) {
+  const Suite& suite = GetSuite();
+  const std::vector<double> relevance = PlantedRelevance(suite.cohort.panel);
+  const data::Batch full = data::FullBatch(suite.splits.test);
+
+  for (Method method : {Method::kIntegratedGradients, Method::kOcclusion}) {
+    // Average the per-feature saliency across independently trained models:
+    // any single fit carries seed noise in how it splits weight among the
+    // correlated labs; the ensemble mean converges on the SNR-proportional
+    // ridge optimum the planted relevance encodes.
+    std::vector<double> saliency;
+    const int kSeeds[] = {41, 42, 43};
+    for (int seed : kSeeds) {
+      train::TrainConfig config;
+      config.max_epochs = 120;
+      config.patience = 30;
+      config.learning_rate = 5e-2f;
+      config.weight_decay = 1e-3f;
+      config.seed = seed;
+      baselines::LogisticRegression model(suite.cohort.dataset.num_features(),
+                                          baselines::LrInputMode::kAggregate,
+                                          0, /*seed=*/seed);
+      train::Fit(&model, suite.splits.train, suite.splits.val, config);
+      ModelScorer scorer = WrapSequenceModel(&model);
+      AttributionResult attribution;
+      if (method == Method::kIntegratedGradients) {
+        IntegratedGradientsOptions options;
+        options.steps = 16;
+        IntegratedGradients attributor(scorer.tape, suite.population, options,
+                                       scorer.reset);
+        attribution = attributor.Attribute(full.xs);
+      } else {
+        Occlusion attributor(scorer.score, suite.population);
+        attribution = attributor.Attribute(full.xs);
+      }
+      const std::vector<double> per_model = MeanAbsPerFeature(attribution);
+      if (saliency.empty()) saliency.assign(per_model.size(), 0.0);
+      for (size_t d = 0; d < per_model.size(); ++d) {
+        saliency[d] += per_model[d] / std::size(kSeeds);
+      }
+    }
+    if (std::getenv("TRACER_FIDELITY_DEBUG") != nullptr) {
+      for (size_t d = 0; d < saliency.size(); ++d) {
+        std::printf("%-8s relevance %8.3f saliency %8.5f\n",
+                    suite.cohort.panel[d].name.c_str(), relevance[d],
+                    saliency[d]);
+      }
+    }
+    const double corr = SpearmanRankCorrelation(saliency, relevance);
+    EXPECT_GE(corr, 0.8) << MethodName(method);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Gate 3: model randomization degrades attributions
+
+TEST(InterpretFidelityTest, RandomizationDecorrelatesTitvAttributions) {
+  const Suite& suite = GetSuite();
+  core::Titv& trained = suite.framework->model();
+  core::TitvConfig config;
+  config.input_dim = suite.cohort.dataset.num_features();
+  config.rnn_dim = 12;
+  config.film_dim = 8;
+  config.seed = 99;
+  core::Titv random(config);
+  for (Method method : {Method::kTitvNative, Method::kIntegratedGradients,
+                        Method::kOcclusion}) {
+    const AttributionResult a =
+        Attribute(method, &trained, suite.top_batch.xs, suite.population);
+    const AttributionResult b =
+        Attribute(method, &random, suite.top_batch.xs, suite.population);
+    EXPECT_LT(std::fabs(AttributionCorrelation(a, b)), 0.5)
+        << MethodName(method);
+  }
+}
+
+TEST(InterpretFidelityTest, RandomizationDecorrelatesBaselineFamilies) {
+  const Suite& suite = GetSuite();
+  const int dim = suite.cohort.dataset.num_features();
+  train::TrainConfig config;
+  config.max_epochs = 10;
+  config.patience = 4;
+  config.seed = 21;
+
+  // LR family (occlusion — the black-box path).
+  baselines::LogisticRegression trained_lr(dim);
+  train::Fit(&trained_lr, suite.splits.train, suite.splits.val, config);
+  baselines::LogisticRegression random_lr(dim, baselines::LrInputMode::kAggregate,
+                                          0, /*seed=*/123);
+  {
+    ModelScorer trained_scorer = WrapSequenceModel(&trained_lr);
+    ModelScorer random_scorer = WrapSequenceModel(&random_lr);
+    Occlusion a(trained_scorer.score, suite.population);
+    Occlusion b(random_scorer.score, suite.population);
+    EXPECT_LT(std::fabs(AttributionCorrelation(
+                  a.Attribute(suite.top_batch.xs),
+                  b.Attribute(suite.top_batch.xs))),
+              0.5)
+        << "LR";
+  }
+
+  // BIRNN family (integrated gradients — the tape path).
+  baselines::BirnnModel trained_rnn(dim, /*hidden_dim=*/8, /*seed=*/31);
+  train::Fit(&trained_rnn, suite.splits.train, suite.splits.val, config);
+  baselines::BirnnModel random_rnn(dim, /*hidden_dim=*/8, /*seed=*/131);
+  {
+    ModelScorer trained_scorer = WrapSequenceModel(&trained_rnn);
+    ModelScorer random_scorer = WrapSequenceModel(&random_rnn);
+    IntegratedGradientsOptions options;
+    options.steps = 8;
+    IntegratedGradients a(trained_scorer.tape, suite.population, options,
+                          trained_scorer.reset);
+    IntegratedGradients b(random_scorer.tape, suite.population, options,
+                          random_scorer.reset);
+    EXPECT_LT(std::fabs(AttributionCorrelation(
+                  a.Attribute(suite.top_batch.xs),
+                  b.Attribute(suite.top_batch.xs))),
+              0.5)
+        << "BIRNN";
+  }
+}
+
+}  // namespace
+}  // namespace interpret
+}  // namespace tracer

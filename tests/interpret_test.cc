@@ -1,0 +1,309 @@
+// Tests for the attribution subsystem (src/interpret/):
+//  - integrated gradients and occlusion are exact on a linear model (and IG
+//    satisfies completeness: Σ fi = f(x) − f(baseline)),
+//  - BaselineBuilder reproduces the pipeline's carry-forward semantics and
+//    the fitted population mean,
+//  - tie-aware Spearman rank correlation,
+//  - the determinism contract: IG and occlusion attributions of a real TITV
+//    model are bitwise identical across thread budgets {1,2,4,8} and both
+//    GEMM kernels (TRACER_GEMM=naive|blocked) — the same contract the serve
+//    path's batched scoring already holds.
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+#include "common/rng.h"
+#include "core/titv.h"
+#include "data/dataset.h"
+#include "interpret/adapters.h"
+#include "interpret/attribution.h"
+#include "interpret/fidelity.h"
+#include "parallel/parallel_for.h"
+#include "tensor/gemm.h"
+
+namespace tracer {
+namespace interpret {
+namespace {
+
+class ThreadBudgetGuard {
+ public:
+  ThreadBudgetGuard() : prev_(parallel::MaxThreads()) {}
+  ~ThreadBudgetGuard() { parallel::SetMaxThreads(prev_); }
+
+ private:
+  int prev_;
+};
+
+/// Known linear model f(xs) = Σ_t xs[t]·w[t]: attributions have a closed
+/// form (fi(t,d) = w[t][d]·(x − baseline)_{t,d}), so exactness is checkable
+/// without tolerance gymnastics.
+struct LinearModel {
+  std::vector<Tensor> weights;  // weights[t] is D×1
+
+  TapeScoreFn Tape() const {
+    return [this](const std::vector<autograd::Variable>& xs) {
+      autograd::Variable out;
+      for (size_t t = 0; t < xs.size(); ++t) {
+        autograd::Variable term = autograd::MatMul(
+            xs[t], autograd::Variable::Constant(weights[t]));
+        out = t == 0 ? term : autograd::Add(out, term);
+      }
+      return out;
+    };
+  }
+
+  ScoreFn Score() const {
+    return [this](const std::vector<Tensor>& xs) {
+      std::vector<autograd::Variable> vars;
+      vars.reserve(xs.size());
+      for (const Tensor& x : xs) {
+        vars.push_back(autograd::Variable::Constant(x));
+      }
+      return Tape()(vars).value();
+    };
+  }
+};
+
+LinearModel MakeLinearModel(int num_windows, int dim, uint64_t seed) {
+  LinearModel model;
+  Rng rng(seed);
+  for (int t = 0; t < num_windows; ++t) {
+    Tensor w({dim, 1});
+    for (int d = 0; d < dim; ++d) {
+      w.at(d, 0) = static_cast<float>(rng.Uniform(-1.0, 1.0));
+    }
+    model.weights.push_back(std::move(w));
+  }
+  return model;
+}
+
+std::vector<Tensor> RandomBatch(int batch, int num_windows, int dim,
+                                uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Tensor> xs;
+  xs.reserve(num_windows);
+  for (int t = 0; t < num_windows; ++t) {
+    Tensor x({batch, dim});
+    for (int b = 0; b < batch; ++b) {
+      for (int d = 0; d < dim; ++d) {
+        x.at(b, d) = static_cast<float>(rng.Uniform(-1.0, 1.0));
+      }
+    }
+    xs.push_back(std::move(x));
+  }
+  return xs;
+}
+
+/// Flattens an attribution result for bitwise comparison.
+std::vector<float> Flatten(const AttributionResult& result) {
+  std::vector<float> out;
+  for (const SampleAttribution& sample : result.samples) {
+    for (const std::vector<float>& window : sample.fi) {
+      out.insert(out.end(), window.begin(), window.end());
+    }
+    out.push_back(sample.score);
+    out.push_back(sample.baseline_score);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Exactness on a linear model
+
+TEST(IntegratedGradientsTest, ExactOnLinearModelAtAnyStepCount) {
+  const int T = 3, D = 4, B = 5;
+  const LinearModel model = MakeLinearModel(T, D, 21);
+  const std::vector<Tensor> xs = RandomBatch(B, T, D, 22);
+  for (int steps : {1, 4, 16}) {
+    IntegratedGradientsOptions options;
+    options.steps = steps;
+    IntegratedGradients attributor(model.Tape(),
+                                   BaselineBuilder(BaselineKind::kZero),
+                                   options);
+    const AttributionResult result = attributor.Attribute(xs);
+    ASSERT_EQ(result.samples.size(), static_cast<size_t>(B));
+    for (int b = 0; b < B; ++b) {
+      const SampleAttribution& sample = result.samples[b];
+      float total = 0.0f;
+      for (int t = 0; t < T; ++t) {
+        for (int d = 0; d < D; ++d) {
+          // Constant gradient along the path: fi = w_td · x_td exactly.
+          EXPECT_NEAR(sample.fi[t][d],
+                      model.weights[t].at(d, 0) * xs[t].at(b, d), 1e-5f)
+              << "steps " << steps << " b " << b << " t " << t << " d " << d;
+          total += sample.fi[t][d];
+        }
+      }
+      // Completeness: Σ fi = f(x) − f(baseline).
+      EXPECT_NEAR(total, sample.score - sample.baseline_score, 1e-4f);
+    }
+  }
+}
+
+TEST(OcclusionTest, ExactOnLinearModel) {
+  const int T = 3, D = 4, B = 5;
+  const LinearModel model = MakeLinearModel(T, D, 31);
+  const std::vector<Tensor> xs = RandomBatch(B, T, D, 32);
+  Occlusion attributor(model.Score(), BaselineBuilder(BaselineKind::kZero));
+  const AttributionResult result = attributor.Attribute(xs);
+  ASSERT_EQ(result.samples.size(), static_cast<size_t>(B));
+  for (int b = 0; b < B; ++b) {
+    for (int t = 0; t < T; ++t) {
+      for (int d = 0; d < D; ++d) {
+        // Zeroing cell (t,d) of a linear model drops the score by w·x.
+        EXPECT_NEAR(result.samples[b].fi[t][d],
+                    model.weights[t].at(d, 0) * xs[t].at(b, d), 1e-5f);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Baselines
+
+TEST(BaselineBuilderTest, CarryForwardFreezesAdmissionState) {
+  BaselineBuilder builder(BaselineKind::kCarryForward);
+  const std::vector<std::vector<float>> series = {
+      {1.0f, 2.0f}, {3.0f, 4.0f}, {5.0f, 6.0f}};
+  const std::vector<std::vector<float>> baseline = builder.Series(series);
+  ASSERT_EQ(baseline.size(), series.size());
+  for (size_t t = 0; t < series.size(); ++t) {
+    // Window 0 carried forward over the whole series.
+    EXPECT_FLOAT_EQ(baseline[t][0], 1.0f);
+    EXPECT_FLOAT_EQ(baseline[t][1], 2.0f);
+  }
+  // Occluding one cell carries the previous window's value forward.
+  EXPECT_FLOAT_EQ(builder.Cell(series, 2, 1), series[1][1]);
+  // Window 0 has no prior observation: the imputation contract falls back
+  // to the feature's observed mean (mean of windows 1..2 here).
+  EXPECT_FLOAT_EQ(builder.Cell(series, 0, 0),
+                  (series[1][0] + series[2][0]) / 2.0f);
+}
+
+TEST(BaselineBuilderTest, PopulationMeanUsesFittedCohort) {
+  data::TimeSeriesDataset reference(data::TaskType::kBinaryClassification,
+                                    /*num_samples=*/2, /*num_windows=*/2,
+                                    /*num_features=*/2);
+  // Feature 0 values: {1, 3, 5, 7} → mean 4; feature 1: {2, 2, 2, 2} → 2.
+  float v = 1.0f;
+  for (int s = 0; s < 2; ++s) {
+    for (int w = 0; w < 2; ++w) {
+      reference.at(s, w, 0) = v;
+      reference.at(s, w, 1) = 2.0f;
+      v += 2.0f;
+    }
+  }
+  BaselineBuilder builder(BaselineKind::kPopulationMean);
+  EXPECT_FALSE(builder.fitted());
+  builder.FitPopulation(reference);
+  EXPECT_TRUE(builder.fitted());
+  const std::vector<std::vector<float>> series = {{9.0f, 9.0f}, {9.0f, 9.0f}};
+  const std::vector<std::vector<float>> baseline = builder.Series(series);
+  for (const std::vector<float>& window : baseline) {
+    EXPECT_FLOAT_EQ(window[0], 4.0f);
+    EXPECT_FLOAT_EQ(window[1], 2.0f);
+  }
+  EXPECT_FLOAT_EQ(builder.Cell(series, 1, 0), 4.0f);
+}
+
+TEST(BaselineBuilderTest, ZeroBaselineIsAllZeros) {
+  BaselineBuilder builder(BaselineKind::kZero);
+  const std::vector<std::vector<float>> series = {{1.0f, -2.0f},
+                                                  {3.0f, 4.0f}};
+  for (const std::vector<float>& window : builder.Series(series)) {
+    for (float value : window) EXPECT_FLOAT_EQ(value, 0.0f);
+  }
+  EXPECT_FLOAT_EQ(builder.Cell(series, 1, 1), 0.0f);
+}
+
+// ---------------------------------------------------------------------------
+// Rank correlation
+
+TEST(FidelityTest, SpearmanHandlesTiesAndDirection) {
+  EXPECT_DOUBLE_EQ(
+      SpearmanRankCorrelation({1.0, 2.0, 3.0, 4.0}, {2.0, 4.0, 6.0, 8.0}),
+      1.0);
+  EXPECT_DOUBLE_EQ(
+      SpearmanRankCorrelation({1.0, 2.0, 3.0, 4.0}, {8.0, 6.0, 4.0, 2.0}),
+      -1.0);
+  // Ties get average ranks: {1, 2, 2, 3} vs itself is still perfect.
+  EXPECT_DOUBLE_EQ(
+      SpearmanRankCorrelation({1.0, 2.0, 2.0, 3.0}, {1.0, 2.0, 2.0, 3.0}),
+      1.0);
+  // A constant vector has no ranking to correlate with.
+  EXPECT_DOUBLE_EQ(
+      SpearmanRankCorrelation({5.0, 5.0, 5.0, 5.0}, {1.0, 2.0, 3.0, 4.0}),
+      0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism contract
+
+class InterpretDeterminismTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    unsetenv("TRACER_GEMM");
+    gemm::ReloadKernelEnvForTesting();
+  }
+
+  static core::Titv MakeModel() {
+    core::TitvConfig config;
+    config.input_dim = 6;
+    config.rnn_dim = 5;
+    config.film_dim = 4;
+    config.seed = 77;
+    return core::Titv(config);
+  }
+};
+
+TEST_F(InterpretDeterminismTest, AttributionsBitwiseStableAcrossThreadsAndKernels) {
+  ThreadBudgetGuard guard;
+  core::Titv model = MakeModel();
+  const std::vector<Tensor> xs = RandomBatch(/*batch=*/7, /*num_windows=*/4,
+                                             /*dim=*/6, /*seed=*/55);
+
+  auto attribute_both = [&] {
+    ModelScorer scorer = WrapSequenceModel(&model);
+    IntegratedGradientsOptions options;
+    options.steps = 8;
+    IntegratedGradients ig(scorer.tape,
+                           BaselineBuilder(BaselineKind::kCarryForward),
+                           options, scorer.reset);
+    Occlusion occlusion(scorer.score, BaselineBuilder(BaselineKind::kZero));
+    std::vector<float> flat = Flatten(ig.Attribute(xs));
+    const std::vector<float> occ = Flatten(occlusion.Attribute(xs));
+    flat.insert(flat.end(), occ.begin(), occ.end());
+    return flat;
+  };
+
+  setenv("TRACER_GEMM", "naive", 1);
+  gemm::ReloadKernelEnvForTesting();
+  parallel::SetMaxThreads(1);
+  const std::vector<float> reference = attribute_both();
+  ASSERT_FALSE(reference.empty());
+
+  for (const char* kernel : {"naive", "blocked"}) {
+    setenv("TRACER_GEMM", kernel, 1);
+    gemm::ReloadKernelEnvForTesting();
+    for (int threads : {1, 2, 4, 8}) {
+      parallel::SetMaxThreads(threads);
+      const std::vector<float> got = attribute_both();
+      ASSERT_EQ(got.size(), reference.size());
+      EXPECT_EQ(std::memcmp(got.data(), reference.data(),
+                            reference.size() * sizeof(float)),
+                0)
+          << "kernel " << kernel << " threads " << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace interpret
+}  // namespace tracer

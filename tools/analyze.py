@@ -509,7 +509,9 @@ SELF_TEST_EXPECTED = sorted([
     ("src/fault/fault_points.h", "A4"),      # registered point unused
     ("src/fx/a4_metric_two.cc", "A4"),       # duplicate metric name
     ("src/fx/a5_metric_name.cc", "A5"),      # metric naming convention
+    ("src/fx/a5_interpret_metric.cc", "A5"),  # tracer_interpret_* spelling
     ("src/fx/a5_span_name.cc", "A5"),        # span naming convention
+    ("src/fx/a5_interpret_span.cc", "A5"),   # interpret.* span spelling
     ("src/fx/a5_span_dup_two.cc", "A5"),     # duplicate span site
 ])
 

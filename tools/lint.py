@@ -31,6 +31,11 @@ guards out of the box:
                              (src/fault/fault_points.h), mirroring the
                              runtime validation in FaultRegistry::Configure
                              so a typo'd point can never silently not fire.
+                             Registered names must themselves follow the
+                             "<subsystem>.<operation>" convention the list
+                             documents (lower_snake segments joined by
+                             dots, e.g. "interpret.explain"), matching the
+                             span naming that A5 enforces in tools/analyze.
 
 Runs as `ctest -R lint` (registered in the top-level CMakeLists.txt) and
 standalone:  tools/lint.py --root <repo-root>
@@ -274,6 +279,29 @@ def registered_fault_points(root):
     return FAULT_POINTS_CACHE
 
 
+# Same shape tools/analyze.py rule A5 enforces for span names: fault points
+# share the "<subsystem>.<operation>" namespace with obs spans so a chaos
+# spec reads like a trace (e.g. arming "interpret.explain" fails the span
+# of the same name).
+FAULT_POINT_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
+
+
+def check_fault_point_naming(findings, root):
+    """R7's registry half: every name in fault_points.h follows the
+    <subsystem>.<operation> convention the header documents."""
+    path = os.path.join(root, "src", "fault", "fault_points.h")
+    if not os.path.isfile(path):
+        return
+    text = strip_comments_and_strings(read_file(path), keep_strings=True)
+    for match in re.finditer(r'X\s*\(\s*"([^"]+)"', text):
+        name = match.group(1)
+        if not FAULT_POINT_NAME_RE.match(name):
+            findings.add(path, line_of(text, match.start()),
+                         "fault-point-registered",
+                         'fault point "%s" does not follow the '
+                         "<subsystem>.<operation> naming convention" % name)
+
+
 def check_fault_points(path, with_strings, findings, root):
     registered = registered_fault_points(root)
     for match in re.finditer(
@@ -313,6 +341,7 @@ def main():
 
     status_functions = find_status_functions(root)
     findings = Findings(root)
+    check_fault_point_naming(findings, root)
     file_count = 0
     for path in walk_cpp_files(root):
         file_count += 1
