@@ -88,6 +88,22 @@ bool CheckFile(const std::string& path) {
       }
     }
   }
+  // The scalability artifact must carry the multi-process elastic series
+  // alongside the thread-parallel ones — it is the only perf trend that
+  // watches the src/dist runtime, so a run that silently dropped it would
+  // leave the distributed path unmonitored.
+  if (text.find("\"bench\":\"fig14_scalability\"") != std::string::npos) {
+    for (const char* workers : {"1", "2", "4"}) {
+      const std::string section =
+          std::string("\"name\":\"multiprocess/workers:") + workers + "\"";
+      if (text.find(section) == std::string::npos) {
+        std::printf("FAIL %s: missing multi-process series section "
+                    "multiprocess/workers:%s\n",
+                    path.c_str(), workers);
+        return false;
+      }
+    }
+  }
   std::printf("OK   %s\n", path.c_str());
   return true;
 }

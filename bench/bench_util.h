@@ -23,11 +23,11 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/atomic_file.h"
 #include "common/rng.h"
 #include "data/dataset.h"
 #include "datagen/emr_generator.h"
@@ -195,12 +195,21 @@ class BenchArtifact {
     if (slash != std::string::npos && slash > 0) {
       ::mkdir(path.substr(0, slash).c_str(), 0775);  // best effort
     }
-    std::ofstream out(path);
-    if (!out.is_open()) {
-      std::fprintf(stderr, "BenchArtifact: cannot open %s\n", path.c_str());
+    // Atomic tmp+fsync+rename (same protocol as checkpoints): a bench
+    // killed mid-write must never leave a truncated artifact for
+    // bench/artifact_check to choke on.
+    const std::string json = ToJson() + "\n";
+    const Status written = common::WriteFileAtomic(
+        path, [&json, &path](std::FILE* f) -> Status {
+          if (std::fwrite(json.data(), 1, json.size(), f) != json.size()) {
+            return Status::IOError("write failed: " + path);
+          }
+          return Status::OK();
+        });
+    if (!written.ok()) {
+      std::fprintf(stderr, "BenchArtifact: %s\n", written.message().c_str());
       return false;
     }
-    out << ToJson() << "\n";
     std::printf("wrote %s\n", path.c_str());
     return true;
   }

@@ -10,11 +10,21 @@
 // scaling on the small NUH-AKI cohort (controlling cost dominates) and
 // better scaling on the larger MIMIC-III cohort.
 
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "core/titv.h"
+#include "dist/coordinator.h"
+#include "dist/worker.h"
 #include "parallel/data_parallel.h"
 #include "train/trainer.h"
 
@@ -82,10 +92,167 @@ void RunDataset(const char* title, const bench::PreparedData& data,
               modeled_1 / modeled_8);
 }
 
+// ---------------------------------------------------------------------------
+// Multi-process series: real worker processes over the src/dist elastic
+// runtime (UDS transport, coordinator all-reduce), not threads. The shard
+// count is pinned to 4 for every world size, so all three series reach
+// bitwise-identical parameters — the scaling knob changes wall-clock only.
+
+constexpr int kDistShards = 4;
+
+std::string DistTempPath(const std::string& name) {
+  const char* tmp = std::getenv("TMPDIR");
+  return std::string(tmp != nullptr ? tmp : "/tmp") + "/" + name;
+}
+
+train::TrainConfig DistTrainConfig(int epochs) {
+  train::TrainConfig tc;
+  tc.max_epochs = epochs;
+  tc.patience = epochs + 1;
+  tc.learning_rate = 3e-3f;
+  tc.seed = 29;
+  return tc;
+}
+
+dist::DistConfig MakeDistConfig(const std::string& socket_path,
+                                const std::string& run_state_path,
+                                int world_size) {
+  dist::DistConfig dc;
+  dc.socket_path = socket_path;
+  dc.run_state_path = run_state_path;
+  dc.world_size = world_size;
+  dc.num_shards = kDistShards;
+  dc.step_timeout_ms = 120000;
+  return dc;
+}
+
+/// Worker-process entry (argv: --dist-worker <socket> <run_state>
+/// <world_size> <epochs>). The cohort and model are rebuilt from the same
+/// environment knobs the parent read, so every process trains the same
+/// replica.
+int DistWorkerMain(int argc, char** argv) {
+  if (argc < 6) return 64;
+  const int world_size = std::atoi(argv[4]);
+  const int epochs = std::atoi(argv[5]);
+  bench::BenchOptions small;
+  small.samples = small.samples / 2;
+  const bench::PreparedData data = bench::PrepareAkiCohort(small);
+  core::TitvConfig config;
+  config.input_dim = data.input_dim;
+  config.rnn_dim = small.rnn_dim;
+  config.film_dim = small.film_dim;
+  config.seed = 17;
+  core::Titv model(config);
+  const dist::DistConfig dc = MakeDistConfig(argv[2], argv[3], world_size);
+  Result<train::TrainResult> result = dist::RunElasticWorker(
+      &model, data.splits.train, data.splits.val, DistTrainConfig(epochs),
+      train::CheckpointOptions{}, dc);
+  if (!result.ok() || result.value().interrupted ||
+      !result.value().status.ok()) {
+    std::fprintf(stderr, "dist worker failed\n");
+    return 5;
+  }
+  return 0;
+}
+
+pid_t SpawnDistWorker(const std::string& socket_path,
+                      const std::string& run_state_path, int world_size,
+                      int epochs) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  const std::string world_str = std::to_string(world_size);
+  const std::string epochs_str = std::to_string(epochs);
+  std::string exe = "/proc/self/exe";
+  std::string flag = "--dist-worker";
+  std::vector<char*> args;
+  args.push_back(exe.data());
+  args.push_back(flag.data());
+  args.push_back(const_cast<char*>(socket_path.c_str()));
+  args.push_back(const_cast<char*>(run_state_path.c_str()));
+  args.push_back(const_cast<char*>(world_str.c_str()));
+  args.push_back(const_cast<char*>(epochs_str.c_str()));
+  args.push_back(nullptr);
+  ::execv("/proc/self/exe", args.data());
+  _exit(127);
+}
+
+void RunMultiProcess(const bench::BenchOptions& options, int epochs,
+                     bench::BenchArtifact* artifact) {
+  bench::PrintHeader(
+      "Figure 14 — multi-process elastic runtime (NUH-AKI, small cohort)");
+  bench::BenchOptions small = options;
+  small.samples = options.samples / 2;
+  const bench::PreparedData data = bench::PrepareAkiCohort(small);
+  std::printf("%-8s %-16s (processes over UDS; fixed %d-shard "
+              "all-reduce)\n",
+              "Workers", "Measured (s)", kDistShards);
+  bench::PrintRule();
+  for (int workers : {1, 2, 4}) {
+    const std::string tag =
+        "fig14_dist_" + std::to_string(::getpid()) + "_w" +
+        std::to_string(workers);
+    const std::string socket_path = DistTempPath(tag + ".sock");
+    std::vector<std::string> run_states;
+    dist::Coordinator coordinator(
+        MakeDistConfig(socket_path, "", workers));
+    if (!coordinator.Start().ok()) {
+      std::fprintf(stderr, "coordinator start failed\n");
+      return;
+    }
+    const auto started = std::chrono::steady_clock::now();
+    std::vector<pid_t> pids;
+    for (int w = 0; w < workers; ++w) {
+      run_states.push_back(
+          DistTempPath(tag + "_" + std::to_string(w) + ".runstate"));
+      std::remove(run_states.back().c_str());
+      pids.push_back(SpawnDistWorker(socket_path, run_states.back(),
+                                     workers, epochs));
+    }
+    bool ok = true;
+    for (const pid_t pid : pids) {
+      int status = 0;
+      if (::waitpid(pid, &status, 0) != pid || !WIFEXITED(status) ||
+          WEXITSTATUS(status) != 0) {
+        ok = false;
+      }
+    }
+    if (!coordinator.WaitForCompletion(300000) ||
+        !coordinator.run_status().ok()) {
+      ok = false;
+    }
+    coordinator.Stop();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+            .count();
+    for (const std::string& path : run_states) std::remove(path.c_str());
+    if (!ok) {
+      std::fprintf(stderr, "multi-process run with %d workers failed\n",
+                   workers);
+      continue;
+    }
+    std::printf("%-8d %-16.2f\n", workers, seconds);
+    const int64_t examples =
+        static_cast<int64_t>(data.splits.train.num_samples()) * epochs;
+    artifact->AddSection("multiprocess/workers:" + std::to_string(workers),
+                         seconds,
+                         seconds > 0.0
+                             ? static_cast<double>(examples) / seconds
+                             : 0.0,
+                         epochs);
+  }
+  bench::PrintRule();
+  std::printf("All world sizes reduce in the same fixed shard order, so "
+              "their final parameters are bitwise identical.\n");
+}
+
 }  // namespace
 }  // namespace tracer
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--dist-worker") == 0) {
+    return tracer::DistWorkerMain(argc, argv);
+  }
   tracer::bench::BenchOptions options;
   const int epochs = std::min(options.epochs, 6);  // timing, not accuracy
   tracer::bench::BenchArtifact artifact("fig14_scalability");
@@ -106,6 +273,7 @@ int main() {
     tracer::RunDataset("MIMIC-III (larger cohort)", mimic, options, epochs,
                        &artifact);
   }
+  tracer::RunMultiProcess(options, std::min(epochs, 3), &artifact);
   artifact.WriteIfRequested();
   return 0;
 }

@@ -1,0 +1,71 @@
+#include "common/atomic_file.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace tracer {
+namespace common {
+
+AtomicFileWriter::AtomicFileWriter(std::string path)
+    : path_(std::move(path)),
+      tmp_(path_ + ".tmp." + std::to_string(static_cast<long>(::getpid()))) {}
+
+AtomicFileWriter::~AtomicFileWriter() {
+  if (!committed_) Abandon();
+}
+
+Status AtomicFileWriter::Open() {
+  file_ = std::fopen(tmp_.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Status::IOError("cannot open for write: " + tmp_);
+  }
+  return Status::OK();
+}
+
+Status AtomicFileWriter::Flush() {
+  if (file_ == nullptr) {
+    return Status::Internal("Flush without open temp file: " + tmp_);
+  }
+  const bool flushed =
+      std::fflush(file_) == 0 && ::fsync(::fileno(file_)) == 0;
+  std::fclose(file_);
+  file_ = nullptr;
+  if (!flushed) {
+    std::remove(tmp_.c_str());
+    return Status::IOError("flush failed: " + tmp_);
+  }
+  return Status::OK();
+}
+
+Status AtomicFileWriter::Commit() {
+  if (file_ != nullptr) {
+    return Status::Internal("Commit before Flush: " + tmp_);
+  }
+  if (std::rename(tmp_.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp_.c_str());
+    return Status::IOError("rename failed: " + tmp_ + " -> " + path_);
+  }
+  committed_ = true;
+  return Status::OK();
+}
+
+void AtomicFileWriter::Abandon() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  std::remove(tmp_.c_str());
+}
+
+Status WriteFileAtomic(const std::string& path,
+                       const std::function<Status(std::FILE*)>& body) {
+  AtomicFileWriter writer(path);
+  TRACER_RETURN_IF_ERROR(writer.Open());
+  TRACER_RETURN_IF_ERROR(body(writer.stream()));
+  TRACER_RETURN_IF_ERROR(writer.Flush());
+  return writer.Commit();
+}
+
+}  // namespace common
+}  // namespace tracer

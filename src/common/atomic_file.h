@@ -1,0 +1,75 @@
+#ifndef TRACER_COMMON_ATOMIC_FILE_H_
+#define TRACER_COMMON_ATOMIC_FILE_H_
+
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+
+namespace tracer {
+namespace common {
+
+/// Crash-safe file replacement: write the full contents to a temp file in
+/// the destination's directory, flush it to stable storage, then atomically
+/// rename it over the destination. A reader can never observe a torn or
+/// partially written file at `path`, and a crash at any point leaves either
+/// the old file or the new one — never a hybrid.
+///
+/// The steps are exposed individually (Open / Flush / Commit) rather than
+/// as one call so callers with fault-injection points between the stages
+/// (nn/serialization's ckpt.write / ckpt.fsync / ckpt.rename) can keep each
+/// point at its exact protocol position. Callers without that need should
+/// use WriteFileAtomic below.
+class AtomicFileWriter {
+ public:
+  /// `path` is the final destination; the temp file is `path.tmp.<pid>` so
+  /// concurrent writers from different processes never collide.
+  explicit AtomicFileWriter(std::string path);
+
+  /// Removes the temp file if the protocol did not reach Commit.
+  ~AtomicFileWriter();
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  /// Opens the temp file for writing. Must be called first.
+  [[nodiscard]] Status Open();
+
+  /// The open temp-file stream; valid between a successful Open and
+  /// Flush/Abandon. Callers write the body through it.
+  std::FILE* stream() const { return file_; }
+
+  const std::string& path() const { return path_; }
+  const std::string& tmp_path() const { return tmp_; }
+
+  /// fflush + fsync + close of the temp file. After this the bytes are on
+  /// stable storage under the temp name.
+  [[nodiscard]] Status Flush();
+
+  /// Atomically renames the temp file over the destination. Only valid
+  /// after a successful Flush.
+  [[nodiscard]] Status Commit();
+
+  /// Closes and removes the temp file; the destination is untouched. Safe
+  /// to call at any stage (the destructor calls it automatically).
+  void Abandon();
+
+ private:
+  std::string path_;
+  std::string tmp_;
+  std::FILE* file_ = nullptr;
+  bool committed_ = false;
+};
+
+/// One-shot convenience over AtomicFileWriter: `body` writes the file
+/// contents to the provided stream; on OK the file is flushed, fsynced and
+/// renamed into place, on error the temp file is removed and the
+/// destination is untouched.
+[[nodiscard]] Status WriteFileAtomic(
+    const std::string& path, const std::function<Status(std::FILE*)>& body);
+
+}  // namespace common
+}  // namespace tracer
+
+#endif  // TRACER_COMMON_ATOMIC_FILE_H_

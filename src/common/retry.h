@@ -8,14 +8,24 @@
 #include <thread>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/status.h"
 
 namespace tracer {
 
 /// Bounded exponential-backoff policy for retrying transiently failing
-/// Status-returning operations (checkpoint writes, pipeline stages). The
-/// backoff sequence is deterministic — no jitter — so tests can assert the
-/// exact sleep schedule under a fake clock.
+/// Status-returning operations (checkpoint writes, pipeline stages,
+/// dist transport sends). Two backoff shapes:
+///
+///   jitter = false (default): deterministic initial * multiplier^retry,
+///     capped — tests can assert the exact sleep schedule.
+///   jitter = true: decorrelated jitter ("exponential backoff and jitter",
+///     AWS architecture blog): sleep_n = min(cap, Uniform(initial,
+///     prev_sleep * 3)). Spreads concurrent retriers apart so a fleet of
+///     workers hammering one coordinator does not retry in lockstep. The
+///     jitter stream is seeded from the policy (`jitter_seed`), never from
+///     global entropy, so a given policy replays the same schedule —
+///     chaos runs under TRACER_FAULTS_SEED stay reproducible.
 struct RetryPolicy {
   /// Total tries including the first (1 = no retries).
   int max_attempts = 3;
@@ -23,8 +33,16 @@ struct RetryPolicy {
   uint64_t initial_backoff_us = 1000;
   /// Cap on any single sleep.
   uint64_t max_backoff_us = 100000;
-  /// Growth factor between consecutive sleeps.
+  /// Growth factor between consecutive sleeps (jitter = false only).
   double multiplier = 2.0;
+  /// Decorrelated jitter instead of the deterministic ladder.
+  bool jitter = false;
+  /// Seed for the jitter stream; fixed default keeps runs reproducible.
+  uint64_t jitter_seed = 0x7265747279u;  // "retry"
+  /// Give-up budget across all attempts: once the sleeps scheduled so far
+  /// reach this, CallWithRetry stops retrying even with attempts left.
+  /// 0 = unbounded (attempt count is the only limit).
+  uint64_t max_elapsed_us = 0;
   /// Codes worth retrying: transient by this codebase's conventions.
   /// Everything else (kInvalidArgument, kDataLoss, ...) fails fast — a
   /// corrupt checkpoint does not heal by re-reading it.
@@ -40,7 +58,8 @@ struct RetryPolicy {
   }
 
   /// Sleep before retry number `retry` (0-based): bounded
-  /// initial * multiplier^retry.
+  /// initial * multiplier^retry. Ignores jitter — see BackoffSchedule for
+  /// the jittered sequence (it is stateful in prev_sleep).
   uint64_t BackoffUs(int retry) const {
     double backoff = static_cast<double>(initial_backoff_us);
     for (int i = 0; i < retry; ++i) backoff *= multiplier;
@@ -49,24 +68,69 @@ struct RetryPolicy {
   }
 };
 
+/// Stateful backoff sequence for one retry loop. Deterministic for a given
+/// policy: the decorrelated-jitter draw chain depends only on jitter_seed
+/// and the number of Next() calls.
+class BackoffSchedule {
+ public:
+  explicit BackoffSchedule(const RetryPolicy& policy)
+      : policy_(policy),
+        rng_(policy.jitter_seed),
+        prev_us_(policy.initial_backoff_us) {}
+
+  /// Sleep before retry number `retry` (0-based).
+  uint64_t Next(int retry) {
+    if (!policy_.jitter) return policy_.BackoffUs(retry);
+    // Decorrelated jitter: Uniform(initial, prev * 3), capped. prev is the
+    // *uncapped-then-capped* previous sleep, per the canonical recipe.
+    const double lo = static_cast<double>(policy_.initial_backoff_us);
+    const double hi =
+        std::max(lo + 1.0, static_cast<double>(prev_us_) * 3.0);
+    double draw = rng_.Uniform(lo, hi);
+    draw = std::min(draw, static_cast<double>(policy_.max_backoff_us));
+    prev_us_ = static_cast<uint64_t>(draw);
+    return prev_us_;
+  }
+
+  /// Total sleep scheduled so far plus `next_us`; used against
+  /// max_elapsed_us.
+  bool WouldExceedBudget(uint64_t next_us) const {
+    if (policy_.max_elapsed_us == 0) return false;
+    return elapsed_us_ + next_us > policy_.max_elapsed_us;
+  }
+
+  void Account(uint64_t slept_us) { elapsed_us_ += slept_us; }
+
+  uint64_t elapsed_us() const { return elapsed_us_; }
+
+ private:
+  const RetryPolicy& policy_;
+  Rng rng_;
+  uint64_t prev_us_;
+  uint64_t elapsed_us_ = 0;
+};
+
 /// Sleep hook for CallWithRetry; tests inject a recorder instead of
 /// actually sleeping.
 using RetrySleepFn = std::function<void(uint64_t micros)>;
 
-/// Runs `op` until it returns OK, a non-retryable code, or the attempt
-/// budget is exhausted; returns the last Status either way. Sleeps the
-/// policy's backoff between attempts through `sleep` (real
+/// Runs `op` until it returns OK, a non-retryable code, or the attempt /
+/// elapsed-sleep budget is exhausted; returns the last Status either way.
+/// Sleeps the policy's backoff between attempts through `sleep` (real
 /// std::this_thread::sleep_for when omitted).
 inline Status CallWithRetry(const RetryPolicy& policy,
                             const std::function<Status()>& op,
                             const RetrySleepFn& sleep = {}) {
   const int attempts = std::max(1, policy.max_attempts);
+  BackoffSchedule schedule(policy);
   Status last;
   for (int attempt = 0; attempt < attempts; ++attempt) {
     last = op();
     if (last.ok() || !policy.IsRetryable(last.code())) return last;
     if (attempt + 1 >= attempts) break;
-    const uint64_t backoff_us = policy.BackoffUs(attempt);
+    const uint64_t backoff_us = schedule.Next(attempt);
+    if (schedule.WouldExceedBudget(backoff_us)) break;
+    schedule.Account(backoff_us);
     if (sleep) {
       sleep(backoff_us);
     } else if (backoff_us > 0) {

@@ -158,6 +158,20 @@ Batch FullBatch(const TimeSeriesDataset& dataset) {
   return MakeBatch(dataset, indices);
 }
 
+std::vector<int> ShardSlice(const std::vector<int>& batch_indices, int shard,
+                            int num_shards) {
+  TRACER_CHECK_GT(num_shards, 0);
+  TRACER_CHECK_GE(shard, 0);
+  TRACER_CHECK_LT(shard, num_shards);
+  const int n = static_cast<int>(batch_indices.size());
+  const int base = n / num_shards;
+  const int rem = n % num_shards;
+  const int begin = shard * base + std::min(shard, rem);
+  const int len = base + (shard < rem ? 1 : 0);
+  return std::vector<int>(batch_indices.begin() + begin,
+                          batch_indices.begin() + begin + len);
+}
+
 Batcher::Batcher(const TimeSeriesDataset& dataset, int batch_size, Rng& rng,
                  bool shuffle)
     : dataset_(dataset),

@@ -140,6 +140,16 @@ Batch MakeBatch(const TimeSeriesDataset& dataset,
 /// Every sample of the dataset as one batch (for evaluation).
 Batch FullBatch(const TimeSeriesDataset& dataset);
 
+/// Deterministic contiguous partition of a batch's index list for sharded
+/// data-parallel loading: shard `shard` of `num_shards` gets the slice
+/// [shard * base + min(shard, rem), ...) of length base + (shard < rem)
+/// where base = n / num_shards and rem = n % num_shards. Depends only on
+/// (batch_indices, shard, num_shards) — every worker computes the same
+/// partition without coordination, and the union over shards is exactly
+/// the batch in order. Slices can be empty when num_shards > n.
+std::vector<int> ShardSlice(const std::vector<int>& batch_indices, int shard,
+                            int num_shards);
+
 /// Shuffling minibatch iterator over a dataset.
 class Batcher {
  public:

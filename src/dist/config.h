@@ -1,0 +1,69 @@
+#ifndef TRACER_DIST_CONFIG_H_
+#define TRACER_DIST_CONFIG_H_
+
+#include <string>
+
+#include "common/retry.h"
+
+namespace tracer {
+namespace dist {
+
+/// Shared knobs of the elastic data-parallel runtime. The same struct
+/// configures the rank-0 Coordinator and every worker's SocketReducer so a
+/// launcher can build one config and hand it to both sides.
+struct DistConfig {
+  /// Unix-domain socket the coordinator listens on. Keep it short:
+  /// sockaddr_un caps paths at ~107 bytes.
+  std::string socket_path;
+
+  /// This worker's run_state file (train/run_state.h). Each worker owns a
+  /// distinct path; the coordinator ships these bytes to a mid-run joiner.
+  std::string run_state_path;
+
+  /// Number of workers the initial formation waits for before training
+  /// starts (the coordinator releases the first assignments when this
+  /// many have joined). Later joiners are admitted at epoch fences.
+  int world_size = 1;
+
+  /// Fixed shard count for the whole run; 0 means world_size. The reduced
+  /// gradient is the shard-index-ordered sum of shard contributions, so
+  /// for a fixed shard count the result is bitwise invariant to which
+  /// workers compute which shards — membership can change freely.
+  int num_shards = 0;
+
+  /// Worker heartbeat cadence.
+  int heartbeat_interval_ms = 100;
+
+  /// A member silent for this long while the coordinator is waiting on its
+  /// shards is presumed dead and evicted.
+  int heartbeat_timeout_ms = 2000;
+
+  /// Breaker-style eviction: a member whose shards stalled a gather (while
+  /// its heartbeats still arrive) gets its work reassigned for the step;
+  /// this many consecutive stalls and it is evicted anyway.
+  int evict_after_misses = 3;
+
+  /// How long a worker blocks waiting for the reduced gradient of a step
+  /// (and for fence release) before giving up on the coordinator.
+  int step_timeout_ms = 30000;
+
+  /// Transport retry policy for framed sends/recvs; decorrelated jitter
+  /// spreads concurrent retriers, seeded deterministically (common/retry.h)
+  /// so chaos runs replay.
+  RetryPolicy retry = [] {
+    RetryPolicy p;
+    p.max_attempts = 4;
+    p.initial_backoff_us = 200;
+    p.max_backoff_us = 20000;
+    p.jitter = true;
+    p.retryable = {StatusCode::kUnavailable};
+    return p;
+  }();
+
+  int shard_count() const { return num_shards > 0 ? num_shards : world_size; }
+};
+
+}  // namespace dist
+}  // namespace tracer
+
+#endif  // TRACER_DIST_CONFIG_H_

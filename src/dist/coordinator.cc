@@ -1,0 +1,783 @@
+#include "dist/coordinator.h"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <utility>
+
+#include "common/logging.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+
+namespace tracer {
+namespace dist {
+
+namespace {
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void RecordEviction() {
+  if (!obs::Enabled()) return;
+  obs::MetricsRegistry::Global()
+      .GetOrCreateCounter("tracer_dist_evictions_total")
+      ->Increment();
+}
+
+void RecordJoin() {
+  if (!obs::Enabled()) return;
+  obs::MetricsRegistry::Global()
+      .GetOrCreateCounter("tracer_dist_joins_total")
+      ->Increment();
+}
+
+void RecordStepReduced() {
+  if (!obs::Enabled()) return;
+  obs::MetricsRegistry::Global()
+      .GetOrCreateCounter("tracer_dist_steps_total")
+      ->Increment();
+}
+
+}  // namespace
+
+/// One admitted worker. Owned by the event-loop thread.
+///
+/// Eviction discipline: handlers never erase members (nested handlers
+/// would invalidate each other's indices); they set `dead` and the event
+/// loop reaps marked members at its top level, where no iteration is in
+/// flight.
+struct Coordinator::Member {
+  std::unique_ptr<Conn> conn;
+  uint32_t id = 0;
+  int64_t last_heard_ms = 0;
+  /// Breaker: consecutive gathers this member's shards stalled.
+  int misses = 0;
+  bool stalled_this_gather = false;
+  bool fence_ready = false;
+  bool fence_stopping = false;
+  bool dead = false;
+  std::string death_reason;
+  std::vector<int> shards;
+};
+
+/// A connection that asked to join mid-run; parked until the next fence.
+struct Coordinator::PendingJoiner {
+  std::unique_ptr<Conn> conn;
+  bool snapshot_sent = false;
+  /// Once the snapshot and assignments were delivered, the joiner fences
+  /// with the members and is promoted on release.
+  bool fence_ready = false;
+  bool dead = false;
+  std::vector<int> shards;
+};
+
+/// One in-flight all-reduce step.
+struct Coordinator::Gather {
+  uint64_t step_id = 0;
+  int64_t start_ms = 0;
+  /// shard -> (weight, loss, gradient); summed in ascending shard order on
+  /// completion so the reduction is bitwise deterministic regardless of
+  /// which member computed which shard.
+  struct Contribution {
+    float weight = 0.0f;
+    float loss = 0.0f;
+    std::vector<float> grad;
+  };
+  std::map<int, Contribution> contributions;
+  /// Shards already re-requested from survivors, so a stall is only
+  /// reassigned once per timeout round.
+  std::vector<int> recompute_sent;
+};
+
+Coordinator::Coordinator(DistConfig config) : config_(std::move(config)) {}
+
+Coordinator::~Coordinator() { Stop(); }
+
+Status Coordinator::Start() {
+  TRACER_RETURN_IF_ERROR(listener_.Bind(config_.socket_path));
+  loop_ = std::thread([this] { EventLoop(); });
+  return Status::OK();
+}
+
+void Coordinator::Stop() {
+  {
+    common::MutexLock lock(&mu_);
+    stop_requested_ = true;
+  }
+  if (loop_.joinable()) loop_.join();
+}
+
+bool Coordinator::WaitForCompletion(int timeout_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  common::MutexLock lock(&mu_);
+  while (!finished_) {
+    if (timeout_ms <= 0) {
+      state_cv_.Wait(mu_);
+    } else if (state_cv_.WaitUntil(mu_, deadline)) {
+      return finished_;
+    }
+  }
+  return true;
+}
+
+Status Coordinator::run_status() {
+  common::MutexLock lock(&mu_);
+  return run_status_;
+}
+
+int64_t Coordinator::steps_reduced() {
+  common::MutexLock lock(&mu_);
+  return steps_reduced_;
+}
+
+int64_t Coordinator::evictions() {
+  common::MutexLock lock(&mu_);
+  return evictions_;
+}
+
+int64_t Coordinator::joins() {
+  common::MutexLock lock(&mu_);
+  return joins_;
+}
+
+bool Coordinator::Finished() {
+  common::MutexLock lock(&mu_);
+  return finished_ || stop_requested_;
+}
+
+void Coordinator::SendOrMark(Member* m, MsgType type,
+                             const std::string& payload) {
+  if (m->dead) return;
+  if (!m->conn->SendFrame(type, payload, config_.retry).ok()) {
+    m->dead = true;
+    m->death_reason = "send failed";
+  }
+}
+
+void Coordinator::FailRun(const Status& status) {
+  TRACER_LOG(Warning) << "dist coordinator: run failed: "
+                      << status.ToString();
+  for (auto& m : members_) {
+    TRACER_IGNORE_STATUS(
+        m->conn->SendFrame(MsgType::kAbort, status.message(), config_.retry));
+    m->conn->Shutdown();
+  }
+  for (auto& j : joiners_) {
+    TRACER_IGNORE_STATUS(
+        j->conn->SendFrame(MsgType::kAbort, status.message(), config_.retry));
+    j->conn->Shutdown();
+  }
+  common::MutexLock lock(&mu_);
+  run_status_ = status;
+  finished_ = true;
+  state_cv_.NotifyAll();
+}
+
+void Coordinator::CompleteRun() {
+  common::MutexLock lock(&mu_);
+  run_status_ = Status::OK();
+  finished_ = true;
+  state_cv_.NotifyAll();
+}
+
+void Coordinator::EventLoop() {
+  while (!Finished()) {
+    // Poll set: listener first, then a snapshot of every live connection.
+    // Handlers are looked up by fd afterwards, so membership changes made
+    // while handling one event cannot misattribute another event.
+    std::vector<pollfd> fds;
+    fds.push_back({listener_.fd(), POLLIN, 0});
+    for (const auto& m : members_) {
+      fds.push_back({m->conn->fd(), POLLIN, 0});
+    }
+    for (const auto& j : joiners_) {
+      fds.push_back({j->conn->fd(), POLLIN, 0});
+    }
+    const int ready = ::poll(fds.data(), fds.size(), 50);
+    if (ready < 0 && errno != EINTR) {
+      FailRun(Status::Unavailable("coordinator poll failed"));
+      return;
+    }
+    if (ready > 0) {
+      if (fds[0].revents & POLLIN) {
+        Result<std::unique_ptr<Conn>> accepted = listener_.Accept(0);
+        if (accepted.ok()) {
+          auto joiner = std::make_unique<PendingJoiner>();
+          joiner->conn = std::move(accepted).value();
+          joiners_.push_back(std::move(joiner));
+          // Its kJoin arrives through the poll loop like any other frame.
+        }
+      }
+      for (size_t i = 1; i < fds.size(); ++i) {
+        if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+        HandleReadable(fds[i].fd);
+        if (Finished()) return;
+      }
+    }
+    CheckTimers();
+    ReapDead();
+  }
+}
+
+void Coordinator::HandleReadable(int fd) {
+  for (auto& m : members_) {
+    if (m->conn->fd() != fd || m->dead) continue;
+    Frame frame;
+    const Status received = m->conn->RecvFrame(
+        &frame, config_.heartbeat_timeout_ms, config_.retry);
+    if (!received.ok()) {
+      m->dead = true;
+      m->death_reason = "connection lost: " + received.message();
+      return;
+    }
+    HandleMemberFrame(m.get(), frame);
+    return;
+  }
+  for (size_t i = 0; i < joiners_.size(); ++i) {
+    if (joiners_[i]->conn->fd() != fd || joiners_[i]->dead) continue;
+    Frame frame;
+    const Status received = joiners_[i]->conn->RecvFrame(
+        &frame, config_.heartbeat_timeout_ms, config_.retry);
+    if (!received.ok()) {
+      joiners_[i]->dead = true;
+      return;
+    }
+    HandleJoinerFrame(i, frame);
+    return;
+  }
+}
+
+void Coordinator::HandleJoinerFrame(size_t index, const Frame& frame) {
+  PendingJoiner* joiner = joiners_[index].get();
+  switch (frame.type) {
+    case MsgType::kJoin: {
+      const bool immediate =
+          !formation_done_ &&
+          static_cast<int>(members_.size()) < config_.world_size;
+      PayloadWriter ack;
+      ack.PutU32(next_worker_id_);
+      ack.PutU32(static_cast<uint32_t>(config_.shard_count()));
+      ack.PutU8(immediate ? 1 : 0);
+      if (!joiner->conn->SendFrame(MsgType::kJoinAck, ack.Take(),
+                                   config_.retry)
+               .ok()) {
+        joiner->dead = true;
+        return;
+      }
+      {
+        common::MutexLock lock(&mu_);
+        ++joins_;
+      }
+      RecordJoin();
+      const uint32_t id = next_worker_id_++;
+      if (immediate) {
+        auto member = std::make_unique<Member>();
+        member->conn = std::move(joiner->conn);
+        member->id = id;
+        member->last_heard_ms = NowMs();
+        members_.push_back(std::move(member));
+        joiners_.erase(joiners_.begin() + static_cast<long>(index));
+        TRACER_LOG(Info) << "dist coordinator: worker " << id << " joined ("
+                         << members_.size() << "/" << config_.world_size
+                         << ")";
+        if (static_cast<int>(members_.size()) == config_.world_size) {
+          formation_done_ = true;
+          RebalanceAssignments();
+          BroadcastAssignments();
+          TRACER_LOG(Info) << "dist coordinator: formation complete, "
+                           << config_.shard_count() << " shards across "
+                           << members_.size() << " workers";
+        }
+      } else {
+        TRACER_LOG(Info) << "dist coordinator: worker " << id
+                         << " parked until the next epoch fence";
+      }
+      return;
+    }
+    case MsgType::kFenceReady:
+      // A joiner fences after persisting the snapshot it was sent.
+      joiner->fence_ready = true;
+      MaybeCompleteFence();
+      return;
+    case MsgType::kHeartbeat:
+      return;  // parked joiners keep their heartbeat thread running
+    case MsgType::kLeave:
+      joiner->dead = true;
+      return;
+    default:
+      TRACER_LOG(Warning) << "dist coordinator: unexpected frame type "
+                          << static_cast<int>(frame.type)
+                          << " from a pending joiner";
+      return;
+  }
+}
+
+void Coordinator::HandleMemberFrame(Member* m, const Frame& frame) {
+  m->last_heard_ms = NowMs();
+  switch (frame.type) {
+    case MsgType::kHeartbeat:
+      return;
+    case MsgType::kShardGrad:
+      OnShardGrad(m, frame);
+      return;
+    case MsgType::kFenceReady:
+      OnFenceReady(m, frame);
+      return;
+    case MsgType::kSnapshot: {
+      PayloadReader reader(frame.payload);
+      std::string bytes;
+      if (!reader.GetRemaining(&bytes).ok() || !snapshot_requested_) return;
+      snapshot_bytes_ = std::move(bytes);
+      snapshot_requested_ = false;
+      AdmitPendingAtFence();
+      MaybeCompleteFence();
+      return;
+    }
+    case MsgType::kLeave:
+      TRACER_LOG(Info) << "dist coordinator: worker " << m->id
+                       << " left gracefully";
+      m->dead = true;
+      m->death_reason = "left gracefully";
+      return;
+    case MsgType::kAbort:
+      FailRun(Status::Internal("worker " + std::to_string(m->id) +
+                               " aborted: " + frame.payload));
+      return;
+    default:
+      FailRun(Status::Internal(
+          "protocol violation: unexpected frame type " +
+          std::to_string(static_cast<int>(frame.type)) + " from worker " +
+          std::to_string(m->id)));
+      return;
+  }
+}
+
+void Coordinator::OnShardGrad(Member* m, const Frame& frame) {
+  PayloadReader reader(frame.payload);
+  uint64_t step_id = 0;
+  uint32_t shard = 0;
+  Gather::Contribution c;
+  Status parsed = reader.GetU64(&step_id);
+  if (parsed.ok()) parsed = reader.GetU32(&shard);
+  if (parsed.ok()) parsed = reader.GetF32(&c.weight);
+  if (parsed.ok()) parsed = reader.GetF32(&c.loss);
+  if (parsed.ok()) parsed = reader.GetF32Vector(&c.grad);
+  if (!parsed.ok()) {
+    FailRun(Status::DataLoss("malformed kShardGrad from worker " +
+                             std::to_string(m->id) + ": " +
+                             parsed.message()));
+    return;
+  }
+  if (have_completed_step_ && step_id <= last_completed_step_) {
+    // A slow member's contribution for a step that already reduced (its
+    // shards were recomputed by survivors). The values are bitwise
+    // identical by the determinism contract, so dropping them is safe.
+    return;
+  }
+  if (gather_ == nullptr) {
+    gather_ = std::make_unique<Gather>();
+    gather_->step_id = step_id;
+    gather_->start_ms = NowMs();
+  }
+  if (step_id != gather_->step_id) {
+    FailRun(Status::Internal(
+        "lockstep violation: worker " + std::to_string(m->id) +
+        " is at step " + std::to_string(step_id) +
+        " while the gather is at step " + std::to_string(gather_->step_id)));
+    return;
+  }
+  if (shard >= static_cast<uint32_t>(config_.shard_count())) {
+    FailRun(Status::Internal("shard index out of range from worker " +
+                             std::to_string(m->id)));
+    return;
+  }
+  // First contribution wins; duplicates (a stalled member catching up
+  // after a recompute) are bitwise identical and dropped.
+  gather_->contributions.emplace(static_cast<int>(shard), std::move(c));
+  MaybeCompleteGather();
+}
+
+void Coordinator::MaybeCompleteGather() {
+  if (gather_ == nullptr) return;
+  const int shards = config_.shard_count();
+  if (static_cast<int>(gather_->contributions.size()) < shards) return;
+  // Reduce in ascending shard order: reduced = sum_s w_s * g_s, float
+  // accumulation, bitwise deterministic for this shard count no matter
+  // which worker computed which shard. With one shard this degenerates to
+  // 1.0f * g, which is exact — a single-shard dist run matches local
+  // training bit for bit. std::map iterates keys in ascending order, which
+  // IS the canonical order.
+  size_t grad_len = 0;
+  for (const auto& [shard, c] : gather_->contributions) {
+    grad_len = std::max(grad_len, c.grad.size());
+  }
+  std::vector<float> reduced(grad_len, 0.0f);
+  float reduced_loss = 0.0f;
+  bool first = true;
+  for (const auto& [shard, c] : gather_->contributions) {
+    if (c.grad.empty()) continue;  // empty shard slice contributes nothing
+    if (c.grad.size() != grad_len) {
+      FailRun(Status::Internal("gradient length mismatch across shards"));
+      return;
+    }
+    if (first) {
+      for (size_t i = 0; i < grad_len; ++i) {
+        reduced[i] = c.weight * c.grad[i];
+      }
+      reduced_loss = c.weight * c.loss;
+      first = false;
+    } else {
+      for (size_t i = 0; i < grad_len; ++i) {
+        reduced[i] += c.weight * c.grad[i];
+      }
+      reduced_loss += c.weight * c.loss;
+    }
+  }
+  PayloadWriter out;
+  out.PutU64(gather_->step_id);
+  out.PutF32(reduced_loss);
+  out.PutF32Vector(reduced);
+  const std::string payload = out.Take();
+  for (auto& m : members_) {
+    SendOrMark(m.get(), MsgType::kReduced, payload);
+  }
+  // Breaker accounting: a member whose shards stalled this gather takes a
+  // miss; everyone else resets.
+  for (auto& m : members_) {
+    if (m->stalled_this_gather) {
+      m->stalled_this_gather = false;
+      if (++m->misses >= config_.evict_after_misses && !m->dead) {
+        m->dead = true;
+        m->death_reason = "breaker: stalled " + std::to_string(m->misses) +
+                          " consecutive gathers";
+      }
+    } else {
+      m->misses = 0;
+    }
+  }
+  last_completed_step_ = gather_->step_id;
+  have_completed_step_ = true;
+  gather_.reset();
+  {
+    common::MutexLock lock(&mu_);
+    ++steps_reduced_;
+  }
+  RecordStepReduced();
+}
+
+void Coordinator::OnFenceReady(Member* m, const Frame& frame) {
+  PayloadReader reader(frame.payload);
+  uint32_t next_epoch = 0;
+  uint8_t stopping = 0;
+  if (!reader.GetU32(&next_epoch).ok() || !reader.GetU8(&stopping).ok()) {
+    FailRun(Status::DataLoss("malformed kFenceReady"));
+    return;
+  }
+  if (fence_epoch_ >= 0 && fence_epoch_ != static_cast<int>(next_epoch)) {
+    FailRun(Status::Internal("fence epoch mismatch: worker " +
+                             std::to_string(m->id) + " fences into " +
+                             std::to_string(next_epoch) + ", expected " +
+                             std::to_string(fence_epoch_)));
+    return;
+  }
+  fence_epoch_ = static_cast<int>(next_epoch);
+  m->fence_ready = true;
+  m->fence_stopping = stopping != 0;
+  MaybeCompleteFence();
+}
+
+void Coordinator::AdmitPendingAtFence() {
+  // Called with snapshot_bytes_ holding a fresh (fence_epoch_, 0)
+  // run_state. Ship it to every parked joiner together with the
+  // post-admission shard map; each joiner then fences in before release.
+  for (auto& j : joiners_) {
+    if (j->dead || j->snapshot_sent) continue;
+    if (!j->conn->SendFrame(MsgType::kSnapshot, snapshot_bytes_,
+                            config_.retry)
+             .ok()) {
+      j->dead = true;
+      continue;
+    }
+    j->snapshot_sent = true;
+  }
+  // Compute the post-admission shard map over members + admitted joiners
+  // so every party starts the next epoch with the same view.
+  std::vector<PendingJoiner*> admitted;
+  for (auto& j : joiners_) {
+    if (!j->dead && j->snapshot_sent) admitted.push_back(j.get());
+  }
+  const int world =
+      static_cast<int>(members_.size()) + static_cast<int>(admitted.size());
+  if (world == 0) return;
+  for (auto& m : members_) m->shards.clear();
+  for (PendingJoiner* j : admitted) j->shards.clear();
+  for (int s = 0; s < config_.shard_count(); ++s) {
+    const int owner = s % world;
+    if (owner < static_cast<int>(members_.size())) {
+      members_[static_cast<size_t>(owner)]->shards.push_back(s);
+    } else {
+      admitted[static_cast<size_t>(owner) -
+               members_.size()]
+          ->shards.push_back(s);
+    }
+  }
+  BroadcastAssignments();
+  for (PendingJoiner* j : admitted) {
+    PayloadWriter w;
+    w.PutU32(static_cast<uint32_t>(j->shards.size()));
+    for (int s : j->shards) w.PutU32(static_cast<uint32_t>(s));
+    if (!j->conn->SendFrame(MsgType::kAssign, w.Take(), config_.retry)
+             .ok()) {
+      j->dead = true;
+    }
+  }
+}
+
+void Coordinator::MaybeCompleteFence() {
+  if (fence_epoch_ < 0 || members_.empty()) return;
+  for (const auto& m : members_) {
+    if (!m->dead && !m->fence_ready) return;
+  }
+  // All members agree the epoch is over. Stopping must be unanimous: every
+  // worker reruns the same early-stop arithmetic on the same reduced
+  // losses, so a split vote is a determinism bug, not a race.
+  bool any = false;
+  bool stopping = false;
+  for (const auto& m : members_) {
+    if (m->dead) continue;
+    if (!any) {
+      stopping = m->fence_stopping;
+      any = true;
+    } else if (m->fence_stopping != stopping) {
+      FailRun(Status::Internal(
+          "split stop decision at the epoch fence: workers diverged"));
+      return;
+    }
+  }
+  if (!any) return;  // everyone died; ReapDead will fail the run
+  bool have_joiners = false;
+  for (const auto& j : joiners_) {
+    if (!j->dead) have_joiners = true;
+  }
+  if (!stopping && have_joiners) {
+    if (snapshot_bytes_.empty()) {
+      if (snapshot_requested_) return;  // donor still reading its run_state
+      // Ask one live member for its just-written (fence_epoch_, 0)
+      // run_state; admission continues when kSnapshot arrives.
+      for (auto& m : members_) {
+        if (m->dead) continue;
+        snapshot_requested_ = true;
+        SendOrMark(m.get(), MsgType::kSnapshotRequest, "");
+        if (!m->dead) return;
+        snapshot_requested_ = false;
+      }
+      return;  // no live donor; ReapDead will sort the membership out
+    }
+    // Snapshot delivered to joiners; wait until each fenced in.
+    for (const auto& j : joiners_) {
+      if (!j->dead && j->snapshot_sent && !j->fence_ready) return;
+    }
+    // Promote the joiners to members.
+    for (auto& j : joiners_) {
+      if (j->dead || !j->snapshot_sent) continue;
+      auto member = std::make_unique<Member>();
+      member->conn = std::move(j->conn);
+      member->id = next_worker_id_++;
+      member->last_heard_ms = NowMs();
+      member->shards = std::move(j->shards);
+      member->fence_ready = true;  // consumed by the release below
+      members_.push_back(std::move(member));
+      TRACER_LOG(Info) << "dist coordinator: joiner promoted at the fence "
+                       << "into epoch " << fence_epoch_;
+    }
+    joiners_.erase(std::remove_if(joiners_.begin(), joiners_.end(),
+                                  [](const std::unique_ptr<PendingJoiner>& j) {
+                                    return j->conn == nullptr;
+                                  }),
+                   joiners_.end());
+  }
+  // Release the fence.
+  PayloadWriter go;
+  go.PutU32(static_cast<uint32_t>(fence_epoch_));
+  go.PutU8(stopping ? 1 : 0);
+  const std::string payload = go.Take();
+  for (auto& m : members_) {
+    m->fence_ready = false;
+    m->fence_stopping = false;
+    SendOrMark(m.get(), MsgType::kFenceGo, payload);
+  }
+  fence_epoch_ = -1;
+  snapshot_bytes_.clear();
+  if (stopping) {
+    TRACER_LOG(Info) << "dist coordinator: final fence released; run "
+                     << "complete after " << steps_reduced() << " steps";
+    for (auto& j : joiners_) {
+      if (j->dead) continue;
+      TRACER_IGNORE_STATUS(j->conn->SendFrame(
+          MsgType::kAbort, "run already complete", config_.retry));
+    }
+    CompleteRun();
+  }
+}
+
+std::vector<int> Coordinator::ShardsOwedBy(const Member& m) const {
+  std::vector<int> owed;
+  if (gather_ == nullptr) return owed;
+  for (int s : m.shards) {
+    if (gather_->contributions.count(s) != 0) continue;
+    if (std::find(gather_->recompute_sent.begin(),
+                  gather_->recompute_sent.end(),
+                  s) != gather_->recompute_sent.end()) {
+      continue;
+    }
+    owed.push_back(s);
+  }
+  return owed;
+}
+
+void Coordinator::CheckTimers() {
+  const int64_t now = NowMs();
+  if (gather_ != nullptr &&
+      now - gather_->start_ms > config_.heartbeat_timeout_ms) {
+    for (auto& m : members_) {
+      if (m->dead) continue;
+      const std::vector<int> owed = ShardsOwedBy(*m);
+      if (owed.empty()) continue;
+      if (now - m->last_heard_ms > config_.heartbeat_timeout_ms) {
+        // Silent and owing shards: presumed dead.
+        m->dead = true;
+        m->death_reason = "heartbeat timeout while owing shards";
+        continue;
+      }
+      // Alive but stalled: hand its shards to survivors for this step and
+      // let the breaker decide whether the slowness is chronic.
+      m->stalled_this_gather = true;
+      RequestOrphanRecompute(owed);
+      for (int s : owed) gather_->recompute_sent.push_back(s);
+    }
+  }
+  // A fence can also stall on a dead member (no gather active then).
+  if (fence_epoch_ >= 0) {
+    for (auto& m : members_) {
+      if (m->dead || m->fence_ready) continue;
+      if (now - m->last_heard_ms > config_.heartbeat_timeout_ms) {
+        m->dead = true;
+        m->death_reason = "heartbeat timeout at the epoch fence";
+      }
+    }
+  }
+}
+
+void Coordinator::ReapDead() {
+  bool removed_any = false;
+  // Broadcast failures inside this loop can mark more members dead, so
+  // iterate to a fixed point.
+  for (;;) {
+    size_t index = members_.size();
+    for (size_t i = 0; i < members_.size(); ++i) {
+      if (members_[i]->dead) {
+        index = i;
+        break;
+      }
+    }
+    if (index == members_.size()) break;
+    Member* m = members_[index].get();
+    TRACER_LOG(Warning) << "dist coordinator: evicting worker " << m->id
+                        << ": " << m->death_reason;
+    // Post-incident evidence first: snapshot the span ring + metrics while
+    // the state still shows the stall.
+    obs::TriggerFlightDump("dist.evict");
+    RecordEviction();
+    {
+      common::MutexLock lock(&mu_);
+      ++evictions_;
+    }
+    TRACER_IGNORE_STATUS(m->conn->SendFrame(MsgType::kEvicted,
+                                            m->death_reason, config_.retry));
+    m->conn->Shutdown();
+    members_.erase(members_.begin() + static_cast<long>(index));
+    removed_any = true;
+  }
+  joiners_.erase(std::remove_if(joiners_.begin(), joiners_.end(),
+                                [](const std::unique_ptr<PendingJoiner>& j) {
+                                  return j->dead || j->conn == nullptr;
+                                }),
+                 joiners_.end());
+  if (!removed_any) return;
+  if (members_.empty()) {
+    if (formation_done_) {
+      FailRun(Status::Unavailable("all workers are gone"));
+    }
+    return;
+  }
+  RebalanceAssignments();
+  BroadcastAssignments();
+  if (gather_ != nullptr) {
+    // Shards the dead members still owed this step move to survivors now.
+    // recompute_sent is cleared first: an earlier reassignment may have
+    // landed on a member that has since died, and duplicate contributions
+    // are ignored anyway.
+    gather_->recompute_sent.clear();
+    std::vector<int> missing;
+    for (int s = 0; s < config_.shard_count(); ++s) {
+      if (gather_->contributions.count(s) == 0) missing.push_back(s);
+    }
+    RequestOrphanRecompute(missing);
+    for (int s : missing) gather_->recompute_sent.push_back(s);
+  }
+  MaybeCompleteFence();
+}
+
+void Coordinator::RebalanceAssignments() {
+  const int world = static_cast<int>(members_.size());
+  if (world == 0) return;
+  for (auto& m : members_) m->shards.clear();
+  for (int s = 0; s < config_.shard_count(); ++s) {
+    members_[static_cast<size_t>(s % world)]->shards.push_back(s);
+  }
+}
+
+void Coordinator::BroadcastAssignments() {
+  for (auto& m : members_) {
+    PayloadWriter w;
+    w.PutU32(static_cast<uint32_t>(m->shards.size()));
+    for (int s : m->shards) w.PutU32(static_cast<uint32_t>(s));
+    SendOrMark(m.get(), MsgType::kAssign, w.Take());
+  }
+}
+
+void Coordinator::RequestOrphanRecompute(const std::vector<int>& shards) {
+  if (shards.empty() || gather_ == nullptr) return;
+  std::vector<Member*> live;
+  for (auto& m : members_) {
+    if (!m->dead && !m->stalled_this_gather) live.push_back(m.get());
+  }
+  if (live.empty()) {
+    for (auto& m : members_) {
+      if (!m->dead) live.push_back(m.get());
+    }
+  }
+  if (live.empty()) return;
+  // Round-robin the orphans across live members in canonical order.
+  std::map<size_t, std::vector<int>> per_member;
+  for (size_t k = 0; k < shards.size(); ++k) {
+    per_member[k % live.size()].push_back(shards[k]);
+  }
+  for (const auto& [mi, list] : per_member) {
+    PayloadWriter w;
+    w.PutU64(gather_->step_id);
+    w.PutU32(static_cast<uint32_t>(list.size()));
+    for (int s : list) w.PutU32(static_cast<uint32_t>(s));
+    SendOrMark(live[mi], MsgType::kRecompute, w.Take());
+  }
+}
+
+}  // namespace dist
+}  // namespace tracer

@@ -1,0 +1,130 @@
+#ifndef TRACER_DIST_COORDINATOR_H_
+#define TRACER_DIST_COORDINATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "dist/config.h"
+#include "dist/transport.h"
+
+namespace tracer {
+namespace dist {
+
+/// Rank-0 membership and reduction server of the elastic data-parallel
+/// runtime. Runs one event-loop thread multiplexing (poll) the listening
+/// socket and every member connection.
+///
+/// Responsibilities:
+///  - formation: waits for `world_size` workers, assigns worker ids and
+///    the initial shard map (shard s -> member[s % M] in ascending-id
+///    member order);
+///  - gradient all-reduce: gathers one contribution per data shard for a
+///    step, sums them in ascending shard index (bitwise deterministic for
+///    a fixed shard count, whoever computed each shard), broadcasts the
+///    reduced loss + gradient to every member;
+///  - elastic membership: joins are parked until an epoch fence, where the
+///    joiner receives a run_state snapshot from a live member plus the
+///    rebalanced shard map; leaves and evictions rebalance immediately,
+///    and shards orphaned mid-gather are re-computed by survivors
+///    (kRecompute), so one worker's death never stalls the step;
+///  - failure detection: a member silent past heartbeat_timeout_ms while
+///    owing shards is evicted as dead; a member whose heartbeats flow but
+///    whose shards stall gathers repeatedly is evicted by the breaker
+///    after evict_after_misses consecutive stalls. Evictions trigger a
+///    flight-recorder dump ("dist.evict") and tracer_dist_evictions_total.
+///
+/// The coordinator is deliberately stateless about training: it never
+/// holds model parameters, so its crash loses only membership — every
+/// worker's run_state survives on disk and a relaunch of the whole
+/// ensemble resumes the run (see DESIGN.md failure matrix).
+class Coordinator {
+ public:
+  explicit Coordinator(DistConfig config);
+  ~Coordinator();
+
+  /// Binds the socket and starts the event loop. kUnavailable if the
+  /// socket path cannot be bound.
+  [[nodiscard]] Status Start();
+
+  /// Signals the event loop to exit and joins it. Idempotent; the
+  /// destructor calls it.
+  void Stop();
+
+  /// Blocks until the run completed (final fence released) or failed;
+  /// false on timeout. 0 waits forever.
+  bool WaitForCompletion(int timeout_ms);
+
+  /// Terminal status of the run: OK after a clean final fence.
+  Status run_status();
+
+  int64_t steps_reduced();
+  int64_t evictions();
+  int64_t joins();
+
+ private:
+  struct Member;
+  struct PendingJoiner;
+  struct Gather;
+
+  void EventLoop();
+  bool Finished();
+  void HandleReadable(int fd);
+  void HandleMemberFrame(Member* m, const Frame& frame);
+  void HandleJoinerFrame(size_t index, const Frame& frame);
+  void OnShardGrad(Member* m, const Frame& frame);
+  void OnFenceReady(Member* m, const Frame& frame);
+  void MaybeCompleteGather();
+  void MaybeCompleteFence();
+  void AdmitPendingAtFence();
+  void CheckTimers();
+  /// Removes every member marked dead: flight dump + kEvicted + rebalance
+  /// + orphan recompute. Only called from the event loop's top level so no
+  /// handler iteration is invalidated (handlers mark, never erase).
+  void ReapDead();
+  /// Sends to a member; on failure marks it dead for the next ReapDead.
+  void SendOrMark(Member* m, MsgType type, const std::string& payload);
+  void RebalanceAssignments();
+  void RequestOrphanRecompute(const std::vector<int>& shards);
+  void BroadcastAssignments();
+  void FailRun(const Status& status);
+  void CompleteRun();
+  std::vector<int> ShardsOwedBy(const Member& m) const;
+
+  const DistConfig config_;
+  UdsListener listener_;
+  std::thread loop_;
+
+  common::Mutex mu_;
+  common::CondVar state_cv_;
+  bool stop_requested_ TRACER_GUARDED_BY(mu_) = false;
+  bool finished_ TRACER_GUARDED_BY(mu_) = false;
+  Status run_status_ TRACER_GUARDED_BY(mu_);
+  int64_t steps_reduced_ TRACER_GUARDED_BY(mu_) = 0;
+  int64_t evictions_ TRACER_GUARDED_BY(mu_) = 0;
+  int64_t joins_ TRACER_GUARDED_BY(mu_) = 0;
+
+  // Everything below is owned by the event-loop thread exclusively.
+  std::vector<std::unique_ptr<Member>> members_;
+  std::vector<std::unique_ptr<PendingJoiner>> joiners_;
+  std::unique_ptr<Gather> gather_;
+  uint64_t last_completed_step_ = 0;
+  bool have_completed_step_ = false;
+  bool formation_done_ = false;
+  uint32_t next_worker_id_ = 0;
+  // Fence bookkeeping: epoch the members are fencing into, and whether a
+  // snapshot for joiner admission is still in flight.
+  int fence_epoch_ = -1;
+  bool snapshot_requested_ = false;
+  std::string snapshot_bytes_;
+};
+
+}  // namespace dist
+}  // namespace tracer
+
+#endif  // TRACER_DIST_COORDINATOR_H_

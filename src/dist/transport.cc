@@ -1,0 +1,222 @@
+#include "dist/transport.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "fault/fault.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+
+namespace tracer {
+namespace dist {
+
+namespace {
+
+void RecordSendBytes(size_t n) {
+  if (!obs::Enabled()) return;
+  obs::MetricsRegistry::Global()
+      .GetOrCreateCounter("tracer_dist_send_bytes_total")
+      ->Increment(static_cast<int64_t>(n));
+}
+
+void RecordRecvBytes(size_t n) {
+  if (!obs::Enabled()) return;
+  obs::MetricsRegistry::Global()
+      .GetOrCreateCounter("tracer_dist_recv_bytes_total")
+      ->Increment(static_cast<int64_t>(n));
+}
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Status FillSockaddr(const std::string& path, sockaddr_un* addr) {
+  if (path.empty() || path.size() >= sizeof(addr->sun_path)) {
+    return Status::InvalidArgument("unusable unix socket path: " + path);
+  }
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return Status::OK();
+}
+
+}  // namespace
+
+Conn::~Conn() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Conn::Shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+Status Conn::WriteAll(const char* data, size_t len) {
+  size_t done = 0;
+  while (done < len) {
+    // MSG_NOSIGNAL: a peer that died between poll and write must surface
+    // as EPIPE, not kill the process with SIGPIPE.
+    const ssize_t n =
+        ::send(fd_, data + done, len - done, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(std::string("dist send failed: ") +
+                                 std::strerror(errno));
+    }
+    done += static_cast<size_t>(n);
+  }
+  RecordSendBytes(len);
+  return Status::OK();
+}
+
+Status Conn::SendFrame(MsgType type, const std::string& payload,
+                       const RetryPolicy& retry) {
+  const std::string encoded = EncodeFrame(Frame{type, payload});
+  common::MutexLock lock(&send_mu_);
+  return CallWithRetry(retry, [&]() -> Status {
+    if (TRACER_FAULT_POINT("dist.send")) {
+      return Status::Unavailable("injected fault dist.send");
+    }
+    return WriteAll(encoded.data(), encoded.size());
+  });
+}
+
+Status Conn::ReadAll(char* data, size_t len, int timeout_ms) {
+  const int64_t deadline = NowMs() + timeout_ms;
+  size_t done = 0;
+  while (done < len) {
+    const int64_t remaining = deadline - NowMs();
+    if (remaining <= 0) {
+      return done == 0 ? Status::DeadlineExceeded("dist recv timed out")
+                       : Status::DeadlineExceeded(
+                             "dist recv timed out mid-frame");
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(remaining));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(std::string("dist poll failed: ") +
+                                 std::strerror(errno));
+    }
+    if (ready == 0) continue;  // deadline check at loop top
+    const ssize_t n = ::read(fd_, data + done, len - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(std::string("dist read failed: ") +
+                                 std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::Unavailable("dist peer closed the connection");
+    }
+    done += static_cast<size_t>(n);
+  }
+  RecordRecvBytes(len);
+  return Status::OK();
+}
+
+Status Conn::RecvFrame(Frame* frame, int timeout_ms,
+                       const RetryPolicy& retry) {
+  // The injected-fault retry models a transient read glitch: the frame is
+  // still in the socket buffer afterwards, so retrying is safe. Real
+  // partial reads inside ReadAll are completed, never restarted.
+  Status transient = CallWithRetry(retry, [&]() -> Status {
+    if (TRACER_FAULT_POINT("dist.recv")) {
+      return Status::Unavailable("injected fault dist.recv");
+    }
+    return Status::OK();
+  });
+  if (!transient.ok()) return transient;
+  char header[kFrameHeaderBytes];
+  TRACER_RETURN_IF_ERROR(ReadAll(header, sizeof(header), timeout_ms));
+  uint32_t payload_len = 0;
+  uint32_t crc = 0;
+  TRACER_RETURN_IF_ERROR(
+      DecodeFrameHeader(header, &frame->type, &payload_len, &crc));
+  frame->payload.resize(payload_len);
+  if (payload_len > 0) {
+    TRACER_RETURN_IF_ERROR(
+        ReadAll(frame->payload.data(), payload_len, timeout_ms));
+  }
+  return VerifyFrame(frame->type, frame->payload, crc);
+}
+
+UdsListener::~UdsListener() {
+  if (fd_ >= 0) ::close(fd_);
+  if (!path_.empty()) ::unlink(path_.c_str());
+}
+
+Status UdsListener::Bind(const std::string& path) {
+  sockaddr_un addr;
+  TRACER_RETURN_IF_ERROR(FillSockaddr(path, &addr));
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::Unavailable(std::string("socket failed: ") +
+                               std::strerror(errno));
+  }
+  ::unlink(path.c_str());  // a stale socket file from a dead run
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd_, 64) != 0) {
+    const Status err = Status::Unavailable(
+        std::string("bind/listen failed: ") + std::strerror(errno) + ": " +
+        path);
+    ::close(fd_);
+    fd_ = -1;
+    return err;
+  }
+  path_ = path;
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Conn>> UdsListener::Accept(int timeout_ms) {
+  pollfd pfd{fd_, POLLIN, 0};
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready < 0) {
+    return Status::Unavailable(std::string("accept poll failed: ") +
+                               std::strerror(errno));
+  }
+  if (ready == 0) {
+    return Status::DeadlineExceeded("accept timed out");
+  }
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) {
+    return Status::Unavailable(std::string("accept failed: ") +
+                               std::strerror(errno));
+  }
+  return std::make_unique<Conn>(fd);
+}
+
+Result<std::unique_ptr<Conn>> ConnectUds(const std::string& path,
+                                         int timeout_ms) {
+  sockaddr_un addr;
+  TRACER_RETURN_IF_ERROR(FillSockaddr(path, &addr));
+  const int64_t deadline = NowMs() + timeout_ms;
+  for (;;) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return Status::Unavailable(std::string("socket failed: ") +
+                                 std::strerror(errno));
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+        0) {
+      return std::make_unique<Conn>(fd);
+    }
+    ::close(fd);
+    if (NowMs() >= deadline) {
+      return Status::Unavailable("cannot connect to coordinator at " + path +
+                                 ": " + std::strerror(errno));
+    }
+    // The coordinator may still be launching; back off briefly and retry
+    // until the budget runs out.
+    ::poll(nullptr, 0, 20);
+  }
+}
+
+}  // namespace dist
+}  // namespace tracer

@@ -1,0 +1,88 @@
+#ifndef TRACER_DIST_TRANSPORT_H_
+#define TRACER_DIST_TRANSPORT_H_
+
+#include <memory>
+#include <string>
+
+#include "common/mutex.h"
+#include "common/retry.h"
+#include "common/status.h"
+#include "dist/wire.h"
+
+namespace tracer {
+namespace dist {
+
+/// One framed, CRC-checked, bidirectional connection over a Unix-domain
+/// stream socket.
+///
+/// Concurrency: SendFrame is thread-safe (whole frames are serialized by
+/// an internal mutex, so a heartbeat thread and the training thread can
+/// share the connection); RecvFrame must only be called from one thread
+/// at a time. Shutdown() wakes a blocked peer and fails all further IO.
+///
+/// Failure mapping: transient socket errors and injected `dist.send` /
+/// `dist.recv` faults surface as kUnavailable (retried per the caller's
+/// RetryPolicy inside SendFrame/RecvFrame); a CRC or framing violation is
+/// kDataLoss and never retried — a corrupt gradient must not be summed.
+class Conn {
+ public:
+  explicit Conn(int fd) : fd_(fd) {}
+  ~Conn();
+
+  Conn(const Conn&) = delete;
+  Conn& operator=(const Conn&) = delete;
+
+  /// Encodes and writes one whole frame, retrying transient failures.
+  [[nodiscard]] Status SendFrame(MsgType type, const std::string& payload,
+                                 const RetryPolicy& retry);
+
+  /// Blocks up to `timeout_ms` for one whole frame (kDeadlineExceeded on
+  /// timeout). Transient read glitches are retried within the deadline.
+  [[nodiscard]] Status RecvFrame(Frame* frame, int timeout_ms,
+                                 const RetryPolicy& retry);
+
+  /// Half-closes both directions so a peer blocked in poll()/read() wakes
+  /// immediately; the fd stays valid until destruction.
+  void Shutdown();
+
+  int fd() const { return fd_; }
+
+ private:
+  [[nodiscard]] Status WriteAll(const char* data, size_t len);
+  [[nodiscard]] Status ReadAll(char* data, size_t len, int timeout_ms);
+
+  int fd_;
+  common::Mutex send_mu_;
+};
+
+/// Listening Unix-domain socket; owns the path (unlinked on destruction).
+class UdsListener {
+ public:
+  UdsListener() = default;
+  ~UdsListener();
+
+  UdsListener(const UdsListener&) = delete;
+  UdsListener& operator=(const UdsListener&) = delete;
+
+  /// Binds and listens. Replaces a stale socket file at `path`.
+  [[nodiscard]] Status Bind(const std::string& path);
+
+  /// Accepts one connection (kDeadlineExceeded after `timeout_ms`).
+  Result<std::unique_ptr<Conn>> Accept(int timeout_ms);
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+/// Connects to the coordinator's socket, retrying until `timeout_ms` has
+/// elapsed — workers may launch before the coordinator has bound.
+Result<std::unique_ptr<Conn>> ConnectUds(const std::string& path,
+                                         int timeout_ms);
+
+}  // namespace dist
+}  // namespace tracer
+
+#endif  // TRACER_DIST_TRANSPORT_H_

@@ -1,0 +1,173 @@
+#include "dist/wire.h"
+
+#include <cstring>
+
+namespace tracer {
+namespace dist {
+
+namespace {
+
+/// Standard CRC-32 lookup table (polynomial 0xEDB88320), built once.
+const uint32_t* Crc32Table() {
+  static const uint32_t* table = [] {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+void PutU32At(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+uint32_t ReadU32At(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+uint32_t FrameCrc(MsgType type, const std::string& payload) {
+  const uint32_t* table = Crc32Table();
+  uint32_t crc = 0xFFFFFFFFu;
+  const auto update = [&](unsigned char byte) {
+    crc = table[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+  };
+  update(static_cast<unsigned char>(type));
+  for (char c : payload) update(static_cast<unsigned char>(c));
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t len) {
+  const uint32_t* table = Crc32Table();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string EncodeFrame(const Frame& frame) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + frame.payload.size());
+  PutU32At(&out, kFrameMagic);
+  out.push_back(static_cast<char>(frame.type));
+  PutU32At(&out, static_cast<uint32_t>(frame.payload.size()));
+  PutU32At(&out, FrameCrc(frame.type, frame.payload));
+  out.append(frame.payload);
+  return out;
+}
+
+Status DecodeFrameHeader(const char header[kFrameHeaderBytes], MsgType* type,
+                         uint32_t* payload_len, uint32_t* crc) {
+  if (ReadU32At(header) != kFrameMagic) {
+    return Status::DataLoss("dist frame: bad magic");
+  }
+  *type = static_cast<MsgType>(static_cast<unsigned char>(header[4]));
+  *payload_len = ReadU32At(header + 5);
+  *crc = ReadU32At(header + 9);
+  if (*payload_len > kMaxPayloadBytes) {
+    return Status::DataLoss("dist frame: payload length " +
+                            std::to_string(*payload_len) +
+                            " exceeds the frame limit");
+  }
+  return Status::OK();
+}
+
+Status VerifyFrame(MsgType type, const std::string& payload, uint32_t crc) {
+  if (FrameCrc(type, payload) != crc) {
+    return Status::DataLoss("dist frame: CRC mismatch");
+  }
+  return Status::OK();
+}
+
+void PayloadWriter::PutU32(uint32_t v) { PutU32At(&out_, v); }
+
+void PayloadWriter::PutU64(uint64_t v) {
+  PutU32(static_cast<uint32_t>(v & 0xFFFFFFFFu));
+  PutU32(static_cast<uint32_t>(v >> 32));
+}
+
+void PayloadWriter::PutF32(float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU32(bits);
+}
+
+void PayloadWriter::PutBytes(const void* data, size_t len) {
+  out_.append(static_cast<const char*>(data), len);
+}
+
+void PayloadWriter::PutF32Vector(const std::vector<float>& v) {
+  PutU32(static_cast<uint32_t>(v.size()));
+  for (float f : v) PutF32(f);
+}
+
+Status PayloadReader::Take(void* dst, size_t len) {
+  if (payload_.size() - pos_ < len) {
+    return Status::DataLoss("dist payload: truncated field");
+  }
+  std::memcpy(dst, payload_.data() + pos_, len);
+  pos_ += len;
+  return Status::OK();
+}
+
+Status PayloadReader::GetU8(uint8_t* v) { return Take(v, 1); }
+
+Status PayloadReader::GetU32(uint32_t* v) {
+  char buf[4];
+  TRACER_RETURN_IF_ERROR(Take(buf, 4));
+  *v = ReadU32At(buf);
+  return Status::OK();
+}
+
+Status PayloadReader::GetU64(uint64_t* v) {
+  uint32_t lo = 0;
+  uint32_t hi = 0;
+  TRACER_RETURN_IF_ERROR(GetU32(&lo));
+  TRACER_RETURN_IF_ERROR(GetU32(&hi));
+  *v = (static_cast<uint64_t>(hi) << 32) | lo;
+  return Status::OK();
+}
+
+Status PayloadReader::GetF32(float* v) {
+  uint32_t bits = 0;
+  TRACER_RETURN_IF_ERROR(GetU32(&bits));
+  std::memcpy(v, &bits, sizeof(*v));
+  return Status::OK();
+}
+
+Status PayloadReader::GetF32Vector(std::vector<float>* v) {
+  uint32_t count = 0;
+  TRACER_RETURN_IF_ERROR(GetU32(&count));
+  if (payload_.size() - pos_ < static_cast<size_t>(count) * sizeof(float)) {
+    return Status::DataLoss("dist payload: truncated float vector");
+  }
+  v->resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    TRACER_RETURN_IF_ERROR(GetF32(&(*v)[i]));
+  }
+  return Status::OK();
+}
+
+Status PayloadReader::GetRemaining(std::string* v) {
+  v->assign(payload_, pos_, payload_.size() - pos_);
+  pos_ = payload_.size();
+  return Status::OK();
+}
+
+}  // namespace dist
+}  // namespace tracer

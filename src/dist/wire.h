@@ -1,0 +1,104 @@
+#ifndef TRACER_DIST_WIRE_H_
+#define TRACER_DIST_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tracer {
+namespace dist {
+
+/// Message vocabulary of the elastic data-parallel protocol. One byte on
+/// the wire; values are part of the protocol and must not be reordered.
+enum class MsgType : uint8_t {
+  kJoin = 1,             // worker -> coord: request membership
+  kJoinAck = 2,          // coord -> worker: id + shard count + admission
+  kAssign = 3,           // coord -> worker: the worker's shard set
+  kShardGrad = 4,        // worker -> coord: one shard's contribution
+  kReduced = 5,          // coord -> worker: reduced loss + gradient
+  kRecompute = 6,        // coord -> worker: cover these orphaned shards
+  kFenceReady = 7,       // worker -> coord: at the epoch fence
+  kFenceGo = 8,          // coord -> worker: fence released
+  kHeartbeat = 9,        // worker -> coord: liveness
+  kSnapshotRequest = 10,  // coord -> worker: send your run_state bytes
+  kSnapshot = 11,        // worker -> coord -> joiner: run_state image
+  kEvicted = 12,         // coord -> worker: membership revoked
+  kLeave = 13,           // worker -> coord: graceful goodbye
+  kAbort = 14,           // either direction: run is over, with reason
+};
+
+/// CRC-32 (IEEE 802.3, reflected) over `data`. Frames carry it so a torn
+/// or corrupted socket stream surfaces as kDataLoss instead of a silently
+/// wrong gradient.
+uint32_t Crc32(const void* data, size_t len);
+
+/// One length-prefixed frame: magic, type, payload length, CRC32 of
+/// (type byte + payload), then the payload.
+struct Frame {
+  MsgType type = MsgType::kAbort;
+  std::string payload;
+};
+
+/// Serialized header layout (little-endian, as all supported targets are):
+/// u32 magic 'TDF1' | u8 type | u32 payload_len | u32 crc.
+constexpr uint32_t kFrameMagic = 0x31464454u;  // "TDF1"
+constexpr size_t kFrameHeaderBytes = 13;
+/// Upper bound on a payload (64 MiB): a corrupted length field must not
+/// turn into an allocation bomb.
+constexpr uint32_t kMaxPayloadBytes = 64u << 20;
+
+/// Encodes the frame header + payload into a contiguous byte string.
+std::string EncodeFrame(const Frame& frame);
+
+/// Parses and validates a header; on OK, *payload_len is how many payload
+/// bytes follow and *type is the message type. kDataLoss on bad magic or
+/// oversized length.
+Status DecodeFrameHeader(const char header[kFrameHeaderBytes], MsgType* type,
+                         uint32_t* payload_len, uint32_t* crc);
+
+/// Verifies the CRC over (type + payload); kDataLoss on mismatch.
+Status VerifyFrame(MsgType type, const std::string& payload, uint32_t crc);
+
+/// Payload builder: fixed-width little-endian scalar appends.
+class PayloadWriter {
+ public:
+  void PutU8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutF32(float v);
+  void PutBytes(const void* data, size_t len);
+  /// Length-prefixed float vector.
+  void PutF32Vector(const std::vector<float>& v);
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Bounds-checked payload reader; every getter fails with kDataLoss once
+/// the payload is shorter than the requested field.
+class PayloadReader {
+ public:
+  explicit PayloadReader(const std::string& payload) : payload_(payload) {}
+
+  [[nodiscard]] Status GetU8(uint8_t* v);
+  [[nodiscard]] Status GetU32(uint32_t* v);
+  [[nodiscard]] Status GetU64(uint64_t* v);
+  [[nodiscard]] Status GetF32(float* v);
+  [[nodiscard]] Status GetF32Vector(std::vector<float>* v);
+  /// The rest of the payload as raw bytes.
+  [[nodiscard]] Status GetRemaining(std::string* v);
+  bool AtEnd() const { return pos_ == payload_.size(); }
+
+ private:
+  [[nodiscard]] Status Take(void* dst, size_t len);
+  const std::string& payload_;
+  size_t pos_ = 0;
+};
+
+}  // namespace dist
+}  // namespace tracer
+
+#endif  // TRACER_DIST_WIRE_H_

@@ -1,0 +1,106 @@
+#ifndef TRACER_DIST_WORKER_H_
+#define TRACER_DIST_WORKER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "dist/config.h"
+#include "dist/transport.h"
+#include "train/trainer.h"
+
+namespace tracer {
+namespace dist {
+
+/// Worker-side half of the elastic data-parallel runtime: a GradReducer
+/// that ships per-shard gradients to the Coordinator over a framed UDS
+/// connection and installs the reduced result.
+///
+/// Lifecycle: Start() joins the ensemble — either as part of the initial
+/// formation (the coordinator admits the first world_size connections
+/// immediately) or as a mid-run joiner, in which case Start blocks until
+/// the next epoch fence, persists the run_state snapshot it is sent to
+/// `config.run_state_path`, and sets *resumed so the caller resumes the
+/// trainer from that state instead of starting fresh.
+///
+/// Threading: ReduceStep/EpochFence run on the training thread and own all
+/// receives; a background heartbeat thread shares the connection for sends
+/// only (Conn::SendFrame is serialized internally). The heartbeat passes
+/// through the `dist.heartbeat` fault point, so chaos runs can silence a
+/// worker without touching its training loop.
+class SocketReducer : public train::GradReducer {
+ public:
+  explicit SocketReducer(DistConfig config);
+  ~SocketReducer() override;
+
+  SocketReducer(const SocketReducer&) = delete;
+  SocketReducer& operator=(const SocketReducer&) = delete;
+
+  /// Connects, joins and blocks until this worker holds a shard
+  /// assignment. *resumed is set when admission came with a run_state
+  /// snapshot (mid-run join) that was persisted to config.run_state_path.
+  [[nodiscard]] Status Start(bool* resumed);
+
+  /// train::GradReducer: evaluates the owned shards of `batch_indices`
+  /// (and any shards the coordinator reassigns mid-step), exchanges them,
+  /// and installs the reduced gradient + loss. Blocks up to
+  /// config.step_timeout_ms for the reduction.
+  Result<float> ReduceStep(
+      uint64_t step_id, const std::vector<int>& batch_indices,
+      const std::vector<autograd::Variable>& params,
+      const std::function<float(const std::vector<int>&)>& eval) override;
+
+  /// train::GradReducer: epoch barrier. Serves a run_state snapshot to
+  /// the coordinator if asked (joiner admission), picks up rebalanced
+  /// shard assignments, and returns when the fence is released.
+  Status EpochFence(int next_epoch, bool stopping) override;
+
+  uint32_t worker_id() const { return worker_id_; }
+  int shard_count() const { return num_shards_; }
+  const std::vector<int>& shards() const { return shards_; }
+
+ private:
+  Status EvalAndSendShards(
+      uint64_t step_id, const std::vector<int>& batch_indices,
+      const std::vector<autograd::Variable>& params,
+      const std::function<float(const std::vector<int>&)>& eval,
+      const std::vector<int>& shard_set);
+  Status ParseAssign(const Frame& frame);
+  Status ServeSnapshot();
+  void HeartbeatLoop();
+  void StopHeartbeat();
+
+  const DistConfig config_;
+  std::unique_ptr<Conn> conn_;
+  uint32_t worker_id_ = 0;
+  int num_shards_ = 0;
+  /// Owned data shards; written only by the training thread (kAssign is
+  /// received inside ReduceStep/EpochFence/Start).
+  std::vector<int> shards_;
+
+  std::thread heartbeat_;
+  common::Mutex hb_mu_;
+  common::CondVar hb_cv_;
+  bool hb_stop_ TRACER_GUARDED_BY(hb_mu_) = false;
+};
+
+/// Runs one elastic worker end to end: joins the ensemble via
+/// SocketReducer, then trains `model` in lockstep with the other workers.
+/// Fresh workers Fit; a mid-run joiner resumes from the snapshot it was
+/// handed; a worker restarted after a whole-ensemble crash resumes from
+/// its own run_state on disk. `config.grad_reducer` and the checkpoint
+/// path/cadence are overridden (run_state must sit at epoch fences for
+/// snapshots to be lockstep-consistent).
+Result<train::TrainResult> RunElasticWorker(
+    nn::SequenceModel* model, const data::TimeSeriesDataset& train_set,
+    const data::TimeSeriesDataset& val_set, train::TrainConfig config,
+    train::CheckpointOptions checkpoint, const DistConfig& dist);
+
+}  // namespace dist
+}  // namespace tracer
+
+#endif  // TRACER_DIST_WORKER_H_

@@ -32,6 +32,15 @@
     "pipeline/emr_pipeline: the cleaning/imputation stage fails "           \
     "transiently")                                                           \
   X("interpret.explain",                                                     \
-    "serve/server: computing attributions for an explain batch fails")
+    "serve/server: computing attributions for an explain batch fails")      \
+  X("dist.send",                                                             \
+    "dist/transport: writing a framed message to a peer socket fails "      \
+    "transiently")                                                           \
+  X("dist.recv",                                                             \
+    "dist/transport: reading a framed message from a peer socket fails "    \
+    "transiently")                                                           \
+  X("dist.heartbeat",                                                        \
+    "dist/worker: a heartbeat send is dropped; enough in a row and the "    \
+    "coordinator evicts the worker")
 
 #endif  // TRACER_FAULT_FAULT_POINTS_H_

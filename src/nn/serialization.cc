@@ -9,6 +9,7 @@
 #include <limits>
 #include <memory>
 
+#include "common/atomic_file.h"
 #include "fault/fault.h"
 
 namespace tracer {
@@ -74,32 +75,25 @@ Status WriteBody(std::FILE* f, const std::string& path,
 Status SaveCheckpoint(
     const std::string& path,
     const std::vector<std::pair<std::string, Tensor>>& tensors) {
-  // Crash-safe protocol: write the full container to a temp file in the
-  // same directory, flush it to stable storage, then atomically rename it
-  // over the destination. A reader (e.g. serve::ModelRegistry) can never
-  // observe a torn or partially written checkpoint at `path`.
-  const std::string tmp =
-      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
-  {
-    std::unique_ptr<std::FILE, FileCloser> file(
-        std::fopen(tmp.c_str(), "wb"));
-    if (!file) return Status::IOError("cannot open for write: " + tmp);
-    const Status body = WriteBody(file.get(), tmp, tensors);
-    const bool flushed =
-        body.ok() && !TRACER_FAULT_POINT("ckpt.fsync") &&
-        std::fflush(file.get()) == 0 && ::fsync(::fileno(file.get())) == 0;
-    file.reset();  // close before rename/remove
-    if (!body.ok() || !flushed) {
-      std::remove(tmp.c_str());
-      return body.ok() ? Status::IOError("flush failed: " + tmp) : body;
-    }
+  // Crash-safe protocol (common::AtomicFileWriter): write the full
+  // container to a temp file in the same directory, flush it to stable
+  // storage, then atomically rename it over the destination. A reader
+  // (e.g. serve::ModelRegistry) can never observe a torn or partially
+  // written checkpoint at `path`. The fault points sit between the
+  // protocol stages so chaos tests can fail each stage independently.
+  common::AtomicFileWriter writer(path);
+  TRACER_RETURN_IF_ERROR(writer.Open());
+  TRACER_RETURN_IF_ERROR(
+      WriteBody(writer.stream(), writer.tmp_path(), tensors));
+  if (TRACER_FAULT_POINT("ckpt.fsync")) {
+    return Status::IOError("flush failed: " + writer.tmp_path());
   }
-  if (TRACER_FAULT_POINT("ckpt.rename") ||
-      std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return Status::IOError("rename failed: " + tmp + " -> " + path);
+  TRACER_RETURN_IF_ERROR(writer.Flush());
+  if (TRACER_FAULT_POINT("ckpt.rename")) {
+    return Status::IOError("rename failed: " + writer.tmp_path() + " -> " +
+                           path);
   }
-  return Status::OK();
+  return writer.Commit();
 }
 
 Result<std::vector<std::pair<std::string, Tensor>>> LoadCheckpoint(

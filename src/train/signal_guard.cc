@@ -1,0 +1,93 @@
+#include "train/signal_guard.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+
+#include "common/mutex.h"
+
+namespace tracer {
+namespace train {
+
+namespace {
+
+// Signal-handler state. The flag is the only thing the handler and the
+// polling threads share; sig_atomic_t + volatile is the async-signal-safe
+// idiom for exactly this handshake. The pipe write is a wake-up side
+// channel for poll() loops, not the source of truth.
+volatile std::sig_atomic_t g_shutdown = 0;
+int g_pipe_rd = -1;
+int g_pipe_wr = -1;
+
+// Install bookkeeping (not touched by the handler).
+common::Mutex g_install_mu;
+int g_installs TRACER_GUARDED_BY(g_install_mu) = 0;
+struct sigaction g_prev_term TRACER_GUARDED_BY(g_install_mu);
+struct sigaction g_prev_int TRACER_GUARDED_BY(g_install_mu);
+
+void OnSignal(int /*signo*/) {
+  g_shutdown = 1;
+  if (g_pipe_wr >= 0) {
+    // Wake any poll() blocked on the read end. The pipe is non-blocking;
+    // if it is full the wake-up already happened, so a failed write is
+    // fine — and errno must be preserved for the interrupted code.
+    const int saved_errno = errno;
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(g_pipe_wr, &byte, 1);
+    errno = saved_errno;
+  }
+}
+
+void EnsurePipe() {
+  if (g_pipe_rd >= 0) return;
+  int fds[2];
+  if (::pipe(fds) != 0) return;  // degraded: flag-only operation
+  for (int fd : {fds[0], fds[1]}) {
+    ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL) | O_NONBLOCK);
+    ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+  }
+  g_pipe_rd = fds[0];
+  g_pipe_wr = fds[1];
+}
+
+}  // namespace
+
+SignalGuard::SignalGuard() {
+  common::MutexLock lock(&g_install_mu);
+  if (g_installs++ > 0) return;
+  EnsurePipe();
+  struct sigaction action;
+  sigemptyset(&action.sa_mask);
+  action.sa_handler = OnSignal;
+  // SA_RESTART: the trainer polls the flag between batches; interrupted
+  // syscalls elsewhere should resume rather than surface spurious EINTRs.
+  action.sa_flags = SA_RESTART;
+  ::sigaction(SIGTERM, &action, &g_prev_term);
+  ::sigaction(SIGINT, &action, &g_prev_int);
+}
+
+SignalGuard::~SignalGuard() {
+  common::MutexLock lock(&g_install_mu);
+  if (--g_installs > 0) return;
+  ::sigaction(SIGTERM, &g_prev_term, nullptr);
+  ::sigaction(SIGINT, &g_prev_int, nullptr);
+}
+
+bool SignalGuard::ShutdownRequested() { return g_shutdown != 0; }
+
+int SignalGuard::wake_fd() { return g_pipe_rd; }
+
+void SignalGuard::Reset() {
+  g_shutdown = 0;
+  if (g_pipe_rd >= 0) {
+    char drain[16];
+    while (::read(g_pipe_rd, drain, sizeof(drain)) > 0) {
+    }
+  }
+}
+
+}  // namespace train
+}  // namespace tracer

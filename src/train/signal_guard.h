@@ -1,0 +1,46 @@
+#ifndef TRACER_TRAIN_SIGNAL_GUARD_H_
+#define TRACER_TRAIN_SIGNAL_GUARD_H_
+
+namespace tracer {
+namespace train {
+
+/// Graceful-shutdown latch for SIGTERM/SIGINT: orchestrated preemption
+/// (Kubernetes draining a node, a user's Ctrl-C) becomes a resumable
+/// interruption instead of a lost run.
+///
+/// Construction installs handlers for SIGTERM and SIGINT (refcounted, so
+/// nested guards are fine); destruction restores the previous handlers.
+/// The handler is async-signal-safe: it sets a sig_atomic_t flag and
+/// writes one byte to a self-pipe — no locks, no allocation, no stdio.
+/// Compute loops poll ShutdownRequested() between batches; event loops
+/// (the dist worker's framed recv) can additionally poll wake_fd() to be
+/// woken out of a blocking wait the instant the signal lands.
+///
+/// The trainer honors the latch when TrainConfig::graceful_shutdown is
+/// set: it finishes the in-flight batch, writes a final run_state, and
+/// returns with TrainResult::interrupted — `Trainer::Resume` then picks
+/// the run back up bit-identically.
+class SignalGuard {
+ public:
+  SignalGuard();
+  ~SignalGuard();
+
+  SignalGuard(const SignalGuard&) = delete;
+  SignalGuard& operator=(const SignalGuard&) = delete;
+
+  /// True once SIGTERM or SIGINT was delivered while any guard was armed.
+  static bool ShutdownRequested();
+
+  /// Read end of the self-pipe; becomes readable when a signal lands.
+  /// Pollable alongside socket fds. -1 if the pipe could not be created.
+  static int wake_fd();
+
+  /// Clears the latch and drains the pipe (tests; also lets a caller that
+  /// handled one shutdown request arm for another).
+  static void Reset();
+};
+
+}  // namespace train
+}  // namespace tracer
+
+#endif  // TRACER_TRAIN_SIGNAL_GUARD_H_

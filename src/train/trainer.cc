@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <utility>
 
 #include "autograd/graph_check.h"
@@ -15,6 +16,7 @@
 #include "optim/early_stopping.h"
 #include "optim/optimizer.h"
 #include "train/run_state.h"
+#include "train/signal_guard.h"
 
 namespace tracer {
 namespace train {
@@ -70,6 +72,10 @@ TrainResult FitInternal(nn::SequenceModel* model,
   TRACER_CHECK_GT(train_set.num_samples(), 0);
   TRACER_CHECK_GT(val_set.num_samples(), 0);
   TRACER_SPAN("train.fit");
+  // Arm the graceful-shutdown latch for the duration of the fit; the
+  // batch loop polls it after every completed batch.
+  std::optional<SignalGuard> signal_guard;
+  if (config.graceful_shutdown) signal_guard.emplace();
   const bool telemetry = config.telemetry || obs::Enabled();
   const bool checkpointing = ckpt != nullptr && !ckpt->path.empty();
   const auto start = std::chrono::steady_clock::now();
@@ -214,13 +220,20 @@ TrainResult FitInternal(nn::SequenceModel* model,
     for (size_t bi = static_cast<size_t>(first_batch);
          bi < epoch_batches.size(); ++bi) {
       const std::vector<int>& idx = epoch_batches[bi];
-      const data::Batch batch = data::MakeBatch(train_set, idx);
-      optimizer.ZeroGrad();
-      autograd::Variable loss = BatchLoss(model, batch, train_set.task());
-      const float loss_value = loss.value()[0];
-      bool skip = config.nonfinite_guard && !std::isfinite(loss_value);
-      float grad_norm = 0.0f;
-      if (!skip) {
+      // `eval` is the per-sub-batch forward+backward shared by the local
+      // and distributed paths: after it returns, the params' grads hold
+      // the sub-batch's mean gradient. A non-finite loss short-circuits
+      // before validation/backward (mirroring the local guard order); the
+      // reduced loss then carries the non-finiteness to every worker so
+      // they all skip the step identically.
+      const auto eval = [&](const std::vector<int>& sub) -> float {
+        const data::Batch batch = data::MakeBatch(train_set, sub);
+        optimizer.ZeroGrad();
+        autograd::Variable loss = BatchLoss(model, batch, train_set.task());
+        const float loss_value = loss.value()[0];
+        if (config.nonfinite_guard && !std::isfinite(loss_value)) {
+          return loss_value;
+        }
         if (config.validate_graph) {
           // Catches silent corruption (shape drift, NaN/Inf, severed
           // gradient flow) before it can reach the optimizer state; see
@@ -230,6 +243,34 @@ TrainResult FitInternal(nn::SequenceModel* model,
           autograd::CheckGraph(loss, validate_options);
         }
         loss.Backward();
+        return loss_value;
+      };
+      float loss_value = 0.0f;
+      if (config.grad_reducer != nullptr) {
+        // Distributed step: the reducer computes this worker's shards via
+        // `eval`, all-reduces in canonical shard order, and installs the
+        // bitwise-deterministic whole-batch gradient.
+        const uint64_t step_id =
+            (static_cast<uint64_t>(epoch) << 32) | static_cast<uint64_t>(bi);
+        Result<float> reduced = config.grad_reducer->ReduceStep(
+            step_id, idx, optimizer.params(), eval);
+        if (!reduced.ok()) {
+          TRACER_LOG(Warning) << "distributed step aborted: "
+                              << reduced.status().ToString();
+          result.status = reduced.status();
+          result.interrupted = true;
+          result.seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+          return result;
+        }
+        loss_value = std::move(reduced).value();
+      } else {
+        loss_value = eval(idx);
+      }
+      bool skip = config.nonfinite_guard && !std::isfinite(loss_value);
+      float grad_norm = 0.0f;
+      if (!skip) {
         if (config.clip_norm > 0.0f) {
           grad_norm = optimizer.ClipGradNorm(config.clip_norm);
         } else if (telemetry || config.nonfinite_guard) {
@@ -278,6 +319,23 @@ TrainResult FitInternal(nn::SequenceModel* model,
           processed_this_run % ckpt->every_batches == 0) {
         write_run_state(epoch, static_cast<int>(bi) + 1, epoch_rng,
                         /*completed=*/false);
+      }
+      if (config.graceful_shutdown && SignalGuard::ShutdownRequested()) {
+        // Orchestrated preemption: the batch just finished cleanly, so
+        // persist the exact cursor and leave — Resume continues the run
+        // bit-identically from here.
+        TRACER_LOG(Info) << model->name()
+                         << ": shutdown signal received; writing final "
+                         << "run state and exiting";
+        if (checkpointing) {
+          write_run_state(epoch, static_cast<int>(bi) + 1, epoch_rng,
+                          /*completed=*/false);
+        }
+        result.interrupted = true;
+        result.seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+        return result;
       }
     }
     const double epoch_loss =
@@ -341,6 +399,21 @@ TrainResult FitInternal(nn::SequenceModel* model,
       batches_done = 0;
       epoch_nonfinite = 0;
       write_run_state(epoch + 1, 0, rng.SaveState(), stop);
+    }
+    if (config.grad_reducer != nullptr) {
+      // Membership fence: runs after the (epoch + 1, 0) run_state write so
+      // a joiner admitted here can be served that exact snapshot.
+      const Status fence = config.grad_reducer->EpochFence(epoch + 1, stop);
+      if (!fence.ok()) {
+        TRACER_LOG(Warning) << "distributed epoch fence failed: "
+                            << fence.ToString();
+        result.status = fence;
+        result.interrupted = true;
+        result.seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+        return result;
+      }
     }
     if (stopper.ShouldStop()) break;
   }

@@ -1,6 +1,8 @@
 #ifndef TRACER_TRAIN_TRAINER_H_
 #define TRACER_TRAIN_TRAINER_H_
 
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -10,6 +12,44 @@
 
 namespace tracer {
 namespace train {
+
+/// Pluggable gradient-reduction hook: when TrainConfig::grad_reducer is
+/// set, the trainer delegates each batch's backward pass to the reducer
+/// instead of running it inline, which is how the process-level
+/// data-parallel runtime (src/dist) plugs in without the trainer knowing
+/// about sockets or membership.
+///
+/// Contract: ReduceStep must leave the *reduced* gradient for the whole
+/// batch installed in `params`' grad tensors and return the reduced mean
+/// loss. Both must be bitwise identical on every participating worker for
+/// the same step — the trainer then replays identical guard / LR /
+/// early-stop decisions everywhere, keeping workers in lockstep without a
+/// parameter broadcast.
+class GradReducer {
+ public:
+  virtual ~GradReducer() = default;
+
+  /// `eval(indices)` zeroes the gradients, runs forward+backward on the
+  /// sub-batch `indices` (a subset of `batch_indices`) and returns its
+  /// mean loss; after it returns, `params`' grads hold that sub-batch's
+  /// mean gradient. The reducer calls it once per data shard it owns (and
+  /// again for shards it is asked to cover for a crashed peer), exchanges
+  /// the shard contributions, and installs the reduced result.
+  ///
+  /// `step_id` is (epoch << 32) | batch_index — monotone across resume.
+  /// A non-OK result aborts the run (TrainResult::status carries it).
+  virtual Result<float> ReduceStep(
+      uint64_t step_id, const std::vector<int>& batch_indices,
+      const std::vector<autograd::Variable>& params,
+      const std::function<float(const std::vector<int>&)>& eval) = 0;
+
+  /// Epoch-boundary barrier, called after the trainer persisted the
+  /// (next_epoch, batch 0) run_state: membership changes (joins,
+  /// rebalances) apply here, and a joiner's snapshot is served from the
+  /// just-written state. `stopping` is true on the final fence (early
+  /// stop or max_epochs), letting the runtime shut down cleanly.
+  virtual Status EpochFence(int next_epoch, bool stopping) = 0;
+};
 
 /// Training hyperparameters. Defaults follow §5.1.2: Adam with learning
 /// rate 1e-3 and weight decay 5e-5, early stopping on the validation
@@ -51,6 +91,15 @@ struct TrainConfig {
   /// learning rate (the usual cause is a too-hot step) and resets the
   /// consecutive count. 0 disables LR backoff.
   int nonfinite_lr_patience = 3;
+  /// Delegates gradient computation/reduction to a distributed runtime
+  /// (not owned; must outlive the fit). See GradReducer.
+  GradReducer* grad_reducer = nullptr;
+  /// Honors SignalGuard (train/signal_guard.h): on SIGTERM/SIGINT the
+  /// trainer finishes the in-flight batch, writes a final run_state (when
+  /// checkpointing) and returns with TrainResult::interrupted set, so
+  /// orchestrated preemption is a resume, not a loss. The caller must keep
+  /// a SignalGuard alive around the fit for the handler to be installed.
+  bool graceful_shutdown = false;
 
   static constexpr bool kValidateGraphDefault =
 #ifdef NDEBUG
@@ -82,9 +131,13 @@ struct TrainResult {
   /// Times the guard halved the learning rate.
   int lr_halvings = 0;
   /// True when the run stopped early via CheckpointOptions::
-  /// stop_after_batches (the crash-simulation hook) — the model then holds
-  /// the in-progress parameters, not the best checkpoint.
+  /// stop_after_batches (the crash-simulation hook), a graceful-shutdown
+  /// signal, or a reducer failure — the model then holds the in-progress
+  /// parameters, not the best checkpoint.
   bool interrupted = false;
+  /// Non-OK when the run aborted on a GradReducer error (transport down,
+  /// worker evicted); OK for normal completion and local interruptions.
+  Status status = Status::OK();
 };
 
 /// Evaluation summary on a dataset.

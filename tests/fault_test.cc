@@ -10,8 +10,10 @@
 #include "common/retry.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "datagen/emr_generator.h"
 #include "fault/fault.h"
 #include "nn/serialization.h"
+#include "pipeline/emr_pipeline.h"
 #include "tensor/tensor.h"
 
 namespace tracer {
@@ -225,6 +227,70 @@ TEST_F(FaultRegistryTest, RetryRidesOutInjectedCheckpointFaults) {
   ASSERT_TRUE(loaded.ok());
   EXPECT_EQ(loaded.value().size(), 1u);
   std::remove(path.c_str());
+}
+
+TEST_F(FaultRegistryTest, RetryRidesOutInjectedCheckpointReadFaults) {
+  // The read-side twin: the file on disk is intact, the injected failures
+  // model a transient storage layer, so re-reading heals — unlike kDataLoss
+  // corruption, which the policy refuses to retry.
+  const std::string path = TempPath("retry_fault_ckpt_read.bin");
+  ASSERT_TRUE(nn::SaveCheckpoint(path, {{"w", Tensor({1, 2}, {3, 4})}}).ok());
+  fault::FaultRegistry& reg = fault::FaultRegistry::Global();
+  ASSERT_TRUE(reg.Configure("ckpt.read:1:2").ok());
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  int attempts = 0;
+  std::vector<std::pair<std::string, Tensor>> tensors;
+  const Status status = CallWithRetry(
+      policy,
+      [&] {
+        ++attempts;
+        auto loaded = nn::LoadCheckpoint(path);
+        if (!loaded.ok()) return loaded.status();
+        tensors = std::move(loaded).value();
+        return Status::OK();
+      },
+      [](uint64_t) {});
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(attempts, 3);
+  EXPECT_EQ(reg.FireCount("ckpt.read"), 2);
+  ASSERT_EQ(tensors.size(), 1u);
+  EXPECT_EQ(tensors[0].first, "w");
+  std::remove(path.c_str());
+}
+
+TEST_F(FaultRegistryTest, PipelineDegradesWhenCleaningFaultsPersist) {
+  // A persistently failing cleaning stage must not abort the pipeline: it
+  // exhausts its retry budget, logs, and continues on the uncleaned cohort.
+  datagen::EmrCohortConfig gen = datagen::NuhAkiDefaultConfig();
+  gen.num_samples = 150;
+  gen.num_filler_features = 2;
+  gen.deteriorating_rate = 0.3;
+  gen.seed = 77;
+  datagen::EmrCohort cohort = datagen::GenerateNuhAkiCohort(gen);
+  data::TimeSeriesDataset damaged = cohort.dataset;
+  Rng rng(5);
+  const data::MissingnessMask mask =
+      data::ApplyRandomMissingness(&damaged, 0.2, rng);
+
+  pipeline::EmrPipelineConfig config;
+  config.tracer.model.input_dim = damaged.num_features();
+  config.tracer.model.rnn_dim = 4;
+  config.tracer.model.film_dim = 4;
+  config.tracer.training.max_epochs = 1;
+  config.patient_reports = 0;
+  config.clean_retry.max_attempts = 3;
+  config.clean_retry.initial_backoff_us = 10;
+
+  fault::FaultRegistry& reg = fault::FaultRegistry::Global();
+  ASSERT_TRUE(reg.Configure("pipeline.clean:1:0").ok());  // never heals
+  std::unique_ptr<core::Tracer> tracer_framework;
+  const pipeline::EmrPipelineResult result = pipeline::RunEmrPipeline(
+      damaged, &mask, config, &tracer_framework);
+  // All three attempts hit the armed point, then the run still finished.
+  EXPECT_EQ(reg.FireCount("pipeline.clean"), 3);
+  ASSERT_NE(tracer_framework, nullptr);
+  EXPECT_GT(result.training.epochs_run, 0);
 }
 
 // ---------------------------------------------------------------------------

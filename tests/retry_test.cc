@@ -1,0 +1,156 @@
+#include "common/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace tracer {
+namespace {
+
+TEST(RetryPolicyTest, DeterministicLadderIsExponentialAndCapped) {
+  RetryPolicy p;
+  p.initial_backoff_us = 100;
+  p.multiplier = 2.0;
+  p.max_backoff_us = 500;
+  EXPECT_EQ(p.BackoffUs(0), 100u);
+  EXPECT_EQ(p.BackoffUs(1), 200u);
+  EXPECT_EQ(p.BackoffUs(2), 400u);
+  EXPECT_EQ(p.BackoffUs(3), 500u);  // capped
+  EXPECT_EQ(p.BackoffUs(9), 500u);
+
+  // BackoffSchedule with jitter off reproduces the ladder exactly.
+  BackoffSchedule schedule(p);
+  for (int r = 0; r < 6; ++r) {
+    EXPECT_EQ(schedule.Next(r), p.BackoffUs(r)) << "retry " << r;
+  }
+}
+
+TEST(RetryPolicyTest, JitterStaysWithinBoundsAndBelowCap) {
+  RetryPolicy p;
+  p.jitter = true;
+  p.initial_backoff_us = 100;
+  p.max_backoff_us = 5000;
+  BackoffSchedule schedule(p);
+  uint64_t prev = p.initial_backoff_us;
+  for (int r = 0; r < 64; ++r) {
+    const uint64_t sleep = schedule.Next(r);
+    // Decorrelated jitter: each draw is Uniform(initial, prev*3), capped.
+    EXPECT_GE(sleep, p.initial_backoff_us) << "retry " << r;
+    EXPECT_LE(sleep, std::min<uint64_t>(prev * 3 + 1, p.max_backoff_us))
+        << "retry " << r;
+    prev = sleep;
+  }
+}
+
+TEST(RetryPolicyTest, JitterScheduleIsDeterministicPerSeed) {
+  RetryPolicy p;
+  p.jitter = true;
+  p.initial_backoff_us = 100;
+  p.max_backoff_us = 100000;
+
+  std::vector<uint64_t> first;
+  {
+    BackoffSchedule schedule(p);
+    for (int r = 0; r < 16; ++r) first.push_back(schedule.Next(r));
+  }
+  {
+    // Same policy, fresh schedule: the exact same draws (chaos replays).
+    BackoffSchedule schedule(p);
+    for (int r = 0; r < 16; ++r) {
+      EXPECT_EQ(schedule.Next(r), first[static_cast<size_t>(r)])
+          << "retry " << r;
+    }
+  }
+  {
+    // A different seed produces a different schedule (some draw differs).
+    RetryPolicy other = p;
+    other.jitter_seed = p.jitter_seed + 1;
+    BackoffSchedule schedule(other);
+    bool any_diff = false;
+    for (int r = 0; r < 16; ++r) {
+      if (schedule.Next(r) != first[static_cast<size_t>(r)]) any_diff = true;
+    }
+    EXPECT_TRUE(any_diff);
+  }
+}
+
+TEST(CallWithRetryTest, RetriesTransientThenSucceeds) {
+  RetryPolicy p;
+  p.max_attempts = 5;
+  p.initial_backoff_us = 10;
+  int calls = 0;
+  std::vector<uint64_t> sleeps;
+  const Status st = CallWithRetry(
+      p,
+      [&]() -> Status {
+        ++calls;
+        if (calls < 3) return Status::Unavailable("transient");
+        return Status::OK();
+      },
+      [&](uint64_t us) { sleeps.push_back(us); });
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(calls, 3);
+  ASSERT_EQ(sleeps.size(), 2u);
+  EXPECT_EQ(sleeps[0], 10u);
+  EXPECT_EQ(sleeps[1], 20u);
+}
+
+TEST(CallWithRetryTest, NonRetryableCodeFailsFast) {
+  RetryPolicy p;
+  p.max_attempts = 5;
+  int calls = 0;
+  const Status st = CallWithRetry(
+      p,
+      [&]() -> Status {
+        ++calls;
+        return Status::DataLoss("corrupt");
+      },
+      [](uint64_t) {});
+  EXPECT_EQ(st.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(CallWithRetryTest, MaxElapsedBudgetStopsBeforeAttemptsRunOut) {
+  RetryPolicy p;
+  p.max_attempts = 100;
+  p.initial_backoff_us = 1000;
+  p.multiplier = 1.0;         // 1000us per retry
+  p.max_elapsed_us = 3500;    // room for 3 sleeps, not 4
+  int calls = 0;
+  std::vector<uint64_t> sleeps;
+  const Status st = CallWithRetry(
+      p,
+      [&]() -> Status {
+        ++calls;
+        return Status::Unavailable("down");
+      },
+      [&](uint64_t us) { sleeps.push_back(us); });
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  // 3 sleeps fit (3000us <= 3500), the 4th would exceed: 4 calls total.
+  EXPECT_EQ(sleeps.size(), 3u);
+  EXPECT_EQ(calls, 4);
+}
+
+TEST(CallWithRetryTest, JitteredRetrySequenceIsReproducible) {
+  RetryPolicy p;
+  p.max_attempts = 6;
+  p.jitter = true;
+  p.initial_backoff_us = 50;
+  p.max_backoff_us = 10000;
+  auto run = [&]() {
+    std::vector<uint64_t> sleeps;
+    const Status st = CallWithRetry(
+        p, []() -> Status { return Status::Unavailable("down"); },
+        [&](uint64_t us) { sleeps.push_back(us); });
+    EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+    return sleeps;
+  };
+  const std::vector<uint64_t> a = run();
+  const std::vector<uint64_t> b = run();
+  ASSERT_EQ(a.size(), 5u);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace tracer

@@ -1,0 +1,166 @@
+#include "train/signal_guard.h"
+
+#include <gtest/gtest.h>
+#include <poll.h>
+
+#include <csignal>
+#include <cstdio>
+#include <string>
+
+#include "baselines/logistic_regression.h"
+#include "datagen/emr_generator.h"
+#include "train/trainer.h"
+
+namespace tracer {
+namespace train {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+bool WakeFdReadable() {
+  pollfd pfd{SignalGuard::wake_fd(), POLLIN, 0};
+  return ::poll(&pfd, 1, 0) == 1 && (pfd.revents & POLLIN) != 0;
+}
+
+TEST(SignalGuardTest, LatchesSigtermAndResets) {
+  SignalGuard guard;
+  SignalGuard::Reset();
+  EXPECT_FALSE(SignalGuard::ShutdownRequested());
+  EXPECT_FALSE(WakeFdReadable());
+  ASSERT_EQ(std::raise(SIGTERM), 0);
+  EXPECT_TRUE(SignalGuard::ShutdownRequested());
+  // The self-pipe lets an event loop poll for the signal alongside sockets.
+  EXPECT_TRUE(WakeFdReadable());
+  SignalGuard::Reset();
+  EXPECT_FALSE(SignalGuard::ShutdownRequested());
+  EXPECT_FALSE(WakeFdReadable());
+}
+
+TEST(SignalGuardTest, LatchesSigintAndNestedGuardsShareTheHandler) {
+  SignalGuard outer;
+  {
+    SignalGuard inner;  // refcounted install: nesting must be harmless
+    ASSERT_EQ(std::raise(SIGINT), 0);
+    EXPECT_TRUE(SignalGuard::ShutdownRequested());
+    SignalGuard::Reset();
+  }
+  // Inner guard destroyed; the outer one still has the handler installed.
+  ASSERT_EQ(std::raise(SIGINT), 0);
+  EXPECT_TRUE(SignalGuard::ShutdownRequested());
+  SignalGuard::Reset();
+}
+
+struct Fixture {
+  data::DatasetSplits splits;
+  int input_dim;
+};
+
+Fixture MakeFixture() {
+  datagen::EmrCohortConfig gen = datagen::NuhAkiDefaultConfig();
+  gen.num_samples = 200;
+  gen.num_filler_features = 2;
+  gen.deteriorating_rate = 0.3;
+  gen.seed = 55;
+  datagen::EmrCohort cohort = datagen::GenerateNuhAkiCohort(gen);
+  Rng rng(3);
+  Fixture f;
+  f.splits = data::SplitDataset(cohort.dataset, rng);
+  data::MinMaxNormalizer norm;
+  norm.Fit(f.splits.train);
+  norm.Apply(&f.splits.train);
+  norm.Apply(&f.splits.val);
+  f.input_dim = cohort.dataset.num_features();
+  return f;
+}
+
+baselines::LogisticRegression MakeModel(const Fixture& f) {
+  return baselines::LogisticRegression(
+      f.input_dim, baselines::LrInputMode::kAggregate, 0, /*seed=*/9);
+}
+
+TrainConfig MakeConfig() {
+  TrainConfig tc;
+  tc.max_epochs = 4;
+  tc.patience = 10;
+  tc.batch_size = 32;
+  tc.seed = 11;
+  return tc;
+}
+
+void ExpectBitIdentical(const std::vector<Tensor>& a,
+                        const std::vector<Tensor>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t t = 0; t < a.size(); ++t) {
+    ASSERT_TRUE(a[t].SameShape(b[t])) << "tensor " << t;
+    for (int64_t i = 0; i < a[t].size(); ++i) {
+      ASSERT_EQ(a[t].data()[i], b[t].data()[i])
+          << "tensor " << t << " element " << i;
+    }
+  }
+}
+
+/// The graceful-shutdown satellite end to end: a SIGTERM during training
+/// finishes the in-flight batch, persists a final run_state, returns
+/// interrupted — and Resume continues to the exact parameters the
+/// uninterrupted run produces.
+TEST(GracefulShutdownTest, SigtermWritesFinalStateAndResumeIsBitIdentical) {
+  const Fixture f = MakeFixture();
+  const TrainConfig base = MakeConfig();
+
+  // Uninterrupted reference.
+  baselines::LogisticRegression reference = MakeModel(f);
+  CheckpointOptions ref_ckpt;
+  ref_ckpt.path = TempPath("graceful_ref_state.bin");
+  const TrainResult ref_result =
+      Trainer(base, ref_ckpt).Fit(&reference, f.splits.train, f.splits.val);
+  ASSERT_FALSE(ref_result.interrupted);
+
+  // Preempted run: the latch is already set when Fit starts, so the
+  // trainer exits after the first batch with the cursor persisted.
+  SignalGuard guard;
+  SignalGuard::Reset();
+  ASSERT_EQ(std::raise(SIGTERM), 0);
+  TrainConfig tc = base;
+  tc.graceful_shutdown = true;
+  CheckpointOptions ckpt;
+  ckpt.path = TempPath("graceful_run_state.bin");
+  baselines::LogisticRegression victim = MakeModel(f);
+  const TrainResult preempted =
+      Trainer(tc, ckpt).Fit(&victim, f.splits.train, f.splits.val);
+  EXPECT_TRUE(preempted.interrupted);
+  EXPECT_TRUE(preempted.status.ok());  // a signal is not an error
+  SignalGuard::Reset();
+
+  // Resume in a "new process": fresh model, state from disk, same config.
+  baselines::LogisticRegression revived = MakeModel(f);
+  auto resumed =
+      Trainer(tc, ckpt).Resume(&revived, f.splits.train, f.splits.val);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_FALSE(resumed.value().interrupted);
+  EXPECT_EQ(resumed.value().epochs_run, ref_result.epochs_run);
+  ExpectBitIdentical(revived.StateDict(), reference.StateDict());
+  ExpectBitIdentical(resumed.value().best_state, ref_result.best_state);
+  std::remove(ckpt.path.c_str());
+  std::remove(ref_ckpt.path.c_str());
+}
+
+TEST(GracefulShutdownTest, WithoutTheOptInTheSignalIsIgnored) {
+  const Fixture f = MakeFixture();
+  SignalGuard guard;
+  SignalGuard::Reset();
+  ASSERT_EQ(std::raise(SIGTERM), 0);
+  TrainConfig tc = MakeConfig();
+  tc.max_epochs = 2;
+  tc.graceful_shutdown = false;  // default: the latch is not consulted
+  baselines::LogisticRegression model = MakeModel(f);
+  const TrainResult result = Fit(&model, f.splits.train, f.splits.val, tc);
+  EXPECT_FALSE(result.interrupted);
+  EXPECT_EQ(result.epochs_run, 2);
+  SignalGuard::Reset();
+}
+
+}  // namespace
+}  // namespace train
+}  // namespace tracer

@@ -36,6 +36,13 @@ guards out of the box:
                              documents (lower_snake segments joined by
                              dots, e.g. "interpret.explain"), matching the
                              span naming that A5 enforces in tools/analyze.
+  R8 fault-point-exercised   Every point registered in fault_points.h must
+                             appear in at least one tests/*.cc file (chaos
+                             specs embed names mid-string, so the match is
+                             a plain substring). A registered-but-untested
+                             point is dead chaos surface: nothing proves it
+                             fires, nothing proves the code behind it
+                             survives the injected failure.
 
 Runs as `ctest -R lint` (registered in the top-level CMakeLists.txt) and
 standalone:  tools/lint.py --root <repo-root>
@@ -302,6 +309,34 @@ def check_fault_point_naming(findings, root):
                          "<subsystem>.<operation> naming convention" % name)
 
 
+def check_fault_points_exercised(findings, root):
+    """R8: every registered fault point is named by at least one test.
+
+    Chaos specs arm points mid-string ("dist.send:0.02:0,...") so a plain
+    substring match over tests/*.cc is the right sensitivity; anchoring at
+    quotes would miss exactly the composite specs that matter most.
+    """
+    registered = registered_fault_points(root)
+    if not registered:
+        return
+    tests_dir = os.path.join(root, "tests")
+    corpus = []
+    for path in walk_cpp_files(root):
+        if path.startswith(tests_dir + os.sep) and path.endswith(".cc"):
+            corpus.append(read_file(path))
+    blob = "\n".join(corpus)
+    header = os.path.join(root, "src", "fault", "fault_points.h")
+    text = read_file(header)
+    for match in re.finditer(r'X\s*\(\s*"([^"]+)"', text):
+        name = match.group(1)
+        if name not in blob:
+            findings.add(header, line_of(text, match.start()),
+                         "fault-point-exercised",
+                         'fault point "%s" is not exercised by any test '
+                         "under tests/ (arm it in a chaos spec or drop it "
+                         "from the registry)" % name)
+
+
 def check_fault_points(path, with_strings, findings, root):
     registered = registered_fault_points(root)
     for match in re.finditer(
@@ -342,6 +377,7 @@ def main():
     status_functions = find_status_functions(root)
     findings = Findings(root)
     check_fault_point_naming(findings, root)
+    check_fault_points_exercised(findings, root)
     file_count = 0
     for path in walk_cpp_files(root):
         file_count += 1
