@@ -63,12 +63,16 @@ class IssueSink {
 // so the validator never produces false positives on unknown ops.
 
 struct OpShapeRule {
+  /// Expected parent count; kVariadicArity accepts any count ≥ 1 (the
+  /// check fn sees the actual parents).
   int arity;
   /// Returns an empty string when consistent, else a description of the
   /// mismatch. Parent values and node.value are guaranteed non-null and the
   /// parent count matches `arity` when this is called.
   std::string (*check)(const Node& n);
 };
+
+constexpr int kVariadicArity = -1;
 
 bool IsMatrix(const Tensor& t) { return t.rank() == 2; }
 
@@ -96,6 +100,71 @@ std::string CheckMatMul(const Node& n) {
     return "output " + ShapeStr(n.value) + " but " + ShapeStr(a) + " · " +
            ShapeStr(b) + " produces [" + std::to_string(a.rows()) + "x" +
            std::to_string(b.cols()) + "]";
+  }
+  return "";
+}
+
+std::string CheckBatchMatMul(const Node& n) {
+  const Tensor& a = n.parents[0]->value;
+  const Tensor& b = n.parents[1]->value;
+  if (a.rank() != 3 || n.value.rank() != 3) {
+    return "batch_matmul requires rank-3 A and output, got " + ShapeStr(a) +
+           " · " + ShapeStr(b) + " -> " + ShapeStr(n.value);
+  }
+  const int k = a.dim(2);
+  int cols;
+  if (b.rank() == 2) {
+    if (b.rows() != k) {
+      return "inner dimensions disagree: " + ShapeStr(a) + " · " +
+             ShapeStr(b);
+    }
+    cols = b.cols();
+  } else if (b.rank() == 3) {
+    if (b.dim(0) != a.dim(0) || b.dim(1) != k) {
+      return "batch/inner dimensions disagree: " + ShapeStr(a) + " · " +
+             ShapeStr(b);
+    }
+    cols = b.dim(2);
+  } else {
+    return "batch_matmul B must be rank-2 (broadcast) or rank-3, got " +
+           ShapeStr(b);
+  }
+  if (n.value.dim(0) != a.dim(0) || n.value.dim(1) != a.dim(1) ||
+      n.value.dim(2) != cols) {
+    return "output " + ShapeStr(n.value) + " but " + ShapeStr(a) + " · " +
+           ShapeStr(b) + " produces [" + std::to_string(a.dim(0)) + "x" +
+           std::to_string(a.dim(1)) + "x" + std::to_string(cols) + "]";
+  }
+  return "";
+}
+
+std::string CheckConcatRows(const Node& n) {
+  if (!IsMatrix(n.value)) {
+    return "concat_rows output must be rank-2, got " + ShapeStr(n.value);
+  }
+  int rows = 0;
+  for (const NodePtr& p : n.parents) {
+    if (!IsMatrix(p->value) || p->value.cols() != n.value.cols()) {
+      return "input " + ShapeStr(p->value) +
+             " does not stack into output " + ShapeStr(n.value);
+    }
+    rows += p->value.rows();
+  }
+  if (rows != n.value.rows()) {
+    return "output " + ShapeStr(n.value) + " but inputs stack to [" +
+           std::to_string(rows) + "x" + std::to_string(n.value.cols()) + "]";
+  }
+  return "";
+}
+
+std::string CheckSliceRows(const Node& n) {
+  const Tensor& a = n.parents[0]->value;
+  if (!IsMatrix(a) || !IsMatrix(n.value)) {
+    return "slice_rows requires rank-2 tensors";
+  }
+  if (n.value.cols() != a.cols() || n.value.rows() <= 0 ||
+      n.value.rows() > a.rows()) {
+    return "slice " + ShapeStr(n.value) + " not contained in " + ShapeStr(a);
   }
   return "";
 }
@@ -171,6 +240,14 @@ std::string CheckRowSums(const Node& n) {
   return "";
 }
 
+std::string CheckReshape(const Node& n) {
+  if (n.value.size() != n.parents[0]->value.size()) {
+    return "reshape changes element count: " +
+           ShapeStr(n.parents[0]->value) + " -> " + ShapeStr(n.value);
+  }
+  return "";
+}
+
 std::string CheckScalarOutput(const Node& n) {
   if (n.value.size() != 1) {
     return "reduction output must be a single scalar, got " +
@@ -183,6 +260,10 @@ const std::unordered_map<std::string_view, OpShapeRule>& ShapeRules() {
   static const auto* rules =
       new std::unordered_map<std::string_view, OpShapeRule>{
           {"matmul", {2, CheckMatMul}},
+          {"batch_matmul", {2, CheckBatchMatMul}},
+          {"concat_rows", {kVariadicArity, CheckConcatRows}},
+          {"slice_rows", {1, CheckSliceRows}},
+          {"reshape", {1, CheckReshape}},
           {"add", {2, CheckElementwiseSame}},
           {"sub", {2, CheckElementwiseSame}},
           {"mul", {2, CheckElementwiseSame}},
@@ -209,6 +290,19 @@ void CheckNodeShapes(const Node& node, IssueSink* sink) {
   auto it = ShapeRules().find(node.op);
   if (it == ShapeRules().end()) return;  // unknown op: no rule, no report
   const OpShapeRule& rule = it->second;
+  if (rule.arity == kVariadicArity) {
+    if (node.parents.empty()) {
+      sink->Add(GraphIssueKind::kShapeMismatch, node.op,
+                "variadic op has no inputs");
+      return;
+    }
+    std::string variadic_problem = rule.check(node);
+    if (!variadic_problem.empty()) {
+      sink->Add(GraphIssueKind::kShapeMismatch, node.op,
+                std::move(variadic_problem));
+    }
+    return;
+  }
   if (static_cast<int>(node.parents.size()) != rule.arity) {
     sink->Add(GraphIssueKind::kShapeMismatch, node.op,
               "expects " + std::to_string(rule.arity) + " input(s), node has " +

@@ -99,8 +99,11 @@ void Variable::Backward(const Tensor& output_grad) {
     if (node->backward_fn && node->grad_allocated) {
       if (profile) {
         const uint64_t start = obs::MonotonicNowNs();
+        const int64_t start_allocs = ThreadAllocCounters().heap_allocs;
         node->backward_fn(*node);
-        profiler.RecordBackward(node->op, obs::MonotonicNowNs() - start);
+        profiler.RecordBackward(node->op, obs::MonotonicNowNs() - start,
+                                ThreadAllocCounters().heap_allocs -
+                                    start_allocs);
       } else {
         node->backward_fn(*node);
       }

@@ -117,10 +117,17 @@ Variable Titv::Forward(const std::vector<Variable>& xs) {
       inputs = xs;
     }
     const std::vector<Variable> hs = variant_rnn_->Run(inputs);
+    // Eq. 11: α_t = tanh(W_α h_t + b_α), with all timesteps stacked into
+    // one attention GEMM. Row stacking keeps every output element's
+    // accumulation chain, so each slice equals the per-t projection.
+    const int rows = hs[0].value().rows();
+    const Variable a_all =
+        autograd::Tanh(attention_->Forward(autograd::ConcatRows(hs)));
     alphas.reserve(hs.size());
-    for (const Variable& h : hs) {
-      // Eq. 11: α_t = tanh(W_α h_t + b_α).
-      alphas.push_back(autograd::Tanh(attention_->Forward(h)));
+    for (size_t t = 0; t < hs.size(); ++t) {
+      alphas.push_back(autograd::SliceRows(
+          a_all, static_cast<int>(t) * rows,
+          static_cast<int>(t + 1) * rows));
     }
   }
 
@@ -177,8 +184,13 @@ FeatureImportanceTrace Titv::ComputeFeatureImportance(
       inputs = xs;
     }
     const std::vector<Variable> hs = variant_rnn_->Run(inputs);
-    for (const Variable& h : hs) {
-      alphas.push_back(autograd::Tanh(attention_->Forward(h)).value());
+    const int rows = hs[0].value().rows();
+    const Variable a_all =
+        autograd::Tanh(attention_->Forward(autograd::ConcatRows(hs)));
+    for (size_t t = 0; t < hs.size(); ++t) {
+      alphas.push_back(tracer::SliceRows(a_all.value(),
+                                         static_cast<int>(t) * rows,
+                                         static_cast<int>(t + 1) * rows));
     }
   } else {
     alphas.assign(num_windows, Tensor::Zeros({batch_size, d}));

@@ -1,0 +1,37 @@
+#include "nn/rnn_config.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+namespace tracer {
+namespace nn {
+
+namespace {
+
+// -1 unparsed, 0 stepwise reference, 1 batched.
+std::atomic<int> g_batched_rnn{-1};
+
+int ParseEnv() {
+  const char* env = std::getenv("TRACER_BATCHED_RNN");
+  if (env == nullptr) return 1;
+  return std::string(env) == "0" ? 0 : 1;
+}
+
+}  // namespace
+
+bool BatchedRnnEnabled() {
+  int cached = g_batched_rnn.load(std::memory_order_relaxed);
+  if (cached < 0) {
+    cached = ParseEnv();
+    g_batched_rnn.store(cached, std::memory_order_relaxed);
+  }
+  return cached == 1;
+}
+
+void ReloadBatchedRnnEnvForTesting() {
+  g_batched_rnn.store(-1, std::memory_order_relaxed);
+}
+
+}  // namespace nn
+}  // namespace tracer

@@ -1,0 +1,21 @@
+#ifndef TRACER_NN_RNN_CONFIG_H_
+#define TRACER_NN_RNN_CONFIG_H_
+
+namespace tracer {
+namespace nn {
+
+/// Whether GRU/LSTM sequence runs use the batch-major path (timesteps
+/// stacked into one rank-3 input projection GEMM, packed gate weights, one
+/// recurrent GEMM per step). Default on; TRACER_BATCHED_RNN=0 selects the
+/// per-timestep reference path. Both paths produce bitwise-identical
+/// forward values — the switch exists for the equivalence tests and as an
+/// escape hatch. Parsed once and cached.
+bool BatchedRnnEnabled();
+
+/// Re-reads TRACER_BATCHED_RNN. Test hook.
+void ReloadBatchedRnnEnvForTesting();
+
+}  // namespace nn
+}  // namespace tracer
+
+#endif  // TRACER_NN_RNN_CONFIG_H_

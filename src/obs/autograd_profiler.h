@@ -10,6 +10,7 @@
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "obs/obs.h"
+#include "tensor/arena.h"
 
 namespace tracer {
 namespace obs {
@@ -25,6 +26,10 @@ struct OpProfile {
   /// Flops the op self-reported (compute ops only; 0 when unknown).
   int64_t forward_flops = 0;
   int64_t backward_flops = 0;
+  /// Heap allocations observed inside the op's spans (tensor buffers that
+  /// missed the arena). Zero in steady state once the arena is warmed up.
+  int64_t forward_heap_allocs = 0;
+  int64_t backward_heap_allocs = 0;
   uint64_t total_ns() const { return forward_ns + backward_ns; }
   /// Achieved forward GFLOP/s (0 when the op reports no flops).
   double forward_gflops() const {
@@ -61,8 +66,9 @@ class AutogradProfiler {
   }
   void SetEnabled(bool enabled);
 
-  void RecordForward(const char* op, uint64_t ns, int64_t flops = 0);
-  void RecordBackward(const char* op, uint64_t ns);
+  void RecordForward(const char* op, uint64_t ns, int64_t flops = 0,
+                     int64_t heap_allocs = 0);
+  void RecordBackward(const char* op, uint64_t ns, int64_t heap_allocs = 0);
   /// Flops attribution for backward closures: the closure knows its shapes
   /// but Variable::Backward owns the timing, so flops arrive separately.
   void AddBackwardFlops(const char* op, int64_t flops);
@@ -72,6 +78,12 @@ class AutogradProfiler {
 
   /// Sum of all recorded forward+backward nanoseconds.
   uint64_t TotalNs() const;
+
+  /// Fraction of recorded time spent in GEMM-backed ops ("matmul" and
+  /// "batch_matmul"), forward and backward combined. 0 when nothing has
+  /// been recorded. The fig14 scalability bench reports this to show the
+  /// batched path is GEMM-bound.
+  double GemmShare() const;
 
   /// Human-readable sorted table, one op per line.
   std::string ReportTable() const;
@@ -86,6 +98,8 @@ class AutogradProfiler {
     uint64_t backward_ns = 0;
     int64_t forward_flops = 0;
     int64_t backward_flops = 0;
+    int64_t forward_heap_allocs = 0;
+    int64_t backward_heap_allocs = 0;
   };
 
   std::atomic<bool> enabled_{false};
@@ -101,12 +115,16 @@ class ScopedOpTimer {
  public:
   explicit ScopedOpTimer(const char* op)
       : op_(op), active_(AutogradProfiler::Global().enabled()) {
-    if (active_) start_ns_ = MonotonicNowNs();
+    if (active_) {
+      start_ns_ = MonotonicNowNs();
+      start_heap_allocs_ = ThreadAllocCounters().heap_allocs;
+    }
   }
   ~ScopedOpTimer() {
     if (active_) {
       AutogradProfiler::Global().RecordForward(
-          op_, MonotonicNowNs() - start_ns_, flops_);
+          op_, MonotonicNowNs() - start_ns_, flops_,
+          ThreadAllocCounters().heap_allocs - start_heap_allocs_);
     }
   }
 
@@ -124,6 +142,7 @@ class ScopedOpTimer {
   const char* op_;
   bool active_;
   uint64_t start_ns_ = 0;
+  int64_t start_heap_allocs_ = 0;
   int64_t flops_ = 0;
 };
 

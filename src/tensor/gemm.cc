@@ -42,6 +42,11 @@ constexpr int KC = 256;
 // (the serve scoring path) stay on the naive kernel.
 constexpr int64_t kBlockedMinMnk = int64_t{32} * 1024;
 constexpr int kBlockedMinRows = 8;
+// The naive kNT kernel is a dot-product reduction (no contiguous
+// accumulation to vectorize), measured ~4 GF/s regardless of row count,
+// while the blocked kernel's B-packing absorbs the transpose. The packing
+// only fails to amortize at a single row, so kNT blocks from 2 rows up.
+constexpr int kBlockedMinRowsNt = 2;
 // Minimum flops a ParallelFor task should amortize its scheduling over.
 constexpr int64_t kMinFlopsPerTask = int64_t{1} << 21;
 
@@ -281,8 +286,16 @@ void GemmBlocked(Variant variant, int m, int n, int k, const float* a,
                  const float* b, float* c) {
   if (m <= 0 || n <= 0 || k <= 0) return;
   const int panels = (n + NR - 1) / NR;
-  std::vector<float> bp(static_cast<size_t>(panels) * k * NR);
-  PackBPanels(variant, n, k, b, bp.data());
+  // Per-thread B packing buffer, grown once and reused: the steady-state
+  // training loop must not heap-allocate per GEMM call (see the arena
+  // contract in DESIGN.md).
+  thread_local std::vector<float> bp;
+  const size_t bp_size = static_cast<size_t>(panels) * k * NR;
+  if (bp.size() < bp_size) bp.resize(bp_size);
+  // Workers must read the packing thread's buffer, not their own
+  // thread_local, so grab the pointer before the parallel region.
+  float* const bp_data = bp.data();
+  PackBPanels(variant, n, k, b, bp_data);
 
   // Parallelism partitions C rows in MR units: an output element is owned
   // by exactly one task, so results are partition- (thread-count-)
@@ -293,20 +306,31 @@ void GemmBlocked(Variant variant, int m, int n, int k, const float* a,
       std::max<int64_t>(1, kMinFlopsPerTask / std::max<int64_t>(
                                                   flops_per_unit, 1));
   parallel::ParallelFor(grain, row_units, [&](int64_t u0, int64_t u1) {
-    BlockedRows(variant, m, n, k, a, bp.data(), c,
+    BlockedRows(variant, m, n, k, a, bp_data, c,
                 static_cast<int>(u0 * MR),
                 static_cast<int>(std::min<int64_t>(u1 * MR, m)));
   });
 }
 
-Kernel ChooseKernel(int64_t m, int64_t n, int64_t k) {
+Kernel ChooseKernel(int64_t m, int64_t n, int64_t k, Variant variant) {
   const int env = EnvKernel();
   if (env == 1) return Kernel::kNaive;
   if (env == 2) return Kernel::kBlocked;
-  if (m * n * k >= kBlockedMinMnk && m >= kBlockedMinRows) {
+  const int min_rows =
+      variant == Variant::kNT ? kBlockedMinRowsNt : kBlockedMinRows;
+  if (m * n * k >= kBlockedMinMnk && m >= min_rows) {
     return Kernel::kBlocked;
   }
   return Kernel::kNaive;
+}
+
+Kernel ChooseKernel(int64_t batch, int64_t m, int64_t n, int64_t k,
+                    Variant variant) {
+  // Judge the stacked problem: a skinny per-slice shape (m < 8) that the
+  // 2-D heuristic would bounce to naive becomes blockable once the batch
+  // dimension supplies the rows (broadcast-B collapse) or lengthens the
+  // accumulation chains (kTN gradient reduction).
+  return ChooseKernel(batch * m, n, k, variant);
 }
 
 void ReloadKernelEnvForTesting() {
@@ -316,7 +340,7 @@ void ReloadKernelEnvForTesting() {
 void Gemm(Variant variant, int m, int n, int k, const float* a,
           const float* b, float* c, Kernel kernel) {
   if (m <= 0 || n <= 0 || k <= 0) return;
-  if (kernel == Kernel::kAuto) kernel = ChooseKernel(m, n, k);
+  if (kernel == Kernel::kAuto) kernel = ChooseKernel(m, n, k, variant);
   if (obs::Enabled()) {
     GemmMetrics& metrics = GemmMetrics::Get();
     metrics.calls->Increment();
@@ -327,6 +351,43 @@ void Gemm(Variant variant, int m, int n, int k, const float* a,
     GemmBlocked(variant, m, n, k, a, b, c);
   } else {
     GemmNaive(variant, m, n, k, a, b, c);
+  }
+}
+
+void BatchGemm(Variant variant, int batch, int m, int n, int k,
+               const float* a, int64_t a_stride, const float* b,
+               int64_t b_stride, float* c, int64_t c_stride,
+               Kernel kernel) {
+  if (batch <= 0 || m <= 0 || n <= 0 || k <= 0) return;
+  // Collapse 1: broadcast B with contiguously stacked A and C slices. The
+  // batch dimension extends M: one (batch·m)×n GEMM whose row r of slice s
+  // is row s·m+r of the stacked problem. Row stacking never touches an
+  // element's k-chain, so this is bit-identical to the slice loop — and it
+  // is what turns skinny per-slice shapes into one blockable call.
+  if (b_stride == 0 && variant != Variant::kTN &&
+      a_stride == static_cast<int64_t>(m) * k &&
+      c_stride == static_cast<int64_t>(m) * n) {
+    Gemm(variant, batch * m, n, k, a, b, c, kernel);
+    return;
+  }
+  // Collapse 2: kTN reduction of every slice into one C (the batched
+  // weight gradient dW += Σ_s A_sᵀ·B_s). The batch dimension extends K:
+  // op(A) rows of slice s are rows s·k..s·k+k-1 of a (batch·k)×m operand.
+  // Sequential slice calls chain each C element over k ascending, rooted
+  // at the running value; one call over the stacked K walks the exact same
+  // chain (KC-block store/reloads are exact), so bits match the loop.
+  if (variant == Variant::kTN && c_stride == 0 &&
+      a_stride == static_cast<int64_t>(k) * m &&
+      b_stride == static_cast<int64_t>(k) * n) {
+    Gemm(variant, m, n, batch * k, a, b, c, kernel);
+    return;
+  }
+  // General layout: the definitional sequential loop (parallelism lives
+  // inside each 2-D call). Sequential because c_stride == 0 layouts
+  // accumulate into shared output, and determinism wants one slice order.
+  for (int s = 0; s < batch; ++s) {
+    Gemm(variant, m, n, k, a + s * a_stride, b + s * b_stride,
+         c + s * c_stride, kernel);
   }
 }
 

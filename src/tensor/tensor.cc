@@ -24,7 +24,7 @@ Tensor::Tensor(std::vector<int> shape) : shape_(std::move(shape)) {
 }
 
 Tensor::Tensor(std::vector<int> shape, std::vector<float> values)
-    : shape_(std::move(shape)), data_(std::move(values)) {
+    : shape_(std::move(shape)), data_(values.begin(), values.end()) {
   TRACER_CHECK_EQ(ShapeSize(shape_), static_cast<int64_t>(data_.size()))
       << "value count does not match shape";
 }
@@ -69,7 +69,9 @@ void Tensor::Fill(float value) {
 
 Tensor Tensor::Reshape(std::vector<int> new_shape) const {
   TRACER_CHECK_EQ(ShapeSize(new_shape), size()) << "reshape size mismatch";
-  return Tensor(std::move(new_shape), data_);
+  Tensor out(std::move(new_shape));
+  std::copy(data_.begin(), data_.end(), out.data_.begin());
+  return out;
 }
 
 std::string Tensor::ToString() const {

@@ -7,6 +7,7 @@
 
 #include "common/macros.h"
 #include "common/rng.h"
+#include "tensor/arena.h"
 
 namespace tracer {
 
@@ -114,7 +115,10 @@ class Tensor {
 
  private:
   std::vector<int> shape_;
-  std::vector<float> data_;
+  // Storage routes through the thread-current TensorArena when one is
+  // installed (ScopedArena), so tape-lifetime tensors inside the training
+  // loop cost zero mallocs in steady state. See tensor/arena.h.
+  FloatBuffer data_;
 };
 
 }  // namespace tracer

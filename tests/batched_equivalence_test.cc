@@ -1,0 +1,184 @@
+// Equivalence tests for the batch-major sequence path: the rank-3
+// BatchMatMul pipeline (TRACER_BATCHED_RNN=1, the default) must produce
+// forward values bitwise identical to the per-timestep reference path
+// (TRACER_BATCHED_RNN=0), for every GEMM kernel selection and thread
+// budget — row/column stacking never changes an output element's
+// accumulation chain (DESIGN.md "Compute kernels").
+
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/titv.h"
+#include "data/dataset.h"
+#include "nn/gru.h"
+#include "nn/lstm.h"
+#include "nn/rnn_config.h"
+#include "parallel/parallel_for.h"
+#include "tensor/gemm.h"
+
+namespace tracer {
+namespace {
+
+using autograd::Variable;
+
+/// Restores TRACER_BATCHED_RNN / TRACER_GEMM / the thread budget on exit so
+/// env sweeps cannot leak into other tests.
+class EnvGuard {
+ public:
+  EnvGuard() : prev_threads_(parallel::MaxThreads()) {}
+  ~EnvGuard() {
+    unsetenv("TRACER_BATCHED_RNN");
+    unsetenv("TRACER_GEMM");
+    nn::ReloadBatchedRnnEnvForTesting();
+    gemm::ReloadKernelEnvForTesting();
+    parallel::SetMaxThreads(prev_threads_);
+  }
+
+ private:
+  int prev_threads_;
+};
+
+void UseBatchedRnn(bool batched) {
+  setenv("TRACER_BATCHED_RNN", batched ? "1" : "0", 1);
+  nn::ReloadBatchedRnnEnvForTesting();
+}
+
+std::vector<Variable> RandomSequence(int time_steps, int batch, int dim,
+                                     uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Variable> xs;
+  xs.reserve(time_steps);
+  for (int t = 0; t < time_steps; ++t) {
+    xs.push_back(Variable::Constant(Tensor::Randn({batch, dim}, rng)));
+  }
+  return xs;
+}
+
+bool BitwiseEqual(const Tensor& a, const Tensor& b) {
+  return a.SameShape(b) &&
+         std::memcmp(a.data(), b.data(),
+                     static_cast<size_t>(a.size()) * sizeof(float)) == 0;
+}
+
+TEST(BatchedEquivalenceTest, GruSequenceMatchesStepChainBitwise) {
+  EnvGuard guard;
+  Rng rng(7);
+  nn::Gru gru(5, 9, rng);
+  const std::vector<Variable> xs = RandomSequence(6, 4, 5, 11);
+  for (const bool reverse : {false, true}) {
+    UseBatchedRnn(false);
+    const std::vector<Variable> ref = gru.Run(xs, reverse);
+    UseBatchedRnn(true);
+    const std::vector<Variable> got = gru.Run(xs, reverse);
+    ASSERT_EQ(ref.size(), got.size());
+    for (size_t t = 0; t < ref.size(); ++t) {
+      EXPECT_TRUE(BitwiseEqual(ref[t].value(), got[t].value()))
+          << "reverse=" << reverse << " t=" << t;
+    }
+  }
+}
+
+TEST(BatchedEquivalenceTest, LstmSequenceMatchesStepChainBitwise) {
+  EnvGuard guard;
+  Rng rng(13);
+  nn::Lstm lstm(4, 7, rng);
+  const std::vector<Variable> xs = RandomSequence(5, 3, 4, 17);
+  for (const bool reverse : {false, true}) {
+    UseBatchedRnn(false);
+    const std::vector<Variable> ref = lstm.Run(xs, reverse);
+    UseBatchedRnn(true);
+    const std::vector<Variable> got = lstm.Run(xs, reverse);
+    ASSERT_EQ(ref.size(), got.size());
+    for (size_t t = 0; t < ref.size(); ++t) {
+      EXPECT_TRUE(BitwiseEqual(ref[t].value(), got[t].value()))
+          << "reverse=" << reverse << " t=" << t;
+    }
+  }
+}
+
+TEST(BatchedEquivalenceTest,
+     TitvForwardBitwiseStableAcrossPathKernelAndThreads) {
+  EnvGuard guard;
+  core::TitvConfig config;
+  config.input_dim = 6;
+  config.rnn_dim = 12;
+  config.film_dim = 8;
+  config.seed = 23;
+  core::Titv model(config);
+
+  Rng rng(29);
+  data::TimeSeriesDataset ds(data::TaskType::kBinaryClassification, 8, 5,
+                             config.input_dim);
+  for (int i = 0; i < 8; ++i) {
+    for (int t = 0; t < 5; ++t) {
+      for (int d = 0; d < config.input_dim; ++d) {
+        ds.at(i, t, d) = static_cast<float>(rng.Uniform());
+      }
+    }
+    ds.set_label(i, rng.Bernoulli(0.5) ? 1.0f : 0.0f);
+  }
+  const data::Batch batch = data::FullBatch(ds);
+  const std::vector<Variable> xs = nn::SequenceModel::ToVariables(batch);
+
+  // Reference: per-timestep path, single thread, default kernel choice.
+  UseBatchedRnn(false);
+  parallel::SetMaxThreads(1);
+  const Tensor reference = model.Forward(xs).value();
+
+  // The batched path must reproduce it bit for bit under every
+  // TRACER_GEMM selection and thread budget.
+  UseBatchedRnn(true);
+  for (const char* env : {"naive", "blocked", "auto"}) {
+    setenv("TRACER_GEMM", env, 1);
+    gemm::ReloadKernelEnvForTesting();
+    for (const int threads : {1, 2, 4, 8}) {
+      parallel::SetMaxThreads(threads);
+      const Tensor out = model.Forward(xs).value();
+      EXPECT_TRUE(BitwiseEqual(reference, out))
+          << "TRACER_GEMM=" << env << " threads=" << threads;
+    }
+  }
+}
+
+TEST(BatchedEquivalenceTest, FeatureImportanceMatchesAcrossPaths) {
+  // ComputeFeatureImportance recomputes α through the stacked attention
+  // GEMM; its values must not depend on the sequence path either.
+  EnvGuard guard;
+  core::TitvConfig config;
+  config.input_dim = 5;
+  config.rnn_dim = 8;
+  config.film_dim = 8;
+  config.seed = 31;
+  core::Titv model(config);
+
+  Rng rng(37);
+  data::TimeSeriesDataset ds(data::TaskType::kBinaryClassification, 6, 4,
+                             config.input_dim);
+  for (int i = 0; i < 6; ++i) {
+    for (int t = 0; t < 4; ++t) {
+      for (int d = 0; d < config.input_dim; ++d) {
+        ds.at(i, t, d) = static_cast<float>(rng.Uniform());
+      }
+    }
+    ds.set_label(i, rng.Bernoulli(0.5) ? 1.0f : 0.0f);
+  }
+  const data::Batch batch = data::FullBatch(ds);
+
+  UseBatchedRnn(false);
+  const core::FeatureImportanceTrace ref =
+      model.ComputeFeatureImportance(batch, /*classification=*/true);
+  UseBatchedRnn(true);
+  const core::FeatureImportanceTrace got =
+      model.ComputeFeatureImportance(batch, /*classification=*/true);
+  ASSERT_EQ(ref.alpha.size(), got.alpha.size());
+  for (size_t t = 0; t < ref.alpha.size(); ++t) {
+    EXPECT_TRUE(BitwiseEqual(ref.alpha[t], got.alpha[t])) << "t=" << t;
+  }
+  EXPECT_TRUE(BitwiseEqual(ref.outputs, got.outputs));
+}
+
+}  // namespace
+}  // namespace tracer
